@@ -1,0 +1,251 @@
+//! CAPE-style counterbalance explanations (Miao, Zeng, Glavic, Roy —
+//! SIGMOD'19, the paper's \[34\]) for the §5.6 comparison.
+//!
+//! CAPE explains an aggregate value that is surprisingly high (low) by
+//! finding *counterbalances*: similar points that are surprisingly low
+//! (high) with respect to a learned pattern. Following §5.6's setup, the
+//! pattern here is a linear trend of the aggregate over the group
+//! sequence; the user question is one outlier point plus a direction, and
+//! the explanations are the top-k opposite-direction outliers — e.g. "GSW
+//! won unusually *many* games in 2015-16" is counterbalanced by seasons
+//! with unusually *few* wins (Fig. 13).
+
+use cajade_storage::{Database, Value};
+
+use cajade_query::QueryResult;
+
+/// Direction of the user's surprise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The value is surprisingly high.
+    High,
+    /// The value is surprisingly low.
+    Low,
+}
+
+/// A CAPE user question: one output tuple + a direction.
+#[derive(Debug, Clone)]
+pub struct CapeQuestion {
+    /// Row index in the query result.
+    pub row: usize,
+    /// Whether the user finds the value high or low.
+    pub direction: Direction,
+}
+
+/// One counterbalance explanation.
+#[derive(Debug, Clone)]
+pub struct CapeExplanation {
+    /// Row index of the counterbalancing output tuple.
+    pub row: usize,
+    /// Rendered group key (e.g. `(GSW, 2013-14, 51)`).
+    pub rendered: String,
+    /// The counterbalance's residual against the fitted trend (sign is
+    /// opposite to the question's direction).
+    pub residual: f64,
+}
+
+/// Produces the top-k counterbalances for `question` over the aggregate
+/// column `agg_col` of `result`, ordering groups by their position in the
+/// result (the paper's season sequence).
+pub fn explain_outlier(
+    db: &Database,
+    result: &QueryResult,
+    agg_col: &str,
+    question: &CapeQuestion,
+    k: usize,
+) -> Vec<CapeExplanation> {
+    let n = result.num_rows();
+    let agg_idx = result
+        .table
+        .schema()
+        .field_index(agg_col)
+        .expect("aggregate column exists");
+    let ys: Vec<f64> = (0..n)
+        .map(|r| {
+            result
+                .table
+                .value(r, agg_idx)
+                .as_f64()
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+
+    // Fit y = a + b·x on all points except the question's.
+    let pts: Vec<(f64, f64)> = ys
+        .iter()
+        .enumerate()
+        .filter(|(i, y)| *i != question.row && y.is_finite())
+        .map(|(i, &y)| (i as f64, y))
+        .collect();
+    let (a, b) = linear_fit(&pts);
+
+    // Residuals; counterbalances have the opposite sign.
+    let mut counter: Vec<(usize, f64)> = ys
+        .iter()
+        .enumerate()
+        .filter(|(i, y)| *i != question.row && y.is_finite())
+        .map(|(i, &y)| (i, y - (a + b * i as f64)))
+        .filter(|(_, res)| match question.direction {
+            Direction::High => *res < 0.0,
+            Direction::Low => *res > 0.0,
+        })
+        .collect();
+    counter.sort_by(|x, y| {
+        y.1.abs()
+            .partial_cmp(&x.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    counter.truncate(k);
+
+    counter
+        .into_iter()
+        .map(|(row, residual)| CapeExplanation {
+            row,
+            rendered: render_row(db, result, row),
+            residual,
+        })
+        .collect()
+}
+
+/// Least-squares line through `pts`; degenerate inputs give a flat line.
+fn linear_fit(pts: &[(f64, f64)]) -> (f64, f64) {
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return (pts.first().map(|p| p.1).unwrap_or(0.0), 0.0);
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+fn render_row(db: &Database, result: &QueryResult, row: usize) -> String {
+    let schema = result.table.schema();
+    let cells: Vec<String> = (0..schema.arity())
+        .map(|c| match result.table.value(row, c) {
+            Value::Str(id) => db.resolve(id).to_string(),
+            v => v.render(db.pool()),
+        })
+        .collect();
+    format!("({})", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_query::{execute, parse_sql};
+    use cajade_storage::{AttrKind, DataType, SchemaBuilder};
+
+    /// Series with a clear upward trend, one high outlier (index 5) and
+    /// two low outliers (indices 2 and 7).
+    fn fixture() -> (Database, QueryResult) {
+        let mut db = Database::new("cape");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("season", DataType::Str, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        // wins per season: trend ~30+2s with planted outliers.
+        let wins = [30, 32, 14, 36, 38, 70, 42, 22, 46, 48];
+        for (s, &w) in wins.iter().enumerate() {
+            let name = db.intern(&format!("s{s:02}"));
+            for i in 0..w {
+                db.table_mut("t")
+                    .unwrap()
+                    .push_row(vec![Value::Int((s * 1000 + i) as i64), Value::Str(name)])
+                    .unwrap();
+            }
+        }
+        let q = parse_sql("SELECT count(*) AS win, season FROM t GROUP BY season").unwrap();
+        let r = execute(&db, &q).unwrap();
+        (db, r)
+    }
+
+    #[test]
+    fn high_outlier_gets_low_counterbalances() {
+        let (db, r) = fixture();
+        let high_row = r.find_row(&db, &[("season", "s05")]).unwrap();
+        let expl = explain_outlier(
+            &db,
+            &r,
+            "win",
+            &CapeQuestion {
+                row: high_row,
+                direction: Direction::High,
+            },
+            3,
+        );
+        assert!(!expl.is_empty());
+        // The strongest counterbalances are the planted low seasons.
+        let top: Vec<&str> = expl
+            .iter()
+            .take(2)
+            .map(|e| {
+                if e.rendered.contains("s02") {
+                    "s02"
+                } else if e.rendered.contains("s07") {
+                    "s07"
+                } else {
+                    "?"
+                }
+            })
+            .collect();
+        assert!(top.contains(&"s02") && top.contains(&"s07"), "{expl:?}");
+        assert!(expl.iter().all(|e| e.residual < 0.0));
+    }
+
+    #[test]
+    fn low_outlier_gets_high_counterbalances() {
+        let (db, r) = fixture();
+        let low_row = r.find_row(&db, &[("season", "s02")]).unwrap();
+        let expl = explain_outlier(
+            &db,
+            &r,
+            "win",
+            &CapeQuestion {
+                row: low_row,
+                direction: Direction::Low,
+            },
+            2,
+        );
+        assert!(expl[0].rendered.contains("s05"), "{expl:?}");
+        assert!(expl.iter().all(|e| e.residual > 0.0));
+    }
+
+    #[test]
+    fn question_row_never_returned() {
+        let (db, r) = fixture();
+        let row = r.find_row(&db, &[("season", "s05")]).unwrap();
+        let expl = explain_outlier(
+            &db,
+            &r,
+            "win",
+            &CapeQuestion {
+                row,
+                direction: Direction::High,
+            },
+            100,
+        );
+        assert!(expl.iter().all(|e| e.row != row));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        // Degenerate cases.
+        assert_eq!(linear_fit(&[]), (0.0, 0.0));
+        assert_eq!(linear_fit(&[(5.0, 7.0)]), (7.0, 0.0));
+    }
+}

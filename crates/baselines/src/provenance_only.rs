@@ -1,0 +1,70 @@
+//! Provenance-only explanations: CaJaDE restricted to the PT-only join
+//! graph Ω₀ — the baseline arm of the user study (§6.3 / Table 7, the
+//! "Provenance-based Explanations" block). No context tables are joined;
+//! patterns can only use the attributes of the relations the query itself
+//! accessed.
+
+use cajade_graph::{Apt, JoinGraph, Result};
+use cajade_mining::{mine_apt, MinedExplanation, MiningParams, Question};
+use cajade_query::ProvenanceTable;
+use cajade_storage::Database;
+
+/// Mines top-k patterns over the bare provenance table.
+pub fn provenance_only_explanations(
+    db: &Database,
+    pt: &ProvenanceTable,
+    question: &Question,
+    params: &MiningParams,
+) -> Result<(Vec<MinedExplanation>, Apt)> {
+    let apt = Apt::materialize(db, pt, &JoinGraph::pt_only())?;
+    let outcome = mine_apt(&apt, pt, question, params);
+    Ok((outcome.explanations, apt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_datagen::nba::{self, NbaConfig};
+    use cajade_mining::SelAttr;
+    use cajade_query::parse_sql;
+
+    #[test]
+    fn provenance_only_uses_only_pt_attributes() {
+        let gen = nba::generate(NbaConfig::tiny());
+        let q = parse_sql(
+            "SELECT COUNT(*) AS win, s.season_name \
+             FROM team t, game g, season s \
+             WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+        let t1 = pt
+            .find_group(&gen.db, &q, &[("season_name", "2015-16")])
+            .unwrap();
+        let t2 = pt
+            .find_group(&gen.db, &q, &[("season_name", "2012-13")])
+            .unwrap();
+        let params = MiningParams {
+            sel_attr: SelAttr::Count(4),
+            lambda_f1_samp: 1.0,
+            lambda_pat_samp: 1.0,
+            ..Default::default()
+        };
+        let (expl, apt) = provenance_only_explanations(
+            &gen.db,
+            &pt,
+            &Question::TwoPoint { t1, t2 },
+            &params,
+        )
+        .unwrap();
+        assert!(!expl.is_empty(), "some provenance-only explanation found");
+        // Every pattern attribute is a prov_ attribute.
+        for e in &expl {
+            for (f, _) in e.pattern.preds() {
+                assert!(apt.fields[*f].from_pt);
+                assert!(apt.fields[*f].name.starts_with("prov_"));
+            }
+        }
+    }
+}

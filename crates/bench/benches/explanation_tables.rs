@@ -1,0 +1,65 @@
+//! Criterion bench for Fig. 11: Explanation Tables vs. CaJaDE's MineAPT
+//! at growing sample sizes (ET grows much faster — the paper's ~50×).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cajade_baselines::{EtConfig, ExplanationTables};
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::{mine_apt, MiningParams, Question};
+use cajade_query::{parse_sql, ProvenanceTable};
+
+fn bench_et_vs_cajade(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 16,
+        players_per_team: 6,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    let outcome: Vec<bool> = (0..apt.num_rows)
+        .map(|r| pt.group_of[apt.pt_row[r] as usize] == 6)
+        .collect();
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for sample in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("et", sample), &sample, |b, &sample| {
+            let cfg = EtConfig {
+                sample_size: sample,
+                num_patterns: 20,
+                ..Default::default()
+            };
+            b.iter(|| ExplanationTables::fit(black_box(&apt), black_box(&outcome), &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("cajade", sample), &sample, |b, &sample| {
+            let mp = MiningParams {
+                lambda_pat_samp: 1.0,
+                pat_samp_cap: sample,
+                forest_trees: 10,
+                ..Default::default()
+            };
+            b.iter(|| {
+                mine_apt(
+                    black_box(&apt),
+                    black_box(&pt),
+                    &Question::TwoPoint { t1: 6, t2: 3 },
+                    &mp,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_et_vs_cajade);
+criterion_main!(benches);

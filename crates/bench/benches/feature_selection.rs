@@ -1,0 +1,52 @@
+//! Criterion bench for the Fig.-7 ablation: MineAPT with and without
+//! feature selection on a fixed APT.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::{mine_apt, MiningParams, Question};
+use cajade_query::{parse_sql, ProvenanceTable};
+
+fn bench_feature_selection(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 16,
+        players_per_team: 8,
+        rich_stats: true,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT AVG(assists) AS avg_ast, s.season_name \
+         FROM team_game_stats tgs, game g, team t, season s \
+         WHERE s.season_id = g.season_id AND tgs.game_date = g.game_date \
+           AND tgs.home_id = g.home_id AND tgs.team_id = t.team_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    let question = Question::TwoPoint { t1: 4, t2: 5 };
+
+    let with_fs = MiningParams {
+        forest_trees: 10,
+        ..Default::default()
+    };
+    let without_fs = MiningParams {
+        feature_selection: false,
+        ..with_fs.clone()
+    };
+
+    let mut group = c.benchmark_group("mine_apt");
+    group.sample_size(10);
+    group.bench_function("with_feature_selection", |b| {
+        b.iter(|| mine_apt(black_box(&apt), black_box(&pt), &question, &with_fs))
+    });
+    group.bench_function("without_feature_selection", |b| {
+        b.iter(|| mine_apt(black_box(&apt), black_box(&pt), &question, &without_fs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_selection);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Fig. 8: join-graph enumeration cost as λ#edges
+//! grows (enumeration alone; full-session numbers come from `paper fig8`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_graph::{enumerate_join_graphs, EnumConfig};
+use cajade_query::{parse_sql, ProvenanceTable};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 6,
+        games_per_team: 8,
+        players_per_team: 6,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+
+    let mut group = c.benchmark_group("enumerate_join_graphs");
+    for edges in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, &edges| {
+            let cfg = EnumConfig {
+                max_edges: edges,
+                ..Default::default()
+            };
+            b.iter(|| {
+                enumerate_join_graphs(
+                    black_box(&gen.schema_graph),
+                    black_box(&gen.db),
+                    black_box(&q),
+                    pt.num_rows,
+                    &cfg,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks for the substrate kernels: hash join,
+//! group-by aggregation, pattern matching, LCA candidate generation, and
+//! random-forest training.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::{lca_candidates, PatValue, Pattern, Pred, PredOp, Scorer};
+use cajade_ml::{FeatureColumn, RandomForest, RandomForestConfig};
+use cajade_query::{execute, parse_sql, ProvenanceTable};
+
+fn bench_join_and_aggregate(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 20,
+        players_per_team: 8,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS c, s.season_name \
+         FROM player_game_stats pgs, game g, season s \
+         WHERE pgs.game_date = g.game_date AND pgs.home_id = g.home_id \
+           AND s.season_id = g.season_id \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    c.bench_function("hash_join_3way_group_by", |b| {
+        b.iter(|| execute(black_box(&gen.db), black_box(&q)).unwrap())
+    });
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 20,
+        players_per_team: 8,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    c.bench_function("provenance_capture", |b| {
+        b.iter(|| ProvenanceTable::compute(black_box(&gen.db), black_box(&q)).unwrap())
+    });
+}
+
+fn pattern_fixture() -> (cajade_datagen::GeneratedDb, ProvenanceTable, Apt) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 20,
+        players_per_team: 8,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    (gen, pt, apt)
+}
+
+fn bench_pattern_scoring(c: &mut Criterion) {
+    let (_gen, pt, apt) = pattern_fixture();
+    let pts_field = apt.field_index("prov_game_home__points").unwrap();
+    let pattern = Pattern::from_preds(vec![(
+        pts_field,
+        Pred {
+            op: PredOp::Ge,
+            value: PatValue::Int(105),
+        },
+    )]);
+    let scorer = Scorer::exact(&apt, &pt);
+    c.bench_function("pattern_score_definition7", |b| {
+        b.iter(|| scorer.score(black_box(&pattern), 0, Some(1)))
+    });
+}
+
+fn bench_lca(c: &mut Criterion) {
+    let (_gen, _pt, apt) = pattern_fixture();
+    let cats: Vec<usize> = apt
+        .pattern_fields()
+        .into_iter()
+        .filter(|&f| apt.fields[f].kind == cajade_storage::AttrKind::Categorical)
+        .collect();
+    let mut group = c.benchmark_group("lca_candidates");
+    for n in [64usize, 128, 256] {
+        let rows: Vec<u32> = (0..apt.num_rows.min(n) as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rows, |b, rows| {
+            b.iter(|| lca_candidates(black_box(&apt), black_box(rows), black_box(&cats)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let n = 2000;
+    let features = vec![
+        FeatureColumn::Numeric((0..n).map(|i| (i % 97) as f64).collect()),
+        FeatureColumn::Numeric((0..n).map(|i| (i % 13) as f64).collect()),
+        FeatureColumn::Categorical((0..n).map(|i| (i % 7) as u32).collect()),
+    ];
+    let labels: Vec<bool> = (0..n).map(|i| (i % 97) > 48).collect();
+    c.bench_function("random_forest_fit_2k_rows", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&features),
+                black_box(&labels),
+                &RandomForestConfig {
+                    num_trees: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_join_and_aggregate,
+        bench_provenance,
+        bench_pattern_scoring,
+        bench_lca,
+        bench_forest
+);
+criterion_main!(benches);

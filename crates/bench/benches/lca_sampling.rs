@@ -1,0 +1,46 @@
+//! Criterion bench for Fig. 10b–e: LCA candidate generation is quadratic
+//! in the sample size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::lca_candidates;
+use cajade_query::{parse_sql, ProvenanceTable};
+
+fn bench_lca_sampling(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig {
+        seasons: 10,
+        games_per_team: 20,
+        players_per_team: 8,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q = parse_sql(
+        "SELECT COUNT(*) AS c, s.season_name \
+         FROM player_game_stats pgs, game g, season s \
+         WHERE pgs.game_date = g.game_date AND pgs.home_id = g.home_id \
+           AND s.season_id = g.season_id \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    let cats: Vec<usize> = apt
+        .pattern_fields()
+        .into_iter()
+        .filter(|&f| apt.fields[f].kind == cajade_storage::AttrKind::Categorical)
+        .collect();
+
+    let mut group = c.benchmark_group("lca_sample_size");
+    for n in [50usize, 100, 200, 400] {
+        let rows: Vec<u32> = (0..n.min(apt.num_rows) as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rows, |b, rows| {
+            b.iter(|| lca_candidates(black_box(&apt), black_box(rows), black_box(&cats)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lca_sampling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Fig. 9's shape: end-to-end session at two database
+//! scales (the full sweep lives in `paper fig9`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cajade_core::{ExplanationSession, Params, UserQuestion};
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_query::parse_sql;
+
+fn bench_session_scales(c: &mut Criterion) {
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("session_scale");
+    group.sample_size(10);
+    for gpt in [8usize, 16] {
+        let gen = nba::generate(NbaConfig {
+            seasons: 10,
+            games_per_team: gpt,
+            players_per_team: 6,
+            rich_stats: false,
+            seed: 1,
+        });
+        let mut params = Params::fast();
+        params.mining.lambda_f1_samp = 0.3;
+        group.bench_with_input(BenchmarkId::from_parameter(gpt), &gen, |b, gen| {
+            b.iter(|| {
+                ExplanationSession::new(&gen.db, &gen.schema_graph, params.clone())
+                    .explain(
+                        black_box(&q),
+                        &UserQuestion::two_point(
+                            &[("season_name", "2015-16")],
+                            &[("season_name", "2012-13")],
+                        ),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_scales);
+criterion_main!(benches);

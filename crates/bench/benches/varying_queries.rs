@@ -1,0 +1,70 @@
+//! Criterion bench for Fig. 12's shape: end-to-end sessions for a
+//! representative NBA and MIMIC workload query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cajade_core::{ExplanationSession, Params, UserQuestion};
+use cajade_datagen::{mimic, nba};
+use cajade_query::parse_sql;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("varying_queries");
+    group.sample_size(10);
+
+    let nba = nba::generate(nba::NbaConfig {
+        seasons: 10,
+        games_per_team: 8,
+        players_per_team: 6,
+        rich_stats: false,
+        seed: 1,
+    });
+    let q_nba = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    let mut params = Params::fast();
+    params.mining.lambda_f1_samp = 0.3;
+    group.bench_function("Q_nba4", |b| {
+        b.iter(|| {
+            ExplanationSession::new(&nba.db, &nba.schema_graph, params.clone())
+                .explain(
+                    black_box(&q_nba),
+                    &UserQuestion::two_point(
+                        &[("season_name", "2015-16")],
+                        &[("season_name", "2012-13")],
+                    ),
+                )
+                .unwrap()
+        })
+    });
+
+    let mimic = mimic::generate(mimic::MimicConfig {
+        admissions: 1500,
+        seed: 11,
+    });
+    let q_mimic = parse_sql(
+        "SELECT insurance, 1.0*SUM(hospital_expire_flag)/COUNT(*) AS death_rate \
+         FROM admissions GROUP BY insurance",
+    )
+    .unwrap();
+    group.bench_function("Q_mimic4", |b| {
+        b.iter(|| {
+            ExplanationSession::new(&mimic.db, &mimic.schema_graph, params.clone())
+                .explain(
+                    black_box(&q_mimic),
+                    &UserQuestion::two_point(
+                        &[("insurance", "Medicare")],
+                        &[("insurance", "Private")],
+                    ),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,325 @@
+//! The paper's query workload (Table 2 / §5.7 SQL listings) and
+//! case-study user questions (Tables 4 and 6), plus dataset constructors
+//! with harness-level scale control.
+
+use cajade_datagen::mimic::{self, MimicConfig};
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_datagen::GeneratedDb;
+use cajade_query::{parse_sql, Query};
+
+/// Harness scale: the paper's scale-1.0 datasets take minutes per
+/// experiment on its server; the harness defaults to a quarter-scale base
+/// so the whole suite runs on a laptop, with `--full` restoring
+/// paper-scale. Runtime *shape* is preserved either way.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessScale(pub f64);
+
+impl Default for HarnessScale {
+    fn default() -> Self {
+        HarnessScale(0.25)
+    }
+}
+
+/// Generates the NBA database at `scale × paper-scale`.
+pub fn nba_db(scale: f64) -> GeneratedDb {
+    nba::generate(NbaConfig {
+        rich_stats: true,
+        ..NbaConfig::scaled(scale)
+    })
+}
+
+/// Generates the MIMIC database at `scale × paper-scale`.
+pub fn mimic_db(scale: f64) -> GeneratedDb {
+    mimic::generate(MimicConfig::scaled(scale))
+}
+
+/// One workload query: id, description, SQL.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Paper id, e.g. `Q_nba1`.
+    pub id: &'static str,
+    /// Table-2 description.
+    pub description: &'static str,
+    /// SQL text (against the generators' schemas).
+    pub sql: &'static str,
+}
+
+impl Workload {
+    /// Parses the workload's SQL.
+    pub fn query(&self) -> Query {
+        parse_sql(self.sql).unwrap_or_else(|e| panic!("{}: {e}", self.id))
+    }
+}
+
+/// The five NBA workload queries (Table 2 / §6.1).
+pub fn nba_queries() -> Vec<Workload> {
+    vec![
+        Workload {
+            id: "Q_nba1",
+            description: "Average points per season for Draymond Green",
+            sql: "SELECT AVG(points) AS avg_pts, s.season_name \
+                  FROM player p, player_game_stats pgs, game g, season s \
+                  WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date \
+                    AND g.home_id = pgs.home_id AND s.season_id = g.season_id \
+                    AND p.player_name = 'Draymond Green' \
+                  GROUP BY s.season_name",
+        },
+        Workload {
+            id: "Q_nba2",
+            description: "GSW average assists over the years",
+            sql: "SELECT AVG(assists) AS avg_ast, s.season_name \
+                  FROM team_game_stats tgs, game g, team t, season s \
+                  WHERE s.season_id = g.season_id AND tgs.game_date = g.game_date \
+                    AND tgs.home_id = g.home_id AND tgs.team_id = t.team_id \
+                    AND t.team = 'GSW' \
+                  GROUP BY s.season_name",
+        },
+        Workload {
+            id: "Q_nba3",
+            description: "Average points per season for LeBron James",
+            sql: "SELECT AVG(points) AS avg_pts, s.season_name \
+                  FROM player p, player_game_stats pgs, game g, season s \
+                  WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date \
+                    AND g.home_id = pgs.home_id AND s.season_id = g.season_id \
+                    AND p.player_name = 'LeBron James' \
+                  GROUP BY s.season_name",
+        },
+        Workload {
+            id: "Q_nba4",
+            description: "GSW wins over the years",
+            sql: "SELECT COUNT(*) AS win, s.season_name \
+                  FROM team t, game g, season s \
+                  WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+                    AND t.team = 'GSW' \
+                  GROUP BY s.season_name",
+        },
+        Workload {
+            id: "Q_nba5",
+            description: "Average points per season for Jimmy Butler",
+            sql: "SELECT AVG(points) AS avg_pts, s.season_name \
+                  FROM player p, player_game_stats pgs, game g, season s \
+                  WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date \
+                    AND g.home_id = pgs.home_id AND s.season_id = g.season_id \
+                    AND p.player_name = 'Jimmy Butler' \
+                  GROUP BY s.season_name",
+        },
+    ]
+}
+
+/// The five MIMIC workload queries (Table 2 / §6.2).
+pub fn mimic_queries() -> Vec<Workload> {
+    vec![
+        Workload {
+            id: "Q_mimic1",
+            description: "Death rate of diagnoses by chapter",
+            sql: "SELECT 1.0*SUM(a.hospital_expire_flag)/COUNT(*) AS death_rate, d.chapter \
+                  FROM admissions a, diagnoses d \
+                  WHERE a.hadm_id = d.hadm_id GROUP BY d.chapter",
+        },
+        Workload {
+            id: "Q_mimic2",
+            description: "Death rate of patients by insurance",
+            sql: "SELECT insurance, 1.0*SUM(hospital_expire_flag)/COUNT(*) AS death_rate \
+                  FROM admissions GROUP BY insurance",
+        },
+        Workload {
+            id: "Q_mimic3",
+            description: "ICU stays grouped by length of stay",
+            sql: "SELECT COUNT(*) AS cnt, los_group FROM icustays GROUP BY los_group",
+        },
+        Workload {
+            id: "Q_mimic4",
+            description: "Death rate by insurance (Medicare vs Private)",
+            sql: "SELECT insurance, 1.0*SUM(hospital_expire_flag)/COUNT(*) AS death_rate \
+                  FROM admissions GROUP BY insurance",
+        },
+        Workload {
+            id: "Q_mimic5",
+            description: "Procedures by patient ethnicity",
+            sql: "SELECT COUNT(*) AS cnt, pai.ethnicity \
+                  FROM patients_admit_info pai, procedures p \
+                  WHERE p.hadm_id = pai.hadm_id AND p.subject_id = pai.subject_id \
+                  GROUP BY pai.ethnicity",
+        },
+    ]
+}
+
+/// A case-study user question: query id + the two output tuples compared.
+#[derive(Debug, Clone)]
+pub struct CaseQuestion {
+    /// Workload id.
+    pub query_id: &'static str,
+    /// Human description (Table 4/6 wording).
+    pub description: &'static str,
+    /// t1 selector: (group-by column, value).
+    pub t1: (&'static str, &'static str),
+    /// t2 selector.
+    pub t2: (&'static str, &'static str),
+    /// Attribute-name substrings excluded from patterns (interactive
+    /// curation of group-restating attributes, see `MiningParams`).
+    pub banned: &'static [&'static str],
+}
+
+/// Surrogate keys and group-restating attributes excluded from NBA
+/// patterns: ids only restate joins or the grouped season through
+/// functional dependencies (§6.2's noted limitation); names like
+/// `team.team` and `player.player_name` stay available.
+const NBA_BANNED: &[&str] = &[
+    "season_id", "season__id", "season_name", "season.season",
+    "game_date", "game__date", "team_id", "team__id", "player_id",
+    "player__id", "lineup_id", "lineup__id", "home__id", "away__id",
+    "winner__id", "date_start",
+];
+
+/// The NBA case-study questions (Table 4).
+pub fn nba_case_questions() -> Vec<CaseQuestion> {
+    vec![
+        CaseQuestion {
+            query_id: "Q_nba1",
+            description: "Green: 14 pts in 2015-16 (t1) vs 10 pts in 2016-17 (t2)",
+            t1: ("season_name", "2015-16"),
+            t2: ("season_name", "2016-17"),
+            banned: NBA_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_nba2",
+            description: "GSW assists: 23 in 2013-14 (t1) vs 27 in 2014-15 (t2)",
+            t1: ("season_name", "2013-14"),
+            t2: ("season_name", "2014-15"),
+            banned: NBA_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_nba3",
+            description: "LeBron: 29.7 pts in 2009-10 (t1) vs 26.7 in 2010-11 (t2)",
+            t1: ("season_name", "2009-10"),
+            t2: ("season_name", "2010-11"),
+            banned: NBA_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_nba4",
+            description: "GSW wins: 47 in 2012-13 (t1) vs 67 in 2016-17 (t2)",
+            t1: ("season_name", "2012-13"),
+            t2: ("season_name", "2016-17"),
+            banned: NBA_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_nba5",
+            description: "Butler: 13 pts in 2013-14 (t1) vs 20 in 2014-15 (t2)",
+            t1: ("season_name", "2013-14"),
+            t2: ("season_name", "2014-15"),
+            banned: NBA_BANNED,
+        },
+    ]
+}
+
+/// Surrogate keys / timestamps excluded from MIMIC patterns.
+const MIMIC_BANNED: &[&str] = &[
+    "hadm_id", "hadm__id", "subject_id", "subject__id", "icustay_id",
+    "icustay__id", "admittime", "dischtime", "seq_num", "seq__num",
+    "icd9", "dob",
+];
+
+/// The MIMIC case-study questions (Table 6).
+pub fn mimic_case_questions() -> Vec<CaseQuestion> {
+    vec![
+        CaseQuestion {
+            query_id: "Q_mimic1",
+            description: "Death rate 0.19 for chapter 2 (t1) vs 0.09 for chapter 13 (t2)",
+            t1: ("chapter", "2"),
+            t2: ("chapter", "13"),
+            banned: MIMIC_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_mimic2",
+            description: "Death rate: Medicare 0.138 (t1) vs Medicaid 0.066 (t2)",
+            t1: ("insurance", "Medicare"),
+            t2: ("insurance", "Medicaid"),
+            banned: MIMIC_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_mimic3",
+            description: "ICU stays: 0-1 days (t1) vs more than 8 days (t2)",
+            t1: ("los_group", "0-1"),
+            t2: ("los_group", "x>8"),
+            banned: MIMIC_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_mimic4",
+            description: "Death rate: Medicare 0.14 (t1) vs Private 0.06 (t2)",
+            t1: ("insurance", "Medicare"),
+            t2: ("insurance", "Private"),
+            banned: MIMIC_BANNED,
+        },
+        CaseQuestion {
+            query_id: "Q_mimic5",
+            description: "Procedures: HISPANIC patients (t1) vs ASIAN patients (t2)",
+            t1: ("ethnicity", "HISPANIC"),
+            t2: ("ethnicity", "ASIAN"),
+            banned: MIMIC_BANNED,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workload_queries_parse() {
+        for w in nba_queries().iter().chain(mimic_queries().iter()) {
+            let q = w.query();
+            assert!(!q.from.is_empty(), "{}", w.id);
+            assert!(!q.aggregates.is_empty(), "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn workload_queries_run_on_tiny_dbs() {
+        let nba = cajade_datagen::nba::generate(cajade_datagen::nba::NbaConfig::tiny());
+        for w in nba_queries() {
+            let r = cajade_query::execute(&nba.db, &w.query()).unwrap();
+            assert!(r.num_rows() > 0, "{} produced no rows", w.id);
+        }
+        let mimic = cajade_datagen::mimic::generate(cajade_datagen::mimic::MimicConfig::tiny());
+        for w in mimic_queries() {
+            let r = cajade_query::execute(&mimic.db, &w.query()).unwrap();
+            assert!(r.num_rows() > 0, "{} produced no rows", w.id);
+        }
+    }
+
+    #[test]
+    fn case_questions_reference_known_queries() {
+        let nba_ids: Vec<&str> = nba_queries().iter().map(|w| w.id).collect();
+        for cq in nba_case_questions() {
+            assert!(nba_ids.contains(&cq.query_id));
+        }
+        let mimic_ids: Vec<&str> = mimic_queries().iter().map(|w| w.id).collect();
+        for cq in mimic_case_questions() {
+            assert!(mimic_ids.contains(&cq.query_id));
+        }
+    }
+
+    #[test]
+    fn case_question_tuples_exist_in_tiny_data() {
+        let nba = cajade_datagen::nba::generate(cajade_datagen::nba::NbaConfig::tiny());
+        for cq in nba_case_questions() {
+            let w = nba_queries()
+                .into_iter()
+                .find(|w| w.id == cq.query_id)
+                .unwrap();
+            let r = cajade_query::execute(&nba.db, &w.query()).unwrap();
+            assert!(
+                r.find_row(&nba.db, &[cq.t1]).is_some(),
+                "{}: t1 {:?} missing",
+                cq.query_id,
+                cq.t1
+            );
+            assert!(
+                r.find_row(&nba.db, &[cq.t2]).is_some(),
+                "{}: t2 {:?} missing",
+                cq.query_id,
+                cq.t2
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+use cajade_graph::GraphError;
+use cajade_query::QueryError;
+use cajade_storage::StorageError;
+
+/// Errors from an explanation session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// Underlying graph/APT error.
+    Graph(GraphError),
+    /// A user-question tuple did not match any output tuple.
+    NoSuchOutputTuple(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::NoSuchOutputTuple(msg) => {
+                write!(f, "user question matches no output tuple: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = StorageError::NoSuchTable("t".into()).into();
+        assert!(e.to_string().contains("t"));
+        let e: CoreError = QueryError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("c"));
+        let e = CoreError::NoSuchOutputTuple("season=1999".into());
+        assert!(e.to_string().contains("1999"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Session-level explanations: a mined pattern rendered together with its
+//! join graph and supports (the full Definition-6 tuple), plus the
+//! near-duplicate collapsing of §6 ("the same pattern may be returned for
+//! several join graphs … we removed duplicates and explanations that only
+//! differ slightly in terms of constants").
+
+use cajade_graph::Apt;
+use cajade_mining::{MinedExplanation, PatternMetrics};
+use cajade_storage::StringPool;
+
+/// One explanation of the final, globally-ranked list.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Rendered pattern, e.g. `player_salary.salary≤15330435 [t1]`.
+    pub pattern_desc: String,
+    /// Structured predicates: `(attribute, operator, constant)`.
+    pub preds: Vec<(String, String, String)>,
+    /// Join-graph structure, e.g. `PT - player_salary - player`.
+    pub graph_structure: String,
+    /// Rendered join conditions per edge.
+    pub graph_edges: Vec<String>,
+    /// Rendered group key of the primary output tuple.
+    pub primary: String,
+    /// Exact Definition-7 metrics (support = `(tp/a1 vs fp/a2)`).
+    pub metrics: PatternMetrics,
+    /// True if mined from the PT-only graph (provenance-only pattern).
+    pub from_pt_only: bool,
+    /// Index of the join graph within the session's enumeration.
+    pub graph_index: usize,
+}
+
+impl Explanation {
+    /// Builds a rendered explanation from a mined pattern.
+    pub fn from_mined(
+        mined: &MinedExplanation,
+        apt: &Apt,
+        pool: &StringPool,
+        primary: String,
+        graph_index: usize,
+    ) -> Explanation {
+        let preds = mined
+            .pattern
+            .preds()
+            .iter()
+            .map(|(f, p)| {
+                (
+                    apt.fields[*f].name.clone(),
+                    p.op.symbol().to_string(),
+                    p.value.to_value().render(pool),
+                )
+            })
+            .collect();
+        Explanation {
+            pattern_desc: mined.pattern.render(apt, pool),
+            preds,
+            graph_structure: apt.graph.structure_string(),
+            graph_edges: apt.graph.describe_edges(),
+            primary,
+            metrics: mined.metrics,
+            from_pt_only: apt.graph.num_edges() == 0,
+            graph_index,
+        }
+    }
+
+    /// Collapse key: primary tuple + attribute/operator multiset. Two
+    /// explanations with the same key differ only in constants or join
+    /// path — the §6 near-duplicate criterion.
+    pub fn near_duplicate_key(&self) -> String {
+        let mut parts: Vec<String> = self
+            .preds
+            .iter()
+            .map(|(a, op, _)| format!("{a}{op}"))
+            .collect();
+        parts.sort();
+        format!("{}|{}", self.primary, parts.join(","))
+    }
+
+    /// One-line rendering in the Table-4 style.
+    pub fn render_line(&self) -> String {
+        format!(
+            "{} [{}] {} F={:.2} ({})",
+            self.pattern_desc,
+            self.primary,
+            self.metrics.support_string(),
+            self.metrics.f_score,
+            self.graph_structure,
+        )
+    }
+
+    /// Narrative rendering in the style of the paper's introduction boxes:
+    ///
+    /// > *GSW won more games in season 2015-16 because Player S. Curry
+    /// > scored ≥ 23 points in 58 out of 73 games in 2015-16 compared to
+    /// > 21 out of 47 games in 2012-13.*
+    ///
+    /// `subject` names the query result in the user's words (e.g. "GSW's
+    /// wins" / "admissions with this insurance"); the rest is filled from
+    /// the pattern and its supports.
+    pub fn narrate(&self, subject: &str) -> String {
+        let conditions = if self.preds.is_empty() {
+            "the context held".to_string()
+        } else {
+            self.preds
+                .iter()
+                .map(|(attr, op, value)| format!("{attr} {op} {value}"))
+                .collect::<Vec<_>>()
+                .join(" and ")
+        };
+        let via = if self.from_pt_only {
+            String::new()
+        } else {
+            format!(" (context joined via {})", self.graph_structure)
+        };
+        format!(
+            "{subject} differ for {} because {conditions} in {} out of {} of its \
+             provenance rows, compared to {} out of {} for the other side{via}.",
+            self.primary, self.metrics.tp, self.metrics.a1, self.metrics.fp, self.metrics.a2,
+        )
+    }
+}
+
+/// Sorts by exact F-score (descending) and drops near-duplicates, keeping
+/// the best-scoring representative of each key. Returns at most `k`.
+pub fn rank_and_collapse(mut all: Vec<Explanation>, k: usize, collapse: bool) -> Vec<Explanation> {
+    all.sort_by(|a, b| {
+        b.metrics
+            .f_score
+            .partial_cmp(&a.metrics.f_score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Deterministic tiebreak: simpler pattern, then lexicographic.
+            .then(a.preds.len().cmp(&b.preds.len()))
+            .then(a.pattern_desc.cmp(&b.pattern_desc))
+    });
+    if collapse {
+        let mut seen = std::collections::HashSet::new();
+        all.retain(|e| seen.insert(e.near_duplicate_key()));
+    }
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(pattern: &str, preds: &[(&str, &str, &str)], f: f64, primary: &str) -> Explanation {
+        Explanation {
+            pattern_desc: pattern.into(),
+            preds: preds
+                .iter()
+                .map(|(a, o, c)| (a.to_string(), o.to_string(), c.to_string()))
+                .collect(),
+            graph_structure: "PT".into(),
+            graph_edges: vec![],
+            primary: primary.into(),
+            metrics: PatternMetrics {
+                tp: 1,
+                a1: 1,
+                fp: 0,
+                a2: 1,
+                precision: 1.0,
+                recall: 1.0,
+                f_score: f,
+            },
+            from_pt_only: true,
+            graph_index: 0,
+        }
+    }
+
+    #[test]
+    fn ranking_is_by_fscore() {
+        let out = rank_and_collapse(
+            vec![
+                mk("a", &[("x", "=", "1")], 0.5, "t1"),
+                mk("b", &[("y", "=", "1")], 0.9, "t1"),
+            ],
+            10,
+            true,
+        );
+        assert_eq!(out[0].pattern_desc, "b");
+    }
+
+    #[test]
+    fn near_duplicates_collapse_keeping_best() {
+        let out = rank_and_collapse(
+            vec![
+                mk("salary≤100", &[("salary", "≤", "100")], 0.8, "t1"),
+                mk("salary≤120", &[("salary", "≤", "120")], 0.9, "t1"),
+                mk("salary≤100 for t2", &[("salary", "≤", "100")], 0.7, "t2"),
+            ],
+            10,
+            true,
+        );
+        // The two t1 variants collapse (same attr+op), t2 survives.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].pattern_desc, "salary≤120");
+        assert!(out.iter().any(|e| e.primary == "t2"));
+    }
+
+    #[test]
+    fn collapse_can_be_disabled() {
+        let out = rank_and_collapse(
+            vec![
+                mk("a", &[("salary", "≤", "100")], 0.8, "t1"),
+                mk("b", &[("salary", "≤", "120")], 0.9, "t1"),
+            ],
+            10,
+            false,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let many: Vec<Explanation> = (0..30)
+            .map(|i| mk(&format!("p{i}"), &[("x", "=", &i.to_string())], 0.5, "t1"))
+            .collect();
+        // Distinct constants on the same attr+op: they all share one key →
+        // collapse keeps 1. Without collapse, k bounds the list.
+        assert_eq!(rank_and_collapse(many.clone(), 5, false).len(), 5);
+        assert_eq!(rank_and_collapse(many, 5, true).len(), 1);
+    }
+
+    #[test]
+    fn render_line_contains_support_and_graph() {
+        let e = mk("salary≤100", &[("salary", "≤", "100")], 0.75, "t1");
+        let line = e.render_line();
+        assert!(line.contains("(1/1 vs 0/1)"));
+        assert!(line.contains("F=0.75"));
+        assert!(line.contains("PT"));
+    }
+
+    #[test]
+    fn narrate_reads_like_the_paper_boxes() {
+        let mut e = mk(
+            "player=S. Curry ∧ pts≥23",
+            &[("player", "=", "S. Curry"), ("pts", "≥", "23")],
+            0.9,
+            "season=2015-16",
+        );
+        e.metrics.tp = 58;
+        e.metrics.a1 = 73;
+        e.metrics.fp = 21;
+        e.metrics.a2 = 47;
+        e.from_pt_only = false;
+        e.graph_structure = "PT - player_game_scoring".into();
+        let text = e.narrate("GSW's wins");
+        assert!(text.contains("player = S. Curry and pts ≥ 23"));
+        assert!(text.contains("58 out of 73"));
+        assert!(text.contains("21 out of 47"));
+        assert!(text.contains("context joined via PT - player_game_scoring"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Machine-readable export of session results.
+//!
+//! Downstream tools (notebooks, UIs — the paper demonstrates CaJaDE in an
+//! interactive front end) want structured output rather than rendered
+//! text. [`SessionExport`] is a serde-serializable snapshot of a
+//! [`crate::SessionResult`]; `to_json` emits it without pulling a JSON
+//! crate into the dependency tree (the structure is flat enough to write
+//! by hand).
+
+use serde::Serialize;
+
+use crate::session::SessionResult;
+
+/// Serializable explanation.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ExplanationExport {
+    /// Rendered pattern.
+    pub pattern: String,
+    /// Structured predicates `(attribute, operator, constant)`.
+    pub predicates: Vec<(String, String, String)>,
+    /// Join-graph structure string.
+    pub join_graph: String,
+    /// Join conditions per edge.
+    pub join_conditions: Vec<String>,
+    /// Primary output tuple.
+    pub primary: String,
+    /// Covered provenance rows of the primary output.
+    pub tp: usize,
+    /// Primary provenance size.
+    pub a1: usize,
+    /// Covered provenance rows of the secondary output.
+    pub fp: usize,
+    /// Secondary provenance size.
+    pub a2: usize,
+    /// Precision / recall / F-score.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F-score.
+    pub f_score: f64,
+    /// True when mined from the PT-only graph.
+    pub provenance_only: bool,
+}
+
+/// Serializable session snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionExport {
+    /// Ranked explanations.
+    pub explanations: Vec<ExplanationExport>,
+    /// Join graphs enumerated / mined.
+    pub graphs_enumerated: usize,
+    /// Graphs mined.
+    pub graphs_mined: usize,
+    /// Provenance-table size.
+    pub pt_rows: usize,
+    /// Patterns evaluated across all APTs.
+    pub patterns_evaluated: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+impl SessionExport {
+    /// Builds an export from a session result.
+    pub fn from_result(r: &SessionResult) -> SessionExport {
+        SessionExport {
+            explanations: r
+                .explanations
+                .iter()
+                .map(|e| ExplanationExport {
+                    pattern: e.pattern_desc.clone(),
+                    predicates: e.preds.clone(),
+                    join_graph: e.graph_structure.clone(),
+                    join_conditions: e.graph_edges.clone(),
+                    primary: e.primary.clone(),
+                    tp: e.metrics.tp,
+                    a1: e.metrics.a1,
+                    fp: e.metrics.fp,
+                    a2: e.metrics.a2,
+                    precision: e.metrics.precision,
+                    recall: e.metrics.recall,
+                    f_score: e.metrics.f_score,
+                    provenance_only: e.from_pt_only,
+                })
+                .collect(),
+            graphs_enumerated: r.num_graphs_enumerated,
+            graphs_mined: r.num_graphs_mined,
+            pt_rows: r.pt_rows,
+            patterns_evaluated: r.patterns_evaluated,
+            total_seconds: r.timings.total().as_secs_f64(),
+        }
+    }
+
+    /// Renders as JSON (hand-written emitter; the structure is flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"graphs_enumerated\": {},\n  \"graphs_mined\": {},\n  \"pt_rows\": {},\n  \"patterns_evaluated\": {},\n  \"total_seconds\": {},\n",
+            self.graphs_enumerated,
+            self.graphs_mined,
+            self.pt_rows,
+            self.patterns_evaluated,
+            self.total_seconds
+        ));
+        out.push_str("  \"explanations\": [\n");
+        for (i, e) in self.explanations.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"pattern\": {}, ", json_str(&e.pattern)));
+            out.push_str("\"predicates\": [");
+            for (j, (a, op, v)) in e.predicates.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "[{}, {}, {}]",
+                    json_str(a),
+                    json_str(op),
+                    json_str(v)
+                ));
+            }
+            out.push_str("], ");
+            out.push_str(&format!("\"join_graph\": {}, ", json_str(&e.join_graph)));
+            out.push_str("\"join_conditions\": [");
+            for (j, c) in e.join_conditions.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(c));
+            }
+            out.push_str("], ");
+            out.push_str(&format!("\"primary\": {}, ", json_str(&e.primary)));
+            out.push_str(&format!(
+                "\"support\": [{}, {}, {}, {}], ",
+                e.tp, e.a1, e.fp, e.a2
+            ));
+            out.push_str(&format!(
+                "\"precision\": {}, \"recall\": {}, \"f_score\": {}, ",
+                e.precision, e.recall, e.f_score
+            ));
+            out.push_str(&format!("\"provenance_only\": {}", e.provenance_only));
+            out.push('}');
+            if i + 1 < self.explanations.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_datagen::nba::{self, NbaConfig};
+    use cajade_query::parse_sql;
+
+    use crate::{ExplanationSession, Params};
+
+    #[test]
+    fn export_round_trips_session_fields() {
+        let gen = nba::generate(NbaConfig::tiny());
+        let q = parse_sql(
+            "SELECT COUNT(*) AS win, s.season_name \
+             FROM team t, game g, season s \
+             WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        let mut params = Params::fast();
+        params.max_edges = 1;
+        let r = ExplanationSession::new(&gen.db, &gen.schema_graph, params)
+            .explain_between(&q, &[("season_name", "2015-16")], &[("season_name", "2012-13")])
+            .unwrap();
+        let export = SessionExport::from_result(&r);
+        assert_eq!(export.explanations.len(), r.explanations.len());
+        assert_eq!(export.pt_rows, r.pt_rows);
+
+        let json = export.to_json();
+        assert!(json.contains("\"explanations\": ["));
+        assert!(json.contains("\"f_score\":"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_str("back\\slash"), "\"back\\\\slash\"");
+    }
+}

@@ -1,0 +1,681 @@
+//! Synthetic MIMIC-III-shaped database (Figure-6 schema) with the planted
+//! clinical correlations of the paper's Table-6 case study.
+//!
+//! MIMIC-III is access-restricted (data-use agreement + training), so this
+//! generator is a documented substitution: same six relations, the same
+//! categorical vocabularies, and the dependencies the explanations hinge
+//! on — insurance ↔ age ↔ emergency ↔ death rate, diagnosis-chapter
+//! death-rate differences, ICU length-of-stay ↔ hospital stay length,
+//! ethnicity ↔ religion. Proportions follow the paper's result tables
+//! (Fig. 15a / 16); absolute row counts scale with
+//! [`MimicConfig::admissions`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use cajade_graph::SchemaGraph;
+use cajade_storage::{AttrKind, Database, DataType, ForeignKey, SchemaBuilder, Value};
+
+use crate::names::{ETHNICITIES, LANGUAGES, RELIGIONS};
+use crate::util::{coin, exponential, normal_clamped, weighted_choice};
+use crate::GeneratedDb;
+
+/// Story constants for the MIMIC generator.
+pub mod story {
+    /// Insurance types with (share of admissions, target in-hospital death
+    /// rate) — Fig. 15a / 16b.
+    pub const INSURANCE: [(&str, f64, f64); 5] = [
+        ("Medicare", 0.478, 0.138),
+        ("Private", 0.383, 0.060),
+        ("Medicaid", 0.098, 0.066),
+        ("Government", 0.030, 0.050),
+        ("Self Pay", 0.011, 0.160),
+    ];
+
+    /// Diagnosis chapters with (weight, death-rate multiplier) —
+    /// chapter 2 (neoplasms) deadliest, 11/15 benign (Fig. 16a).
+    pub const DIAG_CHAPTERS: [(&str, f64, f64); 19] = [
+        ("1", 4.0, 1.55),
+        ("2", 6.0, 1.60), // neoplasms
+        ("3", 6.0, 1.00),
+        ("4", 5.0, 1.15),
+        ("5", 5.0, 0.65),
+        ("6", 5.0, 1.05),
+        ("7", 12.0, 1.00),
+        ("8", 6.0, 1.45),
+        ("9", 7.0, 1.15),
+        ("10", 5.0, 1.20),
+        ("11", 3.0, 0.10), // pregnancy: near-zero mortality
+        ("12", 3.0, 1.10),
+        ("13", 4.0, 0.75), // musculoskeletal: low mortality
+        ("14", 2.0, 0.40),
+        ("15", 3.0, 0.18),
+        ("16", 5.0, 1.30),
+        ("17", 6.0, 1.05),
+        ("V", 8.0, 0.75),
+        ("E", 5.0, 0.85),
+    ];
+
+    /// Procedure chapters (1..16), chapter 16 = "Miscellaneous Diagnostic
+    /// and Therapeutic Procedures" (frequent for long ICU stays).
+    pub const PROC_CHAPTERS: usize = 16;
+
+    /// ICU length-of-stay groups (Fig. 16c).
+    pub const LOS_GROUPS: [&str; 5] = ["0-1", "1-2", "2-4", "4-8", "x>8"];
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct MimicConfig {
+    /// Number of hospital admissions (scale knob).
+    pub admissions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MimicConfig {
+    /// Minimal config for tests.
+    pub fn tiny() -> Self {
+        Self {
+            admissions: 800,
+            seed: 11,
+        }
+    }
+
+    /// Paper-scale configuration (scale factor 1.0). Proportions match the
+    /// paper; the absolute count is reduced from MIMIC-III's 59k to keep
+    /// in-memory experiments brisk — scaling experiments use factors of
+    /// this base.
+    pub fn paper() -> Self {
+        Self {
+            admissions: 20_000,
+            seed: 11,
+        }
+    }
+
+    /// Scale-factor variant.
+    pub fn scaled(sf: f64) -> Self {
+        let mut c = Self::paper();
+        c.admissions = ((c.admissions as f64 * sf).round() as usize).max(50);
+        c
+    }
+}
+
+/// Generates the synthetic MIMIC database + schema graph.
+pub fn generate(cfg: MimicConfig) -> GeneratedDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("mimic");
+    create_schema(&mut db);
+
+    // Pre-intern vocabularies.
+    let ins_ids: Vec<_> = story::INSURANCE
+        .iter()
+        .map(|(n, _, _)| db.intern(n))
+        .collect();
+    let adm_types = ["EMERGENCY", "ELECTIVE", "URGENT", "NEWBORN"]
+        .map(|s| db.intern(s));
+    let adm_locs = [
+        "EMERGENCY ROOM ADMIT",
+        "PHYS REFERRAL/NORMAL DELI",
+        "TRANSFER FROM HOSP/EXTRAM",
+        "CLINIC REFERRAL/PREMATURE",
+    ]
+    .map(|s| db.intern(s));
+    let disch_locs = ["HOME", "SNF", "REHAB", "DEAD/EXPIRED", "HOME HEALTH CARE"]
+        .map(|s| db.intern(s));
+    let maritals = ["MARRIED", "SINGLE", "WIDOWED", "DIVORCED"].map(|s| db.intern(s));
+    let genders = ["M", "F"].map(|s| db.intern(s));
+    let languages: Vec<_> = LANGUAGES.iter().map(|s| db.intern(s)).collect();
+    let religions: Vec<_> = RELIGIONS.iter().map(|s| db.intern(s)).collect();
+    let ethnicities: Vec<_> = ETHNICITIES.iter().map(|s| db.intern(s)).collect();
+    let diag_chapters: Vec<_> = story::DIAG_CHAPTERS
+        .iter()
+        .map(|(n, _, _)| db.intern(n))
+        .collect();
+    let proc_chapters: Vec<_> = (1..=story::PROC_CHAPTERS)
+        .map(|i| db.intern(&i.to_string()))
+        .collect();
+    let los_groups: Vec<_> = story::LOS_GROUPS.iter().map(|s| db.intern(s)).collect();
+    let dbsources = ["carevue", "metavision"].map(|s| db.intern(s));
+    let careunits = ["MICU", "SICU", "CCU", "CSRU", "TSICU"].map(|s| db.intern(s));
+
+    // Patients: ~75% as many as admissions (repeat visitors).
+    let num_patients = (cfg.admissions * 3 / 4).max(1);
+    // Patient attributes chosen lazily at first admission; stored here.
+    let mut patient_rows: Vec<Option<(u64, bool)>> = vec![None; num_patients]; // (age-ish, died_ever placeholder)
+    let mut patient_died_in_hospital = vec![false; num_patients];
+
+    let ins_weights: Vec<f64> = story::INSURANCE.iter().map(|(_, w, _)| *w).collect();
+    let eth_weights = [0.70, 0.08, 0.032, 0.026, 0.025, 0.094, 0.018, 0.011];
+    let diag_weights: Vec<f64> = story::DIAG_CHAPTERS.iter().map(|(_, w, _)| *w).collect();
+
+    let mut icustay_id = 1i64;
+    for hadm in 1..=cfg.admissions as i64 {
+        let subject = rng.gen_range(0..num_patients);
+        let subject_id = subject as i64 + 1;
+
+        // Insurance drives the admission profile.
+        let ins = weighted_choice(&mut rng, &ins_weights);
+        let (ins_name, _, death_rate) = story::INSURANCE[ins];
+
+        // Age correlates with insurance: Medicare skews ≥ 65.
+        let age = match ins_name {
+            "Medicare" => normal_clamped(&mut rng, 76.0, 8.0, 62.0, 95.0),
+            "Medicaid" => normal_clamped(&mut rng, 44.0, 14.0, 18.0, 80.0),
+            "Self Pay" => normal_clamped(&mut rng, 42.0, 13.0, 18.0, 75.0),
+            _ => normal_clamped(&mut rng, 52.0, 15.0, 18.0, 88.0),
+        };
+
+        // Emergency admissions are more common for Medicare / Self Pay.
+        let p_emergency = match ins_name {
+            "Medicare" => 0.83,
+            "Self Pay" => 0.86,
+            "Medicaid" => 0.72,
+            _ => 0.55,
+        };
+        let adm_type = if coin(&mut rng, p_emergency) {
+            0 // EMERGENCY
+        } else {
+            1 + weighted_choice(&mut rng, &[0.7, 0.25, 0.05])
+        };
+        let emergency = adm_type == 0;
+
+        // Primary diagnosis chapter (death-rate multiplier).
+        let primary_diag = weighted_choice(&mut rng, &diag_weights);
+        let diag_mult = story::DIAG_CHAPTERS[primary_diag].2;
+
+        // Death: insurance base rate × diagnosis multiplier × mild
+        // age/emergency adjustments, calibrated to keep marginal rates
+        // close to the story targets.
+        let p_death = (death_rate
+            * diag_mult
+            * (if emergency { 1.1 } else { 0.65 })
+            * (0.55 + age / 150.0))
+            .clamp(0.0, 0.95);
+        let died = coin(&mut rng, p_death);
+        if died {
+            patient_died_in_hospital[subject] = true;
+        }
+
+        // Stay lengths: longer when died or emergency; ICU los tracks it.
+        let base_stay = exponential(&mut rng, 6.0) + 1.0;
+        let stay = (base_stay
+            * (if died { 1.8 } else { 1.0 })
+            * (if emergency { 1.25 } else { 1.0 }))
+        .min(120.0);
+        let hospital_stay_length = stay.round().max(1.0) as i64;
+
+        let year = rng.gen_range(2101..2190); // MIMIC's shifted years
+        let admit = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
+        let disch = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
+        let admit_id = db.intern(&admit);
+        let disch_id = db.intern(&disch);
+        let disch_loc = if died {
+            disch_locs[3]
+        } else {
+            disch_locs[weighted_choice(&mut rng, &[0.5, 0.15, 0.1, 0.0, 0.25])]
+        };
+        let marital = maritals[weighted_choice(&mut rng, &[0.45, 0.3, 0.15, 0.1])];
+
+        db.table_mut("admissions")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(hadm),
+                Value::Int(subject_id),
+                Value::Str(admit_id),
+                Value::Str(disch_id),
+                Value::Str(adm_types[adm_type]),
+                Value::Str(adm_locs[if emergency {
+                    0
+                } else {
+                    1 + weighted_choice(&mut rng, &[0.5, 0.3, 0.2])
+                }]),
+                Value::Str(disch_loc),
+                Value::Str(ins_ids[ins]),
+                Value::Str(marital),
+                Value::Int(died as i64),
+                Value::Int(hospital_stay_length),
+            ])
+            .unwrap();
+
+        // patients_admit_info: ethnicity ↔ religion correlation
+        // (Hispanic → Catholic, the Q_mimic5 explanation).
+        let eth = weighted_choice(&mut rng, &eth_weights);
+        let religion = if ETHNICITIES[eth] == "HISPANIC" && coin(&mut rng, 0.75) {
+            religions[0] // CATHOLIC
+        } else {
+            religions[weighted_choice(&mut rng, &[0.35, 0.2, 0.12, 0.23, 0.05, 0.05])]
+        };
+        let language = if ETHNICITIES[eth] == "HISPANIC" && coin(&mut rng, 0.5) {
+            languages[1] // SPAN
+        } else {
+            languages[weighted_choice(&mut rng, &[0.8, 0.05, 0.05, 0.05, 0.05])]
+        };
+        db.table_mut("patients_admit_info")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(subject_id),
+                Value::Int(hadm),
+                Value::Int(age.round() as i64),
+                Value::Str(language),
+                Value::Str(religion),
+                Value::Str(ethnicities[eth]),
+            ])
+            .unwrap();
+
+        // Patient row on first encounter.
+        if patient_rows[subject].is_none() {
+            patient_rows[subject] = Some((age as u64, false));
+            let gender = genders[weighted_choice(&mut rng, &[0.56, 0.44])];
+            let dob = db.intern(&format!(
+                "{}-{:02}-{:02}",
+                year - age.round() as i32,
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ));
+            db.table_mut("patients")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(subject_id),
+                    Value::Str(gender),
+                    Value::Str(dob),
+                    Value::Null, // dod patched conceptually via expire_flag
+                    Value::Int(0), // expire_flag fixed up below
+                ])
+                .unwrap();
+        }
+
+        // ICU stays: 0-2 per admission; los tracks hospital stay.
+        let n_icu = if emergency || died {
+            1 + coin(&mut rng, 0.25) as usize
+        } else {
+            coin(&mut rng, 0.7) as usize
+        };
+        for _ in 0..n_icu {
+            let los = (exponential(&mut rng, (hospital_stay_length as f64 / 3.5).max(0.4))
+                + 0.1)
+                .min(60.0);
+            let los = (los * 100.0).round() / 100.0; // bucket the stored value
+            let group = match los {
+                x if x <= 1.0 => 0,
+                x if x <= 2.0 => 1,
+                x if x <= 4.0 => 2,
+                x if x <= 8.0 => 3,
+                _ => 4,
+            };
+            let cu = careunits[weighted_choice(&mut rng, &[0.35, 0.2, 0.15, 0.15, 0.15])];
+            db.table_mut("icustays")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(subject_id),
+                    Value::Int(hadm),
+                    Value::Int(icustay_id),
+                    Value::Str(dbsources[coin(&mut rng, 0.55) as usize]),
+                    Value::Str(cu),
+                    Value::Str(cu),
+                    Value::Float(los),
+                    Value::Str(los_groups[group]),
+                ])
+                .unwrap();
+            icustay_id += 1;
+        }
+
+        // Diagnoses: primary + 1-3 secondary.
+        let n_diag = 2 + rng.gen_range(0..3);
+        for seq in 1..=n_diag {
+            let chapter = if seq == 1 {
+                primary_diag
+            } else {
+                weighted_choice(&mut rng, &diag_weights)
+            };
+            let code = db.intern(&format!(
+                "{}{:03}",
+                story::DIAG_CHAPTERS[chapter].0,
+                rng.gen_range(0..400)
+            ));
+            db.table_mut("diagnoses")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(subject_id),
+                    Value::Int(hadm),
+                    Value::Int(seq as i64),
+                    Value::Str(code),
+                    Value::Str(diag_chapters[chapter]),
+                ])
+                .unwrap();
+        }
+
+        // Procedures: 1-2; chapter 16 likelier after long ICU stays.
+        let n_proc = 1 + coin(&mut rng, 0.5) as usize;
+        for seq in 1..=n_proc {
+            let chapter = if stay > 8.0 && coin(&mut rng, 0.45) {
+                15 // chapter "16" (0-based 15): misc diagnostic/therapeutic
+            } else {
+                rng.gen_range(0..story::PROC_CHAPTERS)
+            };
+            let code = db.intern(&format!("{:02}{:02}", chapter + 1, rng.gen_range(0..100)));
+            db.table_mut("procedures")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(subject_id),
+                    Value::Int(hadm),
+                    Value::Int(seq as i64),
+                    Value::Str(code),
+                    Value::Str(proc_chapters[chapter]),
+                ])
+                .unwrap();
+        }
+    }
+
+    // Fix up patients.expire_flag: died in hospital, or ~15% died later.
+    fixup_expire_flags(&mut db, &patient_died_in_hospital, &mut rng);
+
+    register_foreign_keys(&mut db);
+    let schema_graph = SchemaGraph::from_foreign_keys(&db);
+    GeneratedDb { db, schema_graph }
+}
+
+fn create_schema(db: &mut Database) {
+    db.create_table(
+        SchemaBuilder::new("patients")
+            .column_pk("subject_id", DataType::Int, AttrKind::Categorical)
+            .column("gender", DataType::Str, AttrKind::Categorical)
+            .column("dob", DataType::Str, AttrKind::Categorical)
+            .column("dod", DataType::Str, AttrKind::Categorical)
+            .column("expire_flag", DataType::Int, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("admissions")
+            .column_pk("hadm_id", DataType::Int, AttrKind::Categorical)
+            .column("subject_id", DataType::Int, AttrKind::Categorical)
+            .column("admittime", DataType::Str, AttrKind::Categorical)
+            .column("dischtime", DataType::Str, AttrKind::Categorical)
+            .column("admission_type", DataType::Str, AttrKind::Categorical)
+            .column("admission_location", DataType::Str, AttrKind::Categorical)
+            .column("discharge_location", DataType::Str, AttrKind::Categorical)
+            .column("insurance", DataType::Str, AttrKind::Categorical)
+            .column("marital_status", DataType::Str, AttrKind::Categorical)
+            .column("hospital_expire_flag", DataType::Int, AttrKind::Numeric)
+            .column("hospital_stay_length", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("patients_admit_info")
+            .column_pk("subject_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("hadm_id", DataType::Int, AttrKind::Categorical)
+            .column("age", DataType::Int, AttrKind::Numeric)
+            .column("language", DataType::Str, AttrKind::Categorical)
+            .column("religion", DataType::Str, AttrKind::Categorical)
+            .column("ethnicity", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("icustays")
+            .column_pk("icustay_id", DataType::Int, AttrKind::Categorical)
+            .column("subject_id", DataType::Int, AttrKind::Categorical)
+            .column("hadm_id", DataType::Int, AttrKind::Categorical)
+            .column("dbsource", DataType::Str, AttrKind::Categorical)
+            .column("first_careunit", DataType::Str, AttrKind::Categorical)
+            .column("last_careunit", DataType::Str, AttrKind::Categorical)
+            .column("los", DataType::Float, AttrKind::Numeric)
+            .column("los_group", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("diagnoses")
+            .column_pk("subject_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("hadm_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("seq_num", DataType::Int, AttrKind::Categorical)
+            .column("icd9_code", DataType::Str, AttrKind::Categorical)
+            .column("chapter", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("procedures")
+            .column_pk("subject_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("hadm_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("seq_num", DataType::Int, AttrKind::Categorical)
+            .column("icd9_code", DataType::Str, AttrKind::Categorical)
+            .column("chapter", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+}
+
+/// Rewrites the `patients` table with final expire flags (hospital death ⇒
+/// 1; otherwise ~15% died outside the hospital — the paper's Q_mimic1
+/// discussion points out `expire_flag` subsumes hospital deaths).
+fn fixup_expire_flags(db: &mut Database, died_in_hospital: &[bool], rng: &mut StdRng) {
+    let patients = db.table("patients").unwrap().clone();
+    let mut replacement = cajade_storage::Table::with_capacity(
+        patients.schema().clone(),
+        patients.num_rows(),
+    );
+    for r in 0..patients.num_rows() {
+        let mut row = patients.row(r).unwrap();
+        let subject = row[0].as_i64().unwrap() as usize - 1;
+        let flag = died_in_hospital.get(subject).copied().unwrap_or(false)
+            || coin(rng, 0.15);
+        row[4] = Value::Int(flag as i64);
+        replacement.push_row(row).unwrap();
+    }
+    db.replace_table(replacement).unwrap();
+}
+
+fn register_foreign_keys(db: &mut Database) {
+    let fks = [
+        ("admissions", vec!["subject_id"], "patients", vec!["subject_id"]),
+        (
+            "patients_admit_info",
+            vec!["hadm_id"],
+            "admissions",
+            vec!["hadm_id"],
+        ),
+        (
+            "patients_admit_info",
+            vec!["subject_id"],
+            "patients",
+            vec!["subject_id"],
+        ),
+        ("icustays", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
+        ("icustays", vec!["subject_id"], "patients", vec!["subject_id"]),
+        ("diagnoses", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
+        ("diagnoses", vec!["subject_id"], "patients", vec!["subject_id"]),
+        ("procedures", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
+        ("procedures", vec!["subject_id"], "patients", vec!["subject_id"]),
+    ];
+    for (from, fc, to, tc) in fks {
+        db.add_foreign_key(ForeignKey {
+            from_table: from.into(),
+            from_cols: fc.into_iter().map(String::from).collect(),
+            to_table: to.into(),
+            to_cols: tc.into_iter().map(String::from).collect(),
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_query::{execute, parse_sql};
+
+    fn gen() -> GeneratedDb {
+        generate(MimicConfig {
+            admissions: 4000,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn all_six_relations_populated() {
+        let g = gen();
+        for t in [
+            "patients",
+            "admissions",
+            "patients_admit_info",
+            "icustays",
+            "diagnoses",
+            "procedures",
+        ] {
+            assert!(g.db.table(t).unwrap().num_rows() > 0, "{t} empty");
+        }
+        g.schema_graph.validate(&g.db).unwrap();
+    }
+
+    #[test]
+    fn death_rate_ordering_matches_story() {
+        let g = gen();
+        let q = parse_sql(
+            "SELECT insurance, 1.0*SUM(hospital_expire_flag)/COUNT(*) AS death_rate \
+             FROM admissions GROUP BY insurance",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let idx = r.table.schema().field_index("death_rate").unwrap();
+        let rate = |ins: &str| -> f64 {
+            let row = r.find_row(&g.db, &[("insurance", ins)]).unwrap();
+            r.table.value(row, idx).as_f64().unwrap()
+        };
+        // Medicare ≫ Private; Self Pay highest band; Government low.
+        assert!(rate("Medicare") > rate("Private") * 1.6,
+            "medicare {} vs private {}", rate("Medicare"), rate("Private"));
+        assert!(rate("Medicare") > 0.08 && rate("Medicare") < 0.25);
+        assert!(rate("Private") < 0.11);
+    }
+
+    #[test]
+    fn medicare_patients_are_older_and_more_emergency() {
+        let g = gen();
+        let q = parse_sql(
+            "SELECT AVG(age) AS avg_age, insurance \
+             FROM admissions a, patients_admit_info pai \
+             WHERE a.hadm_id = pai.hadm_id GROUP BY insurance",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let idx = r.table.schema().field_index("avg_age").unwrap();
+        let age = |ins: &str| -> f64 {
+            let row = r.find_row(&g.db, &[("insurance", ins)]).unwrap();
+            r.table.value(row, idx).as_f64().unwrap()
+        };
+        assert!(age("Medicare") > 65.0);
+        assert!(age("Medicare") > age("Private") + 10.0);
+    }
+
+    #[test]
+    fn chapter2_deadlier_than_chapter13() {
+        let g = gen();
+        let q = parse_sql(
+            "SELECT 1.0*SUM(a.hospital_expire_flag)/COUNT(*) AS death_rate, d.chapter \
+             FROM admissions a, diagnoses d \
+             WHERE a.hadm_id = d.hadm_id GROUP BY d.chapter",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let idx = r.table.schema().field_index("death_rate").unwrap();
+        let rate = |ch: &str| -> f64 {
+            let row = r.find_row(&g.db, &[("chapter", ch)]).unwrap();
+            r.table.value(row, idx).as_f64().unwrap()
+        };
+        assert!(rate("2") > rate("13"), "{} vs {}", rate("2"), rate("13"));
+        assert!(rate("2") > rate("11"));
+    }
+
+    #[test]
+    fn icu_los_groups_consistent_with_los() {
+        let g = gen();
+        let icu = g.db.table("icustays").unwrap();
+        let los_i = icu.schema().field_index("los").unwrap();
+        let grp_i = icu.schema().field_index("los_group").unwrap();
+        for r in 0..icu.num_rows() {
+            let los = icu.value(r, los_i).as_f64().unwrap();
+            let grp = match icu.value(r, grp_i) {
+                Value::Str(id) => g.db.resolve(id).to_string(),
+                other => panic!("{other:?}"),
+            };
+            let expected = match los {
+                x if x <= 1.0 => "0-1",
+                x if x <= 2.0 => "1-2",
+                x if x <= 4.0 => "2-4",
+                x if x <= 8.0 => "4-8",
+                _ => "x>8",
+            };
+            assert_eq!(grp, expected, "los {los}");
+        }
+    }
+
+    #[test]
+    fn hispanic_catholic_correlation() {
+        let g = gen();
+        let pai = g.db.table("patients_admit_info").unwrap();
+        let eth_i = pai.schema().field_index("ethnicity").unwrap();
+        let rel_i = pai.schema().field_index("religion").unwrap();
+        let hispanic = g.db.lookup_str("HISPANIC").unwrap();
+        let catholic = g.db.lookup_str("CATHOLIC").unwrap();
+        let (mut h_total, mut h_cath, mut o_total, mut o_cath) = (0.0, 0.0, 0.0, 0.0);
+        for r in 0..pai.num_rows() {
+            let is_h = pai.value(r, eth_i) == Value::Str(hispanic);
+            let is_c = pai.value(r, rel_i) == Value::Str(catholic);
+            if is_h {
+                h_total += 1.0;
+                h_cath += is_c as i64 as f64;
+            } else {
+                o_total += 1.0;
+                o_cath += is_c as i64 as f64;
+            }
+        }
+        assert!(h_total > 10.0, "enough Hispanic rows");
+        assert!(h_cath / h_total > o_cath / o_total + 0.2);
+    }
+
+    #[test]
+    fn hospital_death_implies_expire_flag() {
+        let g = gen();
+        let q = parse_sql(
+            "SELECT COUNT(*) AS c, p.expire_flag \
+             FROM admissions a, patients p \
+             WHERE a.subject_id = p.subject_id AND a.hospital_expire_flag = 1 \
+             GROUP BY p.expire_flag",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        // All hospital deaths must have expire_flag = 1 (one output group).
+        assert_eq!(r.num_rows(), 1);
+        assert!(r.find_row(&g.db, &[("expire_flag", "1")]).is_some());
+    }
+
+    #[test]
+    fn fk_integrity_via_join_counts() {
+        let g = gen();
+        let q = parse_sql(
+            "SELECT COUNT(*) AS c, admission_type FROM admissions a, patients p \
+             WHERE a.subject_id = p.subject_id GROUP BY admission_type",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let total: i64 = (0..r.num_rows())
+            .map(|i| {
+                r.table
+                    .value(i, r.table.schema().field_index("c").unwrap())
+                    .as_i64()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total as usize, g.db.table("admissions").unwrap().num_rows());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gen();
+        let b = gen();
+        assert_eq!(a.db.total_rows(), b.db.total_rows());
+    }
+}

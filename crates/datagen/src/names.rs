@@ -1,0 +1,83 @@
+//! Name pools for the synthetic rosters. Story players (the ones the
+//! paper's case studies reference) use their real names; filler players
+//! get generated first/last combinations.
+
+/// The 30 NBA team abbreviations.
+pub const TEAMS: [&str; 30] = [
+    "GSW", "CLE", "MIA", "CHI", "LAL", "BOS", "SAS", "HOU", "OKC", "TOR", "DAL", "DEN", "DET",
+    "IND", "LAC", "MEM", "MIL", "MIN", "NOP", "NYK", "ORL", "PHI", "PHX", "POR", "SAC", "UTA",
+    "WAS", "ATL", "BKN", "CHA",
+];
+
+const FIRST: [&str; 24] = [
+    "James", "Michael", "Chris", "Anthony", "Kevin", "Marcus", "Tyler", "Jordan", "Devin",
+    "Malik", "Darius", "Isaiah", "Caleb", "Jalen", "Trey", "Andre", "Victor", "Gary", "Luis",
+    "Omar", "Paul", "Reggie", "Shawn", "Terry",
+];
+
+const LAST: [&str; 25] = [
+    "Johnson", "Williams", "Brown", "Davis", "Miller", "Wilson", "Moore", "Taylor", "Anderson",
+    "Thomas", "Jackson", "White", "Harris", "Martin", "Thompson", "Robinson", "Clark", "Lewis",
+    "Lee", "Walker", "Hall", "Allen", "Young", "King", "Wright",
+];
+
+/// Deterministic filler-player name for roster slot `i` (globally unique
+/// by suffixing a numeral when the pool recycles).
+pub fn filler_player_name(i: usize) -> String {
+    let f = FIRST[i % FIRST.len()];
+    let l = LAST[(i / FIRST.len()) % LAST.len()];
+    let round = i / (FIRST.len() * LAST.len());
+    if round == 0 {
+        format!("{f} {l}")
+    } else {
+        format!("{f} {l} {}", round + 1)
+    }
+}
+
+/// Languages for MIMIC `patients_admit_info`.
+pub const LANGUAGES: [&str; 5] = ["ENGL", "SPAN", "RUSS", "CANT", "PTUN"];
+
+/// Religions for MIMIC.
+pub const RELIGIONS: [&str; 6] = [
+    "CATHOLIC",
+    "PROTESTANT QUAKER",
+    "JEWISH",
+    "NOT SPECIFIED",
+    "BUDDHIST",
+    "MUSLIM",
+];
+
+/// Ethnicities (Fig. 16e's categories, simplified).
+pub const ETHNICITIES: [&str; 8] = [
+    "WHITE",
+    "BLACK",
+    "HISPANIC",
+    "ASIAN",
+    "OTHER",
+    "UNKNOWN",
+    "UNABLE TO OBTAIN",
+    "DECLINED TO ANSWER",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn teams_are_unique() {
+        let set: HashSet<_> = TEAMS.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn filler_names_unique_for_thousand_players() {
+        let names: HashSet<String> = (0..1000).map(filler_player_name).collect();
+        assert_eq!(names.len(), 1000);
+    }
+
+    #[test]
+    fn filler_names_deterministic() {
+        assert_eq!(filler_player_name(3), filler_player_name(3));
+    }
+}

@@ -1,0 +1,1222 @@
+//! Synthetic NBA database with the Figure-5 schema and the planted story
+//! the paper's case studies rely on (§5 "Datasets", §6.1).
+//!
+//! Eleven relations: `season`, `team`, `player`, `game`, `player_salary`,
+//! `play_for`, `lineup`, `lineup_player`, `team_game_stats`,
+//! `lineup_game_stats`, `player_game_stats`.
+//!
+//! The *story* (module [`story`]) pins the facts the paper's explanations
+//! surface: GSW's per-season win counts (Fig. 14d), Curry's 2015-16
+//! scoring jump, Green & Thompson's shared court time, salary changes
+//! (Green, LeBron, Butler), tenure moves (LeBron CLE→MIA→CLE, Iguodala →
+//! GSW in 2013, Jarrett Jack's single GSW season), GSW's assist surge
+//! (Fig. 14b), and the league-wide three-point trend.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use cajade_graph::{JoinCond, SchemaGraph};
+use cajade_storage::{AttrKind, Database, DataType, ForeignKey, SchemaBuilder, Value};
+
+use crate::names::{filler_player_name, TEAMS};
+use crate::util::{coin, normal_clamped, season_date};
+use crate::GeneratedDb;
+
+/// Per-season story facts.
+pub mod story {
+    /// Season names, index 0 = 2009-10.
+    pub const SEASONS: [&str; 10] = [
+        "2009-10", "2010-11", "2011-12", "2012-13", "2013-14", "2014-15", "2015-16", "2016-17",
+        "2017-18", "2018-19",
+    ];
+
+    /// GSW wins per season at 82 games (paper Fig. 14d).
+    pub const GSW_WINS: [usize; 10] = [26, 36, 23, 47, 51, 67, 73, 67, 58, 57];
+
+    /// GSW average assists per season (paper Fig. 14b).
+    pub const GSW_ASSISTS: [f64; 10] = [
+        22.43, 22.52, 22.27, 22.50, 23.32, 27.41, 28.94, 30.38, 29.29, 29.43,
+    ];
+
+    /// A story player's profile for one season.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SeasonProfile {
+        /// Team abbreviation.
+        pub team: &'static str,
+        /// Mean points per game.
+        pub pts: f64,
+        /// Mean minutes per game.
+        pub minutes: f64,
+        /// Mean usage percentage.
+        pub usage: f64,
+        /// Season salary in dollars.
+        pub salary: i64,
+    }
+
+    /// A story player: name + per-season profile (None = not in league).
+    #[derive(Debug, Clone, Copy)]
+    pub struct StoryPlayer {
+        /// Full player name.
+        pub name: &'static str,
+        /// Profiles per season index.
+        pub seasons: [Option<SeasonProfile>; 10],
+    }
+
+    const fn p(team: &'static str, pts: f64, minutes: f64, usage: f64, salary: i64) -> Option<SeasonProfile> {
+        Some(SeasonProfile { team, pts, minutes, usage, salary })
+    }
+
+    /// The scripted players. Profile numbers follow the paper's Figures
+    /// 14a/14c/14e and the salary constants its explanations mention.
+    pub const STORY_PLAYERS: [StoryPlayer; 8] = [
+        StoryPlayer {
+            name: "Stephen Curry",
+            seasons: [
+                p("GSW", 17.5, 36.2, 21.0, 2_710_560),
+                p("GSW", 18.6, 33.6, 22.0, 3_117_120),
+                p("GSW", 14.7, 28.2, 22.0, 3_523_680),
+                p("GSW", 21.0, 38.2, 27.0, 3_958_742),
+                p("GSW", 24.0, 36.5, 28.0, 9_887_642),
+                p("GSW", 23.8, 32.7, 28.9, 10_629_213),
+                p("GSW", 30.1, 34.2, 32.6, 11_370_786),
+                p("GSW", 25.3, 33.4, 30.1, 12_112_359),
+                p("GSW", 26.4, 32.0, 31.0, 34_682_550),
+                p("GSW", 27.3, 33.8, 30.4, 37_457_154),
+            ],
+        },
+        StoryPlayer {
+            name: "Klay Thompson",
+            seasons: [
+                None,
+                None,
+                p("GSW", 12.5, 24.4, 19.9, 2_222_160),
+                p("GSW", 16.6, 35.8, 21.4, 2_317_920),
+                p("GSW", 18.4, 35.4, 22.4, 3_075_880),
+                p("GSW", 21.7, 31.9, 26.3, 3_075_880),
+                p("GSW", 22.1, 33.3, 26.3, 15_501_000),
+                p("GSW", 22.3, 34.0, 26.4, 16_663_575),
+                p("GSW", 20.0, 34.3, 24.9, 17_826_150),
+                p("GSW", 21.5, 34.0, 26.0, 18_988_725),
+            ],
+        },
+        StoryPlayer {
+            name: "Draymond Green",
+            seasons: [
+                None,
+                None,
+                None,
+                // Fig. 14a averages.
+                p("GSW", 2.87, 13.4, 13.0, 850_000),
+                p("GSW", 6.23, 21.9, 14.5, 875_000),
+                p("GSW", 11.66, 31.5, 18.0, 915_243),
+                // 2015-16 vs 2016-17: the salary jump Q_nba1's top
+                // explanations hinge on (14 260 870 → 15 330 435).
+                p("GSW", 13.96, 34.7, 18.8, 14_260_870),
+                p("GSW", 10.21, 32.5, 16.5, 15_330_435),
+                p("GSW", 11.04, 32.7, 18.0, 16_400_000),
+                p("GSW", 7.36, 31.3, 14.0, 17_469_565),
+            ],
+        },
+        StoryPlayer {
+            name: "LeBron James",
+            seasons: [
+                // Fig. 14c averages; CLE → MIA pay-cut in 2010-11, the
+                // Q_nba3 salary explanation.
+                p("CLE", 29.71, 39.0, 33.5, 15_779_912),
+                p("MIA", 26.72, 38.8, 31.5, 14_500_000),
+                p("MIA", 27.15, 37.5, 32.0, 16_022_500),
+                p("MIA", 26.79, 37.9, 30.2, 17_545_000),
+                p("MIA", 27.13, 37.7, 31.0, 19_067_500),
+                p("CLE", 25.26, 36.1, 32.3, 20_644_400),
+                p("CLE", 25.26, 35.6, 31.4, 22_970_500),
+                p("CLE", 26.41, 37.8, 30.0, 30_963_450),
+                p("CLE", 27.45, 36.9, 31.6, 33_285_709),
+                p("LAL", 27.36, 35.2, 31.6, 35_654_150),
+            ],
+        },
+        StoryPlayer {
+            name: "Jimmy Butler",
+            seasons: [
+                None,
+                None,
+                // Fig. 14e averages; rookie-contract salaries drive the
+                // Q_nba5 explanation (1 112 880 → 2 008 748).
+                p("CHI", 2.60, 8.5, 10.0, 1_066_920),
+                p("CHI", 8.60, 26.0, 14.0, 1_112_880),
+                p("CHI", 13.10, 38.7, 17.0, 1_112_880),
+                p("CHI", 20.02, 38.7, 21.9, 2_008_748),
+                p("CHI", 20.88, 36.9, 24.7, 16_393_443),
+                p("CHI", 23.89, 36.9, 26.5, 17_552_209),
+                p("MIN", 22.15, 36.7, 25.0, 19_301_070),
+                p("PHI", 18.69, 33.2, 22.8, 20_445_779),
+            ],
+        },
+        StoryPlayer {
+            name: "Andre Iguodala",
+            seasons: [
+                p("PHI", 17.1, 38.9, 21.0, 12_243_749),
+                p("PHI", 14.1, 36.9, 18.0, 13_476_364),
+                p("PHI", 12.4, 35.4, 16.0, 14_718_250),
+                p("DEN", 13.0, 34.7, 16.5, 14_968_250),
+                // Joins GSW in 2013 — the Q_nba4 tenure explanation.
+                p("GSW", 9.3, 32.4, 13.0, 12_868_632),
+                p("GSW", 7.8, 26.9, 12.5, 12_288_000),
+                p("GSW", 7.0, 26.6, 12.0, 11_710_456),
+                p("GSW", 7.6, 26.3, 12.3, 11_131_368),
+                p("GSW", 6.0, 25.3, 11.0, 14_814_815),
+                p("GSW", 5.7, 23.2, 10.8, 16_000_000),
+            ],
+        },
+        StoryPlayer {
+            name: "Harrison Barnes",
+            seasons: [
+                None,
+                None,
+                None,
+                p("GSW", 9.2, 25.4, 15.0, 2_923_920),
+                p("GSW", 9.5, 28.3, 14.0, 3_049_920),
+                p("GSW", 10.1, 28.3, 15.5, 3_873_398),
+                p("GSW", 11.7, 30.9, 15.8, 3_873_398),
+                p("DAL", 19.2, 35.5, 23.0, 22_116_750),
+                p("DAL", 18.9, 34.2, 22.5, 23_112_004),
+                p("DAL", 17.7, 32.3, 21.0, 24_107_258),
+            ],
+        },
+        StoryPlayer {
+            name: "Jarrett Jack",
+            seasons: [
+                p("TOR", 11.4, 26.4, 19.0, 4_600_000),
+                p("NOP", 13.1, 30.8, 21.0, 5_000_000),
+                p("NOP", 15.6, 34.2, 22.0, 5_400_000),
+                // The one GSW season — the controversial Expl8.
+                p("GSW", 12.9, 29.7, 21.0, 5_400_000),
+                p("CLE", 9.5, 28.1, 17.0, 6_300_000),
+                p("BKN", 12.0, 28.9, 20.0, 6_300_000),
+                p("BKN", 2.5, 21.2, 15.0, 6_300_000),
+                None,
+                p("NYK", 7.5, 22.9, 14.0, 2_328_652),
+                None,
+            ],
+        },
+    ];
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct NbaConfig {
+    /// Number of seasons (from 2009-10 onward; max 10).
+    pub seasons: usize,
+    /// Games per team per season (82 = paper scale).
+    pub games_per_team: usize,
+    /// Filler players per team (story players are added on top).
+    pub players_per_team: usize,
+    /// Emit the ~40 extra "rich" stat columns of §5's column list.
+    pub rich_stats: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NbaConfig {
+    /// Minimal config for tests and doctests (fast to generate and mine).
+    pub fn tiny() -> Self {
+        Self {
+            seasons: 8,
+            games_per_team: 10,
+            players_per_team: 6,
+            rich_stats: false,
+            seed: 7,
+        }
+    }
+
+    /// Full paper-scale configuration (scale factor 1.0).
+    pub fn paper() -> Self {
+        Self {
+            seasons: 10,
+            games_per_team: 82,
+            players_per_team: 10,
+            rich_stats: true,
+            seed: 7,
+        }
+    }
+
+    /// Scale-factor variant: the per-season schedule scales linearly,
+    /// mirroring the paper's size-scaled datasets (§5).
+    pub fn scaled(sf: f64) -> Self {
+        let mut c = Self::paper();
+        c.games_per_team = ((82.0 * sf).round() as usize).max(4);
+        c
+    }
+}
+
+/// The rich extra numeric columns (a representative subset of the §5
+/// column list; all stats tables share them).
+pub const RICH_COLS: [&str; 20] = [
+    "fg_two_a",
+    "fg_three_a",
+    "ftpoints",
+    "ptsassisted_two_s",
+    "ptsunassisted_two_s",
+    "assisted_two_spct",
+    "nonputbacksassisted_two_spct",
+    "assisted_three_spct",
+    "fg_three_apct",
+    "shotqualityavg",
+    "efgpct",
+    "tspct",
+    "ptsputbacks",
+    "fg_two_ablocked",
+    "assistpoints",
+    "two_ptassists",
+    "three_ptassists",
+    "atrimassists",
+    "ftdefrebounds",
+    "deflongmidrangereboundpct",
+];
+
+struct Ctx {
+    rng: StdRng,
+    cfg: NbaConfig,
+}
+
+/// Generates the synthetic NBA database + schema graph.
+pub fn generate(cfg: NbaConfig) -> GeneratedDb {
+    let seasons = cfg.seasons.min(10);
+    let mut ctx = Ctx {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg: NbaConfig { seasons, ..cfg },
+    };
+    let mut db = Database::new("nba");
+    create_schema(&mut db, ctx.cfg.rich_stats);
+
+    populate_seasons(&mut db, &ctx.cfg);
+    populate_teams(&mut db);
+    let rosters = populate_players(&mut db, &mut ctx);
+    populate_play_for_and_salaries(&mut db, &ctx.cfg, &rosters);
+    let lineups = populate_lineups(&mut db, &mut ctx, &rosters);
+    populate_games_and_stats(&mut db, &mut ctx, &rosters, &lineups);
+
+    register_foreign_keys(&mut db);
+    let schema_graph = schema_graph(&db);
+    GeneratedDb { db, schema_graph }
+}
+
+/// Builds the schema graph for the NBA database: FK-derived edges plus the
+/// Fig. 3-style extras (the `home_id = winner_id` alternative condition on
+/// the stats–game edges and the lineup-player self-join).
+pub fn schema_graph(db: &Database) -> SchemaGraph {
+    let mut g = SchemaGraph::from_foreign_keys(db);
+    // Stats joined to games the home team won (Fig. 3's second condition).
+    for stats in ["player_game_stats", "team_game_stats"] {
+        g.add_condition(
+            stats,
+            "game",
+            JoinCond::on(&[
+                ("game_date", "game_date"),
+                ("home_id", "home_id"),
+                ("home_id", "winner_id"),
+            ]),
+        );
+    }
+    // Players in the same lineup (Fig. 3's self-loop e4).
+    g.add_condition(
+        "lineup_player",
+        "lineup_player",
+        JoinCond::on(&[("lineup_id", "lineup_id")]),
+    );
+    g
+}
+
+fn create_schema(db: &mut Database, rich: bool) {
+    db.create_table(
+        SchemaBuilder::new("season")
+            .column_pk("season_id", DataType::Int, AttrKind::Categorical)
+            .column("season_name", DataType::Str, AttrKind::Categorical)
+            .column("season_type", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("team")
+            .column_pk("team_id", DataType::Int, AttrKind::Categorical)
+            .column("team", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("player")
+            .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+            .column("player_name", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("game")
+            .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+            .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+            .column("away_id", DataType::Int, AttrKind::Categorical)
+            .column("winner_id", DataType::Int, AttrKind::Categorical)
+            .column("season_id", DataType::Int, AttrKind::Categorical)
+            .column("home_points", DataType::Int, AttrKind::Numeric)
+            .column("away_points", DataType::Int, AttrKind::Numeric)
+            .column("home_possessions", DataType::Int, AttrKind::Numeric)
+            .column("away_possessions", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("player_salary")
+            .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("season_id", DataType::Int, AttrKind::Categorical)
+            .column("salary", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("play_for")
+            .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("team_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("date_start", DataType::Str, AttrKind::Categorical)
+            .column("date_end", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("lineup")
+            .column_pk("lineup_id", DataType::Int, AttrKind::Categorical)
+            .column("team_id", DataType::Int, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("lineup_player")
+            .column_pk("lineup_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+
+    let mut tgs = SchemaBuilder::new("team_game_stats")
+        .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+        .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+        .column_pk("team_id", DataType::Int, AttrKind::Categorical)
+        .column("points", DataType::Int, AttrKind::Numeric)
+        .column("offposs", DataType::Int, AttrKind::Numeric)
+        .column("fg_two_m", DataType::Int, AttrKind::Numeric)
+        .column("fg_two_pct", DataType::Float, AttrKind::Numeric)
+        .column("fg_three_m", DataType::Int, AttrKind::Numeric)
+        .column("fg_three_pct", DataType::Float, AttrKind::Numeric)
+        .column("assists", DataType::Int, AttrKind::Numeric)
+        .column("rebounds", DataType::Int, AttrKind::Numeric)
+        .column("defrebounds", DataType::Int, AttrKind::Numeric)
+        .column("offrebounds", DataType::Int, AttrKind::Numeric);
+    if rich {
+        for c in RICH_COLS {
+            tgs = tgs.column(c, DataType::Float, AttrKind::Numeric);
+        }
+    } else {
+        // The core case-study columns always exist.
+        for c in ["assistpoints", "nonputbacksassisted_two_spct", "fg_three_apct"] {
+            tgs = tgs.column(c, DataType::Float, AttrKind::Numeric);
+        }
+    }
+    db.create_table(tgs.build()).unwrap();
+
+    db.create_table(
+        SchemaBuilder::new("lineup_game_stats")
+            .column_pk("lineup_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+            .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+            .column("mp", DataType::Float, AttrKind::Numeric)
+            .column("tmposs", DataType::Int, AttrKind::Numeric)
+            .column("oppo_tmposs", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+
+    let mut pgs = SchemaBuilder::new("player_game_stats")
+        .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+        .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+        .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+        .column("points", DataType::Int, AttrKind::Numeric)
+        .column("minutes", DataType::Float, AttrKind::Numeric)
+        .column("usage", DataType::Float, AttrKind::Numeric)
+        .column("tspct", DataType::Float, AttrKind::Numeric)
+        .column("efgpct", DataType::Float, AttrKind::Numeric);
+    if rich {
+        for c in ["shotqualityavg", "assisted_two_spct", "fg_three_apct", "deflongmidrangereboundpct"] {
+            pgs = pgs.column(c, DataType::Float, AttrKind::Numeric);
+        }
+    }
+    db.create_table(pgs.build()).unwrap();
+}
+
+fn populate_seasons(db: &mut Database, cfg: &NbaConfig) {
+    let regular = db.intern("regular season");
+    for s in 0..cfg.seasons {
+        let name = db.intern(story::SEASONS[s]);
+        db.table_mut("season")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(s as i64 + 1),
+                Value::Str(name),
+                Value::Str(regular),
+            ])
+            .unwrap();
+    }
+}
+
+fn populate_teams(db: &mut Database) {
+    for (i, t) in TEAMS.iter().enumerate() {
+        let name = db.intern(t);
+        db.table_mut("team")
+            .unwrap()
+            .push_row(vec![Value::Int(i as i64 + 1), Value::Str(name)])
+            .unwrap();
+    }
+}
+
+/// Roster info: per team index, the player ids on that team's filler
+/// roster. Story players have ids 1..=8 and float between teams by season.
+pub struct Rosters {
+    /// Filler player ids per team (index = team index 0..30).
+    pub filler: Vec<Vec<i64>>,
+}
+
+impl Rosters {
+    /// Team index of a team abbreviation.
+    pub fn team_index(abbr: &str) -> usize {
+        TEAMS.iter().position(|t| *t == abbr).expect("known team")
+    }
+
+    /// Story players on `team` (0-based index) in season `s`, as
+    /// (player_id, profile).
+    pub fn story_on_team(&self, team: usize, s: usize) -> Vec<(i64, story::SeasonProfile)> {
+        story::STORY_PLAYERS
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sp)| {
+                sp.seasons[s].and_then(|prof| {
+                    (Self::team_index(prof.team) == team).then_some((i as i64 + 1, prof))
+                })
+            })
+            .collect()
+    }
+}
+
+fn populate_players(db: &mut Database, ctx: &mut Ctx) -> Rosters {
+    // Story players first (ids 1..=8).
+    for (i, sp) in story::STORY_PLAYERS.iter().enumerate() {
+        let name = db.intern(sp.name);
+        db.table_mut("player")
+            .unwrap()
+            .push_row(vec![Value::Int(i as i64 + 1), Value::Str(name)])
+            .unwrap();
+    }
+    // Filler players.
+    let mut filler = vec![Vec::new(); TEAMS.len()];
+    let mut next_id = story::STORY_PLAYERS.len() as i64 + 1;
+    let mut slot = 0usize;
+    for (t, roster) in filler.iter_mut().enumerate() {
+        let _ = t;
+        for _ in 0..ctx.cfg.players_per_team {
+            let name = db.intern(&filler_player_name(slot));
+            db.table_mut("player")
+                .unwrap()
+                .push_row(vec![Value::Int(next_id), Value::Str(name)])
+                .unwrap();
+            roster.push(next_id);
+            next_id += 1;
+            slot += 1;
+        }
+    }
+    Rosters { filler }
+}
+
+fn populate_play_for_and_salaries(db: &mut Database, cfg: &NbaConfig, rosters: &Rosters) {
+    let seasons = cfg.seasons;
+    // Story players: one play_for stint per contiguous same-team run.
+    for (i, sp) in story::STORY_PLAYERS.iter().enumerate() {
+        let pid = i as i64 + 1;
+        let mut s = 0usize;
+        while s < seasons {
+            let Some(prof) = sp.seasons[s] else {
+                s += 1;
+                continue;
+            };
+            let team = prof.team;
+            let start = s;
+            let mut end = s;
+            while end + 1 < seasons
+                && sp.seasons[end + 1].map(|p| p.team) == Some(team)
+            {
+                end += 1;
+            }
+            let start_date = season_date(2009 + start as i32, 0);
+            let end_date = season_date(2009 + end as i32, 190);
+            let sd = db.intern(&start_date);
+            let ed = db.intern(&end_date);
+            let tid = Rosters::team_index(team) as i64 + 1;
+            db.table_mut("play_for")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(pid),
+                    Value::Int(tid),
+                    Value::Str(sd),
+                    Value::Str(ed),
+                ])
+                .unwrap();
+            s = end + 1;
+        }
+        // Salaries for every active season.
+        for s in 0..seasons {
+            if let Some(prof) = sp.seasons[s] {
+                db.table_mut("player_salary")
+                    .unwrap()
+                    .push_row(vec![
+                        Value::Int(pid),
+                        Value::Int(s as i64 + 1),
+                        Value::Int(prof.salary),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    // Filler players: stay on their team for the whole window; salary is a
+    // deterministic-ish spread that grows mildly over seasons.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A1A);
+    for (t, roster) in rosters.filler.iter().enumerate() {
+        for &pid in roster {
+            let sd = db.intern(&season_date(2009, 0));
+            let ed = db.intern(&season_date(2009 + seasons as i32 - 1, 190));
+            db.table_mut("play_for")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(pid),
+                    Value::Int(t as i64 + 1),
+                    Value::Str(sd),
+                    Value::Str(ed),
+                ])
+                .unwrap();
+            let base = normal_clamped(&mut rng, 4.0e6, 3.0e6, 0.6e6, 2.4e7);
+            for s in 0..seasons {
+                let salary = (base * (1.0 + 0.05 * s as f64)) as i64;
+                db.table_mut("player_salary")
+                    .unwrap()
+                    .push_row(vec![
+                        Value::Int(pid),
+                        Value::Int(s as i64 + 1),
+                        Value::Int(salary),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Lineup bookkeeping: per team, the lineup ids; plus the special GSW
+/// lineup containing Green + Thompson (the Ω₂ explanation of Fig. 2c).
+pub struct Lineups {
+    /// Lineup ids per team.
+    pub per_team: Vec<Vec<i64>>,
+    /// The Green+Thompson GSW lineup id.
+    pub green_thompson: i64,
+}
+
+fn populate_lineups(db: &mut Database, ctx: &mut Ctx, rosters: &Rosters) -> Lineups {
+    let mut per_team = vec![Vec::new(); TEAMS.len()];
+    let mut next_id = 1i64;
+    let mut green_thompson = 0i64;
+    let green_id = 3i64; // story index 2 + 1
+    let klay_id = 2i64;
+
+    for (t, roster) in rosters.filler.iter().enumerate() {
+        let lineups_per_team = 4;
+        for l in 0..lineups_per_team {
+            let lid = next_id;
+            next_id += 1;
+            per_team[t].push(lid);
+            db.table_mut("lineup")
+                .unwrap()
+                .push_row(vec![Value::Int(lid), Value::Int(t as i64 + 1)])
+                .unwrap();
+            // Five members: possibly story players + fillers.
+            let mut members: Vec<i64> = Vec::with_capacity(5);
+            if TEAMS[t] == "GSW" && l == 0 {
+                members.push(green_id);
+                members.push(klay_id);
+                green_thompson = lid;
+            }
+            let mut pool: Vec<i64> = roster.clone();
+            pool.shuffle(&mut ctx.rng);
+            for &pid in pool.iter() {
+                if members.len() >= 5 {
+                    break;
+                }
+                if !members.contains(&pid) {
+                    members.push(pid);
+                }
+            }
+            for pid in members {
+                db.table_mut("lineup_player")
+                    .unwrap()
+                    .push_row(vec![Value::Int(lid), Value::Int(pid)])
+                    .unwrap();
+            }
+        }
+    }
+    Lineups {
+        per_team,
+        green_thompson,
+    }
+}
+
+fn populate_games_and_stats(db: &mut Database, ctx: &mut Ctx, rosters: &Rosters, lineups: &Lineups) {
+    let seasons = ctx.cfg.seasons;
+    let gpt = ctx.cfg.games_per_team;
+    let gsw = Rosters::team_index("GSW");
+    // Team strength: GSW tracks its win story; others fixed random.
+    let strengths: Vec<f64> = (0..TEAMS.len())
+        .map(|_| ctx.rng.gen_range(0.35..0.65))
+        .collect();
+
+    for s in 0..seasons {
+        let year = 2009 + s as i32;
+        let rounds = gpt; // each round pairs all 30 teams → 15 games
+        // Pre-decide GSW's wins this season to hit the story count.
+        let gsw_target = (story::GSW_WINS[s] as f64 * gpt as f64 / 82.0).round() as usize;
+        let mut gsw_outcomes: Vec<bool> = (0..gpt).map(|g| g < gsw_target).collect();
+        gsw_outcomes.shuffle(&mut ctx.rng);
+        let mut gsw_game_no = 0usize;
+
+        let mut day = 0usize;
+        for _round in 0..rounds {
+            let mut order: Vec<usize> = (0..TEAMS.len()).collect();
+            order.shuffle(&mut ctx.rng);
+            for pair in order.chunks_exact(2) {
+                let (home, away) = (pair[0], pair[1]);
+                let date = season_date(year, day);
+                // Winner.
+                let gsw_in_game = home == gsw || away == gsw;
+                let home_wins = if gsw_in_game {
+                    let gsw_wins = gsw_outcomes.get(gsw_game_no).copied().unwrap_or(false);
+                    gsw_game_no += 1;
+                    if home == gsw {
+                        gsw_wins
+                    } else {
+                        !gsw_wins
+                    }
+                } else {
+                    let p = 0.5 + (strengths[home] - strengths[away]) + 0.07; // home edge
+                    coin(&mut ctx.rng, p.clamp(0.05, 0.95))
+                };
+                let winner = if home_wins { home } else { away };
+
+                emit_game_rows(db, ctx, rosters, lineups, s, &date, home, away, winner);
+                day += 1;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_game_rows(
+    db: &mut Database,
+    ctx: &mut Ctx,
+    rosters: &Rosters,
+    lineups: &Lineups,
+    s: usize,
+    date: &str,
+    home: usize,
+    away: usize,
+    winner: usize,
+) {
+    let gsw = Rosters::team_index("GSW");
+    let rng = &mut ctx.rng;
+    let date_id = db.pool_mut().intern(date);
+
+    // League scoring drifts up over the decade; winners score more.
+    let base = 98.0 + 1.6 * s as f64;
+    let margin = rng.gen_range(2..22) as i64;
+    let winner_pts = normal_clamped(rng, base + 6.0, 7.0, 80.0, 150.0) as i64;
+    let loser_pts = (winner_pts - margin).max(70);
+    let (home_points, away_points) = if winner == home {
+        (winner_pts, loser_pts)
+    } else {
+        (loser_pts, winner_pts)
+    };
+    let home_poss = normal_clamped(rng, 99.0 + 0.6 * s as f64, 4.0, 85.0, 115.0) as i64;
+    let away_poss = home_poss + rng.gen_range(-4..=4);
+
+    db.table_mut("game")
+        .unwrap()
+        .push_row(vec![
+            Value::Str(date_id),
+            Value::Int(home as i64 + 1),
+            Value::Int(away as i64 + 1),
+            Value::Int(winner as i64 + 1),
+            Value::Int(s as i64 + 1),
+            Value::Int(home_points),
+            Value::Int(away_points),
+            Value::Int(home_poss),
+            Value::Int(away_poss),
+        ])
+        .unwrap();
+
+    // Per-team stats + player stats + lineup stats.
+    for &(team, pts, poss) in &[(home, home_points, home_poss), (away, away_points, away_poss)] {
+        let won = team == winner;
+        // Assists: GSW follows the Fig. 14b trajectory; others stay ~21.5.
+        let assists_mean = if team == gsw {
+            story::GSW_ASSISTS[s]
+        } else {
+            21.5 + 0.25 * s as f64
+        };
+        let assists = normal_clamped(rng, assists_mean + if won { 1.2 } else { -0.8 }, 2.6, 10.0, 45.0);
+        let assistpoints = assists * 2.35 + normal_clamped(rng, 0.0, 2.0, -6.0, 6.0);
+        let three_rate = 0.24 + 0.012 * s as f64 + if team == gsw { 0.05 } else { 0.0 };
+        let fg_three_m = (pts as f64 * three_rate / 3.0 / 2.6 + rng.gen_range(-1.5..1.5))
+            .clamp(2.0, 25.0);
+        let fg_three_pct =
+            normal_clamped(rng, 0.33 + if won { 0.025 } else { -0.02 } + 0.004 * s as f64, 0.05, 0.15, 0.62);
+        let fg_three_apct = normal_clamped(
+            rng,
+            0.24 + 0.014 * s as f64 + if won { 0.015 } else { -0.01 },
+            0.035,
+            0.1,
+            0.55,
+        );
+        let fg_two_m = ((pts as f64 - fg_three_m * 3.0 - 15.0) / 2.0).max(8.0);
+        let fg_two_pct = normal_clamped(rng, 0.49 + if won { 0.02 } else { -0.02 }, 0.04, 0.3, 0.68);
+        let rebounds = normal_clamped(rng, 43.0 + if won { 2.0 } else { -1.0 }, 4.0, 28.0, 60.0) as i64;
+        let offrebounds = normal_clamped(rng, 10.0, 2.5, 3.0, 20.0) as i64;
+        let nonputback = normal_clamped(
+            rng,
+            0.47 + 0.01 * s as f64 + if team == gsw && s >= 5 { 0.06 } else { 0.0 },
+            0.05,
+            0.2,
+            0.85,
+        );
+
+        let mut row = vec![
+            Value::Str(date_id),
+            Value::Int(home as i64 + 1),
+            Value::Int(team as i64 + 1),
+            Value::Int(pts),
+            Value::Int(poss),
+            Value::Int(fg_two_m as i64),
+            Value::Float((fg_two_pct * 1000.0).round() / 1000.0),
+            Value::Int(fg_three_m as i64),
+            Value::Float((fg_three_pct * 1000.0).round() / 1000.0),
+            Value::Int(assists as i64),
+            Value::Int(rebounds),
+            Value::Int(rebounds - offrebounds),
+            Value::Int(offrebounds),
+        ];
+        if ctx.cfg.rich_stats {
+            for col in RICH_COLS {
+                let v = rich_value(rng, col, pts as f64, assists, assistpoints, nonputback, fg_three_apct, s);
+                row.push(Value::Float((v * 1000.0).round() / 1000.0));
+            }
+        } else {
+            row.push(Value::Float((assistpoints * 10.0).round() / 10.0));
+            row.push(Value::Float((nonputback * 1000.0).round() / 1000.0));
+            row.push(Value::Float((fg_three_apct * 1000.0).round() / 1000.0));
+        }
+        db.table_mut("team_game_stats").unwrap().push_row(row).unwrap();
+
+        // Player stats: story players on this team + filler to five.
+        let story_here = rosters.story_on_team(team, s);
+        let mut played: Vec<i64> = Vec::new();
+        for (pid, prof) in &story_here {
+            played.push(*pid);
+            let p_pts = normal_clamped(rng, prof.pts, 5.0, 0.0, 60.0) as i64;
+            let p_min = normal_clamped(rng, prof.minutes, 4.0, 4.0, 46.0);
+            let p_usage = normal_clamped(rng, prof.usage, 2.5, 5.0, 42.0);
+            emit_player_row(db, ctx.cfg.rich_stats, rng, date_id, home, *pid, p_pts, p_min, p_usage, s);
+        }
+        let mut pool = rosters.filler[team].clone();
+        pool.shuffle(rng);
+        for &pid in pool.iter() {
+            if played.len() >= 5 {
+                break;
+            }
+            played.push(pid);
+            let p_pts = normal_clamped(rng, 9.0, 5.0, 0.0, 40.0) as i64;
+            let p_min = normal_clamped(rng, 20.0, 7.0, 2.0, 44.0);
+            let p_usage = normal_clamped(rng, 17.0, 4.0, 4.0, 38.0);
+            emit_player_row(db, ctx.cfg.rich_stats, rng, date_id, home, pid, p_pts, p_min, p_usage, s);
+        }
+
+        // Lineup stats: the team's lineups split the minutes. GSW's
+        // Green+Thompson lineup logs heavy minutes from 2014-15 on.
+        for (i, &lid) in lineups.per_team[team].iter().enumerate() {
+            let is_gt = lid == lineups.green_thompson;
+            let mp = if is_gt {
+                if s >= 5 {
+                    normal_clamped(rng, 21.0, 4.0, 6.0, 40.0)
+                } else if s == 3 {
+                    normal_clamped(rng, 4.0, 2.0, 0.0, 12.0)
+                } else {
+                    normal_clamped(rng, 8.0, 3.0, 0.0, 20.0)
+                }
+            } else {
+                normal_clamped(rng, 11.0 - i as f64, 3.0, 0.0, 30.0)
+            };
+            db.table_mut("lineup_game_stats")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(lid),
+                    Value::Str(date_id),
+                    Value::Int(home as i64 + 1),
+                    Value::Float((mp * 10.0).round() / 10.0),
+                    Value::Int(normal_clamped(rng, 45.0, 8.0, 10.0, 90.0) as i64),
+                    Value::Int(normal_clamped(rng, 45.0, 8.0, 10.0, 90.0) as i64),
+                ])
+                .unwrap();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_player_row(
+    db: &mut Database,
+    rich: bool,
+    rng: &mut StdRng,
+    date_id: cajade_storage::StrId,
+    home: usize,
+    pid: i64,
+    pts: i64,
+    minutes: f64,
+    usage: f64,
+    s: usize,
+) {
+    let tspct = normal_clamped(rng, 0.52 + (pts as f64 - 10.0) * 0.004, 0.07, 0.1, 0.9);
+    let efgpct = normal_clamped(rng, tspct - 0.02, 0.04, 0.1, 0.9);
+    let mut row = vec![
+        Value::Str(date_id),
+        Value::Int(home as i64 + 1),
+        Value::Int(pid),
+        Value::Int(pts),
+        Value::Float((minutes * 100.0).round() / 100.0),
+        Value::Float((usage * 100.0).round() / 100.0),
+        Value::Float((tspct * 1000.0).round() / 1000.0),
+        Value::Float((efgpct * 1000.0).round() / 1000.0),
+    ];
+    if rich {
+        let sq = normal_clamped(rng, 0.46 + 0.002 * s as f64, 0.03, 0.3, 0.6);
+        let a2 = normal_clamped(rng, 0.5, 0.2, 0.0, 1.0);
+        let f3a = normal_clamped(rng, 0.25 + 0.012 * s as f64, 0.08, 0.0, 0.7);
+        let dlm = normal_clamped(rng, 0.12, 0.06, 0.0, 0.5);
+        for v in [sq, a2, f3a, dlm] {
+            row.push(Value::Float((v * 1000.0).round() / 1000.0));
+        }
+    }
+    db.table_mut("player_game_stats").unwrap().push_row(row).unwrap();
+}
+
+/// Rich-column generator: a few columns carry real signal (shared with the
+/// core columns), a few are correlated copies (exercising the clustering
+/// step), the rest are noise.
+#[allow(clippy::too_many_arguments)]
+fn rich_value(
+    rng: &mut StdRng,
+    col: &str,
+    pts: f64,
+    assists: f64,
+    assistpoints: f64,
+    nonputback: f64,
+    fg_three_apct: f64,
+    s: usize,
+) -> f64 {
+    match col {
+        "assistpoints" => assistpoints,
+        "nonputbacksassisted_two_spct" => nonputback,
+        "fg_three_apct" => fg_three_apct,
+        "two_ptassists" => assists * 0.6 + normal_clamped(rng, 0.0, 1.0, -3.0, 3.0),
+        "three_ptassists" => assists * 0.4 + normal_clamped(rng, 0.0, 1.0, -3.0, 3.0),
+        "assisted_three_spct" => normal_clamped(rng, 0.72, 0.08, 0.3, 1.0),
+        "assisted_two_spct" => normal_clamped(rng, 0.5 + 0.008 * s as f64, 0.07, 0.2, 0.9),
+        "efgpct" => normal_clamped(rng, 0.47 + pts * 0.0006, 0.04, 0.3, 0.7),
+        "tspct" => normal_clamped(rng, 0.5 + pts * 0.0006, 0.04, 0.3, 0.75),
+        "shotqualityavg" => normal_clamped(rng, 0.455 + 0.002 * s as f64, 0.025, 0.35, 0.58),
+        "fg_two_a" => normal_clamped(rng, 60.0 - 1.2 * s as f64, 6.0, 30.0, 90.0),
+        "fg_three_a" => normal_clamped(rng, 18.0 + 1.3 * s as f64, 4.0, 5.0, 50.0),
+        "ftpoints" => normal_clamped(rng, 17.0, 4.0, 2.0, 40.0),
+        "ptsassisted_two_s" => assists * 1.3 + normal_clamped(rng, 0.0, 2.0, -6.0, 6.0),
+        "ptsunassisted_two_s" => normal_clamped(rng, 18.0, 4.0, 2.0, 40.0),
+        "ptsputbacks" => normal_clamped(rng, 4.0, 2.0, 0.0, 14.0),
+        "fg_two_ablocked" => normal_clamped(rng, 3.0, 1.5, 0.0, 10.0),
+        "atrimassists" => assists * 0.35 + normal_clamped(rng, 0.0, 1.0, -3.0, 3.0),
+        "ftdefrebounds" => normal_clamped(rng, 4.0, 1.5, 0.0, 12.0),
+        "deflongmidrangereboundpct" => normal_clamped(rng, 0.11, 0.05, 0.0, 0.4),
+        _ => normal_clamped(rng, 10.0, 3.0, 0.0, 30.0),
+    }
+}
+
+fn register_foreign_keys(db: &mut Database) {
+    let fks = [
+        ("game", vec!["home_id"], "team", vec!["team_id"]),
+        ("game", vec!["away_id"], "team", vec!["team_id"]),
+        ("game", vec!["winner_id"], "team", vec!["team_id"]),
+        ("game", vec!["season_id"], "season", vec!["season_id"]),
+        ("player_salary", vec!["player_id"], "player", vec!["player_id"]),
+        ("player_salary", vec!["season_id"], "season", vec!["season_id"]),
+        ("play_for", vec!["player_id"], "player", vec!["player_id"]),
+        ("play_for", vec!["team_id"], "team", vec!["team_id"]),
+        ("lineup", vec!["team_id"], "team", vec!["team_id"]),
+        ("lineup_player", vec!["lineup_id"], "lineup", vec!["lineup_id"]),
+        ("lineup_player", vec!["player_id"], "player", vec!["player_id"]),
+        (
+            "team_game_stats",
+            vec!["game_date", "home_id"],
+            "game",
+            vec!["game_date", "home_id"],
+        ),
+        ("team_game_stats", vec!["team_id"], "team", vec!["team_id"]),
+        (
+            "lineup_game_stats",
+            vec!["game_date", "home_id"],
+            "game",
+            vec!["game_date", "home_id"],
+        ),
+        ("lineup_game_stats", vec!["lineup_id"], "lineup", vec!["lineup_id"]),
+        (
+            "player_game_stats",
+            vec!["game_date", "home_id"],
+            "game",
+            vec!["game_date", "home_id"],
+        ),
+        ("player_game_stats", vec!["player_id"], "player", vec!["player_id"]),
+    ];
+    for (from, fc, to, tc) in fks {
+        db.add_foreign_key(ForeignKey {
+            from_table: from.into(),
+            from_cols: fc.into_iter().map(String::from).collect(),
+            to_table: to.into(),
+            to_cols: tc.into_iter().map(String::from).collect(),
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_query::{execute, parse_sql};
+
+    fn tiny() -> GeneratedDb {
+        generate(NbaConfig::tiny())
+    }
+
+    #[test]
+    fn all_eleven_relations_exist() {
+        let g = tiny();
+        for t in [
+            "season",
+            "team",
+            "player",
+            "game",
+            "player_salary",
+            "play_for",
+            "lineup",
+            "lineup_player",
+            "team_game_stats",
+            "lineup_game_stats",
+            "player_game_stats",
+        ] {
+            assert!(g.db.table(t).is_ok(), "missing {t}");
+            assert!(g.db.table(t).unwrap().num_rows() > 0, "{t} is empty");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.db.total_rows(), b.db.total_rows());
+        let qa = execute(
+            &a.db,
+            &parse_sql("SELECT count(*) AS c, season_name FROM season GROUP BY season_name")
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(qa.num_rows(), NbaConfig::tiny().seasons);
+        let _ = b;
+    }
+
+    #[test]
+    fn gsw_win_story_holds() {
+        let g = tiny();
+        let q = parse_sql(
+            "SELECT COUNT(*) AS win, s.season_name \
+             FROM team t, game g, season s \
+             WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team= 'GSW' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let win_idx = r.table.schema().field_index("win").unwrap();
+        let gpt = NbaConfig::tiny().games_per_team as f64;
+        // 2015-16 must have the most wins; 2011-12 the fewest.
+        let win_for = |season: &str| -> i64 {
+            let row = r.find_row(&g.db, &[("season_name", season)]).unwrap();
+            r.table.value(row, win_idx).as_i64().unwrap()
+        };
+        let w1516 = win_for("2015-16");
+        let w1112 = win_for("2011-12");
+        let w1213 = win_for("2012-13");
+        assert!(w1516 > w1213, "73 > 47 shape: {w1516} vs {w1213}");
+        assert!(w1213 > w1112, "47 > 23 shape");
+        let expected = (story::GSW_WINS[6] as f64 * gpt / 82.0).round() as i64;
+        assert_eq!(w1516, expected);
+    }
+
+    #[test]
+    fn curry_scores_higher_in_1516_than_1213() {
+        let g = tiny();
+        let q = parse_sql(
+            "SELECT AVG(points) AS avg_pts, s.season_name \
+             FROM player p, player_game_stats pgs, game gm, season s \
+             WHERE p.player_id = pgs.player_id AND gm.game_date = pgs.game_date \
+               AND gm.home_id = pgs.home_id AND s.season_id = gm.season_id \
+               AND p.player_name = 'Stephen Curry' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let idx = r.table.schema().field_index("avg_pts").unwrap();
+        let avg = |season: &str| -> f64 {
+            let row = r.find_row(&g.db, &[("season_name", season)]).unwrap();
+            r.table.value(row, idx).as_f64().unwrap()
+        };
+        assert!(avg("2015-16") > avg("2012-13") + 4.0);
+    }
+
+    #[test]
+    fn iguodala_not_on_gsw_before_2013() {
+        let g = tiny();
+        // play_for rows for Iguodala: GSW stint starts 2013.
+        let pf = g.db.table("play_for").unwrap();
+        let player = g.db.table("player").unwrap();
+        let iggy_name = g.db.lookup_str("Andre Iguodala").unwrap();
+        let iggy_id = (0..player.num_rows())
+            .find(|&r| player.value(r, 1) == Value::Str(iggy_name))
+            .map(|r| player.value(r, 0).as_i64().unwrap())
+            .unwrap();
+        let gsw_tid = Rosters::team_index("GSW") as i64 + 1;
+        let mut gsw_stints = 0;
+        for r in 0..pf.num_rows() {
+            if pf.value(r, 0).as_i64() == Some(iggy_id) && pf.value(r, 1).as_i64() == Some(gsw_tid)
+            {
+                gsw_stints += 1;
+                let start = match pf.value(r, 2) {
+                    Value::Str(id) => g.db.resolve(id).to_string(),
+                    other => panic!("unexpected {other:?}"),
+                };
+                assert!(start.starts_with("2013"), "GSW stint starts 2013, got {start}");
+            }
+        }
+        assert_eq!(gsw_stints, 1);
+    }
+
+    #[test]
+    fn salary_story_constants() {
+        let g = tiny();
+        let sal = g.db.table("player_salary").unwrap();
+        // Draymond Green is story player index 2 → id 3; 2015-16 is season 7.
+        let green_1516 = (0..sal.num_rows())
+            .find(|&r| {
+                sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(7)
+            })
+            .map(|r| sal.value(r, 2).as_i64().unwrap());
+        assert_eq!(green_1516, Some(14_260_870));
+        let green_1617 = (0..sal.num_rows())
+            .find(|&r| {
+                sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(8)
+            })
+            .map(|r| sal.value(r, 2).as_i64().unwrap());
+        assert_eq!(green_1617, Some(15_330_435));
+    }
+
+    #[test]
+    fn fk_integrity_spot_checks() {
+        let g = tiny();
+        // Every pgs row joins a game (same composite key).
+        let q = parse_sql(
+            "SELECT count(*) AS c, season_id FROM player_game_stats pgs, game g \
+             WHERE pgs.game_date = g.game_date AND pgs.home_id = g.home_id GROUP BY season_id",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        let total: i64 = (0..r.num_rows())
+            .map(|i| {
+                r.table
+                    .value(i, r.table.schema().field_index("c").unwrap())
+                    .as_i64()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total as usize, g.db.table("player_game_stats").unwrap().num_rows());
+    }
+
+    #[test]
+    fn schema_graph_validates_and_has_extras() {
+        let g = tiny();
+        g.schema_graph.validate(&g.db).unwrap();
+        // The pgs–game edge carries two conditions (plain + home=winner).
+        let e = g
+            .schema_graph
+            .edges()
+            .iter()
+            .find(|e| {
+                (e.a == "player_game_stats" && e.b == "game")
+                    || (e.a == "game" && e.b == "player_game_stats")
+            })
+            .unwrap();
+        assert!(e.conds.len() >= 2);
+        // And the lineup_player self-loop exists.
+        assert!(g
+            .schema_graph
+            .edges()
+            .iter()
+            .any(|e| e.a == "lineup_player" && e.b == "lineup_player"));
+    }
+
+    #[test]
+    fn green_thompson_lineup_minutes_jump() {
+        let g = tiny();
+        // Average mp of the Green+Thompson lineup in 2015-16 vs 2012-13.
+        let q = parse_sql(
+            "SELECT AVG(mp) AS avg_mp, s.season_name \
+             FROM lineup_game_stats lgs, game gm, season s, lineup l, team t \
+             WHERE lgs.game_date = gm.game_date AND lgs.home_id = gm.home_id \
+               AND s.season_id = gm.season_id AND l.lineup_id = lgs.lineup_id \
+               AND t.team_id = l.team_id AND t.team = 'GSW' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        let r = execute(&g.db, &q).unwrap();
+        assert!(r.num_rows() >= 2);
+        // Coarse check on trend via all GSW lineups (the planted lineup
+        // dominates the average).
+        let idx = r.table.schema().field_index("avg_mp").unwrap();
+        let avg = |season: &str| -> f64 {
+            let row = r.find_row(&g.db, &[("season_name", season)]).unwrap();
+            r.table.value(row, idx).as_f64().unwrap()
+        };
+        assert!(avg("2015-16") > avg("2012-13"));
+    }
+
+    #[test]
+    fn scaled_config_scales_games() {
+        let half = generate(NbaConfig {
+            rich_stats: false,
+            ..NbaConfig::scaled(0.1)
+        });
+        let games = half.db.table("game").unwrap().num_rows();
+        // 0.1 × 82 ≈ 8 games per team → 8 × 15 pairings per season × 10.
+        assert_eq!(games, 8 * 15 * 10);
+    }
+}

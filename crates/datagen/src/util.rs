@@ -1,0 +1,124 @@
+//! Small statistical helpers for the generators (we avoid extra
+//! dependencies like `rand_distr`; Box–Muller is four lines).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+/// Normal sample clamped to `[lo, hi]`.
+pub fn normal_clamped(rng: &mut StdRng, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Exponential sample with the given mean.
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Weighted choice: returns an index into `weights` (must be non-empty
+/// with a positive sum).
+pub fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must sum to a positive value");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw.
+pub fn coin(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Formats a synthetic calendar date. `day_index` walks forward from
+/// `year`-10-01 (an NBA season start) using 28-day months for simplicity —
+/// dates only need to be distinct, ordered, and stable.
+pub fn season_date(start_year: i32, day_index: usize) -> String {
+    let month_offset = day_index / 28;
+    let day = day_index % 28 + 1;
+    // Season months: Oct(10), Nov, Dec, Jan, Feb, Mar, Apr.
+    let month = 10 + month_offset as i32;
+    let (year, month) = if month > 12 {
+        (start_year + 1, month - 12)
+    } else {
+        (start_year, month)
+    };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = normal_clamped(&mut r, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut r, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "{f2}");
+    }
+
+    #[test]
+    fn season_dates_are_ordered_and_distinct() {
+        let dates: Vec<String> = (0..150).map(|i| season_date(2015, i)).collect();
+        let mut sorted = dates.clone();
+        sorted.sort();
+        assert_eq!(dates, sorted, "lexicographic order = chronological");
+        let mut dedup = dates.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), dates.len());
+        assert_eq!(dates[0], "2015-10-01");
+        // Crosses the year boundary.
+        assert!(dates.iter().any(|d| d.starts_with("2016-01")));
+    }
+}

@@ -1,0 +1,521 @@
+//! Augmented provenance table (APT) materialization — paper Definition 4:
+//!
+//! `APT(Q, D, Ω) = σ_θΩ (PT(Q, D) × S_1 × … × S_p)`
+//!
+//! implemented as hash joins radiating out from the PT node along the join
+//! graph's edges. Each APT row remembers the PT row it extends
+//! (`pt_row`), which is exactly what the Definition-7 coverage semantics
+//! needs: a provenance tuple `t'` is covered by a pattern iff *some* APT
+//! row extending `t'` matches.
+//!
+//! Per Definition 4's closing remark, duplicate (renamed) join columns are
+//! removed: a context node's attributes that the joining edge equates to
+//! an already-present attribute are dropped.
+
+use std::collections::HashMap;
+
+use bytes::BytesMut;
+use cajade_query::ProvenanceTable;
+use cajade_storage::rowkey::encode_key_into;
+use cajade_storage::{AttrKind, Column, Database, DataType, Value};
+
+use crate::join_graph::{JoinGraph, NodeLabel};
+use crate::{GraphError, Result};
+
+/// One attribute of an APT.
+#[derive(Debug, Clone)]
+pub struct AptField {
+    /// Display name: PT fields keep their `prov_…` name, context fields
+    /// are `<node alias>.<attr>`.
+    pub name: String,
+    /// Physical type.
+    pub dtype: DataType,
+    /// Mining kind.
+    pub kind: AttrKind,
+    /// Group-by attribute of the original query (excluded from patterns).
+    pub is_group_by: bool,
+    /// True iff the field comes from the PT node.
+    pub from_pt: bool,
+    /// Join-graph node index the field belongs to.
+    pub node: usize,
+}
+
+/// A materialized augmented provenance table.
+#[derive(Debug, Clone)]
+pub struct Apt {
+    /// Wide schema.
+    pub fields: Vec<AptField>,
+    /// Wide columns, parallel to `fields`.
+    pub columns: Vec<Column>,
+    /// Number of APT rows.
+    pub num_rows: usize,
+    /// APT row → originating PT row.
+    pub pt_row: Vec<u32>,
+    /// The join graph this APT materializes.
+    pub graph: JoinGraph,
+}
+
+impl Apt {
+    /// Materializes `APT(Q, D, Ω)` for the given provenance table and join
+    /// graph.
+    pub fn materialize(db: &Database, pt: &ProvenanceTable, graph: &JoinGraph) -> Result<Apt> {
+        // ---- 1. Order edges: joins (BFS out of PT) then filters. -------
+        let n_nodes = graph.nodes.len();
+        let mut joined = vec![false; n_nodes];
+        joined[0] = true;
+        let mut slot_of = vec![usize::MAX; n_nodes];
+        slot_of[0] = 0;
+        let mut node_order = vec![0usize]; // slot → node
+
+        let mut edge_used = vec![false; graph.edges.len()];
+        let mut join_edges: Vec<(usize, usize, usize)> = Vec::new(); // (edge, joined endpoint, new endpoint)
+        let mut filter_edges: Vec<usize> = Vec::new();
+
+        loop {
+            let mut progressed = false;
+            for (ei, e) in graph.edges.iter().enumerate() {
+                if edge_used[ei] {
+                    continue;
+                }
+                match (joined[e.from], joined[e.to]) {
+                    (true, true) => {
+                        edge_used[ei] = true;
+                        filter_edges.push(ei);
+                        progressed = true;
+                    }
+                    (true, false) => {
+                        edge_used[ei] = true;
+                        joined[e.to] = true;
+                        slot_of[e.to] = node_order.len();
+                        node_order.push(e.to);
+                        join_edges.push((ei, e.from, e.to));
+                        progressed = true;
+                    }
+                    (false, true) => {
+                        edge_used[ei] = true;
+                        joined[e.from] = true;
+                        slot_of[e.from] = node_order.len();
+                        node_order.push(e.from);
+                        join_edges.push((ei, e.to, e.from));
+                        progressed = true;
+                    }
+                    (false, false) => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if edge_used.iter().any(|u| !u) {
+            return Err(GraphError::Malformed(
+                "join graph is not connected to PT".into(),
+            ));
+        }
+
+        // ---- 2. Iterative hash joins. ----------------------------------
+        // combos: flattened row-id matrix, stride = #nodes joined so far.
+        let mut stride = 1usize;
+        let mut combos: Vec<u32> = (0..pt.num_rows as u32).collect();
+        let mut scratch = BytesMut::new();
+
+        // Value accessor for a node-side attribute of a combo row.
+        let side_value = |node: usize,
+                          attr: &str,
+                          pt_from_idx: Option<usize>,
+                          combo: &[u32]|
+         -> Result<Value> {
+            match &graph.nodes[node].label {
+                NodeLabel::Pt => {
+                    let fi = pt_field_for(pt, pt_from_idx, attr)?;
+                    Ok(pt.columns[fi].value(combo[0] as usize))
+                }
+                NodeLabel::Rel(rel) => {
+                    let t = db.table(rel)?;
+                    let ci = t.schema().field_index(attr).ok_or_else(|| {
+                        GraphError::BadCondition(format!("`{rel}` has no attribute `{attr}`"))
+                    })?;
+                    let slot = slot_of[node];
+                    Ok(t.column(ci).value(combo[slot] as usize))
+                }
+            }
+        };
+
+        for &(ei, anchor, new_node) in &join_edges {
+            let e = &graph.edges[ei];
+            // Orient the condition: anchor-side attrs vs new-side attrs.
+            let (anchor_attrs, new_attrs): (Vec<&str>, Vec<&str>) = if e.from == anchor {
+                (e.cond.left_attrs(), e.cond.right_attrs())
+            } else {
+                (e.cond.right_attrs(), e.cond.left_attrs())
+            };
+            let rel = graph.rel_of(new_node).ok_or_else(|| {
+                GraphError::Malformed("PT cannot be a join target of itself".into())
+            })?;
+            let table = db.table(rel)?;
+            let new_cols: Vec<usize> = new_attrs
+                .iter()
+                .map(|a| {
+                    table.schema().field_index(a).ok_or_else(|| {
+                        GraphError::BadCondition(format!("`{rel}` has no attribute `{a}`"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+
+            // Build hash table on the new relation.
+            let mut build: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+            let mut key_vals = Vec::with_capacity(new_cols.len());
+            for r in 0..table.num_rows() {
+                key_vals.clear();
+                for &c in &new_cols {
+                    key_vals.push(table.column(c).value(r));
+                }
+                if let Some(key) = encode_key_into(&mut scratch, &key_vals) {
+                    build.entry(key.to_vec()).or_default().push(r as u32);
+                }
+            }
+
+            // Probe with existing combos.
+            let mut next: Vec<u32> = Vec::new();
+            let num_combos = combos.len() / stride;
+            for i in 0..num_combos {
+                let combo = &combos[i * stride..(i + 1) * stride];
+                key_vals.clear();
+                for a in &anchor_attrs {
+                    key_vals.push(side_value(anchor, a, e.pt_from_idx, combo)?);
+                }
+                let Some(key) = encode_key_into(&mut scratch, &key_vals) else {
+                    continue;
+                };
+                if let Some(matches) = build.get(key) {
+                    for &r in matches {
+                        next.extend_from_slice(combo);
+                        next.push(r);
+                    }
+                }
+            }
+            combos = next;
+            stride += 1;
+        }
+
+        // ---- 3. Filter edges (cycles / parallel edges). -----------------
+        for &ei in &filter_edges {
+            let e = &graph.edges[ei];
+            let mut next = Vec::with_capacity(combos.len());
+            let num_combos = combos.len() / stride;
+            'combo: for i in 0..num_combos {
+                let combo = &combos[i * stride..(i + 1) * stride];
+                for p in &e.cond.pairs {
+                    let va = side_value(e.from, &p.left, e.pt_from_idx, combo)?;
+                    let vb = side_value(e.to, &p.right, e.pt_from_idx, combo)?;
+                    if !va.sql_eq(&vb) {
+                        continue 'combo;
+                    }
+                }
+                next.extend_from_slice(combo);
+            }
+            combos = next;
+        }
+
+        // ---- 4. Materialize wide columns. -------------------------------
+        let num_rows = combos.len() / stride.max(1);
+        let aliases = graph.display_aliases();
+
+        // PT slot rows.
+        let pt_rows: Vec<usize> = (0..num_rows)
+            .map(|i| combos[i * stride] as usize)
+            .collect();
+
+        let mut fields = Vec::new();
+        let mut columns = Vec::new();
+        for (fi, f) in pt.fields.iter().enumerate() {
+            fields.push(AptField {
+                name: f.name.clone(),
+                dtype: f.dtype,
+                kind: f.kind,
+                is_group_by: f.is_group_by,
+                from_pt: true,
+                node: 0,
+            });
+            columns.push(pt.columns[fi].gather(&pt_rows));
+        }
+
+        for (slot, &node) in node_order.iter().enumerate().skip(1) {
+            let rel = graph.rel_of(node).expect("non-PT node");
+            let table = db.table(rel)?;
+            // Attributes equated away by the edge that joined this node
+            // (duplicate-column removal, Definition 4).
+            let joining = join_edges
+                .iter()
+                .find(|(_, _, w)| *w == node)
+                .map(|&(ei, _, _)| ei)
+                .expect("every non-PT node has a joining edge");
+            let e = &graph.edges[joining];
+            let dup_attrs: Vec<&str> = if e.to == node {
+                e.cond.right_attrs()
+            } else {
+                e.cond.left_attrs()
+            };
+
+            let rows: Vec<usize> = (0..num_rows)
+                .map(|i| combos[i * stride + slot] as usize)
+                .collect();
+            for (ci, f) in table.schema().fields.iter().enumerate() {
+                if dup_attrs.contains(&f.name.as_str()) {
+                    continue;
+                }
+                fields.push(AptField {
+                    name: format!("{}.{}", aliases[node], f.name),
+                    dtype: f.dtype,
+                    kind: f.kind,
+                    is_group_by: false,
+                    from_pt: false,
+                    node,
+                });
+                columns.push(table.column(ci).gather(&rows));
+            }
+        }
+
+        Ok(Apt {
+            fields,
+            columns,
+            num_rows,
+            pt_row: pt_rows.iter().map(|&r| r as u32).collect(),
+            graph: graph.clone(),
+        })
+    }
+
+    /// Cell accessor.
+    #[inline]
+    pub fn value(&self, row: usize, field: usize) -> Value {
+        self.columns[field].value(row)
+    }
+
+    /// Index of a field by display name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Indices of the fields eligible for patterns: everything except the
+    /// query's group-by attributes (§2.4).
+    pub fn pattern_fields(&self) -> Vec<usize> {
+        (0..self.fields.len())
+            .filter(|&i| !self.fields[i].is_group_by)
+            .collect()
+    }
+}
+
+/// Resolves a PT-side attribute (with its FROM-entry binding) to a wide PT
+/// field index.
+fn pt_field_for(pt: &ProvenanceTable, pt_from_idx: Option<usize>, attr: &str) -> Result<usize> {
+    let from_idx = pt_from_idx.ok_or_else(|| {
+        GraphError::Malformed("PT-side edge is missing its FROM binding".into())
+    })?;
+    pt.fields
+        .iter()
+        .position(|f| f.from_idx == from_idx && f.attr == attr)
+        .ok_or_else(|| {
+            GraphError::BadCondition(format!(
+                "provenance table has no attribute `{attr}` for FROM entry {from_idx}"
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_graph::{JgEdge, JgNode};
+    use crate::schema_graph::JoinCond;
+    use cajade_query::parse_sql;
+    use cajade_storage::{SchemaBuilder, Value};
+
+    /// Example-1 style fixture: game (PT source) + player scoring context.
+    fn setup() -> (Database, ProvenanceTable, cajade_query::Query) {
+        let mut db = Database::new("nba");
+        db.create_table(
+            SchemaBuilder::new("game")
+                .column_pk("gid", DataType::Int, AttrKind::Categorical)
+                .column("winner", DataType::Str, AttrKind::Categorical)
+                .column("season", DataType::Str, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            SchemaBuilder::new("scoring")
+                .column_pk("gid", DataType::Int, AttrKind::Categorical)
+                .column_pk("player", DataType::Str, AttrKind::Categorical)
+                .column("pts", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let gsw = db.intern("GSW");
+        let mia = db.intern("MIA");
+        let s12 = db.intern("2012-13");
+        let s15 = db.intern("2015-16");
+        let curry = db.intern("S. Curry");
+        let klay = db.intern("K. Thompson");
+        // Games: 1 GSW 2012-13, 2+3 GSW 2015-16, 4 MIA 2012-13.
+        for (gid, w, s) in [(1, gsw, s12), (2, gsw, s15), (3, gsw, s15), (4, mia, s12)] {
+            db.table_mut("game")
+                .unwrap()
+                .push_row(vec![Value::Int(gid), Value::Str(w), Value::Str(s)])
+                .unwrap();
+        }
+        // Scoring: Curry plays games 1-3, Klay only 2-3; game 4 has Curry too.
+        for (gid, p, pts) in [
+            (1, curry, 22),
+            (2, curry, 40),
+            (3, curry, 39),
+            (2, klay, 27),
+            (3, klay, 18),
+            (4, curry, 10),
+        ] {
+            db.table_mut("scoring")
+                .unwrap()
+                .push_row(vec![Value::Int(gid), Value::Str(p), Value::Int(pts)])
+                .unwrap();
+        }
+        let query = parse_sql(
+            "SELECT count(*) AS win, season FROM game WHERE winner = 'GSW' GROUP BY season",
+        )
+        .unwrap();
+        let pt = ProvenanceTable::compute(&db, &query).unwrap();
+        (db, pt, query)
+    }
+
+    fn scoring_graph() -> JoinGraph {
+        let mut g = JoinGraph::pt_only();
+        g.nodes.push(JgNode {
+            label: NodeLabel::Rel("scoring".into()),
+        });
+        g.edges.push(JgEdge {
+            from: 0,
+            to: 1,
+            cond: JoinCond::on(&[("gid", "gid")]),
+            schema_edge: 0,
+            cond_idx: 0,
+            pt_from_idx: Some(0),
+        });
+        g
+    }
+
+    #[test]
+    fn apt_matches_example4_shape() {
+        let (db, pt, _q) = setup();
+        let apt = Apt::materialize(&db, &pt, &scoring_graph()).unwrap();
+        // PT = 3 GSW games; game1 → 1 scoring row, games 2,3 → 2 each.
+        assert_eq!(apt.num_rows, 5);
+        // Each APT row points back at its PT row.
+        assert_eq!(apt.pt_row.len(), 5);
+        // PT fields retain prov names; context fields use the node alias.
+        assert!(apt.field_index("prov_game_season").is_some());
+        assert!(apt.field_index("scoring.pts").is_some());
+        // Duplicate join column `scoring.gid` was removed (Definition 4).
+        assert!(apt.field_index("scoring.gid").is_none());
+    }
+
+    #[test]
+    fn pt_only_apt_is_the_pt() {
+        let (db, pt, _q) = setup();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        assert_eq!(apt.num_rows, pt.num_rows);
+        assert_eq!(apt.fields.len(), pt.fields.len());
+        assert_eq!(apt.pt_row, (0..pt.num_rows as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_by_fields_excluded_from_patterns() {
+        let (db, pt, _q) = setup();
+        let apt = Apt::materialize(&db, &pt, &scoring_graph()).unwrap();
+        let pat = apt.pattern_fields();
+        let season = apt.field_index("prov_game_season").unwrap();
+        assert!(!pat.contains(&season));
+        let pts = apt.field_index("scoring.pts").unwrap();
+        assert!(pat.contains(&pts));
+    }
+
+    #[test]
+    fn apt_values_join_correctly() {
+        let (db, pt, _q) = setup();
+        let apt = Apt::materialize(&db, &pt, &scoring_graph()).unwrap();
+        let pts_f = apt.field_index("scoring.pts").unwrap();
+        let player_f = apt.field_index("scoring.player").unwrap();
+        let curry = db.lookup_str("S. Curry").unwrap();
+        // Sum of Curry's points across GSW games = 22 + 40 + 39.
+        let total: i64 = (0..apt.num_rows)
+            .filter(|&r| apt.value(r, player_f) == Value::Str(curry))
+            .map(|r| apt.value(r, pts_f).as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 101);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let (db, pt, _q) = setup();
+        let mut g = JoinGraph::pt_only();
+        g.nodes.push(JgNode {
+            label: NodeLabel::Rel("scoring".into()),
+        });
+        // No edges: the scoring node is unreachable. (Join graphs from the
+        // enumerator are always connected; hand-built ones may not be.)
+        g.nodes.push(JgNode {
+            label: NodeLabel::Rel("scoring".into()),
+        });
+        g.edges.push(JgEdge {
+            from: 1,
+            to: 2,
+            cond: JoinCond::on(&[("gid", "gid")]),
+            schema_edge: 0,
+            cond_idx: 0,
+            pt_from_idx: None,
+        });
+        assert!(matches!(
+            Apt::materialize(&db, &pt, &g),
+            Err(GraphError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn two_hop_graph_materializes() {
+        let (mut db, _, _) = setup();
+        db.create_table(
+            SchemaBuilder::new("player_info")
+                .column_pk("player", DataType::Str, AttrKind::Categorical)
+                .column("age", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let curry = db.lookup_str("S. Curry").unwrap();
+        let klay = db.lookup_str("K. Thompson").unwrap();
+        db.table_mut("player_info")
+            .unwrap()
+            .push_row(vec![Value::Str(curry), Value::Int(28)])
+            .unwrap();
+        db.table_mut("player_info")
+            .unwrap()
+            .push_row(vec![Value::Str(klay), Value::Int(26)])
+            .unwrap();
+
+        let query = parse_sql(
+            "SELECT count(*) AS win, season FROM game WHERE winner = 'GSW' GROUP BY season",
+        )
+        .unwrap();
+        let pt = ProvenanceTable::compute(&db, &query).unwrap();
+        let mut g = scoring_graph();
+        g.nodes.push(JgNode {
+            label: NodeLabel::Rel("player_info".into()),
+        });
+        g.edges.push(JgEdge {
+            from: 1,
+            to: 2,
+            cond: JoinCond::on(&[("player", "player")]),
+            schema_edge: 1,
+            cond_idx: 0,
+            pt_from_idx: None,
+        });
+        let apt = Apt::materialize(&db, &pt, &g).unwrap();
+        assert_eq!(apt.num_rows, 5);
+        assert!(apt.field_index("player_info.age").is_some());
+        // Duplicate join column removed on the far node too.
+        assert!(apt.field_index("player_info.player").is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! Data-driven join discovery — the paper's §8 future-work item
+//! ("integrate context-based explanations with join discovery techniques
+//! (e.g., [18, 53]) to automatically find datasets to be used as
+//! context"), in the spirit of Aurum \[18\] and JOSIE \[53\].
+//!
+//! For every pair of join-compatible columns across relations we estimate
+//! the **containment** `|vals(A) ∩ vals(B)| / |vals(A)|` over (sampled)
+//! distinct values. A high-containment pair whose right side is
+//! near-unique looks like a foreign-key → key relationship and becomes a
+//! proposed join condition; name similarity breaks ties. The result can
+//! seed or extend a [`SchemaGraph`] when no foreign keys are declared.
+
+use std::collections::HashSet;
+
+use cajade_storage::{AttrKind, Column, Database, DataType};
+
+use crate::schema_graph::{JoinCond, SchemaGraph};
+use crate::Result;
+
+/// Discovery thresholds.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Minimum containment of the from-side values in the to-side values.
+    pub min_containment: f64,
+    /// Minimum uniqueness (ndv / rows) of the to-side column — FK targets
+    /// are keys or near-keys.
+    pub min_to_uniqueness: f64,
+    /// Cap on distinct values collected per column (memory guard).
+    pub max_distinct: usize,
+    /// Require non-trivial value sets (columns with fewer distinct values
+    /// than this are skipped — booleans/flags join everything).
+    pub min_distinct: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            min_containment: 0.95,
+            min_to_uniqueness: 0.9,
+            max_distinct: 100_000,
+            min_distinct: 3,
+        }
+    }
+}
+
+/// One proposed join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCandidate {
+    /// Referencing relation (the fact side).
+    pub from_table: String,
+    /// Referencing attribute.
+    pub from_col: String,
+    /// Referenced relation (the key side).
+    pub to_table: String,
+    /// Referenced attribute.
+    pub to_col: String,
+    /// Fraction of from-side values contained in the to side.
+    pub containment: f64,
+    /// ndv/rows of the to-side column.
+    pub to_uniqueness: f64,
+    /// Combined ranking score (containment × uniqueness, +name bonus).
+    pub score: f64,
+}
+
+/// Distinct-value fingerprint of one column.
+struct ColumnSet {
+    table: String,
+    col: String,
+    dtype: DataType,
+    values: HashSet<u64>,
+    rows: usize,
+    truncated: bool,
+}
+
+fn fingerprint(col: &Column, rows: usize, cap: usize) -> (HashSet<u64>, bool) {
+    let mut set = HashSet::with_capacity(rows.min(cap).min(4096));
+    let mut truncated = false;
+    for r in 0..rows {
+        let h = match col.value(r) {
+            cajade_storage::Value::Null => continue,
+            cajade_storage::Value::Int(i) => i as u64 ^ 0x9E37_79B9_7F4A_7C15,
+            cajade_storage::Value::Float(f) => f.to_bits(),
+            cajade_storage::Value::Str(s) => (s.0 as u64) << 3 | 0b101,
+        };
+        if set.len() >= cap {
+            truncated = true;
+            break;
+        }
+        set.insert(h);
+    }
+    (set, truncated)
+}
+
+/// Scans the database and proposes join conditions, strongest first.
+pub fn discover_joins(db: &Database, cfg: &DiscoveryConfig) -> Vec<JoinCandidate> {
+    // Collect categorical-column fingerprints (joins in this model are
+    // equi-joins on categorical attributes; Definition 2 allows only
+    // equality conditions).
+    let mut cols: Vec<ColumnSet> = Vec::new();
+    for t in db.tables() {
+        for (ci, f) in t.schema().fields.iter().enumerate() {
+            if f.kind != AttrKind::Categorical {
+                continue;
+            }
+            let (values, truncated) = fingerprint(t.column(ci), t.num_rows(), cfg.max_distinct);
+            if values.len() < cfg.min_distinct {
+                continue;
+            }
+            cols.push(ColumnSet {
+                table: t.name().to_string(),
+                col: f.name.clone(),
+                dtype: f.dtype,
+                values,
+                rows: t.num_rows(),
+                truncated,
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for a in &cols {
+        for b in &cols {
+            if a.table == b.table {
+                continue;
+            }
+            if a.dtype != b.dtype {
+                continue;
+            }
+            // Directional: a ⊆ b with b near-unique.
+            let inter = a.values.intersection(&b.values).count();
+            let containment = inter as f64 / a.values.len() as f64;
+            if containment < cfg.min_containment {
+                continue;
+            }
+            let to_uniqueness = if b.rows == 0 || b.truncated {
+                0.0
+            } else {
+                b.values.len() as f64 / b.rows as f64
+            };
+            if to_uniqueness < cfg.min_to_uniqueness {
+                continue;
+            }
+            let name_bonus = if a.col == b.col {
+                0.1
+            } else if a.col.contains(&b.col) || b.col.contains(&a.col) {
+                0.05
+            } else {
+                0.0
+            };
+            out.push(JoinCandidate {
+                from_table: a.table.clone(),
+                from_col: a.col.clone(),
+                to_table: b.table.clone(),
+                to_col: b.col.clone(),
+                containment,
+                to_uniqueness,
+                score: containment * to_uniqueness + name_bonus,
+            });
+        }
+    }
+    out.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.from_table.as_str(), x.from_col.as_str(), x.to_table.as_str())
+                .cmp(&(y.from_table.as_str(), y.from_col.as_str(), y.to_table.as_str())))
+    });
+    out
+}
+
+/// Builds a schema graph from discovered joins (top `max_edges` candidates
+/// after validation), usable when a database declares no foreign keys.
+pub fn discovered_schema_graph(
+    db: &Database,
+    cfg: &DiscoveryConfig,
+    max_edges: usize,
+) -> Result<SchemaGraph> {
+    let mut g = SchemaGraph::new();
+    for cand in discover_joins(db, cfg).into_iter().take(max_edges) {
+        g.add_condition(
+            &cand.from_table,
+            &cand.to_table,
+            JoinCond::on(&[(cand.from_col.as_str(), cand.to_col.as_str())]),
+        );
+    }
+    g.validate(db)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_storage::{SchemaBuilder, Value};
+
+    /// orders.customer_id ⊆ customers.id (a perfect FK, undeclared).
+    fn undeclared_fk_db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            SchemaBuilder::new("customers")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("name", DataType::Str, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            SchemaBuilder::new("orders")
+                .column_pk("order_id", DataType::Int, AttrKind::Categorical)
+                .column("customer_id", DataType::Int, AttrKind::Categorical)
+                .column("amount", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        // Realistic surrogate keys: customer ids are sparse (not a dense
+        // 0..n range), so they are NOT accidentally contained in the
+        // order-id sequence — the classic inclusion-dependency false
+        // positive this test would otherwise trip over.
+        for i in 0..50i64 {
+            let n = db.intern(&format!("c{i}"));
+            db.table_mut("customers")
+                .unwrap()
+                .push_row(vec![Value::Int(i * 97 + 13), Value::Str(n)])
+                .unwrap();
+        }
+        for o in 0..200i64 {
+            db.table_mut("orders")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(o),
+                    Value::Int((o % 50) * 97 + 13),
+                    Value::Int(o * 3),
+                ])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn discovers_undeclared_fk() {
+        let db = undeclared_fk_db();
+        let cands = discover_joins(&db, &DiscoveryConfig::default());
+        let fk = cands.iter().find(|c| {
+            c.from_table == "orders"
+                && c.from_col == "customer_id"
+                && c.to_table == "customers"
+                && c.to_col == "id"
+        });
+        let fk = fk.expect("customer FK discovered");
+        assert!((fk.containment - 1.0).abs() < 1e-9);
+        assert!(fk.to_uniqueness > 0.99);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // customers.id ⊄ orders.order_id — and even when contained by
+        // accident, the uniqueness gate rejects non-key targets.
+        let db = undeclared_fk_db();
+        let cands = discover_joins(&db, &DiscoveryConfig::default());
+        assert!(!cands.iter().any(|c| {
+            c.from_table == "customers" && c.to_table == "orders" && c.to_col == "customer_id"
+        }));
+    }
+
+    #[test]
+    fn numeric_columns_are_not_join_candidates() {
+        let db = undeclared_fk_db();
+        let cands = discover_joins(&db, &DiscoveryConfig::default());
+        assert!(cands.iter().all(|c| c.from_col != "amount" && c.to_col != "amount"));
+    }
+
+    #[test]
+    fn discovered_graph_validates_and_enumerates() {
+        let db = undeclared_fk_db();
+        let g = discovered_schema_graph(&db, &DiscoveryConfig::default(), 5).unwrap();
+        assert!(!g.edges().is_empty());
+        // The discovered edge carries the right condition.
+        let e = &g.edges()[0];
+        let pair = &e.conds[0].pairs[0];
+        let names = [
+            (e.a.as_str(), pair.left.as_str()),
+            (e.b.as_str(), pair.right.as_str()),
+        ];
+        assert!(names.contains(&("orders", "customer_id")));
+        assert!(names.contains(&("customers", "id")));
+    }
+
+    #[test]
+    fn low_containment_rejected() {
+        let mut db = undeclared_fk_db();
+        // A column with ids far outside the customer range.
+        db.create_table(
+            SchemaBuilder::new("misc")
+                .column_pk("code", DataType::Int, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        for i in 1000..1050i64 {
+            db.table_mut("misc")
+                .unwrap()
+                .push_row(vec![Value::Int(i)])
+                .unwrap();
+        }
+        let cands = discover_joins(&db, &DiscoveryConfig::default());
+        assert!(!cands
+            .iter()
+            .any(|c| c.from_table == "misc" || c.to_table == "misc"));
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+use cajade_query::QueryError;
+use cajade_storage::StorageError;
+
+/// Errors from join-graph construction or APT materialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// A join condition referenced an attribute missing from its relation.
+    BadCondition(String),
+    /// Join graph is malformed (disconnected, bad node ids, …).
+    Malformed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Storage(e) => write!(f, "storage error: {e}"),
+            GraphError::Query(e) => write!(f, "query error: {e}"),
+            GraphError::BadCondition(msg) => write!(f, "bad join condition: {msg}"),
+            GraphError::Malformed(msg) => write!(f, "malformed join graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<StorageError> for GraphError {
+    fn from(e: StorageError) -> Self {
+        GraphError::Storage(e)
+    }
+}
+
+impl From<QueryError> for GraphError {
+    fn from(e: QueryError) -> Self {
+        GraphError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GraphError = StorageError::NoSuchTable("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e: GraphError = QueryError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("c"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Join graphs (paper Definition 3): one concrete way of augmenting the
+//! provenance table with context relations.
+
+use std::collections::HashMap;
+
+use crate::schema_graph::JoinCond;
+
+/// Label of a join-graph node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeLabel {
+    /// The distinguished provenance-table node (exactly one per graph).
+    Pt,
+    /// A context relation.
+    Rel(String),
+}
+
+/// A join-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JgNode {
+    /// Node label.
+    pub label: NodeLabel,
+}
+
+/// A join-graph edge. The condition is stored oriented: `cond.pairs[i].left`
+/// belongs to the `from` node and `.right` to the `to` node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JgEdge {
+    /// Source node index (orientation of `cond`).
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Join condition (oriented from → to).
+    pub cond: JoinCond,
+    /// Index of the schema-graph edge this edge instantiates.
+    pub schema_edge: usize,
+    /// Index of the condition within the schema edge's label set.
+    pub cond_idx: usize,
+    /// When `from` or `to` is the PT node: the query FROM-entry index the
+    /// condition's PT-side attributes bind to. This implements the paper's
+    /// alias disambiguation — a relation appearing twice in the query can
+    /// give two parallel edges that differ only in this binding.
+    pub pt_from_idx: Option<usize>,
+}
+
+/// An undirected node/edge-labelled multigraph with one PT node
+/// (Definition 3). Node 0 is always the PT node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinGraph {
+    /// Nodes; index 0 is the PT node.
+    pub nodes: Vec<JgNode>,
+    /// Edges (multi-edges allowed; no edge may have PT as both endpoints).
+    pub edges: Vec<JgEdge>,
+}
+
+impl JoinGraph {
+    /// The graph consisting only of the PT node (Algorithm 2's Ω₀).
+    pub fn pt_only() -> Self {
+        JoinGraph {
+            nodes: vec![JgNode {
+                label: NodeLabel::Pt,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Index of the PT node (always 0 by construction).
+    pub fn pt_node(&self) -> usize {
+        0
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Relation name of a non-PT node.
+    pub fn rel_of(&self, node: usize) -> Option<&str> {
+        match &self.nodes[node].label {
+            NodeLabel::Pt => None,
+            NodeLabel::Rel(r) => Some(r),
+        }
+    }
+
+    /// Edge indices incident to `node`.
+    pub fn incident_edges(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == node || e.to == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Display aliases per node: `PT` for the PT node; a relation appearing
+    /// once keeps its name, repeated relations get `name1`, `name2`, … in
+    /// node order (the paper's `LineupPlayer1` / `LineupPlayer2` style).
+    pub fn display_aliases(&self) -> Vec<String> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for n in &self.nodes {
+            if let NodeLabel::Rel(r) = &n.label {
+                *counts.entry(r.as_str()).or_default() += 1;
+            }
+        }
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        self.nodes
+            .iter()
+            .map(|n| match &n.label {
+                NodeLabel::Pt => "PT".to_string(),
+                NodeLabel::Rel(r) => {
+                    if counts[r.as_str()] == 1 {
+                        r.clone()
+                    } else {
+                        let k = seen.entry(r.as_str()).or_default();
+                        *k += 1;
+                        format!("{r}{k}")
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Compact structure description in the paper's style,
+    /// e.g. `PT - player_salary - player`.
+    pub fn structure_string(&self) -> String {
+        let aliases = self.display_aliases();
+        let mut s = aliases.join(" - ");
+        let extra = self.edges.len().saturating_sub(self.nodes.len().saturating_sub(1));
+        if extra > 0 {
+            s.push_str(&format!(" (+{extra} extra edge{})", if extra > 1 { "s" } else { "" }));
+        }
+        s
+    }
+
+    /// Renders every edge with its condition (appendix-table style).
+    pub fn describe_edges(&self) -> Vec<String> {
+        let aliases = self.display_aliases();
+        self.edges
+            .iter()
+            .map(|e| e.cond.render(&aliases[e.from], &aliases[e.to]))
+            .collect()
+    }
+
+    /// A canonical string key: two graphs get the same key iff they are
+    /// isomorphic under a node permutation that fixes the PT node and
+    /// preserves labels. Used for deduplication during enumeration —
+    /// `ExtendJG` generates the same graph along many paths. Graph sizes
+    /// are bounded by λ#edges (≤ 4 non-PT nodes in practice), so
+    /// brute-force permutation is cheap.
+    pub fn canonical_key(&self) -> String {
+        let n = self.nodes.len();
+        let non_pt: Vec<usize> = (1..n).collect();
+        let mut best: Option<String> = None;
+
+        permute(&non_pt, &mut |perm| {
+            // mapping[old] = new position; PT stays 0.
+            let mut mapping = vec![0usize; n];
+            for (new_pos, &old) in perm.iter().enumerate() {
+                mapping[old] = new_pos + 1;
+            }
+            // Node labels in new order.
+            let mut labels = vec![String::new(); n];
+            labels[0] = "PT".into();
+            for &old in perm {
+                labels[mapping[old]] = match &self.nodes[old].label {
+                    NodeLabel::Pt => unreachable!("only node 0 is PT"),
+                    NodeLabel::Rel(r) => r.clone(),
+                };
+            }
+            let mut edge_keys: Vec<String> = self
+                .edges
+                .iter()
+                .map(|e| {
+                    let f = mapping[e.from];
+                    let t = mapping[e.to];
+                    let fwd = format!(
+                        "{f}>{t}:{}:{}:{:?}",
+                        e.schema_edge, e.cond_idx, e.pt_from_idx
+                    );
+                    let rev = format!(
+                        "{t}<{f}:{}:{}:{:?}",
+                        e.schema_edge, e.cond_idx, e.pt_from_idx
+                    );
+                    // Undirected comparison: a consistent representative of
+                    // the two orientations.
+                    if f <= t {
+                        fwd
+                    } else {
+                        rev
+                    }
+                })
+                .collect();
+            edge_keys.sort();
+            let key = format!("{}|{}", labels.join(","), edge_keys.join(";"));
+            if best.as_ref().is_none_or(|b| key < *b) {
+                best = Some(key);
+            }
+        });
+
+        best.unwrap_or_else(|| "PT|".to_string())
+    }
+}
+
+/// Heap's algorithm over a small index set.
+fn permute(items: &[usize], f: &mut impl FnMut(&[usize])) {
+    let mut v = items.to_vec();
+    let n = v.len();
+    if n == 0 {
+        f(&v);
+        return;
+    }
+    let mut c = vec![0usize; n];
+    f(&v);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                v.swap(0, i);
+            } else {
+                v.swap(c[i], i);
+            }
+            f(&v);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_graph::JoinCond;
+
+    fn rel(name: &str) -> JgNode {
+        JgNode {
+            label: NodeLabel::Rel(name.into()),
+        }
+    }
+
+    fn edge(from: usize, to: usize, se: usize, ci: usize) -> JgEdge {
+        JgEdge {
+            from,
+            to,
+            cond: JoinCond::on(&[("x", "y")]),
+            schema_edge: se,
+            cond_idx: ci,
+            pt_from_idx: if from == 0 || to == 0 { Some(0) } else { None },
+        }
+    }
+
+    #[test]
+    fn pt_only_graph() {
+        let g = JoinGraph::pt_only();
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.structure_string(), "PT");
+        assert!(g.canonical_key().starts_with("PT|"));
+    }
+
+    #[test]
+    fn display_aliases_number_repeats() {
+        let g = JoinGraph {
+            nodes: vec![
+                JgNode { label: NodeLabel::Pt },
+                rel("lineup_player"),
+                rel("lineup_player"),
+                rel("game"),
+            ],
+            edges: vec![],
+        };
+        assert_eq!(
+            g.display_aliases(),
+            vec!["PT", "lineup_player1", "lineup_player2", "game"]
+        );
+    }
+
+    #[test]
+    fn canonical_key_identifies_isomorphic_graphs() {
+        // PT - a, PT - b (nodes in different order).
+        let g1 = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            edges: vec![edge(0, 1, 0, 0), edge(0, 2, 1, 0)],
+        };
+        let g2 = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("b"), rel("a")],
+            edges: vec![edge(0, 2, 0, 0), edge(0, 1, 1, 0)],
+        };
+        assert_eq!(g1.canonical_key(), g2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_conditions() {
+        let g1 = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            edges: vec![edge(0, 1, 0, 0)],
+        };
+        let g2 = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            edges: vec![edge(0, 1, 0, 1)], // different condition index
+        };
+        assert_ne!(g1.canonical_key(), g2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_topology() {
+        // PT - a - b vs. PT - a, PT - b.
+        let chain = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            edges: vec![edge(0, 1, 0, 0), edge(1, 2, 1, 0)],
+        };
+        let star = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            edges: vec![edge(0, 1, 0, 0), edge(0, 2, 1, 0)],
+        };
+        assert_ne!(chain.canonical_key(), star.canonical_key());
+    }
+
+    #[test]
+    fn structure_string_notes_extra_edges() {
+        let g = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            edges: vec![edge(0, 1, 0, 0), edge(0, 1, 0, 1)],
+        };
+        assert!(g.structure_string().contains("extra edge"));
+    }
+
+    #[test]
+    fn describe_edges_renders_conditions() {
+        let g = JoinGraph {
+            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("player_salary")],
+            edges: vec![edge(0, 1, 0, 0)],
+        };
+        assert_eq!(g.describe_edges(), vec!["PT.x = player_salary.y"]);
+    }
+}

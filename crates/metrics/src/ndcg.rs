@@ -1,0 +1,103 @@
+//! Normalized discounted cumulative gain.
+//!
+//! The paper uses NDCG (citing Järvelin & Kekäläinen) to compare the
+//! ranking of top patterns produced with sampling against the ranking
+//! produced on the full data (Fig. 10f) and to compare metric-based
+//! rankings against user ratings (Table 9).
+
+/// Discounted cumulative gain of `gains` in their given order:
+/// `Σ gain_i / log2(i + 2)`.
+pub fn dcg(gains: &[f64]) -> f64 {
+    gains
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g / ((i as f64) + 2.0).log2())
+        .sum()
+}
+
+/// NDCG of a ranking. `gains` are the true relevance values in *predicted*
+/// rank order; the ideal ordering is the same multiset sorted descending.
+/// Returns 1.0 for empty input (a vacuous ranking is perfect) and clamps
+/// tiny floating-point overshoot.
+pub fn ndcg(gains: &[f64]) -> f64 {
+    if gains.is_empty() {
+        return 1.0;
+    }
+    let mut ideal = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg(&ideal);
+    if idcg <= 0.0 {
+        return 1.0; // all-zero relevance: every ranking is equally good
+    }
+    (dcg(gains) / idcg).clamp(0.0, 1.0)
+}
+
+/// NDCG@k: truncates both the predicted and the ideal ranking to `k`.
+pub fn ndcg_at_k(gains: &[f64], k: usize) -> f64 {
+    if gains.is_empty() || k == 0 {
+        return 1.0;
+    }
+    let cut = k.min(gains.len());
+    let mut ideal = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg(&ideal[..cut]);
+    if idcg <= 0.0 {
+        return 1.0;
+    }
+    (dcg(&gains[..cut]) / idcg).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        assert!((ndcg(&[3.0, 2.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_is_less_than_one() {
+        let v = ndcg(&[1.0, 2.0, 3.0]);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // gains in predicted order [1, 3]: DCG = 1/log2(2) + 3/log2(3)
+        // ideal [3, 1]: IDCG = 3/log2(2) + 1/log2(3)
+        let dcg_v = 1.0 / 2f64.log2() + 3.0 / 3f64.log2();
+        let idcg_v = 3.0 / 2f64.log2() + 1.0 / 3f64.log2();
+        assert!((ndcg(&[1.0, 3.0]) - dcg_v / idcg_v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_gains() {
+        assert_eq!(ndcg(&[]), 1.0);
+        assert_eq!(ndcg(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn ndcg_at_k_truncates() {
+        // Predicted [0, 3, 3]: at k=1 the top predicted item has gain 0.
+        assert_eq!(ndcg_at_k(&[0.0, 3.0, 3.0], 1), 0.0);
+        assert!(ndcg_at_k(&[0.0, 3.0, 3.0], 3) > 0.0);
+    }
+
+    proptest! {
+        /// NDCG is always within [0, 1] for non-negative gains.
+        #[test]
+        fn prop_ndcg_bounds(gains in proptest::collection::vec(0.0f64..100.0, 0..32)) {
+            let v = ndcg(&gains);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        /// Sorting gains descending always yields NDCG == 1.
+        #[test]
+        fn prop_sorted_is_perfect(mut gains in proptest::collection::vec(0.0f64..100.0, 1..32)) {
+            gains.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            prop_assert!((ndcg(&gains) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Rank-comparison utilities: Kendall-tau distance and top-k overlap.
+
+/// Number of discordant pairs between two score vectors over the same items:
+/// pairs `(i, j)` where `a` and `b` order the items oppositely. Ties in
+/// either vector are not counted as discordant (Kendall tau-a style), which
+/// matches how the paper treats equal user ratings.
+pub fn kendall_tau_pairs(a: &[f64], b: &[f64]) -> usize {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let n = a.len();
+    let mut discordant = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da * db < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    discordant
+}
+
+/// Normalized Kendall-tau rank distance in `[0, 1]`: discordant pairs
+/// divided by total pairs. 0 = identical order, 1 = exactly reversed.
+pub fn kendall_tau_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total = n * (n - 1) / 2;
+    kendall_tau_pairs(a, b) as f64 / total as f64
+}
+
+/// How many of the first `k` items of `truth` appear among the first `k`
+/// items of `predicted` (the "match" count of Fig. 10b–e). Items are
+/// compared by an id.
+pub fn top_k_overlap<T: PartialEq>(truth: &[T], predicted: &[T], k: usize) -> usize {
+    let tk = &truth[..k.min(truth.len())];
+    let pk = &predicted[..k.min(predicted.len())];
+    tk.iter().filter(|t| pk.contains(t)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_orders_have_zero_distance() {
+        let a = [3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn reversed_orders_have_distance_one() {
+        let a = [3.0, 2.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(kendall_tau_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // Items scored (a): 1st, 2nd, 3rd. (b) swaps the last two.
+        let a = [3.0, 2.0, 1.0];
+        let b = [3.0, 1.0, 2.0];
+        assert_eq!(kendall_tau_pairs(&a, &b), 1);
+        assert!((kendall_tau_distance(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_not_discordant() {
+        let a = [1.0, 1.0];
+        let b = [2.0, 1.0];
+        assert_eq!(kendall_tau_pairs(&a, &b), 0);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(kendall_tau_distance(&[], &[]), 0.0);
+        assert_eq!(kendall_tau_distance(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_membership() {
+        let truth = ["p1", "p2", "p3", "p4"];
+        let pred = ["p3", "p9", "p1", "p8"];
+        assert_eq!(top_k_overlap(&truth, &pred, 3), 2); // p1 and p3
+        assert_eq!(top_k_overlap(&truth, &pred, 10), 2);
+        assert_eq!(top_k_overlap(&truth, &pred, 0), 0);
+    }
+
+    proptest! {
+        /// Distance is symmetric and bounded.
+        #[test]
+        fn prop_symmetric_bounded(
+            a in proptest::collection::vec(-10.0f64..10.0, 2..16),
+        ) {
+            let b: Vec<f64> = a.iter().rev().copied().collect();
+            let d1 = kendall_tau_distance(&a, &b);
+            let d2 = kendall_tau_distance(&b, &a);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+        }
+
+        /// Distance to itself is always zero.
+        #[test]
+        fn prop_self_distance_zero(a in proptest::collection::vec(-10.0f64..10.0, 0..16)) {
+            prop_assert_eq!(kendall_tau_distance(&a, &a), 0.0);
+        }
+    }
+}

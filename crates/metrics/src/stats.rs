@@ -1,0 +1,56 @@
+//! Summary statistics for the harness tables (e.g. Table 8's averages and
+//! standard deviations of user ratings).
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator, as in the paper's Table 8);
+/// 0.0 when fewer than two samples.
+pub fn sample_stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Population standard deviation (n denominator).
+pub fn population_stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_values() {
+        // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138; population 2.0.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_stddev(&xs) - 2.0).abs() < 1e-12);
+        assert!((sample_stddev(&xs) - 2.1380899353).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sample_stddev(&[5.0]), 0.0);
+        assert_eq!(population_stddev(&[]), 0.0);
+    }
+}

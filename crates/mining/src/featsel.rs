@@ -1,0 +1,390 @@
+//! Attribute clustering + relevance-based filtering (paper §3.1,
+//! `filterAttrs` in Algorithm 1).
+//!
+//! 1. Train a random forest predicting "does this APT row belong to the
+//!    provenance of `t1` (vs. `t2`)?" and rank attributes by
+//!    mean-decrease-impurity relevance.
+//! 2. Cluster mutually-correlated attributes (VARCLUS substitute, see
+//!    `cajade-ml::cluster`) and keep one representative per cluster —
+//!    the member with the highest relevance.
+//! 3. Keep the λ#sel-attr most relevant representatives.
+
+use std::collections::HashMap;
+
+use cajade_graph::Apt;
+use cajade_ml::cluster::{cluster_attributes, cluster_representatives};
+use cajade_ml::correlation::assoc_matrix;
+use cajade_ml::forest::{RandomForest, RandomForestConfig};
+use cajade_ml::sampling::reservoir_sample;
+use cajade_ml::FeatureColumn;
+use cajade_query::ProvenanceTable;
+use cajade_storage::{AttrKind, Value};
+
+use crate::pattern::PatValue;
+use crate::score::Question;
+
+/// λ#sel-attr: how many attributes feature selection keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelAttr {
+    /// Keep the top `n` attributes (Table 1's default is 3).
+    Count(usize),
+    /// Keep the top fraction of attributes (the §3.1 formulation).
+    Fraction(f64),
+    /// Keep everything (feature selection as pure ranking).
+    All,
+}
+
+impl SelAttr {
+    fn resolve(&self, available: usize) -> usize {
+        match self {
+            SelAttr::Count(n) => (*n).min(available),
+            SelAttr::Fraction(f) => ((available as f64 * f).ceil() as usize).clamp(1, available),
+            SelAttr::All => available,
+        }
+    }
+}
+
+/// Result of `filterAttrs`.
+#[derive(Debug, Clone)]
+pub struct FeatureSelection {
+    /// Selected numeric APT fields (`A_num` of Algorithm 1).
+    pub num_fields: Vec<usize>,
+    /// Selected categorical APT fields (`A_cat`).
+    pub cat_fields: Vec<usize>,
+    /// Attribute clusters found (over candidate fields).
+    pub clusters: Vec<Vec<usize>>,
+    /// Per-APT-field forest relevance (0 where not a candidate).
+    pub relevance: Vec<f64>,
+}
+
+/// Configuration for feature selection.
+#[derive(Debug, Clone)]
+pub struct FeatSelConfig {
+    /// λ#sel-attr.
+    pub sel_attr: SelAttr,
+    /// Minimum mutual association for clustering two attributes.
+    pub cluster_threshold: f64,
+    /// Number of forest trees.
+    pub forest_trees: usize,
+    /// Cap on training rows (runtime guard; sampled uniformly above it).
+    pub max_train_rows: usize,
+    /// Seed for forest + sampling.
+    pub seed: u64,
+}
+
+impl Default for FeatSelConfig {
+    fn default() -> Self {
+        Self {
+            sel_attr: SelAttr::Count(3),
+            cluster_threshold: 0.9,
+            forest_trees: 20,
+            max_train_rows: 5000,
+            seed: 0xFEA7,
+        }
+    }
+}
+
+/// Runs `filterAttrs` over an APT for a user question.
+pub fn select_features(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+    cfg: &FeatSelConfig,
+) -> FeatureSelection {
+    let candidates = apt.pattern_fields();
+    let mut relevance = vec![0.0; apt.fields.len()];
+
+    if candidates.is_empty() {
+        return FeatureSelection {
+            num_fields: Vec::new(),
+            cat_fields: Vec::new(),
+            clusters: Vec::new(),
+            relevance,
+        };
+    }
+
+    // Training rows: APT rows in the question's scope, with binary labels.
+    let (rows, labels) = training_rows(apt, pt, question, cfg);
+
+    // Feature matrix over candidate fields.
+    let features: Vec<FeatureColumn> = candidates
+        .iter()
+        .map(|&f| feature_column(apt, f, &rows))
+        .collect();
+
+    // Forest relevance (uniform fallback when a class is missing).
+    let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+    let importances: Vec<f64> = if has_both && !rows.is_empty() {
+        let forest = RandomForest::fit(
+            &features,
+            &labels,
+            &RandomForestConfig {
+                num_trees: cfg.forest_trees,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
+        forest.importances
+    } else {
+        vec![1.0 / candidates.len() as f64; candidates.len()]
+    };
+    for (&f, &imp) in candidates.iter().zip(&importances) {
+        relevance[f] = imp;
+    }
+
+    // Cluster correlated attributes, keep one representative each.
+    let assoc = assoc_matrix(&features);
+    let clusters_local = cluster_attributes(&assoc, cfg.cluster_threshold);
+    let reps_local = cluster_representatives(&clusters_local, &importances);
+
+    // Rank representatives by relevance, keep λ#sel-attr of them.
+    let mut reps: Vec<usize> = reps_local.iter().map(|&l| candidates[l]).collect();
+    reps.sort_by(|&a, &b| {
+        relevance[b]
+            .partial_cmp(&relevance[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let keep = cfg.sel_attr.resolve(reps.len());
+    reps.truncate(keep);
+
+    let clusters: Vec<Vec<usize>> = clusters_local
+        .iter()
+        .map(|c| c.iter().map(|&l| candidates[l]).collect())
+        .collect();
+
+    let (num_fields, cat_fields): (Vec<usize>, Vec<usize>) = reps
+        .into_iter()
+        .partition(|&f| apt.fields[f].kind == AttrKind::Numeric);
+
+    FeatureSelection {
+        num_fields,
+        cat_fields,
+        clusters,
+        relevance,
+    }
+}
+
+/// When feature selection is disabled, every pattern-eligible field is
+/// kept (split by kind).
+pub fn all_features(apt: &Apt) -> FeatureSelection {
+    let candidates = apt.pattern_fields();
+    let (num_fields, cat_fields) = candidates
+        .into_iter()
+        .partition(|&f| apt.fields[f].kind == AttrKind::Numeric);
+    FeatureSelection {
+        num_fields,
+        cat_fields,
+        clusters: Vec::new(),
+        relevance: vec![0.0; apt.fields.len()],
+    }
+}
+
+fn training_rows(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+    cfg: &FeatSelConfig,
+) -> (Vec<u32>, Vec<bool>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for r in 0..apt.num_rows {
+        let g = pt.group_of[apt.pt_row[r] as usize] as usize;
+        let label = match question {
+            Question::TwoPoint { t1, t2 } => {
+                if g == *t1 {
+                    true
+                } else if g == *t2 {
+                    false
+                } else {
+                    continue;
+                }
+            }
+            Question::SinglePoint { t } => g == *t,
+        };
+        rows.push(r as u32);
+        labels.push(label);
+    }
+    if rows.len() > cfg.max_train_rows {
+        let keep = reservoir_sample(rows.len(), cfg.max_train_rows, cfg.seed);
+        let rows2: Vec<u32> = keep.iter().map(|&i| rows[i]).collect();
+        let labels2: Vec<bool> = keep.iter().map(|&i| labels[i]).collect();
+        return (rows2, labels2);
+    }
+    (rows, labels)
+}
+
+/// Converts one APT field (restricted to `rows`) into an ML feature.
+fn feature_column(apt: &Apt, field: usize, rows: &[u32]) -> FeatureColumn {
+    match apt.fields[field].kind {
+        AttrKind::Numeric => FeatureColumn::Numeric(
+            rows.iter()
+                .map(|&r| {
+                    apt.columns[field]
+                        .f64_at(r as usize)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect(),
+        ),
+        AttrKind::Categorical => {
+            // Dense codes over the observed values.
+            let mut codes: HashMap<PatValue, u32> = HashMap::new();
+            let data = rows
+                .iter()
+                .map(|&r| match apt.value(r as usize, field) {
+                    Value::Null => u32::MAX,
+                    v => {
+                        let pv = PatValue::from_value(&v).expect("non-null");
+                        let next = codes.len() as u32;
+                        *codes.entry(pv).or_insert(next)
+                    }
+                })
+                .collect();
+            FeatureColumn::Categorical(data)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_graph::JoinGraph;
+    use cajade_query::{parse_sql, ProvenanceTable};
+    use cajade_storage::{DataType, Database, SchemaBuilder};
+
+    /// `signal` separates the two groups; `noise` does not; `dup` is a
+    /// copy of `signal` (should cluster with it).
+    fn fixture() -> (Database, cajade_query::Query) {
+        let mut db = Database::new("fs");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("grp", DataType::Str, AttrKind::Categorical)
+                .column("signal", DataType::Int, AttrKind::Numeric)
+                .column("dup", DataType::Int, AttrKind::Numeric)
+                .column("noise", DataType::Int, AttrKind::Numeric)
+                .column("label_cat", DataType::Str, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        let g1 = db.intern("g1");
+        let g2 = db.intern("g2");
+        let a = db.intern("a");
+        let b = db.intern("b");
+        for i in 0..200i64 {
+            let grp = if i % 2 == 0 { g1 } else { g2 };
+            let signal = if i % 2 == 0 { i % 40 } else { 60 + i % 40 };
+            let cat = if i % 2 == 0 { a } else { b };
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(i),
+                    Value::Str(grp),
+                    Value::Int(signal),
+                    Value::Int(signal * 2), // perfectly correlated copy
+                    Value::Int((i * 7919) % 100),
+                    Value::Str(cat),
+                ])
+                .unwrap();
+        }
+        let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+        (db, q)
+    }
+
+    fn run(sel: SelAttr) -> (FeatureSelection, Apt, Database) {
+        let (db, q) = fixture();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let question = Question::TwoPoint { t1: 0, t2: 1 };
+        let fs = select_features(
+            &apt,
+            &pt,
+            &question,
+            &FeatSelConfig {
+                sel_attr: sel,
+                ..Default::default()
+            },
+        );
+        (fs, apt, db)
+    }
+
+    #[test]
+    fn signal_outranks_noise() {
+        let (fs, apt, _db) = run(SelAttr::Count(2));
+        let signal = apt.field_index("prov_t_signal").unwrap();
+        let noise = apt.field_index("prov_t_noise").unwrap();
+        assert!(fs.relevance[signal] > fs.relevance[noise]);
+        let selected: Vec<usize> = fs
+            .num_fields
+            .iter()
+            .chain(&fs.cat_fields)
+            .copied()
+            .collect();
+        // `signal`, `dup`, and `label_cat` are mutually redundant (all
+        // derived from the same separator); feature selection must keep a
+        // representative of that family — which one is up to clustering.
+        let family = [
+            signal,
+            apt.field_index("prov_t_dup").unwrap(),
+            apt.field_index("prov_t_label__cat").unwrap(),
+        ];
+        assert!(
+            selected.iter().any(|f| family.contains(f)),
+            "selected {selected:?} misses the signal family {family:?}"
+        );
+        // The family representative carries (much) more relevance than
+        // noise — noise may still fill the second Count(2) slot because
+        // clustering collapsed the family to a single representative.
+        let best_family = family
+            .iter()
+            .map(|&f| fs.relevance[f])
+            .fold(0.0f64, f64::max);
+        assert!(best_family > fs.relevance[noise] * 5.0);
+    }
+
+    #[test]
+    fn correlated_duplicates_share_a_cluster() {
+        let (fs, apt, _db) = run(SelAttr::All);
+        let signal = apt.field_index("prov_t_signal").unwrap();
+        let dup = apt.field_index("prov_t_dup").unwrap();
+        let cluster_of = |f: usize| fs.clusters.iter().position(|c| c.contains(&f));
+        assert_eq!(cluster_of(signal), cluster_of(dup));
+        // And only one of them is selected.
+        let both: Vec<bool> = [signal, dup]
+            .iter()
+            .map(|f| fs.num_fields.contains(f))
+            .collect();
+        assert!(both.iter().filter(|&&x| x).count() <= 1);
+    }
+
+    #[test]
+    fn kinds_are_partitioned() {
+        let (fs, apt, _db) = run(SelAttr::All);
+        for &f in &fs.num_fields {
+            assert_eq!(apt.fields[f].kind, AttrKind::Numeric);
+        }
+        for &f in &fs.cat_fields {
+            assert_eq!(apt.fields[f].kind, AttrKind::Categorical);
+        }
+    }
+
+    #[test]
+    fn fraction_and_count_resolution() {
+        assert_eq!(SelAttr::Count(3).resolve(10), 3);
+        assert_eq!(SelAttr::Count(30).resolve(10), 10);
+        assert_eq!(SelAttr::Fraction(0.25).resolve(10), 3); // ceil
+        assert_eq!(SelAttr::Fraction(0.0).resolve(10), 1); // at least one
+        assert_eq!(SelAttr::All.resolve(10), 10);
+    }
+
+    #[test]
+    fn all_features_keeps_everything_but_group_by() {
+        let (db, q) = fixture();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let fs = all_features(&apt);
+        let total = fs.num_fields.len() + fs.cat_fields.len();
+        assert_eq!(total, apt.pattern_fields().len());
+        let _ = db;
+    }
+}

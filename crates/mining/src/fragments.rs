@@ -1,0 +1,129 @@
+//! Numeric-domain fragmentation (paper §3.4): "we split the domain of
+//! each numerical attribute into a fixed number λ#frag of fragments (e.g.,
+//! quartiles) and only use boundaries of these fragments when generating
+//! refinements. For example, for λ#frag = 3 we would use the minimum,
+//! median, and maximum value."
+
+use cajade_graph::Apt;
+
+/// Computes per-field threshold candidates: `num_frags` quantile
+/// boundaries of the non-null values of `field` over the APT rows in
+/// `rows` (or all rows when `rows` is `None`). Boundaries are deduplicated;
+/// constant columns yield a single boundary.
+pub fn fragment_boundaries(
+    apt: &Apt,
+    field: usize,
+    rows: Option<&[u32]>,
+    num_frags: usize,
+) -> Vec<f64> {
+    let mut vals: Vec<f64> = match rows {
+        Some(rows) => rows
+            .iter()
+            .filter_map(|&r| apt.columns[field].f64_at(r as usize))
+            .collect(),
+        None => (0..apt.num_rows)
+            .filter_map(|r| apt.columns[field].f64_at(r))
+            .collect(),
+    };
+    if vals.is_empty() || num_frags == 0 {
+        return Vec::new();
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let n = vals.len();
+    let mut out = Vec::with_capacity(num_frags);
+    if num_frags == 1 {
+        out.push(vals[n / 2]);
+    } else {
+        for i in 0..num_frags {
+            // Evenly spaced quantiles from min (i=0) to max (i=last).
+            let q = i as f64 / (num_frags - 1) as f64;
+            let idx = ((n - 1) as f64 * q).round() as usize;
+            out.push(vals[idx]);
+        }
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_graph::JoinGraph;
+    use cajade_query::{parse_sql, ProvenanceTable};
+    use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
+
+    fn apt_with_values(vals: &[Option<i64>]) -> (Database, Apt) {
+        let mut db = Database::new("f");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("grp", DataType::Str, AttrKind::Categorical)
+                .column("x", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let g = db.intern("g");
+        for (i, v) in vals.iter().enumerate() {
+            let x = v.map(Value::Int).unwrap_or(Value::Null);
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![Value::Int(i as i64), Value::Str(g), x])
+                .unwrap();
+        }
+        let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        (db, apt)
+    }
+
+    #[test]
+    fn three_frags_give_min_median_max() {
+        let (_db, apt) = apt_with_values(&[Some(1), Some(2), Some(3), Some(4), Some(5)]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert_eq!(fragment_boundaries(&apt, x, None, 3), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn quartiles() {
+        let vals: Vec<Option<i64>> = (0..101).map(Some).collect();
+        let (_db, apt) = apt_with_values(&vals);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert_eq!(
+            fragment_boundaries(&apt, x, None, 5),
+            vec![0.0, 25.0, 50.0, 75.0, 100.0]
+        );
+    }
+
+    #[test]
+    fn nulls_skipped_and_constants_dedup() {
+        let (_db, apt) = apt_with_values(&[Some(7), None, Some(7), Some(7)]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert_eq!(fragment_boundaries(&apt, x, None, 3), vec![7.0]);
+    }
+
+    #[test]
+    fn all_null_gives_empty() {
+        let (_db, apt) = apt_with_values(&[None, None]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert!(fragment_boundaries(&apt, x, None, 3).is_empty());
+    }
+
+    #[test]
+    fn restricted_rows() {
+        let (_db, apt) = apt_with_values(&[Some(1), Some(100), Some(200), Some(300)]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        // Only rows 0 and 1 in scope.
+        assert_eq!(
+            fragment_boundaries(&apt, x, Some(&[0, 1]), 2),
+            vec![1.0, 100.0]
+        );
+    }
+
+    #[test]
+    fn single_fragment_is_median() {
+        let (_db, apt) = apt_with_values(&[Some(1), Some(2), Some(9)]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert_eq!(fragment_boundaries(&apt, x, None, 1), vec![2.0]);
+    }
+}

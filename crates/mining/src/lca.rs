@@ -1,0 +1,149 @@
+//! LCA pattern-candidate generation (paper §3.2, after Gebaly et al. [19]).
+//!
+//! "The LCA method generates pattern candidates from a sample by computing
+//! the cross product of the sample with itself. A candidate pattern is
+//! generated for each pair (t, t′) of tuples from the sample by replacing
+//! values of attributes A where t.A ≠ t′.A with a placeholder ∗ and by
+//! keeping constants that t and t′ agree upon." Only categorical
+//! attributes participate; numeric attributes stay `*` until refinement.
+
+use std::collections::HashSet;
+
+use cajade_graph::Apt;
+
+use crate::pattern::{PatValue, Pattern, Pred, PredOp};
+
+/// Generates deduplicated LCA candidates over `cat_fields` from the APT
+/// rows in `sample` (quadratic in the sample size — exactly the cost
+/// profile Fig. 10b–e measures).
+pub fn lca_candidates(apt: &Apt, sample: &[u32], cat_fields: &[usize]) -> Vec<Pattern> {
+    let mut seen: HashSet<Pattern> = HashSet::new();
+    let mut out = Vec::new();
+
+    // Pre-extract the categorical cells once (they are compared O(n²) times).
+    let cells: Vec<Vec<Option<PatValue>>> = sample
+        .iter()
+        .map(|&r| {
+            cat_fields
+                .iter()
+                .map(|&f| PatValue::from_value(&apt.value(r as usize, f)))
+                .collect()
+        })
+        .collect();
+
+    let n = cells.len();
+    let mut preds: Vec<(usize, Pred)> = Vec::with_capacity(cat_fields.len());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            preds.clear();
+            for (k, &field) in cat_fields.iter().enumerate() {
+                if let (Some(a), Some(b)) = (cells[i][k], cells[j][k]) {
+                    if a == b {
+                        preds.push((field, Pred { op: PredOp::Eq, value: a }));
+                    }
+                }
+            }
+            if preds.is_empty() {
+                continue;
+            }
+            let p = Pattern::from_preds(preds.clone());
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_graph::JoinGraph;
+    use cajade_query::{parse_sql, ProvenanceTable};
+    use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
+
+    fn fixture() -> (Database, Apt, Vec<usize>) {
+        let mut db = Database::new("lca");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("grp", DataType::Str, AttrKind::Categorical)
+                .column("team", DataType::Str, AttrKind::Categorical)
+                .column("player", DataType::Str, AttrKind::Categorical)
+                .column("pts", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let g = db.intern("g");
+        let gsw = db.intern("GSW");
+        let mia = db.intern("MIA");
+        let curry = db.intern("Curry");
+        let lebron = db.intern("LeBron");
+        let rows = [
+            (1, gsw, curry, 30),
+            (2, gsw, curry, 35),
+            (3, gsw, lebron, 20),
+            (4, mia, lebron, 25),
+        ];
+        for (id, t, p, x) in rows {
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(id),
+                    Value::Str(g),
+                    Value::Str(t),
+                    Value::Str(p),
+                    Value::Int(x),
+                ])
+                .unwrap();
+        }
+        let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let cats = vec![
+            apt.field_index("prov_t_team").unwrap(),
+            apt.field_index("prov_t_player").unwrap(),
+        ];
+        (db, apt, cats)
+    }
+
+    #[test]
+    fn generates_pairwise_meets() {
+        let (db, apt, cats) = fixture();
+        let sample: Vec<u32> = (0..apt.num_rows as u32).collect();
+        let pats = lca_candidates(&apt, &sample, &cats);
+        let rendered: HashSet<String> =
+            pats.iter().map(|p| p.render(&apt, db.pool())).collect();
+        // Pair (1,2): team=GSW ∧ player=Curry. Pair (1,3)/(2,3): team=GSW.
+        // Pair (3,4): player=LeBron. Pair (1,4)/(2,4): no agreement.
+        assert!(rendered.contains("prov_t_team=GSW ∧ prov_t_player=Curry"));
+        assert!(rendered.contains("prov_t_team=GSW"));
+        assert!(rendered.contains("prov_t_player=LeBron"));
+        assert_eq!(pats.len(), 3, "{rendered:?}");
+    }
+
+    #[test]
+    fn numeric_fields_are_ignored() {
+        let (_db, apt, cats) = fixture();
+        let sample: Vec<u32> = (0..apt.num_rows as u32).collect();
+        let pats = lca_candidates(&apt, &sample, &cats);
+        let pts = apt.field_index("prov_t_pts").unwrap();
+        assert!(pats.iter().all(|p| p.is_free(pts)));
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        let (_db, apt, cats) = fixture();
+        assert!(lca_candidates(&apt, &[], &cats).is_empty());
+        assert!(lca_candidates(&apt, &[0], &cats).is_empty());
+    }
+
+    #[test]
+    fn duplicate_rows_dedup_patterns() {
+        let (_db, apt, cats) = fixture();
+        let sample = vec![0, 0, 0, 1];
+        let pats = lca_candidates(&apt, &sample, &cats);
+        // All pairs agree on team=GSW ∧ player=Curry → one pattern.
+        assert_eq!(pats.len(), 1);
+    }
+}

@@ -1,0 +1,615 @@
+//! `MineAPT` — paper Algorithm 1, end to end for one join graph's APT.
+//!
+//! Phases (each timed; the names match the paper's runtime-breakdown
+//! tables, Fig. 7/9):
+//!
+//! 1. *Feature Selection* — `filterAttrs` (random forest + clustering).
+//! 2. *Gen. Pat. Cand.* — LCA over a λ_pat-samp sample (cap 1000 rows,
+//!    §5.4), candidates ranked by recall, top k_cat kept.
+//! 3. *Sampling for F1* — draw the λ_F1-samp APT row sample.
+//! 4. *F-score Calc.* — Definition-7 metrics over the sample.
+//! 5. *Refine Patterns* — numeric refinements from λ#frag fragment
+//!    boundaries, pruning refinements of patterns whose recall is below
+//!    λ_recall (sound by Proposition 3.1), with at most λ_attrNum numeric
+//!    predicates per pattern.
+//!
+//! Final selection is diversity-aware top-k (§3.5) followed by exact
+//! re-scoring on the full APT so reported supports are exact.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use cajade_graph::Apt;
+use cajade_ml::sampling::{bernoulli_sample, sample_with_cap};
+use cajade_query::ProvenanceTable;
+
+use crate::diversity::select_top_k_diverse;
+use crate::featsel::{all_features, select_features, FeatSelConfig, FeatureSelection, SelAttr};
+use crate::fragments::fragment_boundaries;
+use crate::lca::lca_candidates;
+use crate::pattern::{PatValue, Pattern, Pred, PredOp};
+use crate::score::{PatternMetrics, Question, Scorer};
+
+/// All tuning knobs of Algorithm 1 (defaults follow Table 1 where the
+/// paper lists a value).
+#[derive(Debug, Clone)]
+pub struct MiningParams {
+    /// k: how many explanations to return per join graph.
+    pub top_k: usize,
+    /// Number of LCA candidates kept after recall ranking (`pickTopK`).
+    pub k_cat_patterns: usize,
+    /// Limit on categorical attributes per pattern (Algorithm 1's k_cat).
+    pub max_cat_attrs: usize,
+    /// λ_attrNum: max numeric attributes per pattern (Table 1: 3).
+    pub lambda_attr_num: usize,
+    /// λ_recall: recall threshold below which patterns are dropped and
+    /// their refinements pruned.
+    pub lambda_recall: f64,
+    /// λ_pat-samp: LCA sample rate (Table 1: 0.1).
+    pub lambda_pat_samp: f64,
+    /// LCA sample cap in rows (§5.4: 1000).
+    pub pat_samp_cap: usize,
+    /// λ_F1-samp: F-score sample rate (Table 1: 0.3). `≥ 1.0` disables
+    /// sampling.
+    pub lambda_f1_samp: f64,
+    /// λ#frag: number of fragment boundaries per numeric attribute.
+    pub num_frags: usize,
+    /// λ#sel-attr (Table 1: 3).
+    pub sel_attr: SelAttr,
+    /// Enable feature selection (the Fig. 7 "w/o feature sel." column
+    /// disables it).
+    pub feature_selection: bool,
+    /// Attribute-cluster association threshold.
+    pub cluster_threshold: f64,
+    /// Random-forest size for feature selection.
+    pub forest_trees: usize,
+    /// Safety cap on evaluated patterns per APT (guards pathological
+    /// parameter combinations; generous relative to real workloads).
+    pub max_patterns: usize,
+    /// Automatically exclude attributes that functionally determine the
+    /// question's groups on this APT (the paper's §6.2/§8 future-work
+    /// item: patterns like `season_id = 4` merely restate the grouped
+    /// season through an FD). One extra APT scan per attribute.
+    pub exclude_fd_attrs: bool,
+    /// Attribute-name substrings to exclude from patterns. CaJaDE is an
+    /// interactive tool and the paper curates case-study output by hand
+    /// (§6: removing trivial variants; §6.2 notes attributes that merely
+    /// restate the group through functional dependencies "cannot be
+    /// avoided" automatically) — this knob lets a user ban such
+    /// attributes, e.g. `["season__id", "season_name"]` for Q1.
+    pub banned_attrs: Vec<String>,
+    /// RNG seed (sampling, forest).
+    pub seed: u64,
+}
+
+impl Default for MiningParams {
+    fn default() -> Self {
+        Self {
+            top_k: 10,
+            k_cat_patterns: 30,
+            max_cat_attrs: 3,
+            lambda_attr_num: 3,
+            lambda_recall: 0.2,
+            lambda_pat_samp: 0.1,
+            pat_samp_cap: 1000,
+            lambda_f1_samp: 0.3,
+            num_frags: 6,
+            sel_attr: SelAttr::Count(3),
+            feature_selection: true,
+            cluster_threshold: 0.9,
+            forest_trees: 20,
+            max_patterns: 200_000,
+            exclude_fd_attrs: false,
+            banned_attrs: Vec::new(),
+            seed: 0xCA7ADE,
+        }
+    }
+}
+
+/// Per-phase wall-clock timings (the paper's breakdown rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiningTimings {
+    /// `Feature Selection` row.
+    pub feature_selection: Duration,
+    /// `Gen. Pat. Cand.` row.
+    pub gen_pat_cand: Duration,
+    /// `Sampling for F1` row.
+    pub sampling_for_f1: Duration,
+    /// `F-score Calc.` row.
+    pub fscore_calc: Duration,
+    /// `Refine Patterns` row.
+    pub refine_patterns: Duration,
+}
+
+impl MiningTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.feature_selection
+            + self.gen_pat_cand
+            + self.sampling_for_f1
+            + self.fscore_calc
+            + self.refine_patterns
+    }
+
+    /// Accumulates another APT's timings (per-query totals).
+    pub fn accumulate(&mut self, other: &MiningTimings) {
+        self.feature_selection += other.feature_selection;
+        self.gen_pat_cand += other.gen_pat_cand;
+        self.sampling_for_f1 += other.sampling_for_f1;
+        self.fscore_calc += other.fscore_calc;
+        self.refine_patterns += other.refine_patterns;
+    }
+}
+
+/// One mined explanation: `(Ω, Φ, (x1,a1), (x2,a2))` of Definition 6,
+/// with Ω implied by the APT it was mined from.
+#[derive(Debug, Clone)]
+pub struct MinedExplanation {
+    /// The pattern Φ.
+    pub pattern: Pattern,
+    /// The primary output tuple (the `[t1]` / `[t2]` marker of Table 4).
+    pub primary_group: usize,
+    /// The secondary output (None = "all other outputs", single-point).
+    pub secondary_group: Option<usize>,
+    /// Exact metrics over the full APT (support is `(tp/a1 vs fp/a2)`).
+    pub metrics: PatternMetrics,
+    /// F-score estimated on the λ_F1-samp sample (what the ranking used).
+    pub sampled_f_score: f64,
+}
+
+/// Output of [`mine_apt`].
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// Top-k explanations in diversity-selection order.
+    pub explanations: Vec<MinedExplanation>,
+    /// Phase timings.
+    pub timings: MiningTimings,
+    /// The feature selection used (for inspection / the Fig. 7 ablation).
+    pub feature_selection: FeatureSelection,
+    /// Number of patterns whose metrics were evaluated.
+    pub patterns_evaluated: usize,
+}
+
+/// Runs Algorithm 1 over one APT.
+pub fn mine_apt(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+    params: &MiningParams,
+) -> MiningOutcome {
+    let mut timings = MiningTimings::default();
+
+    // ---- Phase 1: feature selection (filterAttrs). ---------------------
+    let t0 = Instant::now();
+    let mut fs = if params.feature_selection {
+        select_features(
+            apt,
+            pt,
+            question,
+            &FeatSelConfig {
+                sel_attr: params.sel_attr,
+                cluster_threshold: params.cluster_threshold,
+                forest_trees: params.forest_trees,
+                max_train_rows: 5000,
+                seed: params.seed,
+            },
+        )
+    } else {
+        all_features(apt)
+    };
+    if !params.banned_attrs.is_empty() {
+        let banned = |f: &usize| {
+            params
+                .banned_attrs
+                .iter()
+                .any(|b| apt.fields[*f].name.contains(b.as_str()))
+        };
+        fs.num_fields.retain(|f| !banned(f));
+        fs.cat_fields.retain(|f| !banned(f));
+    }
+    if params.exclude_fd_attrs {
+        let fd = crate::fd::group_determining_fields(apt, pt, question);
+        fs.num_fields.retain(|f| !fd.contains(f));
+        fs.cat_fields.retain(|f| !fd.contains(f));
+    }
+    timings.feature_selection = t0.elapsed();
+
+    // ---- Phase 3 (done early; scorer is needed for ranking): F1 sample.
+    let t0 = Instant::now();
+    let scorer = if params.lambda_f1_samp >= 1.0 {
+        Scorer::exact(apt, pt)
+    } else {
+        let sample: Vec<u32> = bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        Scorer::sampled(apt, pt, sample)
+    };
+    timings.sampling_for_f1 = t0.elapsed();
+
+    // ---- Phase 2: LCA candidates over the λ_pat-samp sample. -----------
+    let t0 = Instant::now();
+    let scope_rows = question_scope_rows(apt, pt, question);
+    let lca_rows: Vec<u32> = sample_with_cap(
+        scope_rows.len(),
+        params.lambda_pat_samp,
+        params.pat_samp_cap,
+        params.seed.wrapping_add(1),
+    )
+    .into_iter()
+    .map(|i| scope_rows[i])
+    .collect();
+    let mut cat_pats = lca_candidates(apt, &lca_rows, &fs.cat_fields);
+    cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
+    timings.gen_pat_cand = t0.elapsed();
+
+    // Rank candidates by recall (best direction), keep top k_cat.
+    let directions = question.directions();
+    let mut patterns_evaluated = 0usize;
+    let t0 = Instant::now();
+    let mut ranked: Vec<(Pattern, f64)> = cat_pats
+        .into_iter()
+        .map(|p| {
+            patterns_evaluated += 1;
+            let best_recall = directions
+                .iter()
+                .map(|&(t, s)| scorer.score(&p, t, s).recall)
+                .fold(0.0, f64::max);
+            (p, best_recall)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(params.k_cat_patterns);
+    timings.fscore_calc += t0.elapsed();
+
+    // ---- Phases 4+5: refinement loop with recall pruning. --------------
+    // Fragment boundaries per selected numeric field (computed once).
+    let t0 = Instant::now();
+    let frag: Vec<(usize, Vec<f64>)> = fs
+        .num_fields
+        .iter()
+        .map(|&f| (f, fragment_boundaries(apt, f, None, params.num_frags)))
+        .collect();
+    timings.refine_patterns += t0.elapsed();
+
+    let mut todo: VecDeque<Pattern> = VecDeque::new();
+    // The empty pattern seeds numeric-only refinements (pure-context
+    // explanations like `salary < 15330435`, Table 4).
+    todo.push_back(Pattern::empty());
+    for (p, _) in ranked {
+        todo.push_back(p);
+    }
+
+    let mut done: HashSet<Pattern> = HashSet::new();
+    // Candidates: (pattern, primary, secondary, sampled metrics).
+    let mut candidates: Vec<(Pattern, usize, Option<usize>, PatternMetrics)> = Vec::new();
+
+    while let Some(pat) = todo.pop_front() {
+        if !done.insert(pat.clone()) {
+            continue;
+        }
+        if patterns_evaluated >= params.max_patterns {
+            break;
+        }
+        patterns_evaluated += 1;
+
+        // Score in both directions (Algorithm 1 line 11).
+        let t_score = Instant::now();
+        let mut best_recall = 0.0f64;
+        for &(primary, secondary) in &directions {
+            let m = scorer.score(&pat, primary, secondary);
+            best_recall = best_recall.max(m.recall);
+            if !pat.is_empty() && m.recall > params.lambda_recall {
+                candidates.push((pat.clone(), primary, secondary, m));
+            }
+        }
+        timings.fscore_calc += t_score.elapsed();
+
+        // Prune refinements when recall already fell below λ_recall
+        // (Proposition 3.1: refinement can only lower recall). The empty
+        // pattern always has recall 1 and is always refined.
+        if best_recall <= params.lambda_recall && !pat.is_empty() {
+            continue;
+        }
+        if pat.num_numeric_preds(apt) >= params.lambda_attr_num {
+            continue;
+        }
+
+        let t_refine = Instant::now();
+        for (field, boundaries) in &frag {
+            if !pat.is_free(*field) {
+                continue;
+            }
+            for &c in boundaries {
+                for op in [PredOp::Le, PredOp::Ge] {
+                    let refined = pat.refine(
+                        *field,
+                        Pred {
+                            op,
+                            value: float_const(c),
+                        },
+                    );
+                    if !done.contains(&refined) {
+                        todo.push_back(refined);
+                    }
+                }
+            }
+        }
+        timings.refine_patterns += t_refine.elapsed();
+    }
+
+    // ---- Top-k with diversity, then exact re-scoring. -------------------
+    let items: Vec<(Pattern, f64)> = candidates
+        .iter()
+        .map(|(p, _, _, m)| (p.clone(), m.f_score))
+        .collect();
+    let selected = select_top_k_diverse(&items, params.top_k);
+
+    let exact = Scorer::exact(apt, pt);
+    let explanations: Vec<MinedExplanation> = selected
+        .into_iter()
+        .map(|i| {
+            let (pat, primary, secondary, sampled) = &candidates[i];
+            let metrics = exact.score(pat, *primary, *secondary);
+            MinedExplanation {
+                pattern: pat.clone(),
+                primary_group: *primary,
+                secondary_group: *secondary,
+                metrics,
+                sampled_f_score: sampled.f_score,
+            }
+        })
+        .collect();
+
+    MiningOutcome {
+        explanations,
+        timings,
+        feature_selection: fs,
+        patterns_evaluated,
+    }
+}
+
+/// APT rows relevant to the question (both groups for two-point; all rows
+/// for single-point).
+fn question_scope_rows(apt: &Apt, pt: &ProvenanceTable, question: &Question) -> Vec<u32> {
+    match question {
+        Question::TwoPoint { t1, t2 } => (0..apt.num_rows as u32)
+            .filter(|&r| {
+                let g = pt.group_of[apt.pt_row[r as usize] as usize] as usize;
+                g == *t1 || g == *t2
+            })
+            .collect(),
+        Question::SinglePoint { .. } => (0..apt.num_rows as u32).collect(),
+    }
+}
+
+/// Thresholds are stored as floats; whole values print as integers.
+fn float_const(c: f64) -> PatValue {
+    PatValue::Float(c.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cajade_graph::{Apt, JoinGraph};
+    use cajade_query::{parse_sql, ProvenanceTable};
+    use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
+
+    /// Two seasons of games; in s2 the star player scores high. The miner
+    /// should find `player=star ∧ pts ≥ θ`-style patterns (the Example-5
+    /// shape) from the PT-only APT already containing player columns.
+    fn fixture() -> (Database, cajade_query::Query) {
+        let mut db = Database::new("m");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("season", DataType::Str, AttrKind::Categorical)
+                .column("player", DataType::Str, AttrKind::Categorical)
+                .column("pts", DataType::Int, AttrKind::Numeric)
+                .column("noise", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let s1 = db.intern("s1");
+        let s2 = db.intern("s2");
+        let star = db.intern("star");
+        let other = db.intern("other");
+        let mut id = 0i64;
+        // Season 1: star scores low (10-14), other scores ~20.
+        for i in 0..30i64 {
+            id += 1;
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(id),
+                    Value::Str(s1),
+                    Value::Str(if i % 2 == 0 { star } else { other }),
+                    Value::Int(if i % 2 == 0 { 10 + i % 5 } else { 20 }),
+                    Value::Int((i * 13) % 7),
+                ])
+                .unwrap();
+        }
+        // Season 2: star scores high (30-34), other still ~20.
+        for i in 0..30i64 {
+            id += 1;
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(id),
+                    Value::Str(s2),
+                    Value::Str(if i % 2 == 0 { star } else { other }),
+                    Value::Int(if i % 2 == 0 { 30 + i % 5 } else { 20 }),
+                    Value::Int((i * 13) % 7),
+                ])
+                .unwrap();
+        }
+        let q = parse_sql("SELECT count(*) AS c, season FROM t GROUP BY season").unwrap();
+        (db, q)
+    }
+
+    fn mine(params: &MiningParams) -> (MiningOutcome, Apt, Database, usize, usize) {
+        let (db, q) = fixture();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let t1 = pt.find_group(&db, &q, &[("season", "s2")]).unwrap();
+        let t2 = pt.find_group(&db, &q, &[("season", "s1")]).unwrap();
+        let out = mine_apt(&apt, &pt, &Question::TwoPoint { t1, t2 }, params);
+        (out, apt, db, t1, t2)
+    }
+
+    fn default_test_params() -> MiningParams {
+        MiningParams {
+            lambda_pat_samp: 1.0, // tiny fixture: no sampling noise
+            lambda_f1_samp: 1.0,
+            sel_attr: SelAttr::Count(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_star_player_pattern() {
+        let (out, apt, db, t1, _t2) = mine(&default_test_params());
+        assert!(!out.explanations.is_empty());
+        // Among the top explanations there must be one with high F-score
+        // for t1 constraining pts from below (the star's jump).
+        let good = out.explanations.iter().any(|e| {
+            e.primary_group == t1
+                && e.metrics.f_score > 0.6
+                && e.pattern.preds().iter().any(|(f, p)| {
+                    apt.fields[*f].name == "prov_t_pts" && p.op == PredOp::Ge
+                })
+        });
+        assert!(
+            good,
+            "explanations: {:?}",
+            out.explanations
+                .iter()
+                .map(|e| (e.pattern.render(&apt, db.pool()), e.metrics.f_score))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn group_by_attribute_never_appears() {
+        let (out, apt, _db, _, _) = mine(&default_test_params());
+        let season = apt.field_index("prov_t_season").unwrap();
+        assert!(out
+            .explanations
+            .iter()
+            .all(|e| e.pattern.is_free(season)));
+    }
+
+    #[test]
+    fn numeric_budget_respected() {
+        let mut p = default_test_params();
+        p.lambda_attr_num = 1;
+        let (out, apt, _db, _, _) = mine(&p);
+        assert!(out
+            .explanations
+            .iter()
+            .all(|e| e.pattern.num_numeric_preds(&apt) <= 1));
+    }
+
+    #[test]
+    fn recall_threshold_filters_candidates() {
+        let mut p = default_test_params();
+        p.lambda_recall = 0.9; // only very high recall patterns survive
+        let (out, _apt, _db, _, _) = mine(&p);
+        assert!(out
+            .explanations
+            .iter()
+            .all(|e| e.metrics.recall > 0.9 || e.sampled_f_score == 0.0));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (out, _apt, _db, _, _) = mine(&default_test_params());
+        let t = out.timings;
+        assert!(t.total() > Duration::ZERO);
+        assert!(t.fscore_calc > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = default_test_params();
+        let (a, apt, db, _, _) = mine(&p);
+        let (b, _, _, _, _) = mine(&p);
+        let ra: Vec<String> = a
+            .explanations
+            .iter()
+            .map(|e| e.pattern.render(&apt, db.pool()))
+            .collect();
+        let rb: Vec<String> = b
+            .explanations
+            .iter()
+            .map(|e| e.pattern.render(&apt, db.pool()))
+            .collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn max_patterns_cap_halts_search() {
+        let mut p = default_test_params();
+        p.max_patterns = 5;
+        let (out, _apt, _db, _, _) = mine(&p);
+        assert!(out.patterns_evaluated <= 6);
+    }
+
+    #[test]
+    fn feature_selection_off_keeps_all_attrs() {
+        let mut p = default_test_params();
+        p.feature_selection = false;
+        let (out, apt, _db, _, _) = mine(&p);
+        let n = out.feature_selection.num_fields.len() + out.feature_selection.cat_fields.len();
+        assert_eq!(n, apt.pattern_fields().len());
+    }
+
+    /// Proposition 3.1 as a property: refinement never increases recall.
+    #[test]
+    fn prop_recall_antimonotone_under_refinement() {
+        use proptest::prelude::*;
+        let (db, q) = fixture();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let scorer = Scorer::exact(&apt, &pt);
+        let pts = apt.field_index("prov_t_pts").unwrap();
+        let noise = apt.field_index("prov_t_noise").unwrap();
+        let player = apt.field_index("prov_t_player").unwrap();
+        let star = db.lookup_str("star").unwrap();
+
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        runner
+            .run(
+                &(0i64..40, 0i64..10, proptest::bool::ANY, proptest::bool::ANY),
+                |(thr1, thr2, op1, op2)| {
+                    let base = Pattern::from_preds(vec![(
+                        player,
+                        Pred { op: PredOp::Eq, value: PatValue::Str(star.0) },
+                    )]);
+                    let r1 = base.refine(
+                        pts,
+                        Pred {
+                            op: if op1 { PredOp::Le } else { PredOp::Ge },
+                            value: PatValue::Int(thr1),
+                        },
+                    );
+                    let r2 = r1.refine(
+                        noise,
+                        Pred {
+                            op: if op2 { PredOp::Le } else { PredOp::Ge },
+                            value: PatValue::Int(thr2),
+                        },
+                    );
+                    for t in [0usize, 1] {
+                        let rec0 = scorer.score(&base, t, Some(1 - t)).recall;
+                        let rec1 = scorer.score(&r1, t, Some(1 - t)).recall;
+                        let rec2 = scorer.score(&r2, t, Some(1 - t)).recall;
+                        prop_assert!(rec1 <= rec0 + 1e-12);
+                        prop_assert!(rec2 <= rec1 + 1e-12);
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+}

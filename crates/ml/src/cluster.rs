@@ -1,0 +1,125 @@
+//! Attribute clustering by mutual association (the paper's VARCLUS step).
+//!
+//! CaJaDE clusters highly-correlated attributes and keeps a single
+//! representative per cluster, "to reduce the prevalence of … redundant
+//! patterns" like `birth date` vs. `age` (§3.1). The paper uses SAS
+//! VARCLUS but notes any correlation clustering applies; we use
+//! average-linkage agglomerative clustering over the association matrix of
+//! [`crate::correlation::assoc_matrix`].
+
+/// Average-linkage agglomerative clustering.
+///
+/// `assoc` must be a symmetric matrix with values in `[0, 1]`; `threshold`
+/// is the minimum average association for two clusters to merge. Returns
+/// clusters as index sets, each sorted ascending, ordered by their smallest
+/// member.
+pub fn cluster_attributes(assoc: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let p = assoc.len();
+    let mut clusters: Vec<Vec<usize>> = (0..p).map(|i| vec![i]).collect();
+
+    loop {
+        // Find the pair of clusters with the highest average association.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for &a in &clusters[i] {
+                    for &b in &clusters[j] {
+                        sum += assoc[a][b];
+                        cnt += 1.0;
+                    }
+                }
+                let avg = if cnt > 0.0 { sum / cnt } else { 0.0 };
+                if best.is_none_or(|(_, _, b)| avg > b) {
+                    best = Some((i, j, avg));
+                }
+            }
+        }
+        match best {
+            Some((i, j, avg)) if avg >= threshold => {
+                let merged = clusters.remove(j);
+                clusters[i].extend(merged);
+                clusters[i].sort_unstable();
+            }
+            _ => break,
+        }
+    }
+
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+/// Picks one representative per cluster: the member with the highest
+/// `relevance` (ties broken by lowest index). This implements the paper's
+/// "pick a single representative for each cluster", using the random-forest
+/// relevance as the tiebreaker so the representative is the attribute most
+/// useful for distinguishing the user question's outputs.
+pub fn cluster_representatives(clusters: &[Vec<usize>], relevance: &[f64]) -> Vec<usize> {
+    clusters
+        .iter()
+        .map(|c| {
+            *c.iter()
+                .max_by(|&&a, &&b| {
+                    relevance[a]
+                        .partial_cmp(&relevance[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.cmp(&a)) // prefer lower index on ties
+                })
+                .expect("clusters are non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Association matrix with two obvious blocks {0,1} and {2,3}, plus an
+    /// isolated attribute 4.
+    fn blocky() -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.05; 5]; 5];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        m[0][1] = 0.95;
+        m[1][0] = 0.95;
+        m[2][3] = 0.9;
+        m[3][2] = 0.9;
+        m
+    }
+
+    #[test]
+    fn finds_blocks() {
+        let clusters = cluster_attributes(&blocky(), 0.8);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_singletons() {
+        let clusters = cluster_attributes(&blocky(), 1.01);
+        assert_eq!(clusters.len(), 5);
+    }
+
+    #[test]
+    fn threshold_zero_merges_everything() {
+        let clusters = cluster_attributes(&blocky(), 0.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn representatives_prefer_relevance() {
+        let clusters = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let relevance = [0.1, 0.9, 0.5, 0.5, 0.0];
+        let reps = cluster_representatives(&clusters, &relevance);
+        assert_eq!(reps, vec![1, 2, 4]); // 1 beats 0; tie 2-3 → lower index; 4 alone
+    }
+
+    #[test]
+    fn empty_input() {
+        let clusters = cluster_attributes(&[], 0.5);
+        assert!(clusters.is_empty());
+        assert!(cluster_representatives(&clusters, &[]).is_empty());
+    }
+}

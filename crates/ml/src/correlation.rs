@@ -1,0 +1,234 @@
+//! Association measures between attributes of mixed type, feeding the
+//! attribute-clustering step (paper §3.1: "cluster attributes based on
+//! their mutual correlation"). All measures are normalized to `[0, 1]`
+//! where 1 means perfectly associated:
+//!
+//! * numeric–numeric: absolute Pearson correlation |r|,
+//! * categorical–categorical: Cramér's V,
+//! * categorical–numeric: correlation ratio η.
+
+use std::collections::BTreeMap;
+
+use crate::dataset::{FeatureColumn, MISSING_CAT};
+
+/// Pearson correlation coefficient of paired samples (missing = NaN pairs
+/// skipped). Returns 0.0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| !x.is_nan() && !y.is_nan())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    let n = pairs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in &pairs {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Cramér's V between two categorical columns (bias-uncorrected), in
+/// `[0, 1]`. Missing codes are skipped.
+pub fn cramers_v(xs: &[u32], ys: &[u32]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    // BTreeMaps keep the summation order deterministic — float
+    // addition is not associative, and HashMap iteration order would make
+    // near-tie clustering decisions flap between runs.
+    let mut joint: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut row: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut col: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut n = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x == MISSING_CAT || y == MISSING_CAT {
+            continue;
+        }
+        *joint.entry((x, y)).or_default() += 1.0;
+        *row.entry(x).or_default() += 1.0;
+        *col.entry(y).or_default() += 1.0;
+        n += 1.0;
+    }
+    if n == 0.0 || row.len() < 2 || col.len() < 2 {
+        // Constant column: by convention fully determined ⇒ treat as
+        // unassociated for clustering purposes (no information).
+        return if row.len() == 1 && col.len() == 1 { 1.0 } else { 0.0 };
+    }
+    // χ² over the full contingency table — zero-observation cells still
+    // contribute (they are exactly what makes identical columns score 1).
+    let mut chi2 = 0.0;
+    for (x, rx) in &row {
+        for (y, cy) in &col {
+            let exp = rx * cy / n;
+            let obs = joint.get(&(*x, *y)).copied().unwrap_or(0.0);
+            chi2 += (obs - exp).powi(2) / exp;
+        }
+    }
+    let k = row.len().min(col.len()) as f64;
+    (chi2 / (n * (k - 1.0))).sqrt().min(1.0)
+}
+
+/// Correlation ratio η between a categorical and a numeric column, in
+/// `[0, 1]`: the fraction of the numeric variance explained by the
+/// category, square-rooted.
+pub fn correlation_ratio(cats: &[u32], nums: &[f64]) -> f64 {
+    assert_eq!(cats.len(), nums.len());
+    let mut groups: BTreeMap<u32, (f64, f64)> = BTreeMap::new(); // (sum, count)
+    let mut total_sum = 0.0;
+    let mut total_n = 0.0;
+    for (&c, &x) in cats.iter().zip(nums) {
+        if c == MISSING_CAT || x.is_nan() {
+            continue;
+        }
+        let e = groups.entry(c).or_default();
+        e.0 += x;
+        e.1 += 1.0;
+        total_sum += x;
+        total_n += 1.0;
+    }
+    if total_n < 2.0 || groups.len() < 2 {
+        return 0.0;
+    }
+    let grand_mean = total_sum / total_n;
+    let mut between = 0.0;
+    for (sum, count) in groups.values() {
+        let gm = sum / count;
+        between += count * (gm - grand_mean).powi(2);
+    }
+    let mut total_var = 0.0;
+    for (&c, &x) in cats.iter().zip(nums) {
+        if c == MISSING_CAT || x.is_nan() {
+            continue;
+        }
+        total_var += (x - grand_mean).powi(2);
+    }
+    if total_var <= 0.0 {
+        return 0.0;
+    }
+    (between / total_var).sqrt().min(1.0)
+}
+
+/// Symmetric association matrix over mixed-type columns, diagonal = 1.
+pub fn assoc_matrix(cols: &[FeatureColumn]) -> Vec<Vec<f64>> {
+    let p = cols.len();
+    let mut m = vec![vec![0.0; p]; p];
+    for i in 0..p {
+        m[i][i] = 1.0;
+        for j in (i + 1)..p {
+            let a = match (&cols[i], &cols[j]) {
+                (FeatureColumn::Numeric(x), FeatureColumn::Numeric(y)) => pearson(x, y).abs(),
+                (FeatureColumn::Categorical(x), FeatureColumn::Categorical(y)) => {
+                    cramers_v(x, y)
+                }
+                (FeatureColumn::Categorical(c), FeatureColumn::Numeric(n))
+                | (FeatureColumn::Numeric(n), FeatureColumn::Categorical(c)) => {
+                    correlation_ratio(c, n)
+                }
+            };
+            m[i][j] = a;
+            m[j][i] = a;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let xs = vec![1.0; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn pearson_skips_nan_pairs() {
+        let xs = vec![1.0, 2.0, f64::NAN, 4.0];
+        let ys = vec![2.0, 4.0, 100.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_identical_columns() {
+        let xs: Vec<u32> = (0..100).map(|i| (i % 4) as u32).collect();
+        assert!((cramers_v(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cramers_v_independent_columns() {
+        // x cycles mod 2, y cycles mod 5 → independent.
+        let xs: Vec<u32> = (0..1000).map(|i| (i % 2) as u32).collect();
+        let ys: Vec<u32> = (0..1000).map(|i| (i % 5) as u32).collect();
+        assert!(cramers_v(&xs, &ys) < 0.05);
+    }
+
+    #[test]
+    fn correlation_ratio_determined() {
+        // Numeric fully determined by category: age vs. birth-cohort style.
+        let cats: Vec<u32> = (0..90).map(|i| (i % 3) as u32).collect();
+        let nums: Vec<f64> = cats.iter().map(|&c| c as f64 * 10.0).collect();
+        assert!((correlation_ratio(&cats, &nums) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_ratio_unrelated() {
+        let cats: Vec<u32> = (0..400).map(|i| (i % 2) as u32).collect();
+        let nums: Vec<f64> = (0..400).map(|i| ((i * 7919) % 400) as f64).collect();
+        assert!(correlation_ratio(&cats, &nums) < 0.15);
+    }
+
+    #[test]
+    fn assoc_matrix_is_symmetric_unit_diagonal() {
+        let cols = vec![
+            FeatureColumn::Numeric((0..60).map(|i| i as f64).collect()),
+            FeatureColumn::Numeric((0..60).map(|i| (i * 2) as f64).collect()),
+            FeatureColumn::Categorical((0..60).map(|i| (i % 3) as u32).collect()),
+        ];
+        let m = assoc_matrix(&cols);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert!((cell - m[j][i]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(cell));
+            }
+        }
+        // The two colinear numeric columns are perfectly associated.
+        assert!((m[0][1] - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// |r| ≤ 1 always.
+        #[test]
+        fn prop_pearson_bounded(
+            xs in proptest::collection::vec(-100.0f64..100.0, 2..64),
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + 1.0).collect();
+            let r = pearson(&xs, &ys);
+            prop_assert!(r.abs() <= 1.0 + 1e-9);
+        }
+    }
+}

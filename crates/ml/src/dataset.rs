@@ -1,0 +1,68 @@
+//! Feature-matrix representation decoupled from the storage layer: the
+//! mining crate converts APT columns into [`FeatureColumn`]s before calling
+//! the forest / clustering code, keeping this crate dependency-free.
+
+/// One feature (attribute) over all rows.
+#[derive(Debug, Clone)]
+pub enum FeatureColumn {
+    /// Numeric feature; `NaN` marks a missing value.
+    Numeric(Vec<f64>),
+    /// Categorical feature as dense codes; `u32::MAX` marks missing.
+    Categorical(Vec<u32>),
+}
+
+/// Sentinel for a missing categorical value.
+pub const MISSING_CAT: u32 = u32::MAX;
+
+impl FeatureColumn {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureColumn::Numeric(v) => v.len(),
+            FeatureColumn::Categorical(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for the numeric variant.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, FeatureColumn::Numeric(_))
+    }
+
+    /// Missing-value check for row `i`.
+    pub fn is_missing(&self, i: usize) -> bool {
+        match self {
+            FeatureColumn::Numeric(v) => v[i].is_nan(),
+            FeatureColumn::Categorical(v) => v[i] == MISSING_CAT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_kind() {
+        let n = FeatureColumn::Numeric(vec![1.0, f64::NAN]);
+        let c = FeatureColumn::Categorical(vec![0, MISSING_CAT, 2]);
+        assert_eq!(n.len(), 2);
+        assert_eq!(c.len(), 3);
+        assert!(n.is_numeric());
+        assert!(!c.is_numeric());
+    }
+
+    #[test]
+    fn missing_detection() {
+        let n = FeatureColumn::Numeric(vec![1.0, f64::NAN]);
+        let c = FeatureColumn::Categorical(vec![0, MISSING_CAT]);
+        assert!(!n.is_missing(0));
+        assert!(n.is_missing(1));
+        assert!(!c.is_missing(0));
+        assert!(c.is_missing(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Seeded row samplers backing the λ_pat-samp and λ_F1-samp knobs.
+//!
+//! §5.4 fixes the LCA sample rate at 0.1 **capped at 1000 rows**;
+//! [`sample_with_cap`] implements exactly that rule.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Bernoulli sample of `0..n` at `rate` (deterministic given `seed`).
+/// Rates ≥ 1.0 return all rows; rates ≤ 0.0 return none.
+pub fn bernoulli_sample(n: usize, rate: f64, seed: u64) -> Vec<usize> {
+    if rate >= 1.0 {
+        return (0..n).collect();
+    }
+    if rate <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).filter(|_| rng.gen::<f64>() < rate).collect()
+}
+
+/// Fixed-size uniform sample without replacement (reservoir algorithm R).
+/// Returns all rows (in order) when `k ≥ n`.
+pub fn reservoir_sample(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir.sort_unstable();
+    reservoir
+}
+
+/// The §5.4 sampling rule: Bernoulli at `rate`, but never more than `cap`
+/// rows (re-subsampled uniformly when the Bernoulli draw exceeds the cap).
+pub fn sample_with_cap(n: usize, rate: f64, cap: usize, seed: u64) -> Vec<usize> {
+    let rows = bernoulli_sample(n, rate, seed);
+    if rows.len() <= cap {
+        return rows;
+    }
+    let keep = reservoir_sample(rows.len(), cap, seed.wrapping_add(1));
+    keep.into_iter().map(|i| rows[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bernoulli_edge_rates() {
+        assert_eq!(bernoulli_sample(10, 1.0, 1), (0..10).collect::<Vec<_>>());
+        assert!(bernoulli_sample(10, 0.0, 1).is_empty());
+        assert_eq!(bernoulli_sample(0, 0.5, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn bernoulli_rate_is_roughly_respected() {
+        let s = bernoulli_sample(10_000, 0.3, 42);
+        let frac = s.len() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn bernoulli_deterministic() {
+        assert_eq!(bernoulli_sample(100, 0.5, 7), bernoulli_sample(100, 0.5, 7));
+        assert_ne!(bernoulli_sample(100, 0.5, 7), bernoulli_sample(100, 0.5, 8));
+    }
+
+    #[test]
+    fn reservoir_exact_size_and_membership() {
+        let s = reservoir_sample(1000, 50, 3);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&i| i < 1000));
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "no duplicates");
+    }
+
+    #[test]
+    fn reservoir_small_n() {
+        assert_eq!(reservoir_sample(3, 10, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let s = sample_with_cap(100_000, 0.5, 1000, 9);
+        assert_eq!(s.len(), 1000);
+        // Without hitting the cap, plain Bernoulli result passes through.
+        let s2 = sample_with_cap(100, 0.5, 1000, 9);
+        assert_eq!(s2, bernoulli_sample(100, 0.5, 9));
+    }
+
+    proptest! {
+        /// Samples are sorted, in-bounds, and duplicate-free.
+        #[test]
+        fn prop_reservoir_invariants(n in 0usize..500, k in 0usize..100, seed in 0u64..50) {
+            let s = reservoir_sample(n, k, seed);
+            prop_assert_eq!(s.len(), k.min(n));
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(s.iter().all(|&i| i < n));
+        }
+
+        /// Cap rule never exceeds the cap.
+        #[test]
+        fn prop_cap(n in 0usize..2000, rate in 0.0f64..1.0, cap in 1usize..100, seed in 0u64..20) {
+            let s = sample_with_cap(n, rate, cap, seed);
+            prop_assert!(s.len() <= cap);
+            prop_assert!(s.iter().all(|&i| i < n));
+        }
+    }
+}

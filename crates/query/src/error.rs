@@ -1,0 +1,73 @@
+use std::fmt;
+
+use cajade_storage::StorageError;
+
+/// Errors from parsing or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// SQL text could not be parsed.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset into the SQL text (best effort).
+        offset: usize,
+    },
+    /// A column reference could not be resolved against the FROM list.
+    UnknownColumn(String),
+    /// A column name matches more than one FROM entry and no alias was given.
+    AmbiguousColumn(String),
+    /// A table alias in the query does not exist.
+    UnknownAlias(String),
+    /// The query shape is outside the supported single-block SPJA class.
+    Unsupported(String),
+    /// An aggregate was applied to an incompatible column.
+    BadAggregate(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Parse { message, offset } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            QueryError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            QueryError::UnknownAlias(a) => write!(f, "unknown table alias `{a}`"),
+            QueryError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            QueryError::BadAggregate(msg) => write!(f, "bad aggregate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::AmbiguousColumn("home_id".into());
+        assert!(e.to_string().contains("home_id"));
+        let e = QueryError::Parse {
+            message: "expected FROM".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let e: QueryError = StorageError::NoSuchTable("x".into()).into();
+        assert!(matches!(e, QueryError::Storage(_)));
+    }
+}

@@ -1,0 +1,649 @@
+//! A hand-written tokenizer + recursive-descent parser for the paper's SQL
+//! subset:
+//!
+//! ```sql
+//! SELECT <agg | col> [AS alias] (, ...)*
+//! FROM   <table> [alias] (, <table> [alias])*
+//! [WHERE <pred> (AND <pred>)*]
+//! [GROUP BY <col> (, <col>)*]
+//! ```
+//!
+//! Aggregates: `COUNT(*)`, `COUNT(col)`, `SUM`, `AVG`, `MIN`, `MAX`, and the
+//! rate form `[1.0 *] SUM(col) / COUNT(*)` used by the MIMIC death-rate
+//! queries. Predicates compare a column against a column or a literal with
+//! `=, <>, !=, <, <=, >, >=`.
+
+use crate::ast::*;
+use crate::{QueryError, Result};
+
+/// Parses a SQL string into a [`Query`].
+///
+/// ```
+/// use cajade_query::parse_sql;
+/// let q = parse_sql(
+///     "SELECT count(*) AS win, s.season_name \
+///      FROM team t, game g, season s \
+///      WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+///        AND t.team = 'GSW' \
+///      GROUP BY s.season_name",
+/// ).unwrap();
+/// assert_eq!(q.from.len(), 3);
+/// assert_eq!(q.group_by.len(), 1);
+/// ```
+pub fn parse_sql(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    Parser {
+        tokens,
+        pos: 0,
+        sql_len: sql.len(),
+    }
+    .parse_query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '\'' => {
+                // Single-quoted string, '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(QueryError::Parse {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Number(sql[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(sql[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedTok { tok: Tok::Symbol("<="), offset: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(SpannedTok { tok: Tok::Symbol("<>"), offset: start });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok { tok: Tok::Symbol("<"), offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedTok { tok: Tok::Symbol(">="), offset: start });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok { tok: Tok::Symbol(">"), offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedTok { tok: Tok::Symbol("!="), offset: start });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse {
+                        message: "unexpected `!`".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Symbol("="), offset: start });
+                i += 1;
+            }
+            '-' => {
+                // Negative numeric literal: consume the digits directly so
+                // `x = -5` and `y <= -1.5` parse (no binary minus in this
+                // query class).
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(QueryError::Parse {
+                        message: "expected digits after `-`".into(),
+                        offset: start,
+                    });
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Number(sql[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Symbol("*"), offset: start });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedTok { tok: Tok::Symbol("/"), offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Symbol(","), offset: start });
+                i += 1;
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::Symbol("("), offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::Symbol(")"), offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(SpannedTok { tok: Tok::Symbol("."), offset: start });
+                i += 1;
+            }
+            ';' => {
+                // Trailing semicolons are allowed and ignored.
+                i += 1;
+            }
+            other => {
+                return Err(QueryError::Parse {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    sql_len: usize,
+}
+
+/// A SELECT-list item before aggregate/group-by classification.
+enum SelectItem {
+    Agg(AggFunc),
+    Col(ColRef),
+}
+
+impl Parser {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.sql_len)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(QueryError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    /// Case-insensitive keyword check.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(id)) => Ok(id),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected identifier")
+            }
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        if !self.eat_keyword("select") {
+            return self.err("expected SELECT");
+        }
+        let mut items: Vec<(SelectItem, Option<String>)> = Vec::new();
+        loop {
+            let item = self.parse_select_item()?;
+            let alias = if self.eat_keyword("as") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            items.push((item, alias));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+
+        if !self.eat_keyword("from") {
+            return self.err("expected FROM");
+        }
+        let mut from = Vec::new();
+        loop {
+            let table = self.expect_ident()?;
+            // Optional alias: next ident that is not a keyword.
+            let alias = match self.peek() {
+                Some(Tok::Ident(id))
+                    if !["where", "group", "order", "as"]
+                        .iter()
+                        .any(|k| id.eq_ignore_ascii_case(k)) =>
+                {
+                    let a = id.clone();
+                    self.pos += 1;
+                    a
+                }
+                _ => table.clone(),
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+
+        let mut predicates = Vec::new();
+        if self.eat_keyword("where") {
+            loop {
+                predicates.push(self.parse_predicate()?);
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            if !self.eat_keyword("by") {
+                return self.err("expected BY after GROUP");
+            }
+            loop {
+                group_by.push(self.parse_colref()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+
+        if self.pos != self.tokens.len() {
+            return self.err("unexpected trailing tokens");
+        }
+
+        // Classify SELECT items: aggregates get aliases (default agg1, …);
+        // plain columns must appear in GROUP BY (checked at bind time).
+        let mut aggregates = Vec::new();
+        for (idx, (item, alias)) in items.into_iter().enumerate() {
+            match item {
+                SelectItem::Agg(func) => aggregates.push(Aggregate {
+                    func,
+                    alias: alias.unwrap_or_else(|| format!("agg{}", idx + 1)),
+                }),
+                SelectItem::Col(col) => {
+                    // Non-aggregate select item: it must be one of the
+                    // group-by columns (paper's query class). We accept and
+                    // ignore it — the output always carries all group-by
+                    // columns.
+                    if !group_by.iter().any(|g| g.column == col.column) {
+                        return Err(QueryError::Unsupported(format!(
+                            "non-aggregate SELECT item `{col}` is not in GROUP BY"
+                        )));
+                    }
+                }
+            }
+        }
+        if aggregates.is_empty() {
+            return Err(QueryError::Unsupported(
+                "query must contain at least one aggregate".into(),
+            ));
+        }
+
+        Ok(Query {
+            from,
+            predicates,
+            group_by,
+            aggregates,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        // Optional numeric coefficient: `1.0 * SUM(..) / COUNT(*)`.
+        if let Some(Tok::Number(_)) = self.peek() {
+            self.pos += 1;
+            self.expect_symbol("*")?;
+            let func = self.parse_agg_func()?;
+            return self.maybe_rate(func);
+        }
+        if let Some(Tok::Ident(id)) = self.peek() {
+            let lower = id.to_ascii_lowercase();
+            if ["count", "sum", "avg", "min", "max"].contains(&lower.as_str()) {
+                let func = self.parse_agg_func()?;
+                return self.maybe_rate(func);
+            }
+        }
+        let col = self.parse_colref()?;
+        Ok(SelectItem::Col(col))
+    }
+
+    /// After a SUM aggregate, check for `/ COUNT(*)` to form the rate form.
+    fn maybe_rate(&mut self, func: AggFunc) -> Result<SelectItem> {
+        if self.eat_symbol("/") {
+            let denom = self.parse_agg_func()?;
+            match (func, denom) {
+                (AggFunc::Sum(col), AggFunc::CountStar) => {
+                    Ok(SelectItem::Agg(AggFunc::RateSumCount(col)))
+                }
+                _ => self.err("only SUM(col) / COUNT(*) is supported as a ratio"),
+            }
+        } else {
+            Ok(SelectItem::Agg(func))
+        }
+    }
+
+    fn parse_agg_func(&mut self) -> Result<AggFunc> {
+        let name = self.expect_ident()?.to_ascii_lowercase();
+        self.expect_symbol("(")?;
+        let func = match name.as_str() {
+            "count" => {
+                if self.eat_symbol("*") {
+                    AggFunc::CountStar
+                } else {
+                    AggFunc::Count(self.parse_colref()?)
+                }
+            }
+            "sum" => AggFunc::Sum(self.parse_colref()?),
+            "avg" => AggFunc::Avg(self.parse_colref()?),
+            "min" => AggFunc::Min(self.parse_colref()?),
+            "max" => AggFunc::Max(self.parse_colref()?),
+            other => return self.err(format!("unknown aggregate `{other}`")),
+        };
+        self.expect_symbol(")")?;
+        Ok(func)
+    }
+
+    fn parse_colref(&mut self) -> Result<ColRef> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol(".") {
+            let col = self.expect_ident()?;
+            Ok(ColRef::qualified(first, col))
+        } else {
+            Ok(ColRef::new(first))
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate> {
+        let lhs = self.parse_colref()?;
+        let op = match self.next() {
+            Some(Tok::Symbol("=")) => CmpOp::Eq,
+            Some(Tok::Symbol("<>")) | Some(Tok::Symbol("!=")) => CmpOp::Ne,
+            Some(Tok::Symbol("<")) => CmpOp::Lt,
+            Some(Tok::Symbol("<=")) => CmpOp::Le,
+            Some(Tok::Symbol(">")) => CmpOp::Gt,
+            Some(Tok::Symbol(">=")) => CmpOp::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err("expected comparison operator");
+            }
+        };
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let lit = if n.contains('.') {
+                    Literal::Float(n.parse().map_err(|_| QueryError::Parse {
+                        message: format!("bad number `{n}`"),
+                        offset: self.offset(),
+                    })?)
+                } else {
+                    Literal::Int(n.parse().map_err(|_| QueryError::Parse {
+                        message: format!("bad number `{n}`"),
+                        offset: self.offset(),
+                    })?)
+                };
+                self.pos += 1;
+                Ok(Predicate::ColLit(lhs, op, lit))
+            }
+            Some(Tok::Str(s)) => {
+                let lit = Literal::Str(s.clone());
+                self.pos += 1;
+                Ok(Predicate::ColLit(lhs, op, lit))
+            }
+            Some(Tok::Ident(_)) => {
+                let rhs = self.parse_colref()?;
+                Ok(Predicate::ColCol(lhs, op, rhs))
+            }
+            _ => self.err("expected literal or column after operator"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        // Q1 from Example 1 (modulo the simplified schema's column names).
+        let q = parse_sql(
+            "SELECT winner as team, season, count(*) as win \
+             FROM Game g WHERE winner = 'GSW' GROUP BY winner, season",
+        )
+        .unwrap();
+        assert_eq!(q.from, vec![TableRef::aliased("Game", "g")]);
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.aggregates.len(), 1);
+        assert!(matches!(q.aggregates[0].func, AggFunc::CountStar));
+        assert_eq!(q.aggregates[0].alias, "win");
+        assert_eq!(
+            q.predicates,
+            vec![Predicate::ColLit(
+                ColRef::new("winner"),
+                CmpOp::Eq,
+                Literal::Str("GSW".into())
+            )]
+        );
+    }
+
+    #[test]
+    fn parses_rate_query() {
+        // Q_mimi2: death rate by insurance.
+        let q = parse_sql(
+            "SELECT insurance, 1.0*SUM(hospital_expire_flag)/COUNT(*) AS death_rate \
+             FROM admissions GROUP BY insurance;",
+        )
+        .unwrap();
+        assert_eq!(q.aggregates.len(), 1);
+        assert!(matches!(
+            q.aggregates[0].func,
+            AggFunc::RateSumCount(ref c) if c.column == "hospital_expire_flag"
+        ));
+        assert_eq!(q.aggregates[0].alias, "death_rate");
+    }
+
+    #[test]
+    fn parses_rate_without_coefficient() {
+        let q = parse_sql(
+            "SELECT sum(isdead)/count(*) AS death_rate, count(*) AS admit_cnt \
+             FROM Admissions GROUP BY insurance",
+        );
+        // `insurance` group-by column not in SELECT is fine; but here
+        // SELECT has no bare columns at all, also fine.
+        let q = q.unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+    }
+
+    #[test]
+    fn parses_multi_join_avg() {
+        let q = parse_sql(
+            "SELECT AVG(points) as avp_pts, s.season_name \
+             FROM player p, player_game_stats pgs, game g, season s \
+             WHERE p.player_id=pgs.player_id AND \
+               g.game_date = pgs.game_date AND \
+               g.home_id = pgs.home_id AND \
+               s.season_id = g.season_id \
+               AND p.player_name= 'Draymond Green' \
+             GROUP BY s.season_name",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.predicates.len(), 5);
+        assert!(matches!(q.aggregates[0].func, AggFunc::Avg(_)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse_sql(
+            "SELECT count(*) AS c FROM t WHERE name = 'O''Neal' GROUP BY name",
+        )
+        .unwrap();
+        match &q.predicates[0] {
+            Predicate::ColLit(_, _, Literal::Str(s)) => assert_eq!(s, "O'Neal"),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inequality_predicates() {
+        let q = parse_sql(
+            "SELECT count(*) AS c FROM t WHERE x >= 10 AND y <> 3 AND z < 1.5 GROUP BY g",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::ColLit(_, CmpOp::Ge, Literal::Int(10))
+        ));
+        assert!(matches!(
+            q.predicates[1],
+            Predicate::ColLit(_, CmpOp::Ne, Literal::Int(3))
+        ));
+        assert!(matches!(
+            q.predicates[2],
+            Predicate::ColLit(_, CmpOp::Lt, Literal::Float(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("SELEC x FROM t").is_err());
+        assert!(parse_sql("SELECT count(*) FROM").is_err());
+        assert!(parse_sql("SELECT count(*) AS c FROM t WHERE x ~ 3").is_err());
+        assert!(parse_sql("SELECT count(*) AS c FROM t GROUP x").is_err());
+        assert!(parse_sql("SELECT x FROM t").is_err(), "no aggregate");
+    }
+
+    #[test]
+    fn rejects_non_grouped_select_column() {
+        let err = parse_sql("SELECT x, count(*) AS c FROM t GROUP BY y").unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported(_)));
+    }
+
+    #[test]
+    fn unterminated_string_reports_offset() {
+        let err = parse_sql("SELECT count(*) AS c FROM t WHERE a = 'oops").unwrap_err();
+        match err {
+            QueryError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_agg_aliases_are_generated() {
+        let q = parse_sql("SELECT count(*), sum(x) FROM t GROUP BY g").unwrap();
+        assert_eq!(q.aggregates[0].alias, "agg1");
+        assert_eq!(q.aggregates[1].alias, "agg2");
+    }
+}

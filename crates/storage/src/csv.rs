@@ -1,0 +1,257 @@
+//! CSV import/export — the adoption path for using CaJaDE on your own
+//! data: load tables from CSV files, declare kinds/keys via the schema,
+//! and explain away.
+//!
+//! The dialect is RFC-4180-ish: comma-separated, double-quote quoting
+//! with `""` escapes, `\n` or `\r\n` line ends, one header row. Empty
+//! fields parse as NULL for numeric columns and as the empty string for
+//! string columns.
+
+use std::io::{BufRead, Write};
+
+use crate::pool::StringPool;
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// Writes `table` as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, pool: &StringPool, out: &mut W) -> std::io::Result<()> {
+    let header: Vec<String> = table
+        .schema()
+        .fields
+        .iter()
+        .map(|f| quote(&f.name))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..table.num_rows() {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| match table.value(r, c) {
+                Value::Null => String::new(),
+                Value::Str(id) => quote(pool.resolve(id)),
+                v => v.render(pool),
+            })
+            .collect();
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads CSV into a new [`Table`] with the given schema. Columns are
+/// matched by header name (order-independent); missing columns error.
+pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> Result<Table> {
+    let mut lines = CsvRows::new(input);
+    let header = lines
+        .next_row()
+        .map_err(|e| StorageError::InvalidForeignKey(format!("csv: {e}")))? // reuse error slot
+        .ok_or_else(|| StorageError::ArityMismatch { expected: schema.arity(), got: 0 })?;
+
+    // Map schema field → header position.
+    let mut positions = Vec::with_capacity(schema.arity());
+    for f in &schema.fields {
+        let pos = header
+            .iter()
+            .position(|h| h == &f.name)
+            .ok_or_else(|| StorageError::NoSuchColumn {
+                table: schema.name.clone(),
+                column: f.name.clone(),
+            })?;
+        positions.push(pos);
+    }
+
+    let mut table = Table::new(schema);
+    while let Some(row) = lines
+        .next_row()
+        .map_err(|e| StorageError::InvalidForeignKey(format!("csv: {e}")))?
+    {
+        let mut values = Vec::with_capacity(positions.len());
+        for (fi, &pos) in positions.iter().enumerate() {
+            let raw = row.get(pos).map(String::as_str).unwrap_or("");
+            let field = &table.schema().fields[fi];
+            let v = parse_cell(raw, field.dtype, pool).map_err(|_| {
+                StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype.name(),
+                    got: "unparseable text",
+                }
+            })?;
+            values.push(v);
+        }
+        table.push_row(values)?;
+    }
+    Ok(table)
+}
+
+fn parse_cell(raw: &str, dtype: DataType, pool: &mut StringPool) -> std::result::Result<Value, ()> {
+    match dtype {
+        DataType::Str => Ok(Value::Str(pool.intern(raw))),
+        DataType::Int => {
+            if raw.is_empty() {
+                Ok(Value::Null)
+            } else {
+                raw.trim().parse::<i64>().map(Value::Int).map_err(|_| ())
+            }
+        }
+        DataType::Float => {
+            if raw.is_empty() {
+                Ok(Value::Null)
+            } else {
+                raw.trim().parse::<f64>().map(Value::Float).map_err(|_| ())
+            }
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Streaming CSV row reader supporting quoted fields with embedded
+/// commas, quotes, and newlines.
+struct CsvRows<R: BufRead> {
+    input: R,
+}
+
+impl<R: BufRead> CsvRows<R> {
+    fn new(input: R) -> Self {
+        Self { input }
+    }
+
+    fn next_row(&mut self) -> std::io::Result<Option<Vec<String>>> {
+        let mut raw = String::new();
+        // Accumulate physical lines until quotes balance (embedded \n).
+        loop {
+            let mut line = String::new();
+            let n = self.input.read_line(&mut line)?;
+            if n == 0 {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            raw.push_str(&line);
+            if raw.matches('"').count().is_multiple_of(2) {
+                break;
+            }
+        }
+        let raw = raw.trim_end_matches(['\n', '\r']);
+        if raw.is_empty() {
+            // Skip blank lines between records.
+            return self.next_row();
+        }
+
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if in_quotes => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '"' => in_quotes = true,
+                ',' if !in_quotes => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        Ok(Some(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrKind, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("t")
+            .column_pk("id", DataType::Int, AttrKind::Categorical)
+            .column("name", DataType::Str, AttrKind::Categorical)
+            .column("score", DataType::Float, AttrKind::Numeric)
+            .build()
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut pool = StringPool::new();
+        let mut t = Table::new(schema());
+        let a = pool.intern("plain");
+        let b = pool.intern("with, comma and \"quotes\"");
+        t.push_row(vec![Value::Int(1), Value::Str(a), Value::Float(0.5)])
+            .unwrap();
+        t.push_row(vec![Value::Int(2), Value::Str(b), Value::Null])
+            .unwrap();
+
+        let mut buf = Vec::new();
+        write_csv(&t, &pool, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("id,name,score\n"));
+        assert!(text.contains("\"with, comma and \"\"quotes\"\"\""));
+
+        let back = read_csv(schema(), &mut pool, &buf[..]).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.value(0, 0), Value::Int(1));
+        assert_eq!(back.value(1, 2), Value::Null);
+        match back.value(1, 1) {
+            Value::Str(id) => assert_eq!(pool.resolve(id), "with, comma and \"quotes\""),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_order_independent() {
+        let csv = "score,id,name\n1.5,7,x\n";
+        let mut pool = StringPool::new();
+        let t = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap();
+        assert_eq!(t.value(0, 0), Value::Int(7));
+        assert_eq!(t.value(0, 2), Value::Float(1.5));
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let csv = "id,name\n1,x\n";
+        let mut pool = StringPool::new();
+        let err = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchColumn { .. }));
+    }
+
+    #[test]
+    fn bad_number_is_a_type_error() {
+        let csv = "id,name,score\nnot_a_number,x,1.0\n";
+        let mut pool = StringPool::new();
+        let err = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let csv = "id,name,score\n1,\"line1\nline2\",2.0\n";
+        let mut pool = StringPool::new();
+        let t = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap();
+        match t.value(0, 1) {
+            Value::Str(id) => assert_eq!(pool.resolve(id), "line1\nline2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_empty_file_errors() {
+        let csv = "id,name,score\n\n1,x,1.0\n\n";
+        let mut pool = StringPool::new();
+        let t = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert!(read_csv(schema(), &mut pool, "".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// No column with this name exists in the table.
+    NoSuchColumn {
+        /// Table that was searched.
+        table: String,
+        /// Column that was requested.
+        column: String,
+    },
+    /// A value's type does not match the column's declared [`crate::DataType`].
+    TypeMismatch {
+        /// Column being written.
+        column: String,
+        /// Declared type of the column.
+        expected: &'static str,
+        /// Type of the offending value.
+        got: &'static str,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// A foreign key referenced a missing table or column.
+    InvalidForeignKey(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            StorageError::NoSuchTable(name) => write!(f, "no such table `{name}`"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {got}"
+            ),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} fields, row has {got}")
+            }
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (table has {len} rows)")
+            }
+            StorageError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::NoSuchColumn {
+            table: "game".into(),
+            column: "bogus".into(),
+        };
+        assert!(e.to_string().contains("bogus"));
+        assert!(e.to_string().contains("game"));
+
+        let e = StorageError::TypeMismatch {
+            column: "pts".into(),
+            expected: "Int",
+            got: "Str",
+        };
+        assert!(e.to_string().contains("pts"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&StorageError::TableExists("x".into()));
+    }
+}

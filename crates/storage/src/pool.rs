@@ -1,0 +1,136 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an interned string inside a [`StringPool`].
+///
+/// Categorical column data is stored as `StrId`s, so the pattern-matching
+/// hot loops (Definition 5 / Definition 7 of the paper) compare 4-byte ids
+/// instead of string contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
+impl StrId {
+    /// The raw index into the pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dictionary of interned strings shared by all tables of a [`crate::Database`].
+///
+/// Interning is append-only: ids are stable for the lifetime of the pool.
+#[derive(Debug, Default, Clone)]
+pub struct StringPool {
+    strings: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, StrId>,
+}
+
+impl StringPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its stable id. Idempotent.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(Arc::clone(&arc));
+        self.index.insert(arc, id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<StrId> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an id back to its string. Panics on a foreign id.
+    #[inline]
+    pub fn resolve(&self, id: StrId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Resolves an id if it belongs to this pool.
+    pub fn try_resolve(&self, id: StrId) -> Option<&str> {
+        self.strings.get(id.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no string has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut p = StringPool::new();
+        let a = p.intern("GSW");
+        let b = p.intern("GSW");
+        assert_eq!(a, b);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut p = StringPool::new();
+        let a = p.intern("a");
+        let b = p.intern("b");
+        let c = p.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(p.resolve(b), "b");
+        // Re-interning earlier strings does not shift ids.
+        assert_eq!(p.intern("a"), a);
+        assert_eq!(p.resolve(c), "c");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut p = StringPool::new();
+        assert!(p.get("x").is_none());
+        p.intern("x");
+        assert!(p.get("x").is_some());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_ids() {
+        let p = StringPool::new();
+        assert!(p.try_resolve(StrId(42)).is_none());
+    }
+
+    proptest! {
+        /// Round trip: resolve(intern(s)) == s, for arbitrary strings.
+        #[test]
+        fn prop_intern_round_trip(strings in proptest::collection::vec(".*", 0..32)) {
+            let mut p = StringPool::new();
+            let ids: Vec<_> = strings.iter().map(|s| p.intern(s)).collect();
+            for (s, id) in strings.iter().zip(ids) {
+                prop_assert_eq!(p.resolve(id), s.as_str());
+            }
+        }
+
+        /// Distinct strings get distinct ids; equal strings get equal ids.
+        #[test]
+        fn prop_intern_injective(a in ".*", b in ".*") {
+            let mut p = StringPool::new();
+            let ia = p.intern(&a);
+            let ib = p.intern(&b);
+            prop_assert_eq!(a == b, ia == ib);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Composite-key encoding for hash joins and group-by.
+//!
+//! Join and grouping keys are multi-column; hashing a `Vec<Value>` per row
+//! would allocate and branch heavily. Instead we serialize the key columns
+//! of a row into a compact byte buffer (via [`bytes::BufMut`]) that is then
+//! used directly as the hash-map key. Encoding is injective per value —
+//! every value is prefixed by a type tag — so two rows encode to the same
+//! bytes iff their key values are pairwise `sql_eq`-equal (with ints
+//! canonicalized to the float encoding when a float ever participates is
+//! avoided by encoding ints and whole floats identically).
+//!
+//! NULL keys encode to a sentinel that never equals another row's key,
+//! matching SQL semantics where `NULL = NULL` is not true: callers should
+//! use [`encode_key`]'s `None` result to drop such rows from equi-joins.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::value::Value;
+
+/// Tag bytes for the injective encoding.
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Encodes one value into `buf`. Returns `false` for NULL (caller should
+/// discard the row for equi-join purposes).
+#[inline]
+pub fn encode_value(buf: &mut BytesMut, v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Int(i) => {
+            // Whole-valued floats must encode identically to the equal int
+            // so that `Int(2)` joins with `Float(2.0)` (sql_eq semantics).
+            buf.put_u8(TAG_INT);
+            buf.put_i64(*i);
+            true
+        }
+        Value::Float(f) => {
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                buf.put_u8(TAG_INT);
+                buf.put_i64(*f as i64);
+            } else {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_u64(f.to_bits());
+            }
+            true
+        }
+        Value::Str(id) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32(id.0);
+            true
+        }
+    }
+}
+
+/// Encodes a composite key. Returns `None` if any component is NULL.
+pub fn encode_key(values: &[Value]) -> Option<Vec<u8>> {
+    let mut buf = BytesMut::with_capacity(values.len() * 9);
+    for v in values {
+        if !encode_value(&mut buf, v) {
+            return None;
+        }
+    }
+    Some(buf.to_vec())
+}
+
+/// Encodes a composite key reusing a scratch buffer; returns `None` on NULL.
+/// The returned slice borrows the scratch buffer.
+pub fn encode_key_into<'a>(scratch: &'a mut BytesMut, values: &[Value]) -> Option<&'a [u8]> {
+    scratch.clear();
+    for v in values {
+        if !encode_value(scratch, v) {
+            return None;
+        }
+    }
+    Some(&scratch[..])
+}
+
+/// Encodes a composite *grouping* key: NULLs are allowed and all encode to
+/// the same sentinel, matching SQL `GROUP BY` semantics where all NULLs form
+/// one group (unlike equi-join keys, which drop NULL rows).
+pub fn encode_group_key(values: &[Value]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(values.len() * 9);
+    for v in values {
+        if !encode_value(&mut buf, v) {
+            buf.put_u8(0); // NULL tag
+        }
+    }
+    buf.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::StrId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn null_key_is_rejected() {
+        assert!(encode_key(&[Value::Int(1), Value::Null]).is_none());
+    }
+
+    #[test]
+    fn int_and_whole_float_encode_identically() {
+        let a = encode_key(&[Value::Int(2)]).unwrap();
+        let b = encode_key(&[Value::Float(2.0)]).unwrap();
+        assert_eq!(a, b);
+        let c = encode_key(&[Value::Float(2.5)]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn encoding_is_injective_across_types() {
+        // Str(2) must not collide with Int(2).
+        let s = encode_key(&[Value::Str(StrId(2))]).unwrap();
+        let i = encode_key(&[Value::Int(2)]).unwrap();
+        assert_ne!(s, i);
+    }
+
+    #[test]
+    fn composite_keys_do_not_blur_boundaries() {
+        // (1, 2) vs (12,) — tags and fixed widths prevent concatenation tricks.
+        let a = encode_key(&[Value::Int(1), Value::Int(2)]).unwrap();
+        let b = encode_key(&[Value::Int(12)]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_encoding() {
+        let mut scratch = BytesMut::new();
+        let vals = [Value::Int(5), Value::Str(StrId(7))];
+        let fresh = encode_key(&vals).unwrap();
+        let reused = encode_key_into(&mut scratch, &vals).unwrap().to_vec();
+        assert_eq!(fresh, reused);
+    }
+
+    fn arb_nonnull() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+            (0u32..500).prop_map(|i| Value::Str(StrId(i))),
+        ]
+    }
+
+    proptest! {
+        /// Keys are equal iff all components are sql_eq-equal.
+        #[test]
+        fn prop_key_equality_matches_sql_eq(
+            a in proptest::collection::vec(arb_nonnull(), 1..4),
+            b in proptest::collection::vec(arb_nonnull(), 1..4),
+        ) {
+            let ka = encode_key(&a).unwrap();
+            let kb = encode_key(&b).unwrap();
+            let all_eq = a.len() == b.len()
+                && a.iter().zip(&b).all(|(x, y)| x.sql_eq(y));
+            prop_assert_eq!(ka == kb, all_eq);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+use serde::Serialize;
+
+/// Physical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Interned string.
+    Str,
+}
+
+impl DataType {
+    /// Human-readable type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+        }
+    }
+}
+
+/// Mining-level kind of an attribute (paper Definition 5).
+///
+/// Categorical attributes admit only `=` predicates in summarization
+/// patterns; numeric attributes also admit `≤`/`≥`. The kind is independent
+/// of the physical type: an integer id column is categorical, an integer
+/// points column is numeric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AttrKind {
+    /// Equality-only attribute.
+    Categorical,
+    /// Ordered attribute admitting threshold predicates.
+    Numeric,
+}
+
+/// One attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Field {
+    /// Attribute name (unique within the relation).
+    pub name: String,
+    /// Physical type.
+    pub dtype: DataType,
+    /// Mining kind (categorical vs. numeric).
+    pub kind: AttrKind,
+    /// True iff the attribute is part of the relation's primary key.
+    pub is_pk: bool,
+}
+
+/// Schema of one relation: name plus ordered fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Schema {
+    /// Relation name.
+    pub name: String,
+    /// Ordered attributes.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Index of the field named `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of the primary-key attributes, in schema order.
+    pub fn primary_key(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.is_pk)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// Fluent builder for [`Schema`].
+///
+/// ```
+/// use cajade_storage::{SchemaBuilder, DataType, AttrKind};
+/// let s = SchemaBuilder::new("game")
+///     .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+///     .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+///     .column("home_points", DataType::Int, AttrKind::Numeric)
+///     .build();
+/// assert_eq!(s.primary_key(), vec!["game_date", "home_id"]);
+/// ```
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema for relation `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a non-key column.
+    pub fn column(mut self, name: impl Into<String>, dtype: DataType, kind: AttrKind) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            dtype,
+            kind,
+            is_pk: false,
+        });
+        self
+    }
+
+    /// Adds a primary-key column.
+    pub fn column_pk(mut self, name: impl Into<String>, dtype: DataType, kind: AttrKind) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            dtype,
+            kind,
+            is_pk: true,
+        });
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Schema {
+        debug_assert!(
+            {
+                let mut names: Vec<_> = self.fields.iter().map(|f| &f.name).collect();
+                names.sort();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate column names in schema `{}`",
+            self.name
+        );
+        Schema {
+            name: self.name,
+            fields: self.fields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        SchemaBuilder::new("player_game_stats")
+            .column_pk("game_date", DataType::Str, AttrKind::Categorical)
+            .column_pk("home_id", DataType::Int, AttrKind::Categorical)
+            .column_pk("player_id", DataType::Int, AttrKind::Categorical)
+            .column("points", DataType::Int, AttrKind::Numeric)
+            .column("minutes", DataType::Float, AttrKind::Numeric)
+            .build()
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = demo();
+        assert_eq!(s.field_index("points"), Some(3));
+        assert_eq!(s.field_index("nope"), None);
+        assert_eq!(s.field("minutes").unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn composite_primary_key() {
+        let s = demo();
+        assert_eq!(s.primary_key(), vec!["game_date", "home_id", "player_id"]);
+        assert_eq!(s.arity(), 5);
+    }
+
+    #[test]
+    fn kind_is_independent_of_dtype() {
+        let s = demo();
+        // Integer id column is categorical, integer points column numeric.
+        assert_eq!(s.field("player_id").unwrap().kind, AttrKind::Categorical);
+        assert_eq!(s.field("points").unwrap().kind, AttrKind::Numeric);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate baseline integration: Explanation Tables and CAPE against
+//! the synthetic NBA data, and the provenance-only arm against CaJaDE.
+
+use cajade::baselines::{
+    explain_outlier, provenance_only_explanations, CapeQuestion, Direction, EtConfig,
+    ExplanationTables,
+};
+use cajade::graph::{Apt, JoinGraph};
+use cajade::mining::{MiningParams, Question, SelAttr};
+use cajade::prelude::*;
+use cajade::query::ProvenanceTable;
+
+fn setup() -> (cajade::datagen::GeneratedDb, Query) {
+    let gen = cajade::datagen::nba::generate(NbaConfig::tiny());
+    let q = parse_sql(
+        "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' \
+         GROUP BY s.season_name",
+    )
+    .unwrap();
+    (gen, q)
+}
+
+#[test]
+fn et_runtime_grows_with_sample_size() {
+    let (gen, q) = setup();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    let t1 = pt
+        .find_group(&gen.db, &q, &[("season_name", "2015-16")])
+        .unwrap();
+    let outcome: Vec<bool> = (0..apt.num_rows)
+        .map(|r| pt.group_of[apt.pt_row[r] as usize] as usize == t1)
+        .collect();
+
+    let mut times = Vec::new();
+    for sample_size in [16usize, 128] {
+        let t0 = std::time::Instant::now();
+        let et = ExplanationTables::fit(
+            &apt,
+            &outcome,
+            &EtConfig {
+                sample_size,
+                num_patterns: 10,
+                ..Default::default()
+            },
+        );
+        times.push(t0.elapsed());
+        assert!(!et.patterns.is_empty());
+    }
+    // The Fig.-11 shape: 8× the sample ⇒ much more than 2× the time.
+    // (Generous bound: debug builds are noisy.)
+    assert!(
+        times[1] > times[0],
+        "ET at 128 ({:?}) should exceed ET at 16 ({:?})",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn cape_counterbalances_are_opposite_direction() {
+    let (gen, q) = setup();
+    let result = cajade::query::execute(&gen.db, &q).unwrap();
+    let row = result
+        .find_row(&gen.db, &[("season_name", "2015-16")])
+        .unwrap();
+    let expl = explain_outlier(
+        &gen.db,
+        &result,
+        "win",
+        &CapeQuestion {
+            row,
+            direction: Direction::High,
+        },
+        5,
+    );
+    assert!(!expl.is_empty());
+    assert!(expl.iter().all(|e| e.residual < 0.0));
+    // The weakest seasons of the planted story appear among them.
+    assert!(
+        expl.iter().any(|e| e.rendered.contains("2011-12")),
+        "the 23-win season counterbalances the 73-win season: {expl:?}"
+    );
+}
+
+#[test]
+fn provenance_only_is_a_strict_subset_of_cajade_context() {
+    let (gen, q) = setup();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let t1 = pt
+        .find_group(&gen.db, &q, &[("season_name", "2015-16")])
+        .unwrap();
+    let t2 = pt
+        .find_group(&gen.db, &q, &[("season_name", "2012-13")])
+        .unwrap();
+    let params = MiningParams {
+        sel_attr: SelAttr::Count(5),
+        lambda_f1_samp: 1.0,
+        lambda_pat_samp: 1.0,
+        ..Default::default()
+    };
+    let (prov, apt) =
+        provenance_only_explanations(&gen.db, &pt, &Question::TwoPoint { t1, t2 }, &params)
+            .unwrap();
+    assert!(!prov.is_empty());
+    // Provenance-only never sees context tables: the PT-only APT exposes
+    // exactly the accessed relations' attributes.
+    assert!(apt.fields.iter().all(|f| f.from_pt));
+
+    // The full session can reach attributes provenance-only cannot
+    // (player stats, salaries, …).
+    let session = ExplanationSession::new(&gen.db, &gen.schema_graph, Params::fast());
+    let out = session
+        .explain_between(
+            &q,
+            &[("season_name", "2015-16")],
+            &[("season_name", "2012-13")],
+        )
+        .unwrap();
+    let context_attrs: Vec<&String> = out
+        .explanations
+        .iter()
+        .filter(|e| !e.from_pt_only)
+        .flat_map(|e| e.preds.iter().map(|(a, _, _)| a))
+        .collect();
+    assert!(
+        !context_attrs.is_empty(),
+        "the session reaches beyond provenance"
+    );
+}
+
+#[test]
+fn et_patterns_carry_support_and_rate() {
+    let (gen, q) = setup();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let apt = Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap();
+    let outcome: Vec<bool> = (0..apt.num_rows).map(|r| r % 2 == 0).collect();
+    let cfg = EtConfig {
+        sample_size: 40,
+        num_patterns: 6,
+        ..Default::default()
+    };
+    let et = ExplanationTables::fit(&apt, &outcome, &cfg);
+    for p in &et.patterns {
+        assert!(p.support > 0);
+        assert!((0.0..=1.0).contains(&p.outcome_rate));
+        assert!(p.gain >= 0.0);
+    }
+    // Rendering produces one description per pattern.
+    let rendered = et.render(&apt, gen.db.pool(), &cfg);
+    assert_eq!(rendered.len(), et.patterns.len());
+}

@@ -1,0 +1,257 @@
+//! Regression tests pinned to the paper's running example: the Figure-1
+//! tables, Example 2's provenance partition, Example 4's APT (Figure 4),
+//! and the Example-5 star-player pattern Φ₁.
+
+use cajade::graph::{Apt, JoinCond, SchemaGraph};
+use cajade::mining::{PatValue, Pattern, Pred, PredOp, Question, Scorer};
+use cajade::prelude::*;
+use cajade::query::ProvenanceTable;
+use cajade_core::UserQuestion;
+
+/// Builds the Figure-1 database: `game` (1a) and `player_game_scoring`
+/// (1c), with the Fig.-3 schema-graph edge e1 (join on the game key).
+fn figure1_db() -> (Database, SchemaGraph) {
+    let mut db = Database::new("figure1");
+    db.create_table(
+        cajade::storage::SchemaBuilder::new("game")
+            .column_pk("year", DataType::Int, AttrKind::Categorical)
+            .column_pk("month", DataType::Int, AttrKind::Categorical)
+            .column_pk("day", DataType::Int, AttrKind::Categorical)
+            .column_pk("home", DataType::Str, AttrKind::Categorical)
+            .column("away", DataType::Str, AttrKind::Categorical)
+            .column("home_pts", DataType::Int, AttrKind::Numeric)
+            .column("away_pts", DataType::Int, AttrKind::Numeric)
+            .column("winner", DataType::Str, AttrKind::Categorical)
+            .column("season", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        cajade::storage::SchemaBuilder::new("player_game_scoring")
+            .column_pk("player", DataType::Str, AttrKind::Categorical)
+            .column_pk("year", DataType::Int, AttrKind::Categorical)
+            .column_pk("month", DataType::Int, AttrKind::Categorical)
+            .column_pk("day", DataType::Int, AttrKind::Categorical)
+            .column_pk("home", DataType::Str, AttrKind::Categorical)
+            .column("pts", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+
+    // Figure 1a: g1..g5.
+    let games = [
+        (2013, 1, 2, "MIA", "DAL", 119, 109, "MIA", "2012-13"),
+        (2012, 12, 5, "DET", "GSW", 97, 104, "GSW", "2012-13"),
+        (2015, 10, 27, "GSW", "NOP", 111, 95, "GSW", "2015-16"),
+        (2014, 1, 5, "GSW", "WAS", 96, 112, "GSW", "2013-14"),
+        (2016, 1, 22, "GSW", "IND", 122, 110, "GSW", "2015-16"),
+    ];
+    for (y, m, d, h, a, hp, ap, w, s) in games {
+        let row = vec![
+            Value::Int(y),
+            Value::Int(m),
+            Value::Int(d),
+            Value::Str(db.intern(h)),
+            Value::Str(db.intern(a)),
+            Value::Int(hp),
+            Value::Int(ap),
+            Value::Str(db.intern(w)),
+            Value::Str(db.intern(s)),
+        ];
+        db.table_mut("game").unwrap().push_row(row).unwrap();
+    }
+    // Figure 1c: p1..p6.
+    let scoring = [
+        ("S. Curry", 2012, 12, 5, "DET", 22),
+        ("S. Curry", 2015, 10, 27, "GSW", 40),
+        ("S. Curry", 2016, 1, 22, "GSW", 39),
+        ("K. Thompson", 2012, 12, 5, "DET", 27),
+        ("K. Thompson", 2016, 1, 22, "GSW", 18), // p5 home fixed to the game key
+        ("D. Green", 2012, 12, 5, "DET", 2),
+    ];
+    for (p, y, m, d, h, pts) in scoring {
+        let row = vec![
+            Value::Str(db.intern(p)),
+            Value::Int(y),
+            Value::Int(m),
+            Value::Int(d),
+            Value::Str(db.intern(h)),
+            Value::Int(pts),
+        ];
+        db.table_mut("player_game_scoring")
+            .unwrap()
+            .push_row(row)
+            .unwrap();
+    }
+
+    // Fig. 3's edge e1: PT(game) ⋈ player_game_scoring on the game key.
+    let mut sg = SchemaGraph::new();
+    sg.add_condition(
+        "game",
+        "player_game_scoring",
+        JoinCond::on(&[
+            ("year", "year"),
+            ("month", "month"),
+            ("day", "day"),
+            ("home", "home"),
+        ]),
+    );
+    sg.validate(&db).unwrap();
+    (db, sg)
+}
+
+fn q1() -> Query {
+    parse_sql(
+        "SELECT winner AS team, season, COUNT(*) AS win \
+         FROM game WHERE winner = 'GSW' GROUP BY winner, season",
+    )
+    .unwrap()
+}
+
+/// Example 2: PT(Q1,D) = {g2,g3,g4,g5}; PT(Q1,D,t1) = {g2};
+/// PT(Q1,D,t2) = {g3,g5}.
+#[test]
+fn example2_provenance() {
+    let (db, _sg) = figure1_db();
+    let pt = ProvenanceTable::compute(&db, &q1()).unwrap();
+    assert_eq!(pt.num_rows, 4);
+    let t1 = pt.find_group(&db, &q1(), &[("season", "2012-13")]).unwrap();
+    let t2 = pt.find_group(&db, &q1(), &[("season", "2015-16")]).unwrap();
+    assert_eq!(pt.group_size(t1), 1);
+    assert_eq!(pt.group_size(t2), 2);
+}
+
+/// Example 4 / Figure 4: APT(Q1, D, Ω1) has exactly the six rows shown.
+#[test]
+fn example4_apt_matches_figure4() {
+    let (db, sg) = figure1_db();
+    let pt = ProvenanceTable::compute(&db, &q1()).unwrap();
+    // Ω1: PT — player_game_scoring on the e1 condition.
+    // Note: on this *simplified* Figure-1 schema Ω1 fails §4's PK-coverage
+    // check (no `player` table covers scoring's `player` key — the full
+    // Fig.-5 schema joins player_game_stats–player for exactly that
+    // reason), so we materialize the enumerated graph directly.
+    let graphs =
+        cajade::graph::enumerate_join_graphs(&sg, &db, &q1(), pt.num_rows, &Default::default())
+            .unwrap();
+    let omega1 = graphs
+        .iter()
+        .find(|g| g.graph.num_edges() == 1)
+        .expect("Ω1 enumerated");
+    let apt = Apt::materialize(&db, &pt, &omega1.graph).unwrap();
+    assert_eq!(apt.num_rows, 6, "Figure 4 shows six APT rows");
+    // Join columns deduplicated (Definition 4): scoring's year is gone,
+    // pts survives.
+    assert!(apt.field_index("player_game_scoring.pts").is_some());
+    assert!(apt.field_index("player_game_scoring.year").is_none());
+}
+
+/// Example 5: Φ1 = (player = 'S. Curry', pts ≥ 23) covers both 2015-16
+/// provenance rows and neither 2012-13 row (on the Figure-1 sample).
+#[test]
+fn example5_star_player_pattern() {
+    let (db, sg) = figure1_db();
+    let pt = ProvenanceTable::compute(&db, &q1()).unwrap();
+    let graphs =
+        cajade::graph::enumerate_join_graphs(&sg, &db, &q1(), pt.num_rows, &Default::default())
+            .unwrap();
+    let omega1 = graphs
+        .iter()
+        .find(|g| g.graph.num_edges() == 1)
+        .unwrap();
+    let apt = Apt::materialize(&db, &pt, &omega1.graph).unwrap();
+
+    let player = apt.field_index("player_game_scoring.player").unwrap();
+    let pts = apt.field_index("player_game_scoring.pts").unwrap();
+    let curry = db.lookup_str("S. Curry").unwrap();
+    let phi1 = Pattern::from_preds(vec![
+        (player, Pred { op: PredOp::Eq, value: PatValue::Str(curry.0) }),
+        (pts, Pred { op: PredOp::Ge, value: PatValue::Int(23) }),
+    ]);
+
+    let t1 = pt.find_group(&db, &q1(), &[("season", "2015-16")]).unwrap();
+    let t2 = pt.find_group(&db, &q1(), &[("season", "2012-13")]).unwrap();
+    let scorer = Scorer::exact(&apt, &pt);
+    let m = scorer.score(&phi1, t1, Some(t2));
+    // The paper's (58/73 vs 21/47) at full scale; on the Figure-1 sample:
+    assert_eq!((m.tp, m.a1, m.fp, m.a2), (2, 2, 0, 1));
+    assert_eq!(m.f_score, 1.0);
+}
+
+/// End-to-end: the session mines Φ1's shape from the Figure-1 data.
+#[test]
+fn session_rediscovers_phi1() {
+    let (db, sg) = figure1_db();
+    let mut params = Params::fast();
+    params.mining.sel_attr = cajade::core::SelAttr::All;
+    params.mining.lambda_recall = 0.5;
+    params.check_pk_coverage = false; // simplified schema, see above
+    let session = ExplanationSession::new(&db, &sg, params);
+    let out = session
+        .explain(
+            &q1(),
+            &UserQuestion::two_point(&[("season", "2015-16")], &[("season", "2012-13")]),
+        )
+        .unwrap();
+    assert!(!out.explanations.is_empty());
+    // Some top explanation references Curry or his points jump.
+    let hit = out.explanations.iter().any(|e| {
+        e.pattern_desc.contains("S. Curry")
+            || e.preds.iter().any(|(a, op, _)| a.contains("pts") && op == "≥")
+    });
+    assert!(
+        hit,
+        "expected a Φ1-shaped explanation, got: {:#?}",
+        out.explanations
+            .iter()
+            .map(|e| e.render_line())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The question resolution path works through the session API too.
+#[test]
+fn question_uses_group_by_columns() {
+    let (db, sg) = figure1_db();
+    let session = ExplanationSession::new(&db, &sg, Params::fast());
+    // `team` is an alias in SELECT; groups resolve by source column names.
+    let err = session
+        .explain(
+            &q1(),
+            &UserQuestion::two_point(&[("season", "1999-00")], &[("season", "2012-13")]),
+        )
+        .unwrap_err();
+    assert!(matches!(err, cajade::core::CoreError::NoSuchOutputTuple(_)));
+}
+
+/// Single-point question on the Figure-1 data: explain 2015-16 vs rest.
+#[test]
+fn single_point_on_figure1() {
+    let (db, sg) = figure1_db();
+    let pt = ProvenanceTable::compute(&db, &q1()).unwrap();
+    let t2 = pt.find_group(&db, &q1(), &[("season", "2015-16")]).unwrap();
+    let graphs =
+        cajade::graph::enumerate_join_graphs(&sg, &db, &q1(), pt.num_rows, &Default::default())
+            .unwrap();
+    let omega1 = graphs
+        .iter()
+        .find(|g| g.graph.num_edges() == 1)
+        .unwrap();
+    let apt = Apt::materialize(&db, &pt, &omega1.graph).unwrap();
+    let outcome = cajade::mining::mine_apt(
+        &apt,
+        &pt,
+        &Question::SinglePoint { t: t2 },
+        &cajade::mining::MiningParams {
+            lambda_pat_samp: 1.0,
+            lambda_f1_samp: 1.0,
+            sel_attr: cajade::core::SelAttr::All,
+            ..Default::default()
+        },
+    );
+    assert!(!outcome.explanations.is_empty());
+    for e in &outcome.explanations {
+        assert_eq!(e.primary_group, t2);
+        assert!(e.secondary_group.is_none());
+    }
+}

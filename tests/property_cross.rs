@@ -1,0 +1,184 @@
+//! Cross-crate property tests: the executor against a nested-loop
+//! reference implementation on random databases, and end-to-end metric
+//! invariants.
+
+use proptest::prelude::*;
+
+use cajade::graph::{Apt, JoinGraph};
+use cajade::mining::{PatValue, Pattern, Pred, PredOp, Scorer};
+use cajade::prelude::*;
+use cajade::query::ProvenanceTable;
+use cajade::storage::SchemaBuilder;
+
+/// Random two-table database: `fact(id, grp, key, x)` and `dim(key, y)`.
+#[derive(Debug, Clone)]
+struct RandomDb {
+    fact: Vec<(i64, u8, i64, i64)>,
+    dim: Vec<(i64, i64)>,
+}
+
+fn arb_db() -> impl Strategy<Value = RandomDb> {
+    (
+        proptest::collection::vec((0i64..50, 0u8..3, 0i64..8, -20i64..20), 1..40),
+        proptest::collection::vec((0i64..8, -20i64..20), 0..16),
+    )
+        .prop_map(|(fact, dim)| RandomDb { fact, dim })
+}
+
+fn build(db_spec: &RandomDb) -> Database {
+    let mut db = Database::new("prop");
+    db.create_table(
+        SchemaBuilder::new("fact")
+            .column_pk("id", DataType::Int, AttrKind::Categorical)
+            .column("grp", DataType::Str, AttrKind::Categorical)
+            .column("key", DataType::Int, AttrKind::Categorical)
+            .column("x", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    db.create_table(
+        SchemaBuilder::new("dim")
+            .column_pk("key", DataType::Int, AttrKind::Categorical)
+            .column("y", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    let groups = ["a", "b", "c"].map(|g| db.intern(g));
+    for (i, (id, grp, key, x)) in db_spec.fact.iter().enumerate() {
+        db.table_mut("fact")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(*id + i as i64 * 100), // unique ids
+                Value::Str(groups[*grp as usize]),
+                Value::Int(*key),
+                Value::Int(*x),
+            ])
+            .unwrap();
+    }
+    for (key, y) in &db_spec.dim {
+        db.table_mut("dim")
+            .unwrap()
+            .push_row(vec![Value::Int(*key), Value::Int(*y)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// COUNT(*) per group via the hash executor equals a nested-loop count.
+    #[test]
+    fn join_count_matches_nested_loop_reference(spec in arb_db()) {
+        let db = build(&spec);
+        let q = parse_sql(
+            "SELECT COUNT(*) AS c, grp FROM fact f, dim d WHERE f.key = d.key GROUP BY grp",
+        ).unwrap();
+        let r = cajade::query::execute(&db, &q).unwrap();
+
+        // Reference: nested loop over the spec.
+        let mut expected = std::collections::BTreeMap::new();
+        for (_, grp, key, _) in &spec.fact {
+            for (dkey, _) in &spec.dim {
+                if key == dkey {
+                    *expected.entry(*grp).or_insert(0i64) += 1;
+                }
+            }
+        }
+        let names = ["a", "b", "c"];
+        let c_idx = r.table.schema().field_index("c").unwrap();
+        for (grp, count) in expected {
+            let row = r.find_row(&db, &[("grp", names[grp as usize])])
+                .expect("group present in output");
+            prop_assert_eq!(r.table.value(row, c_idx), Value::Int(count));
+        }
+        // No spurious groups either.
+        let expected_groups = {
+            let mut set = std::collections::BTreeSet::new();
+            for (_, grp, key, _) in &spec.fact {
+                if spec.dim.iter().any(|(dk, _)| dk == key) {
+                    set.insert(*grp);
+                }
+            }
+            set
+        };
+        prop_assert_eq!(r.num_rows(), expected_groups.len());
+    }
+
+    /// Provenance partitions the joined rows: group sizes sum to |PT|.
+    #[test]
+    fn provenance_partitions(spec in arb_db()) {
+        let db = build(&spec);
+        let q = parse_sql(
+            "SELECT COUNT(*) AS c, grp FROM fact f, dim d WHERE f.key = d.key GROUP BY grp",
+        ).unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let total: usize = (0..pt.num_groups()).map(|g| pt.group_size(g)).sum();
+        prop_assert_eq!(total, pt.num_rows);
+    }
+
+    /// Scorer invariants on arbitrary threshold patterns: tp ≤ a1,
+    /// fp ≤ a2, metrics in [0,1], and refinement never increases recall.
+    #[test]
+    fn metric_invariants(spec in arb_db(), thr in -20i64..20, thr2 in -20i64..20) {
+        let db = build(&spec);
+        let q = parse_sql("SELECT COUNT(*) AS c, grp FROM fact GROUP BY grp").unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        prop_assume!(pt.num_groups() >= 2);
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        let x = apt.field_index("prov_fact_x").unwrap();
+        let key = apt.field_index("prov_fact_key").unwrap();
+        let scorer = Scorer::exact(&apt, &pt);
+
+        let base = Pattern::from_preds(vec![(x, Pred { op: PredOp::Le, value: PatValue::Int(thr) })]);
+        let refined = base.refine(key, Pred { op: PredOp::Ge, value: PatValue::Int(thr2.rem_euclid(8)) });
+        for t in 0..pt.num_groups() {
+            let s = (t + 1) % pt.num_groups();
+            let m = scorer.score(&base, t, Some(s));
+            prop_assert!(m.tp <= m.a1);
+            prop_assert!(m.fp <= m.a2);
+            prop_assert!((0.0..=1.0).contains(&m.precision));
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!((0.0..=1.0).contains(&m.f_score));
+            let mr = scorer.score(&refined, t, Some(s));
+            prop_assert!(mr.recall <= m.recall + 1e-12, "Prop 3.1 violated");
+        }
+    }
+
+    /// APT fan-out never under-covers: every matching PT row is counted
+    /// exactly once regardless of how many dim rows extend it.
+    #[test]
+    fn coverage_counts_pt_rows_once(spec in arb_db()) {
+        let db = build(&spec);
+        let q = parse_sql("SELECT COUNT(*) AS c, grp FROM fact GROUP BY grp").unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        prop_assume!(pt.num_groups() >= 1);
+        // Join PT — dim on key (may fan out or drop rows).
+        let mut g = JoinGraph::pt_only();
+        g.nodes.push(cajade::graph::JgNode {
+            label: cajade::graph::NodeLabel::Rel("dim".into()),
+        });
+        g.edges.push(cajade::graph::JgEdge {
+            from: 0,
+            to: 1,
+            cond: cajade::graph::JoinCond::on(&[("key", "key")]),
+            schema_edge: 0,
+            cond_idx: 0,
+            pt_from_idx: Some(0),
+        });
+        let apt = Apt::materialize(&db, &pt, &g).unwrap();
+        let scorer = Scorer::exact(&apt, &pt);
+        let m = scorer.score(&Pattern::empty(), 0, None);
+        // TP = distinct PT rows of group 0 with ≥1 dim match.
+        let key_f = pt.field_index("prov_fact_key").unwrap();
+        let expected: usize = pt.rows_of_group[0]
+            .iter()
+            .filter(|&&r| {
+                let k = pt.value(r as usize, key_f);
+                spec.dim.iter().any(|(dk, _)| Value::Int(*dk).sql_eq(&k))
+            })
+            .count();
+        prop_assert_eq!(m.tp, expected);
+        prop_assert_eq!(m.a1, pt.group_size(0));
+    }
+}
