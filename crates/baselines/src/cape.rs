@@ -61,13 +61,7 @@ pub fn explain_outlier(
         .field_index(agg_col)
         .expect("aggregate column exists");
     let ys: Vec<f64> = (0..n)
-        .map(|r| {
-            result
-                .table
-                .value(r, agg_idx)
-                .as_f64()
-                .unwrap_or(f64::NAN)
-        })
+        .map(|r| result.table.value(r, agg_idx).as_f64().unwrap_or(f64::NAN))
         .collect();
 
     // Fit y = a + b·x on all points except the question's.

@@ -313,7 +313,7 @@ mod tests {
     use super::*;
     use cajade_graph::JoinGraph;
     use cajade_query::{parse_sql, ProvenanceTable};
-    use cajade_storage::{Database, DataType, SchemaBuilder};
+    use cajade_storage::{DataType, Database, SchemaBuilder};
 
     /// Outcome = (cat == 'hot') mostly; numeric `x` mildly informative.
     fn fixture() -> (Database, Apt, Vec<bool>) {

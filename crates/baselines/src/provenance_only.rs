@@ -51,13 +51,9 @@ mod tests {
             lambda_pat_samp: 1.0,
             ..Default::default()
         };
-        let (expl, apt) = provenance_only_explanations(
-            &gen.db,
-            &pt,
-            &Question::TwoPoint { t1, t2 },
-            &params,
-        )
-        .unwrap();
+        let (expl, apt) =
+            provenance_only_explanations(&gen.db, &pt, &Question::TwoPoint { t1, t2 }, &params)
+                .unwrap();
         assert!(!expl.is_empty(), "some provenance-only explanation found");
         // Every pattern attribute is a prov_ attribute.
         for e in &expl {

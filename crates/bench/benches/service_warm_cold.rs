@@ -1,0 +1,83 @@
+//! Cold-vs-warm question latency through the interactive explanation
+//! service (the service-layer counterpart of the paper's Fig. 10 runtime
+//! breakdown): a cold first question pays provenance + enumeration +
+//! materialization + mining; a repeated question is an answer-cache hit;
+//! a *new* question on warm caches pays mining only.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cajade_core::{Params, UserQuestion};
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_datagen::GeneratedDb;
+use cajade_service::{ExplanationService, ServiceConfig};
+
+const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
+     FROM team t, game g, season s \
+     WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+       AND t.team = 'GSW' GROUP BY s.season_name";
+
+fn config(answer_cache_bytes: usize) -> ServiceConfig {
+    ServiceConfig {
+        answer_cache_bytes,
+        params: Params::fast(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn question() -> UserQuestion {
+    UserQuestion::two_point(&[("season_name", "2015-16")], &[("season_name", "2012-13")])
+}
+
+fn primed_service(gen: &GeneratedDb, answer_cache_bytes: usize) -> ExplanationService {
+    let service = ExplanationService::new(config(answer_cache_bytes));
+    service.register_database("nba", gen.db.clone(), gen.schema_graph.clone());
+    service
+}
+
+fn bench_service_warm_cold(c: &mut Criterion) {
+    let gen = nba::generate(NbaConfig::scaled(0.05));
+    let mut group = c.benchmark_group("service_question_latency");
+    group.sample_size(10);
+
+    // Cold path: fresh service, first question pays every stage.
+    group.bench_function("cold_first_question", |b| {
+        b.iter(|| {
+            let service = primed_service(&gen, 64 * 1024 * 1024);
+            let session = service.open_session("nba", GSW_SQL).unwrap();
+            black_box(session.ask(&question()).unwrap())
+        })
+    });
+
+    // Warm repeat: the same question again — answer-cache hit, no
+    // pipeline stage runs.
+    group.bench_function("warm_repeat_question", |b| {
+        let service = primed_service(&gen, 64 * 1024 * 1024);
+        let session = service.open_session("nba", GSW_SQL).unwrap();
+        session.ask(&question()).unwrap();
+        b.iter(|| {
+            let a = black_box(session.ask(&question()).unwrap());
+            assert!(a.answer_cache_hit);
+            a
+        })
+    });
+
+    // Warm new question: answer cache disabled (budget 0) so every
+    // iteration re-mines against cached provenance + APTs — the §2.4
+    // "second and later questions skip straight to mining" path.
+    group.bench_function("warm_new_question_mines_only", |b| {
+        let service = primed_service(&gen, 0);
+        let session = service.open_session("nba", GSW_SQL).unwrap();
+        session.ask(&question()).unwrap();
+        b.iter(|| {
+            let a = black_box(session.ask(&question()).unwrap());
+            assert!(!a.answer_cache_hit && a.provenance_cache_hit);
+            assert_eq!(a.apt_cache_misses, 0);
+            a
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_warm_cold);
+criterion_main!(benches);

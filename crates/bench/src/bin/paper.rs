@@ -198,8 +198,16 @@ fn table1(_args: &Args) {
 /// {0.1, 0.3, 0.5, 1.0} vs. without feature selection.
 fn fig7(args: &Args) {
     for (name, gen, cq) in [
-        ("NBA (Fig. 7a shape)", nba_db(args.scale), find_case("Q_nba4")),
-        ("MIMIC (Fig. 7 shape)", mimic_db(args.scale), find_case("Q_mimic4")),
+        (
+            "NBA (Fig. 7a shape)",
+            nba_db(args.scale),
+            find_case("Q_nba4"),
+        ),
+        (
+            "MIMIC (Fig. 7 shape)",
+            mimic_db(args.scale),
+            find_case("Q_mimic4"),
+        ),
     ] {
         println!("## Figure 7 — feature selection, {name}\n");
         let rates = [0.1, 0.3, 0.5, 1.0];
@@ -286,7 +294,11 @@ fn fig9(args: &Args) {
         let mut last_breakdown: Option<SessionTimings> = None;
         for &s in &scales {
             let gen = build_scaled(dataset, s);
-            let cq = find_case(if dataset == "NBA" { "Q_nba4" } else { "Q_mimic4" });
+            let cq = find_case(if dataset == "NBA" {
+                "Q_nba4"
+            } else {
+                "Q_mimic4"
+            });
             let mut row = vec![format!("{s}"), gen.db.total_rows().to_string()];
             for &rate in &rates {
                 let p = harness_params(args).with_f1_sample_rate(rate);
@@ -351,7 +363,12 @@ fn fig10a(args: &Args) {
 fn fig10be(args: &Args) {
     println!("## Figure 10b–e — LCA sampling (runtime quadratic in sample size)\n");
     for (name, gen, cq, want_graph) in [
-        ("Ω1 (NBA, PT only)", nba_db(args.scale), find_case("Q_nba4"), "PT"),
+        (
+            "Ω1 (NBA, PT only)",
+            nba_db(args.scale),
+            find_case("Q_nba4"),
+            "PT",
+        ),
         (
             "Ω2 (NBA, PT - player_salary - player)",
             nba_db(args.scale),
@@ -701,7 +718,12 @@ fn table4(args: &Args) {
 /// Table 6 (+ App. Figures 22–24 with --top20).
 fn table6(args: &Args) {
     let gen = mimic_db(args.scale);
-    print_case_study(args, "Table 6 — MIMIC case study", &gen, mimic_case_questions());
+    print_case_study(
+        args,
+        "Table 6 — MIMIC case study",
+        &gen,
+        mimic_case_questions(),
+    );
 }
 
 fn study_inputs(args: &Args) -> (Vec<StudyExplanation>, Vec<Vec<f64>>) {
@@ -763,11 +785,7 @@ fn table8_cmd(args: &Args) {
     );
 }
 
-fn arm_mean(
-    rows: &[(f64, f64, f64, f64)],
-    expl: &[StudyExplanation],
-    cajade_arm: bool,
-) -> f64 {
+fn arm_mean(rows: &[(f64, f64, f64, f64)], expl: &[StudyExplanation], cajade_arm: bool) -> f64 {
     let v: Vec<f64> = rows
         .iter()
         .zip(expl)
@@ -788,9 +806,8 @@ fn table9_cmd(args: &Args) {
         .filter(|&i| explanations[i].cajade_arm)
         .collect();
 
-    let metric = |f: fn(&StudyExplanation) -> f64| -> Vec<f64> {
-        explanations.iter().map(f).collect()
-    };
+    let metric =
+        |f: fn(&StudyExplanation) -> f64| -> Vec<f64> { explanations.iter().map(f).collect() };
     let metrics: [(&str, Vec<f64>); 3] = [
         ("F-score", metric(|e| e.f_score)),
         ("recall", metric(|e| e.recall)),

@@ -68,18 +68,15 @@ pub fn build_study_explanations(gen: &GeneratedDb, query: &Query) -> Vec<StudyEx
     .expect("provenance-only mining");
 
     // CaJaDE arm: full session, top-5 context explanations.
-    let mut params = Params::case_study()
-        .with_banned_attrs(&["season__id", "season_name", "season.season"]);
+    let mut params =
+        Params::case_study().with_banned_attrs(&["season__id", "season_name", "season.season"]);
     params.max_edges = 2;
     params.top_k_global = 20;
     let session = ExplanationSession::new(&gen.db, &gen.schema_graph, params);
     let out = session
         .explain(
             query,
-            &UserQuestion::two_point(
-                &[("season_name", "2015-16")],
-                &[("season_name", "2012-13")],
-            ),
+            &UserQuestion::two_point(&[("season_name", "2015-16")], &[("season_name", "2012-13")]),
         )
         .expect("session");
     let cajade_top: Vec<&Explanation> = out
@@ -107,7 +104,10 @@ pub fn build_study_explanations(gen: &GeneratedDb, query: &Query) -> Vec<StudyEx
     }
     for (i, e) in cajade_top.iter().enumerate() {
         let player_related = e.preds.iter().any(|(a, _, _)| {
-            a.contains("player") || a.contains("salary") || a.contains("minutes") || a.contains("usage")
+            a.contains("player")
+                || a.contains("salary")
+                || a.contains("minutes")
+                || a.contains("usage")
         });
         study.push(StudyExplanation {
             label: format!("Expl{}", i + 6),

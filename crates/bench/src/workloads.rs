@@ -165,10 +165,22 @@ pub struct CaseQuestion {
 /// functional dependencies (§6.2's noted limitation); names like
 /// `team.team` and `player.player_name` stay available.
 const NBA_BANNED: &[&str] = &[
-    "season_id", "season__id", "season_name", "season.season",
-    "game_date", "game__date", "team_id", "team__id", "player_id",
-    "player__id", "lineup_id", "lineup__id", "home__id", "away__id",
-    "winner__id", "date_start",
+    "season_id",
+    "season__id",
+    "season_name",
+    "season.season",
+    "game_date",
+    "game__date",
+    "team_id",
+    "team__id",
+    "player_id",
+    "player__id",
+    "lineup_id",
+    "lineup__id",
+    "home__id",
+    "away__id",
+    "winner__id",
+    "date_start",
 ];
 
 /// The NBA case-study questions (Table 4).
@@ -214,9 +226,18 @@ pub fn nba_case_questions() -> Vec<CaseQuestion> {
 
 /// Surrogate keys / timestamps excluded from MIMIC patterns.
 const MIMIC_BANNED: &[&str] = &[
-    "hadm_id", "hadm__id", "subject_id", "subject__id", "icustay_id",
-    "icustay__id", "admittime", "dischtime", "seq_num", "seq__num",
-    "icd9", "dob",
+    "hadm_id",
+    "hadm__id",
+    "subject_id",
+    "subject__id",
+    "icustay_id",
+    "icustay__id",
+    "admittime",
+    "dischtime",
+    "seq_num",
+    "seq__num",
+    "icd9",
+    "dob",
 ];
 
 /// The MIMIC case-study questions (Table 6).

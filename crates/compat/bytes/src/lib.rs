@@ -1,0 +1,129 @@
+//! Offline stand-in for the `bytes` crate: the growable [`BytesMut`]
+//! buffer plus the [`BufMut`] writer trait, backed by a plain `Vec<u8>`.
+//! Only the big-endian put methods the workspace's key encoder uses are
+//! provided.
+
+use std::ops::{Deref, DerefMut};
+
+/// Write interface for growable byte buffers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer (the mutable half of upstream `bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_methods_append_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u32(0x0203_0405);
+        b.put_i64(-1);
+        assert_eq!(b.len(), 13);
+        assert_eq!(&b[..5], &[1, 2, 3, 4, 5]);
+        assert_eq!(&b[5..], &[0xFF; 8]);
+    }
+
+    #[test]
+    fn clear_keeps_reuse_semantics() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"abc");
+        let snapshot = b.to_vec();
+        b.clear();
+        assert!(b.is_empty());
+        b.extend_from_slice(b"abc");
+        assert_eq!(b.to_vec(), snapshot);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`: the macro + builder subset the bench
+//! crate uses, with a plain timing loop instead of criterion's statistics.
+//!
+//! Behavioural contract with cargo (same as upstream criterion):
+//! `cargo bench` passes `--bench` to the harness, which triggers real
+//! measurement; `cargo test` runs the same binary *without* `--bench`, and
+//! every benchmark body executes exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the harness was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run each body once, no timing.
+    Test,
+    /// `cargo bench`: measure and report.
+    Bench,
+}
+
+/// Benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured body.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, filled by `iter` in bench mode.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `body`. In test mode the body runs exactly once.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.mode == Mode::Test {
+            black_box(body());
+            return;
+        }
+        // Warm-up + calibration: how many iterations fit in ~50ms?
+        let t0 = Instant::now();
+        let mut calib_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(50) {
+            black_box(body());
+            calib_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / calib_iters as f64;
+        // Budget ~1s of measurement across `sample_size` samples.
+        let total_iters = ((1.0 / per_iter) as u64).clamp(self.sample_size as u64, 1_000_000);
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+        let mut best = f64::INFINITY;
+        let mut sum = 0.0;
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            let ns = s.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            best = best.min(ns);
+            sum += ns;
+        }
+        self.mean_ns = sum / self.sample_size as f64;
+    }
+}
+
+fn render_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The harness entry object.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder: samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Reads the cargo-provided CLI args (`--bench` selects measure mode).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--bench") {
+            self.mode = Mode::Bench;
+        }
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, &id.into_id(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, id: &str, f: &mut F) {
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        mean_ns: f64::NAN,
+    };
+    match mode {
+        Mode::Test => {
+            println!("Testing {id} ... ");
+            f(&mut b);
+            println!("Testing {id} ... ok");
+        }
+        Mode::Bench => {
+            f(&mut b);
+            println!("{id:<50} time: {}", render_ns(b.mean_ns));
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self._parent.mode, self.sample_size, &full, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(self._parent.mode, self.sample_size, &full, &mut wrapped);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the harness `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("et", 32);
+        assert_eq!(id.id, "et/32");
+        assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            sample_size: 3,
+        };
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            sample_size: 3,
+            mean_ns: f64::NAN,
+        };
+        let mut x = 0u64;
+        b.iter(|| x = x.wrapping_add(1));
+        assert!(b.mean_ns.is_finite() && b.mean_ns >= 0.0);
+        let _ = &mut c;
+    }
+}

@@ -1,0 +1,833 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the property-testing subset its test suites use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter` / `boxed`, range and tuple and
+//! [`collection::vec`] strategies, [`string::string_regex`] over a small
+//! regex subset, `any::<T>()`, [`Just`], `prop_oneof!`, the `proptest!`
+//! macro family, and a deterministic [`test_runner::TestRunner`].
+//!
+//! Failing inputs are reported but **not shrunk** — acceptable for a
+//! vendored stand-in whose job is to keep the seed's property tests
+//! executable and deterministic.
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A value generator. `Value` is the generated type.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> PropMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            PropMap { base: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (regenerating otherwise).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> PropFilter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            PropFilter {
+                base: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct PropMap<B, F> {
+        pub(crate) base: B,
+        pub(crate) f: F,
+    }
+
+    impl<B, U, F> Strategy for PropMap<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.base.gen_value(rng))
+        }
+    }
+
+    /// `prop_filter` combinator (bounded rejection sampling).
+    pub struct PropFilter<B, F> {
+        pub(crate) base: B,
+        pub(crate) reason: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<B, F> Strategy for PropFilter<B, F>
+    where
+        B: Strategy,
+        F: Fn(&B::Value) -> bool,
+    {
+        type Value = B::Value;
+
+        fn gen_value(&self, rng: &mut StdRng) -> B::Value {
+            for _ in 0..10_000 {
+                let v = self.base.gen_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 10000 candidates", self.reason);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+),)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F2),
+    );
+
+    impl Strategy for &str {
+        type Value = String;
+
+        /// A bare string is treated as a regex, like upstream proptest.
+        fn gen_value(&self, rng: &mut StdRng) -> String {
+            let parsed = crate::string::parse_regex(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy '{self}': {e:?}"));
+            crate::string::gen_from_regex(&parsed, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::StdRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Marker strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Types with a default "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut StdRng) -> i64 {
+            // Mix full-range values with small ones so boundary-adjacent
+            // arithmetic gets exercised.
+            match rng.gen_range(0..4u8) {
+                0 => rng.gen::<u64>() as i64,
+                1 => rng.gen_range(-1000i64..1000),
+                2 => [i64::MIN, i64::MAX, 0, 1, -1][rng.gen_range(0..5usize)],
+                _ => rng.gen_range(-1_000_000i64..1_000_000),
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            match rng.gen_range(0..8u8) {
+                0 => [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0]
+                    [rng.gen_range(0..5usize)],
+                1 => f64::from_bits(rng.gen::<u64>()),
+                2 => rng.gen_range(-1e12..1e12),
+                _ => rng.gen_range(-1e3..1e3),
+            }
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> u32 {
+            rng.gen::<u32>()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::StdRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// The type of [`ANY`].
+    pub struct AnyBool;
+
+    /// Generates either boolean.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::StdRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector strategy with uniform length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-driven string strategies (a generation-oriented subset:
+    //! literals, `.`, `[...]` classes with ranges, and the quantifiers
+    //! `* + ? {m} {m,n}`).
+
+    use super::StdRng;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Regex parse error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Atom {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Piece {
+        pub(crate) atom: Atom,
+        pub(crate) min: usize,
+        pub(crate) max: usize,
+    }
+
+    pub(crate) fn parse_regex(pattern: &str) -> Result<Vec<Piece>, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            if hi < lo {
+                                return Err(Error(format!("bad class range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                            i += 2;
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    i += 1; // consume ']'
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                '*' | '+' | '?' | '{' | '}' | ']' => {
+                    return Err(Error(format!("unexpected '{}' at {}", chars[i], i)))
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or_else(|| Error("unterminated {}".into()))?
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        if let Some((lo, hi)) = body.split_once(',') {
+                            let lo = lo
+                                .trim()
+                                .parse::<usize>()
+                                .map_err(|e| Error(e.to_string()))?;
+                            let hi = hi
+                                .trim()
+                                .parse::<usize>()
+                                .map_err(|e| Error(e.to_string()))?;
+                            if hi < lo {
+                                return Err(Error(format!("bad repetition {{{body}}}")));
+                            }
+                            (lo, hi)
+                        } else {
+                            let n = body
+                                .trim()
+                                .parse::<usize>()
+                                .map_err(|e| Error(e.to_string()))?;
+                            (n, n)
+                        }
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(pieces)
+    }
+
+    fn gen_any_char(rng: &mut StdRng) -> char {
+        // Mostly printable ASCII, sometimes wider unicode (skipping
+        // surrogates via from_u32 retry).
+        match rng.gen_range(0..10u8) {
+            0..=7 => char::from(rng.gen_range(0x20u8..0x7F)),
+            8 => char::from_u32(rng.gen_range(0xA0u32..0x0250)).unwrap_or('¿'),
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                    break c;
+                }
+            },
+        }
+    }
+
+    pub(crate) fn gen_from_regex(pieces: &[Piece], rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for p in pieces {
+            let count = if p.min == p.max {
+                p.min
+            } else {
+                rng.gen_range(p.min..=p.max)
+            };
+            for _ in 0..count {
+                match &p.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = loop {
+                            let v = lo as u32 + rng.gen_range(0..span);
+                            if let Some(c) = char::from_u32(v) {
+                                break c;
+                            }
+                        };
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compiled regex string strategy.
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut StdRng) -> String {
+            gen_from_regex(&self.pieces, rng)
+        }
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        Ok(RegexStrategy {
+            pieces: parse_regex(pattern)?,
+        })
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner.
+
+    use super::StdRng;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — fails the whole test.
+        Fail(String),
+        /// Precondition not met — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A skipped case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Overall test failure returned by [`TestRunner::run`].
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Runs strategies against a test closure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config and a fixed seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x5EED_CA7A_DE00_0001),
+            }
+        }
+
+        /// Fixed-seed runner with default config (upstream parity name).
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        /// Runs `test` against `config.cases` generated inputs.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let reject_cap = self.config.cases as u64 * 64;
+            while passed < self.config.cases {
+                let value = strategy.gen_value(&mut self.rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > reject_cap {
+                            return Err(TestError {
+                                message: format!(
+                                    "too many rejected cases ({rejected}) after {passed} passes"
+                                ),
+                            });
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError {
+                            message: format!("case #{passed} failed: {msg}\ninput: {rendered}"),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property-test functions (upstream `proptest!` shape).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let outcome = runner.run(&($($strat,)+), |($($pat,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(e) = outcome {
+                panic!("proptest {}: {}", stringify!($name), e);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRunner;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(-1i64),
+            (0i64..10).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..20).contains(&v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_form_parses(mut xs in crate::collection::vec(0i64..5, 0..4)) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut runner = TestRunner::deterministic();
+        runner
+            .run(
+                &(
+                    crate::string::string_regex("z[a-z0-9_]{0,8}").unwrap(),
+                    crate::string::string_regex("[a-zA-Z '0-9]{0,12}").unwrap(),
+                ),
+                |(ident, text)| {
+                    prop_assert!(ident.starts_with('z'));
+                    prop_assert!(ident.len() <= 9);
+                    prop_assert!(ident
+                        .chars()
+                        .skip(1)
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+                    prop_assert!(text.len() <= 12);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn failures_carry_input_and_rejects_skip() {
+        let mut runner = TestRunner::deterministic();
+        let err = runner
+            .run(&(0i64..100,), |(x,)| {
+                prop_assume!(x % 2 == 0);
+                prop_assert!(x < 90, "x too large: {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.contains("x too large"));
+        assert!(err.message.contains("input:"));
+    }
+
+    #[test]
+    fn deterministic_runs_repeat() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(20));
+            runner
+                .run(&(0i64..1000,), |(x,)| {
+                    out.push(x);
+                    Ok(())
+                })
+                .unwrap();
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

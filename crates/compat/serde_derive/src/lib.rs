@@ -1,0 +1,20 @@
+//! No-op derive macros for the in-workspace `serde` stand-in.
+//!
+//! The stand-in's `Serialize`/`Deserialize` are blanket-implemented marker
+//! traits (the workspace writes its JSON by hand), so the derives have
+//! nothing to emit — they exist only so `#[derive(Serialize)]` attributes
+//! on seed types keep compiling without network access to real serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -188,7 +188,11 @@ mod tests {
         let mut params = Params::fast();
         params.max_edges = 1;
         let r = ExplanationSession::new(&gen.db, &gen.schema_graph, params)
-            .explain_between(&q, &[("season_name", "2015-16")], &[("season_name", "2012-13")])
+            .explain_between(
+                &q,
+                &[("season_name", "2015-16")],
+                &[("season_name", "2012-13")],
+            )
             .unwrap();
         let export = SessionExport::from_result(&r);
         assert_eq!(export.explanations.len(), r.explanations.len());

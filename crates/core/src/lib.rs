@@ -26,10 +26,11 @@ mod error;
 mod explanation;
 pub mod export;
 mod params;
+pub mod pipeline;
 mod session;
 mod timing;
 
-pub use cajade_mining::{SelAttr, Question};
+pub use cajade_mining::{Question, SelAttr};
 pub use error::CoreError;
 pub use explanation::Explanation;
 pub use export::{ExplanationExport, SessionExport};

@@ -140,7 +140,10 @@ impl Params {
                 "lambda_F1-samp".into(),
                 self.mining.lambda_f1_samp.to_string(),
             ),
-            ("lambda_recall".into(), self.mining.lambda_recall.to_string()),
+            (
+                "lambda_recall".into(),
+                self.mining.lambda_recall.to_string(),
+            ),
             ("lambda_#frag".into(), self.mining.num_frags.to_string()),
             ("lambda_qcost".into(), format!("{:.0} rows", self.max_cost)),
         ]

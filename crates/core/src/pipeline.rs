@@ -1,0 +1,267 @@
+//! Composable pipeline stages.
+//!
+//! The CaJaDE pipeline decomposes into five stages:
+//!
+//! ```text
+//! provenance ──► enumerate ──► materialize ──► mine ──► rank
+//! ```
+//!
+//! [`ExplanationSession::explain`](crate::ExplanationSession::explain)
+//! chains them for the one-shot API; the `cajade-service` crate chains the
+//! same stages around its provenance/APT caches so repeated questions on a
+//! query skip straight to mining. Stage outputs that are expensive to
+//! produce ([`ProvenanceTable`], [`Apt`]) travel behind `Arc` so a cache
+//! can hand the same materialization to many concurrent sessions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cajade_graph::{enumerate_join_graphs, Apt, EnumConfig, EnumeratedGraph, SchemaGraph};
+use cajade_mining::{mine_apt, MiningTimings, Question};
+use cajade_query::{execute, ProvenanceTable, Query, QueryResult};
+use cajade_storage::Database;
+use rayon::prelude::*;
+
+use crate::explanation::{rank_and_collapse, Explanation};
+use crate::params::Params;
+use crate::session::{SessionResult, UserQuestion};
+use crate::timing::SessionTimings;
+use crate::{CoreError, Result};
+
+/// Output of the provenance + enumeration stages for one `(db, query)`
+/// pair. Everything here is question-independent, which is what makes it
+/// cacheable across an interactive session's successive questions.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The query's result (for display and question resolution).
+    pub result: QueryResult,
+    /// The why-provenance table `PT(Q, D)`.
+    pub pt: Arc<ProvenanceTable>,
+    /// All enumerated join graphs (valid and invalid).
+    pub graphs: Arc<Vec<EnumeratedGraph>>,
+    /// Wall-clock spent computing provenance.
+    pub provenance_time: Duration,
+    /// Wall-clock spent enumerating join graphs.
+    pub jg_enum_time: Duration,
+}
+
+impl PreparedQuery {
+    /// Indices (into `graphs`) of the valid join graphs, i.e. the ones
+    /// worth materializing and mining.
+    pub fn valid_graph_indices(&self) -> Vec<usize> {
+        self.graphs
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.valid)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Stage 1+2: executes the query, computes why-provenance, and enumerates
+/// join graphs (Algorithm 2).
+pub fn prepare(
+    db: &Database,
+    schema_graph: &SchemaGraph,
+    query: &Query,
+    params: &Params,
+) -> Result<PreparedQuery> {
+    let result = execute(db, query)?;
+
+    let t0 = Instant::now();
+    let pt = ProvenanceTable::compute(db, query)?;
+    let provenance_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let enum_cfg = EnumConfig {
+        max_edges: params.max_edges,
+        max_cost: params.max_cost,
+        check_pk_coverage: params.check_pk_coverage,
+        include_pt_only: params.include_pt_only,
+    };
+    let graphs = enumerate_join_graphs(schema_graph, db, query, pt.num_rows, &enum_cfg)?;
+    let jg_enum_time = t0.elapsed();
+
+    Ok(PreparedQuery {
+        result,
+        pt: Arc::new(pt),
+        graphs: Arc::new(graphs),
+        provenance_time,
+        jg_enum_time,
+    })
+}
+
+/// Resolves a [`UserQuestion`] (group-by column/value pairs) to the
+/// group-index form the miner consumes.
+pub fn resolve_question(
+    db: &Database,
+    query: &Query,
+    pt: &ProvenanceTable,
+    question: &UserQuestion,
+) -> Result<Question> {
+    let resolve = |spec: &[(String, String)]| -> Result<usize> {
+        let pairs: Vec<(&str, &str)> = spec.iter().map(|(c, v)| (c.as_str(), v.as_str())).collect();
+        pt.find_group(db, query, &pairs).ok_or_else(|| {
+            CoreError::NoSuchOutputTuple(
+                pairs
+                    .iter()
+                    .map(|(c, v)| format!("{c}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        })
+    };
+    Ok(match question {
+        UserQuestion::TwoPoint { t1, t2 } => Question::TwoPoint {
+            t1: resolve(t1)?,
+            t2: resolve(t2)?,
+        },
+        UserQuestion::SinglePoint { t } => Question::SinglePoint { t: resolve(t)? },
+    })
+}
+
+/// Rendered group label (`col=value, …`) for explanation output.
+pub fn group_label(db: &Database, query: &Query, pt: &ProvenanceTable, group: usize) -> String {
+    query
+        .group_by
+        .iter()
+        .zip(&pt.group_keys[group])
+        .map(|(col, v)| format!("{}={}", col.column, v.render(db.pool())))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Stage 3: materializes `APT(Q, D, Ω)` for one join graph (Definition 4).
+pub fn materialize(db: &Database, pt: &ProvenanceTable, graph: &EnumeratedGraph) -> Result<Apt> {
+    Ok(Apt::materialize(db, pt, &graph.graph)?)
+}
+
+/// Everything one mined join graph contributes to the session result.
+#[derive(Debug)]
+pub struct GraphOutcome {
+    /// Rendered explanations from this graph.
+    pub explanations: Vec<Explanation>,
+    /// `(structure, APT rows, APT attributes)` — the Fig. 10a statistics.
+    pub apt_stat: (String, usize, usize),
+    /// Wall-clock spent materializing this graph's APT (zero on a cache
+    /// hit in the service path).
+    pub materialize: Duration,
+    /// Mining-phase timings.
+    pub mining: MiningTimings,
+    /// Patterns evaluated while mining this APT.
+    pub patterns: usize,
+}
+
+/// Stage 4: mines one materialized APT (Algorithm 1) and renders its
+/// explanations. `graph_index` is the graph's index within the session's
+/// enumeration; `materialize_time` is attributed to this outcome for the
+/// Fig. 10 style breakdown.
+// The argument list mirrors the stage's actual data dependencies; a
+// context struct would only relocate the same seven names.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_one(
+    db: &Database,
+    query: &Query,
+    pt: &ProvenanceTable,
+    apt: &Apt,
+    question: &Question,
+    params: &Params,
+    graph_index: usize,
+    materialize_time: Duration,
+) -> GraphOutcome {
+    let outcome = mine_apt(apt, pt, question, &params.mining);
+    let explanations = outcome
+        .explanations
+        .iter()
+        .map(|m| {
+            Explanation::from_mined(
+                m,
+                apt,
+                db.pool(),
+                group_label(db, query, pt, m.primary_group),
+                graph_index,
+            )
+        })
+        .collect();
+    GraphOutcome {
+        explanations,
+        apt_stat: (apt.graph.structure_string(), apt.num_rows, apt.fields.len()),
+        materialize: materialize_time,
+        mining: outcome.timings,
+        patterns: outcome.patterns_evaluated,
+    }
+}
+
+/// Stage 3+4 over all valid graphs: materialize then mine each one, on
+/// worker threads when `params.parallel` is set. Outcomes come back in
+/// graph order, so parallel and sequential runs produce identical results.
+pub fn materialize_and_mine(
+    db: &Database,
+    query: &Query,
+    prepared: &PreparedQuery,
+    question: &Question,
+    params: &Params,
+) -> Result<Vec<GraphOutcome>> {
+    let valid = prepared.valid_graph_indices();
+    let run_one = |graph_index: usize| -> Result<GraphOutcome> {
+        let eg = &prepared.graphs[graph_index];
+        let t0 = Instant::now();
+        let apt = materialize(db, &prepared.pt, eg)?;
+        let materialize_time = t0.elapsed();
+        Ok(mine_one(
+            db,
+            query,
+            &prepared.pt,
+            &apt,
+            question,
+            params,
+            graph_index,
+            materialize_time,
+        ))
+    };
+    if params.parallel && valid.len() > 1 {
+        valid.par_iter().map(|&i| run_one(i)).collect()
+    } else {
+        valid.into_iter().map(run_one).collect()
+    }
+}
+
+/// Stage 5: global F-score ranking + near-duplicate collapse (§6).
+pub fn rank(all: Vec<Explanation>, params: &Params) -> Vec<Explanation> {
+    rank_and_collapse(all, params.top_k_global, params.collapse_near_duplicates)
+}
+
+/// Assembles per-graph outcomes into a [`SessionResult`], accumulating
+/// timings and applying the ranking stage.
+pub fn assemble(
+    prepared: &PreparedQuery,
+    outcomes: Vec<GraphOutcome>,
+    params: &Params,
+) -> SessionResult {
+    let mut timings = SessionTimings {
+        provenance: prepared.provenance_time,
+        jg_enum: prepared.jg_enum_time,
+        ..Default::default()
+    };
+    let num_graphs_mined = outcomes.len();
+    let mut all = Vec::new();
+    let mut apt_stats = Vec::new();
+    let mut patterns_evaluated = 0usize;
+    for o in outcomes {
+        timings.materialize_apts += o.materialize;
+        timings.mining.accumulate(&o.mining);
+        apt_stats.push(o.apt_stat);
+        patterns_evaluated += o.patterns;
+        all.extend(o.explanations);
+    }
+    SessionResult {
+        explanations: rank(all, params),
+        timings,
+        num_graphs_enumerated: prepared.graphs.len(),
+        num_graphs_mined,
+        pt_rows: prepared.pt.num_rows,
+        result: prepared.result.clone(),
+        apt_stats,
+        patterns_evaluated,
+    }
+}

@@ -1,18 +1,20 @@
 //! The explanation session: provenance → join-graph enumeration → APT
 //! materialization → pattern mining → global ranking.
+//!
+//! The heavy lifting lives in [`crate::pipeline`] as composable stages;
+//! this module is the one-shot convenience API over them. The
+//! `cajade-service` crate chains the same stages around caches for
+//! interactive multi-question sessions.
 
-use std::time::Instant;
-
-use cajade_graph::{enumerate_join_graphs, Apt, EnumConfig, EnumeratedGraph, SchemaGraph};
-use cajade_mining::{mine_apt, MiningTimings, Question};
-use cajade_query::{execute, ProvenanceTable, Query, QueryResult};
+use cajade_graph::SchemaGraph;
+use cajade_query::{Query, QueryResult};
 use cajade_storage::Database;
-use parking_lot::Mutex;
 
-use crate::explanation::{rank_and_collapse, Explanation};
+use crate::explanation::Explanation;
 use crate::params::Params;
+use crate::pipeline;
 use crate::timing::SessionTimings;
-use crate::{CoreError, Result};
+use crate::Result;
 
 /// A user question over a query's output, specified by group-by column
 /// values (paper §2.4).
@@ -36,21 +38,29 @@ impl UserQuestion {
     /// Two-point question from string pairs.
     pub fn two_point(t1: &[(&str, &str)], t2: &[(&str, &str)]) -> Self {
         UserQuestion::TwoPoint {
-            t1: t1.iter().map(|(c, v)| (c.to_string(), v.to_string())).collect(),
-            t2: t2.iter().map(|(c, v)| (c.to_string(), v.to_string())).collect(),
+            t1: t1
+                .iter()
+                .map(|(c, v)| (c.to_string(), v.to_string()))
+                .collect(),
+            t2: t2
+                .iter()
+                .map(|(c, v)| (c.to_string(), v.to_string()))
+                .collect(),
         }
     }
 
     /// Single-point question from string pairs.
     pub fn single_point(t: &[(&str, &str)]) -> Self {
         UserQuestion::SinglePoint {
-            t: t.iter().map(|(c, v)| (c.to_string(), v.to_string())).collect(),
+            t: t.iter()
+                .map(|(c, v)| (c.to_string(), v.to_string()))
+                .collect(),
         }
     }
 }
 
 /// Everything a session produces.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SessionResult {
     /// Globally-ranked explanations (top `params.top_k_global`).
     pub explanations: Vec<Explanation>,
@@ -103,173 +113,27 @@ impl<'a> ExplanationSession<'a> {
         self.explain(query, &UserQuestion::two_point(t1, t2))
     }
 
-    /// Runs the full pipeline for `query` and `question`.
+    /// Runs the full pipeline for `query` and `question` by chaining the
+    /// [`crate::pipeline`] stages: provenance → enumerate → materialize →
+    /// mine → rank.
     pub fn explain(&self, query: &Query, question: &UserQuestion) -> Result<SessionResult> {
-        let result = execute(self.db, query)?;
-
-        // ---- Provenance. -------------------------------------------------
-        let t0 = Instant::now();
-        let pt = ProvenanceTable::compute(self.db, query)?;
-        let provenance_time = t0.elapsed();
-
-        // ---- Resolve the user question to group indices. -----------------
-        let resolve = |spec: &[(String, String)]| -> Result<usize> {
-            let pairs: Vec<(&str, &str)> =
-                spec.iter().map(|(c, v)| (c.as_str(), v.as_str())).collect();
-            pt.find_group(self.db, query, &pairs).ok_or_else(|| {
-                CoreError::NoSuchOutputTuple(
-                    pairs
-                        .iter()
-                        .map(|(c, v)| format!("{c}={v}"))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                )
-            })
-        };
-        let mining_question = match question {
-            UserQuestion::TwoPoint { t1, t2 } => Question::TwoPoint {
-                t1: resolve(t1)?,
-                t2: resolve(t2)?,
-            },
-            UserQuestion::SinglePoint { t } => Question::SinglePoint { t: resolve(t)? },
-        };
-
-        // Rendered group labels for explanation output.
-        let group_label = |g: usize| -> String {
-            query
-                .group_by
-                .iter()
-                .zip(&pt.group_keys[g])
-                .map(|(col, v)| format!("{}={}", col.column, v.render(self.db.pool())))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-
-        // ---- Join-graph enumeration (Algorithm 2). -----------------------
-        let t0 = Instant::now();
-        let enum_cfg = EnumConfig {
-            max_edges: self.params.max_edges,
-            max_cost: self.params.max_cost,
-            check_pk_coverage: self.params.check_pk_coverage,
-            include_pt_only: self.params.include_pt_only,
-        };
-        let graphs = enumerate_join_graphs(self.schema_graph, self.db, query, pt.num_rows, &enum_cfg)?;
-        let jg_enum_time = t0.elapsed();
-
-        let valid: Vec<(usize, &EnumeratedGraph)> = graphs
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| g.valid)
-            .collect();
-
-        // ---- Per-graph APT materialization + mining. ----------------------
-        struct GraphOutcome {
-            explanations: Vec<Explanation>,
-            apt_stat: (String, usize, usize),
-            materialize: std::time::Duration,
-            mining: MiningTimings,
-            patterns: usize,
-        }
-
-        let run_graph = |graph_index: usize, eg: &EnumeratedGraph| -> Result<GraphOutcome> {
-            let t0 = Instant::now();
-            let apt = Apt::materialize(self.db, &pt, &eg.graph)?;
-            let materialize = t0.elapsed();
-            let outcome = mine_apt(&apt, &pt, &mining_question, &self.params.mining);
-            let explanations = outcome
-                .explanations
-                .iter()
-                .map(|m| {
-                    Explanation::from_mined(
-                        m,
-                        &apt,
-                        self.db.pool(),
-                        group_label(m.primary_group),
-                        graph_index,
-                    )
-                })
-                .collect();
-            Ok(GraphOutcome {
-                explanations,
-                apt_stat: (eg.graph.structure_string(), apt.num_rows, apt.fields.len()),
-                materialize,
-                mining: outcome.timings,
-                patterns: outcome.patterns_evaluated,
-            })
-        };
-
-        let outcomes: Vec<GraphOutcome> = if self.params.parallel && valid.len() > 1 {
-            let results: Mutex<Vec<(usize, Result<GraphOutcome>)>> = Mutex::new(Vec::new());
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(valid.len());
-            crossbeam::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= valid.len() {
-                            break;
-                        }
-                        let (graph_index, eg) = valid[i];
-                        let out = run_graph(graph_index, eg);
-                        results.lock().push((i, out));
-                    });
-                }
-            })
-            .expect("worker panicked");
-            let mut collected = results.into_inner();
-            collected.sort_by_key(|(i, _)| *i);
-            collected
-                .into_iter()
-                .map(|(_, r)| r)
-                .collect::<Result<Vec<_>>>()?
-        } else {
-            valid
-                .iter()
-                .map(|&(graph_index, eg)| run_graph(graph_index, eg))
-                .collect::<Result<Vec<_>>>()?
-        };
-
-        // ---- Aggregate timings + global ranking. --------------------------
-        let mut timings = SessionTimings {
-            provenance: provenance_time,
-            jg_enum: jg_enum_time,
-            ..Default::default()
-        };
-        let mut all = Vec::new();
-        let mut apt_stats = Vec::new();
-        let mut patterns_evaluated = 0usize;
-        for o in outcomes {
-            timings.materialize_apts += o.materialize;
-            timings.mining.accumulate(&o.mining);
-            apt_stats.push(o.apt_stat);
-            patterns_evaluated += o.patterns;
-            all.extend(o.explanations);
-        }
-        let explanations = rank_and_collapse(
-            all,
-            self.params.top_k_global,
-            self.params.collapse_near_duplicates,
-        );
-
-        Ok(SessionResult {
-            explanations,
-            timings,
-            num_graphs_enumerated: graphs.len(),
-            num_graphs_mined: valid.len(),
-            pt_rows: pt.num_rows,
-            result,
-            apt_stats,
-            patterns_evaluated,
-        })
+        let prepared = pipeline::prepare(self.db, self.schema_graph, query, &self.params)?;
+        let mining_question = pipeline::resolve_question(self.db, query, &prepared.pt, question)?;
+        let outcomes = pipeline::materialize_and_mine(
+            self.db,
+            query,
+            &prepared,
+            &mining_question,
+            &self.params,
+        )?;
+        Ok(pipeline::assemble(&prepared, outcomes, &self.params))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreError;
     use cajade_datagen::nba::{self, NbaConfig};
     use cajade_query::parse_sql;
 
@@ -325,7 +189,10 @@ mod tests {
         assert!(
             r.explanations.iter().any(|e| !e.from_pt_only),
             "context explanations: {:#?}",
-            r.explanations.iter().map(|e| e.render_line()).collect::<Vec<_>>()
+            r.explanations
+                .iter()
+                .map(|e| e.render_line())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -355,10 +222,7 @@ mod tests {
             .unwrap();
         assert!(!r.explanations.is_empty());
         // All explanations target the single point.
-        assert!(r
-            .explanations
-            .iter()
-            .all(|e| e.primary.contains("2015-16")));
+        assert!(r.explanations.iter().all(|e| e.primary.contains("2015-16")));
     }
 
     #[test]
@@ -381,8 +245,16 @@ mod tests {
                 &[("season_name", "2012-13")],
             )
             .unwrap();
-        let a: Vec<&str> = seq.explanations.iter().map(|e| e.pattern_desc.as_str()).collect();
-        let b: Vec<&str> = par.explanations.iter().map(|e| e.pattern_desc.as_str()).collect();
+        let a: Vec<&str> = seq
+            .explanations
+            .iter()
+            .map(|e| e.pattern_desc.as_str())
+            .collect();
+        let b: Vec<&str> = par
+            .explanations
+            .iter()
+            .map(|e| e.pattern_desc.as_str())
+            .collect();
         assert_eq!(a, b, "parallel mining must not change results");
     }
 

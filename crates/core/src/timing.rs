@@ -45,7 +45,11 @@ impl SessionTimings {
         for (name, d) in self.breakdown_rows() {
             out.push_str(&format!("{name:<18} {:>9.3}s\n", d.as_secs_f64()));
         }
-        out.push_str(&format!("{:<18} {:>9.3}s\n", "total", self.total().as_secs_f64()));
+        out.push_str(&format!(
+            "{:<18} {:>9.3}s\n",
+            "total",
+            self.total().as_secs_f64()
+        ));
         out
     }
 }

@@ -15,7 +15,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use cajade_graph::SchemaGraph;
-use cajade_storage::{AttrKind, Database, DataType, ForeignKey, SchemaBuilder, Value};
+use cajade_storage::{AttrKind, DataType, Database, ForeignKey, SchemaBuilder, Value};
 
 use crate::names::{ETHNICITIES, LANGUAGES, RELIGIONS};
 use crate::util::{coin, exponential, normal_clamped, weighted_choice};
@@ -113,8 +113,7 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
         .iter()
         .map(|(n, _, _)| db.intern(n))
         .collect();
-    let adm_types = ["EMERGENCY", "ELECTIVE", "URGENT", "NEWBORN"]
-        .map(|s| db.intern(s));
+    let adm_types = ["EMERGENCY", "ELECTIVE", "URGENT", "NEWBORN"].map(|s| db.intern(s));
     let adm_locs = [
         "EMERGENCY ROOM ADMIT",
         "PHYS REFERRAL/NORMAL DELI",
@@ -122,8 +121,8 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
         "CLINIC REFERRAL/PREMATURE",
     ]
     .map(|s| db.intern(s));
-    let disch_locs = ["HOME", "SNF", "REHAB", "DEAD/EXPIRED", "HOME HEALTH CARE"]
-        .map(|s| db.intern(s));
+    let disch_locs =
+        ["HOME", "SNF", "REHAB", "DEAD/EXPIRED", "HOME HEALTH CARE"].map(|s| db.intern(s));
     let maritals = ["MARRIED", "SINGLE", "WIDOWED", "DIVORCED"].map(|s| db.intern(s));
     let genders = ["M", "F"].map(|s| db.intern(s));
     let languages: Vec<_> = LANGUAGES.iter().map(|s| db.intern(s)).collect();
@@ -188,11 +187,9 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
         // Death: insurance base rate × diagnosis multiplier × mild
         // age/emergency adjustments, calibrated to keep marginal rates
         // close to the story targets.
-        let p_death = (death_rate
-            * diag_mult
-            * (if emergency { 1.1 } else { 0.65 })
-            * (0.55 + age / 150.0))
-            .clamp(0.0, 0.95);
+        let p_death =
+            (death_rate * diag_mult * (if emergency { 1.1 } else { 0.65 }) * (0.55 + age / 150.0))
+                .clamp(0.0, 0.95);
         let died = coin(&mut rng, p_death);
         if died {
             patient_died_in_hospital[subject] = true;
@@ -200,15 +197,22 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
 
         // Stay lengths: longer when died or emergency; ICU los tracks it.
         let base_stay = exponential(&mut rng, 6.0) + 1.0;
-        let stay = (base_stay
-            * (if died { 1.8 } else { 1.0 })
-            * (if emergency { 1.25 } else { 1.0 }))
-        .min(120.0);
+        let stay =
+            (base_stay * (if died { 1.8 } else { 1.0 }) * (if emergency { 1.25 } else { 1.0 }))
+                .min(120.0);
         let hospital_stay_length = stay.round().max(1.0) as i64;
 
         let year = rng.gen_range(2101..2190); // MIMIC's shifted years
-        let admit = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
-        let disch = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
+        let admit = format!(
+            "{year}-{:02}-{:02}",
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        );
+        let disch = format!(
+            "{year}-{:02}-{:02}",
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        );
         let admit_id = db.intern(&admit);
         let disch_id = db.intern(&disch);
         let disch_loc = if died {
@@ -226,11 +230,13 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
                 Value::Str(admit_id),
                 Value::Str(disch_id),
                 Value::Str(adm_types[adm_type]),
-                Value::Str(adm_locs[if emergency {
-                    0
-                } else {
-                    1 + weighted_choice(&mut rng, &[0.5, 0.3, 0.2])
-                }]),
+                Value::Str(
+                    adm_locs[if emergency {
+                        0
+                    } else {
+                        1 + weighted_choice(&mut rng, &[0.5, 0.3, 0.2])
+                    }],
+                ),
                 Value::Str(disch_loc),
                 Value::Str(ins_ids[ins]),
                 Value::Str(marital),
@@ -280,7 +286,7 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
                     Value::Int(subject_id),
                     Value::Str(gender),
                     Value::Str(dob),
-                    Value::Null, // dod patched conceptually via expire_flag
+                    Value::Null,   // dod patched conceptually via expire_flag
                     Value::Int(0), // expire_flag fixed up below
                 ])
                 .unwrap();
@@ -293,8 +299,7 @@ pub fn generate(cfg: MimicConfig) -> GeneratedDb {
             coin(&mut rng, 0.7) as usize
         };
         for _ in 0..n_icu {
-            let los = (exponential(&mut rng, (hospital_stay_length as f64 / 3.5).max(0.4))
-                + 0.1)
+            let los = (exponential(&mut rng, (hospital_stay_length as f64 / 3.5).max(0.4)) + 0.1)
                 .min(60.0);
             let los = (los * 100.0).round() / 100.0; // bucket the stored value
             let group = match los {
@@ -454,15 +459,12 @@ fn create_schema(db: &mut Database) {
 /// discussion points out `expire_flag` subsumes hospital deaths).
 fn fixup_expire_flags(db: &mut Database, died_in_hospital: &[bool], rng: &mut StdRng) {
     let patients = db.table("patients").unwrap().clone();
-    let mut replacement = cajade_storage::Table::with_capacity(
-        patients.schema().clone(),
-        patients.num_rows(),
-    );
+    let mut replacement =
+        cajade_storage::Table::with_capacity(patients.schema().clone(), patients.num_rows());
     for r in 0..patients.num_rows() {
         let mut row = patients.row(r).unwrap();
         let subject = row[0].as_i64().unwrap() as usize - 1;
-        let flag = died_in_hospital.get(subject).copied().unwrap_or(false)
-            || coin(rng, 0.15);
+        let flag = died_in_hospital.get(subject).copied().unwrap_or(false) || coin(rng, 0.15);
         row[4] = Value::Int(flag as i64);
         replacement.push_row(row).unwrap();
     }
@@ -471,7 +473,12 @@ fn fixup_expire_flags(db: &mut Database, died_in_hospital: &[bool], rng: &mut St
 
 fn register_foreign_keys(db: &mut Database) {
     let fks = [
-        ("admissions", vec!["subject_id"], "patients", vec!["subject_id"]),
+        (
+            "admissions",
+            vec!["subject_id"],
+            "patients",
+            vec!["subject_id"],
+        ),
         (
             "patients_admit_info",
             vec!["hadm_id"],
@@ -485,11 +492,26 @@ fn register_foreign_keys(db: &mut Database) {
             vec!["subject_id"],
         ),
         ("icustays", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
-        ("icustays", vec!["subject_id"], "patients", vec!["subject_id"]),
+        (
+            "icustays",
+            vec!["subject_id"],
+            "patients",
+            vec!["subject_id"],
+        ),
         ("diagnoses", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
-        ("diagnoses", vec!["subject_id"], "patients", vec!["subject_id"]),
+        (
+            "diagnoses",
+            vec!["subject_id"],
+            "patients",
+            vec!["subject_id"],
+        ),
         ("procedures", vec!["hadm_id"], "admissions", vec!["hadm_id"]),
-        ("procedures", vec!["subject_id"], "patients", vec!["subject_id"]),
+        (
+            "procedures",
+            vec!["subject_id"],
+            "patients",
+            vec!["subject_id"],
+        ),
     ];
     for (from, fc, to, tc) in fks {
         db.add_foreign_key(ForeignKey {
@@ -545,8 +567,12 @@ mod tests {
             r.table.value(row, idx).as_f64().unwrap()
         };
         // Medicare ≫ Private; Self Pay highest band; Government low.
-        assert!(rate("Medicare") > rate("Private") * 1.6,
-            "medicare {} vs private {}", rate("Medicare"), rate("Private"));
+        assert!(
+            rate("Medicare") > rate("Private") * 1.6,
+            "medicare {} vs private {}",
+            rate("Medicare"),
+            rate("Private")
+        );
         assert!(rate("Medicare") > 0.08 && rate("Medicare") < 0.25);
         assert!(rate("Private") < 0.11);
     }

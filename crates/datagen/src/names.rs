@@ -10,9 +10,9 @@ pub const TEAMS: [&str; 30] = [
 ];
 
 const FIRST: [&str; 24] = [
-    "James", "Michael", "Chris", "Anthony", "Kevin", "Marcus", "Tyler", "Jordan", "Devin",
-    "Malik", "Darius", "Isaiah", "Caleb", "Jalen", "Trey", "Andre", "Victor", "Gary", "Luis",
-    "Omar", "Paul", "Reggie", "Shawn", "Terry",
+    "James", "Michael", "Chris", "Anthony", "Kevin", "Marcus", "Tyler", "Jordan", "Devin", "Malik",
+    "Darius", "Isaiah", "Caleb", "Jalen", "Trey", "Andre", "Victor", "Gary", "Luis", "Omar",
+    "Paul", "Reggie", "Shawn", "Terry",
 ];
 
 const LAST: [&str; 25] = [

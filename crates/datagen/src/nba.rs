@@ -18,7 +18,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use cajade_graph::{JoinCond, SchemaGraph};
-use cajade_storage::{AttrKind, Database, DataType, ForeignKey, SchemaBuilder, Value};
+use cajade_storage::{AttrKind, DataType, Database, ForeignKey, SchemaBuilder, Value};
 
 use crate::names::{filler_player_name, TEAMS};
 use crate::util::{coin, normal_clamped, season_date};
@@ -64,8 +64,20 @@ pub mod story {
         pub seasons: [Option<SeasonProfile>; 10],
     }
 
-    const fn p(team: &'static str, pts: f64, minutes: f64, usage: f64, salary: i64) -> Option<SeasonProfile> {
-        Some(SeasonProfile { team, pts, minutes, usage, salary })
+    const fn p(
+        team: &'static str,
+        pts: f64,
+        minutes: f64,
+        usage: f64,
+        salary: i64,
+    ) -> Option<SeasonProfile> {
+        Some(SeasonProfile {
+            team,
+            pts,
+            minutes,
+            usage,
+            salary,
+        })
     }
 
     /// The scripted players. Profile numbers follow the paper's Figures
@@ -417,7 +429,11 @@ fn create_schema(db: &mut Database, rich: bool) {
         }
     } else {
         // The core case-study columns always exist.
-        for c in ["assistpoints", "nonputbacksassisted_two_spct", "fg_three_apct"] {
+        for c in [
+            "assistpoints",
+            "nonputbacksassisted_two_spct",
+            "fg_three_apct",
+        ] {
             tgs = tgs.column(c, DataType::Float, AttrKind::Numeric);
         }
     }
@@ -445,7 +461,12 @@ fn create_schema(db: &mut Database, rich: bool) {
         .column("tspct", DataType::Float, AttrKind::Numeric)
         .column("efgpct", DataType::Float, AttrKind::Numeric);
     if rich {
-        for c in ["shotqualityavg", "assisted_two_spct", "fg_three_apct", "deflongmidrangereboundpct"] {
+        for c in [
+            "shotqualityavg",
+            "assisted_two_spct",
+            "fg_three_apct",
+            "deflongmidrangereboundpct",
+        ] {
             pgs = pgs.column(c, DataType::Float, AttrKind::Numeric);
         }
     }
@@ -548,9 +569,7 @@ fn populate_play_for_and_salaries(db: &mut Database, cfg: &NbaConfig, rosters: &
             let team = prof.team;
             let start = s;
             let mut end = s;
-            while end + 1 < seasons
-                && sp.seasons[end + 1].map(|p| p.team) == Some(team)
-            {
+            while end + 1 < seasons && sp.seasons[end + 1].map(|p| p.team) == Some(team) {
                 end += 1;
             }
             let start_date = season_date(2009 + start as i32, 0);
@@ -672,7 +691,12 @@ fn populate_lineups(db: &mut Database, ctx: &mut Ctx, rosters: &Rosters) -> Line
     }
 }
 
-fn populate_games_and_stats(db: &mut Database, ctx: &mut Ctx, rosters: &Rosters, lineups: &Lineups) {
+fn populate_games_and_stats(
+    db: &mut Database,
+    ctx: &mut Ctx,
+    rosters: &Rosters,
+    lineups: &Lineups,
+) {
     let seasons = ctx.cfg.seasons;
     let gpt = ctx.cfg.games_per_team;
     let gsw = Rosters::team_index("GSW");
@@ -684,7 +708,7 @@ fn populate_games_and_stats(db: &mut Database, ctx: &mut Ctx, rosters: &Rosters,
     for s in 0..seasons {
         let year = 2009 + s as i32;
         let rounds = gpt; // each round pairs all 30 teams → 15 games
-        // Pre-decide GSW's wins this season to hit the story count.
+                          // Pre-decide GSW's wins this season to hit the story count.
         let gsw_target = (story::GSW_WINS[s] as f64 * gpt as f64 / 82.0).round() as usize;
         let mut gsw_outcomes: Vec<bool> = (0..gpt).map(|g| g < gsw_target).collect();
         gsw_outcomes.shuffle(&mut ctx.rng);
@@ -747,7 +771,7 @@ fn emit_game_rows(
         (loser_pts, winner_pts)
     };
     let home_poss = normal_clamped(rng, 99.0 + 0.6 * s as f64, 4.0, 85.0, 115.0) as i64;
-    let away_poss = home_poss + rng.gen_range(-4..=4);
+    let away_poss = home_poss + rng.gen_range(-4i64..=4);
 
     db.table_mut("game")
         .unwrap()
@@ -765,7 +789,10 @@ fn emit_game_rows(
         .unwrap();
 
     // Per-team stats + player stats + lineup stats.
-    for &(team, pts, poss) in &[(home, home_points, home_poss), (away, away_points, away_poss)] {
+    for &(team, pts, poss) in &[
+        (home, home_points, home_poss),
+        (away, away_points, away_poss),
+    ] {
         let won = team == winner;
         // Assists: GSW follows the Fig. 14b trajectory; others stay ~21.5.
         let assists_mean = if team == gsw {
@@ -773,13 +800,24 @@ fn emit_game_rows(
         } else {
             21.5 + 0.25 * s as f64
         };
-        let assists = normal_clamped(rng, assists_mean + if won { 1.2 } else { -0.8 }, 2.6, 10.0, 45.0);
+        let assists = normal_clamped(
+            rng,
+            assists_mean + if won { 1.2 } else { -0.8 },
+            2.6,
+            10.0,
+            45.0,
+        );
         let assistpoints = assists * 2.35 + normal_clamped(rng, 0.0, 2.0, -6.0, 6.0);
         let three_rate = 0.24 + 0.012 * s as f64 + if team == gsw { 0.05 } else { 0.0 };
-        let fg_three_m = (pts as f64 * three_rate / 3.0 / 2.6 + rng.gen_range(-1.5..1.5))
-            .clamp(2.0, 25.0);
-        let fg_three_pct =
-            normal_clamped(rng, 0.33 + if won { 0.025 } else { -0.02 } + 0.004 * s as f64, 0.05, 0.15, 0.62);
+        let fg_three_m =
+            (pts as f64 * three_rate / 3.0 / 2.6 + rng.gen_range(-1.5..1.5)).clamp(2.0, 25.0);
+        let fg_three_pct = normal_clamped(
+            rng,
+            0.33 + if won { 0.025 } else { -0.02 } + 0.004 * s as f64,
+            0.05,
+            0.15,
+            0.62,
+        );
         let fg_three_apct = normal_clamped(
             rng,
             0.24 + 0.014 * s as f64 + if won { 0.015 } else { -0.01 },
@@ -788,8 +826,10 @@ fn emit_game_rows(
             0.55,
         );
         let fg_two_m = ((pts as f64 - fg_three_m * 3.0 - 15.0) / 2.0).max(8.0);
-        let fg_two_pct = normal_clamped(rng, 0.49 + if won { 0.02 } else { -0.02 }, 0.04, 0.3, 0.68);
-        let rebounds = normal_clamped(rng, 43.0 + if won { 2.0 } else { -1.0 }, 4.0, 28.0, 60.0) as i64;
+        let fg_two_pct =
+            normal_clamped(rng, 0.49 + if won { 0.02 } else { -0.02 }, 0.04, 0.3, 0.68);
+        let rebounds =
+            normal_clamped(rng, 43.0 + if won { 2.0 } else { -1.0 }, 4.0, 28.0, 60.0) as i64;
         let offrebounds = normal_clamped(rng, 10.0, 2.5, 3.0, 20.0) as i64;
         let nonputback = normal_clamped(
             rng,
@@ -816,7 +856,16 @@ fn emit_game_rows(
         ];
         if ctx.cfg.rich_stats {
             for col in RICH_COLS {
-                let v = rich_value(rng, col, pts as f64, assists, assistpoints, nonputback, fg_three_apct, s);
+                let v = rich_value(
+                    rng,
+                    col,
+                    pts as f64,
+                    assists,
+                    assistpoints,
+                    nonputback,
+                    fg_three_apct,
+                    s,
+                );
                 row.push(Value::Float((v * 1000.0).round() / 1000.0));
             }
         } else {
@@ -824,7 +873,10 @@ fn emit_game_rows(
             row.push(Value::Float((nonputback * 1000.0).round() / 1000.0));
             row.push(Value::Float((fg_three_apct * 1000.0).round() / 1000.0));
         }
-        db.table_mut("team_game_stats").unwrap().push_row(row).unwrap();
+        db.table_mut("team_game_stats")
+            .unwrap()
+            .push_row(row)
+            .unwrap();
 
         // Player stats: story players on this team + filler to five.
         let story_here = rosters.story_on_team(team, s);
@@ -834,7 +886,18 @@ fn emit_game_rows(
             let p_pts = normal_clamped(rng, prof.pts, 5.0, 0.0, 60.0) as i64;
             let p_min = normal_clamped(rng, prof.minutes, 4.0, 4.0, 46.0);
             let p_usage = normal_clamped(rng, prof.usage, 2.5, 5.0, 42.0);
-            emit_player_row(db, ctx.cfg.rich_stats, rng, date_id, home, *pid, p_pts, p_min, p_usage, s);
+            emit_player_row(
+                db,
+                ctx.cfg.rich_stats,
+                rng,
+                date_id,
+                home,
+                *pid,
+                p_pts,
+                p_min,
+                p_usage,
+                s,
+            );
         }
         let mut pool = rosters.filler[team].clone();
         pool.shuffle(rng);
@@ -846,7 +909,18 @@ fn emit_game_rows(
             let p_pts = normal_clamped(rng, 9.0, 5.0, 0.0, 40.0) as i64;
             let p_min = normal_clamped(rng, 20.0, 7.0, 2.0, 44.0);
             let p_usage = normal_clamped(rng, 17.0, 4.0, 4.0, 38.0);
-            emit_player_row(db, ctx.cfg.rich_stats, rng, date_id, home, pid, p_pts, p_min, p_usage, s);
+            emit_player_row(
+                db,
+                ctx.cfg.rich_stats,
+                rng,
+                date_id,
+                home,
+                pid,
+                p_pts,
+                p_min,
+                p_usage,
+                s,
+            );
         }
 
         // Lineup stats: the team's lineups split the minutes. GSW's
@@ -913,7 +987,10 @@ fn emit_player_row(
             row.push(Value::Float((v * 1000.0).round() / 1000.0));
         }
     }
-    db.table_mut("player_game_stats").unwrap().push_row(row).unwrap();
+    db.table_mut("player_game_stats")
+        .unwrap()
+        .push_row(row)
+        .unwrap();
 }
 
 /// Rich-column generator: a few columns carry real signal (shared with the
@@ -961,13 +1038,33 @@ fn register_foreign_keys(db: &mut Database) {
         ("game", vec!["away_id"], "team", vec!["team_id"]),
         ("game", vec!["winner_id"], "team", vec!["team_id"]),
         ("game", vec!["season_id"], "season", vec!["season_id"]),
-        ("player_salary", vec!["player_id"], "player", vec!["player_id"]),
-        ("player_salary", vec!["season_id"], "season", vec!["season_id"]),
+        (
+            "player_salary",
+            vec!["player_id"],
+            "player",
+            vec!["player_id"],
+        ),
+        (
+            "player_salary",
+            vec!["season_id"],
+            "season",
+            vec!["season_id"],
+        ),
         ("play_for", vec!["player_id"], "player", vec!["player_id"]),
         ("play_for", vec!["team_id"], "team", vec!["team_id"]),
         ("lineup", vec!["team_id"], "team", vec!["team_id"]),
-        ("lineup_player", vec!["lineup_id"], "lineup", vec!["lineup_id"]),
-        ("lineup_player", vec!["player_id"], "player", vec!["player_id"]),
+        (
+            "lineup_player",
+            vec!["lineup_id"],
+            "lineup",
+            vec!["lineup_id"],
+        ),
+        (
+            "lineup_player",
+            vec!["player_id"],
+            "player",
+            vec!["player_id"],
+        ),
         (
             "team_game_stats",
             vec!["game_date", "home_id"],
@@ -981,14 +1078,24 @@ fn register_foreign_keys(db: &mut Database) {
             "game",
             vec!["game_date", "home_id"],
         ),
-        ("lineup_game_stats", vec!["lineup_id"], "lineup", vec!["lineup_id"]),
+        (
+            "lineup_game_stats",
+            vec!["lineup_id"],
+            "lineup",
+            vec!["lineup_id"],
+        ),
         (
             "player_game_stats",
             vec!["game_date", "home_id"],
             "game",
             vec!["game_date", "home_id"],
         ),
-        ("player_game_stats", vec!["player_id"], "player", vec!["player_id"]),
+        (
+            "player_game_stats",
+            vec!["player_id"],
+            "player",
+            vec!["player_id"],
+        ),
     ];
     for (from, fc, to, tc) in fks {
         db.add_foreign_key(ForeignKey {
@@ -1115,7 +1222,10 @@ mod tests {
                     Value::Str(id) => g.db.resolve(id).to_string(),
                     other => panic!("unexpected {other:?}"),
                 };
-                assert!(start.starts_with("2013"), "GSW stint starts 2013, got {start}");
+                assert!(
+                    start.starts_with("2013"),
+                    "GSW stint starts 2013, got {start}"
+                );
             }
         }
         assert_eq!(gsw_stints, 1);
@@ -1127,15 +1237,11 @@ mod tests {
         let sal = g.db.table("player_salary").unwrap();
         // Draymond Green is story player index 2 → id 3; 2015-16 is season 7.
         let green_1516 = (0..sal.num_rows())
-            .find(|&r| {
-                sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(7)
-            })
+            .find(|&r| sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(7))
             .map(|r| sal.value(r, 2).as_i64().unwrap());
         assert_eq!(green_1516, Some(14_260_870));
         let green_1617 = (0..sal.num_rows())
-            .find(|&r| {
-                sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(8)
-            })
+            .find(|&r| sal.value(r, 0) == Value::Int(3) && sal.value(r, 1) == Value::Int(8))
             .map(|r| sal.value(r, 2).as_i64().unwrap());
         assert_eq!(green_1617, Some(15_330_435));
     }
@@ -1158,7 +1264,10 @@ mod tests {
                     .unwrap()
             })
             .sum();
-        assert_eq!(total as usize, g.db.table("player_game_stats").unwrap().num_rows());
+        assert_eq!(
+            total as usize,
+            g.db.table("player_game_stats").unwrap().num_rows()
+        );
     }
 
     #[test]

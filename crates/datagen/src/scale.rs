@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use cajade_storage::{Database, DataType, Table, Value};
+use cajade_storage::{DataType, Database, Table, Value};
 
 use crate::GeneratedDb;
 

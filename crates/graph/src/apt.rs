@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use bytes::BytesMut;
 use cajade_query::ProvenanceTable;
 use cajade_storage::rowkey::encode_key_into;
-use cajade_storage::{AttrKind, Column, Database, DataType, Value};
+use cajade_storage::{AttrKind, Column, DataType, Database, Value};
 
 use crate::join_graph::{JoinGraph, NodeLabel};
 use crate::{GraphError, Result};
@@ -119,26 +119,23 @@ impl Apt {
         let mut scratch = BytesMut::new();
 
         // Value accessor for a node-side attribute of a combo row.
-        let side_value = |node: usize,
-                          attr: &str,
-                          pt_from_idx: Option<usize>,
-                          combo: &[u32]|
-         -> Result<Value> {
-            match &graph.nodes[node].label {
-                NodeLabel::Pt => {
-                    let fi = pt_field_for(pt, pt_from_idx, attr)?;
-                    Ok(pt.columns[fi].value(combo[0] as usize))
+        let side_value =
+            |node: usize, attr: &str, pt_from_idx: Option<usize>, combo: &[u32]| -> Result<Value> {
+                match &graph.nodes[node].label {
+                    NodeLabel::Pt => {
+                        let fi = pt_field_for(pt, pt_from_idx, attr)?;
+                        Ok(pt.columns[fi].value(combo[0] as usize))
+                    }
+                    NodeLabel::Rel(rel) => {
+                        let t = db.table(rel)?;
+                        let ci = t.schema().field_index(attr).ok_or_else(|| {
+                            GraphError::BadCondition(format!("`{rel}` has no attribute `{attr}`"))
+                        })?;
+                        let slot = slot_of[node];
+                        Ok(t.column(ci).value(combo[slot] as usize))
+                    }
                 }
-                NodeLabel::Rel(rel) => {
-                    let t = db.table(rel)?;
-                    let ci = t.schema().field_index(attr).ok_or_else(|| {
-                        GraphError::BadCondition(format!("`{rel}` has no attribute `{attr}`"))
-                    })?;
-                    let slot = slot_of[node];
-                    Ok(t.column(ci).value(combo[slot] as usize))
-                }
-            }
-        };
+            };
 
         for &(ei, anchor, new_node) in &join_edges {
             let e = &graph.edges[ei];
@@ -221,9 +218,7 @@ impl Apt {
         let aliases = graph.display_aliases();
 
         // PT slot rows.
-        let pt_rows: Vec<usize> = (0..num_rows)
-            .map(|i| combos[i * stride] as usize)
-            .collect();
+        let pt_rows: Vec<usize> = (0..num_rows).map(|i| combos[i * stride] as usize).collect();
 
         let mut fields = Vec::new();
         let mut columns = Vec::new();
@@ -302,14 +297,25 @@ impl Apt {
             .filter(|&i| !self.fields[i].is_group_by)
             .collect()
     }
+
+    /// Approximate heap footprint in bytes: wide columns, the row → PT-row
+    /// map, and field metadata. Drives the service cache's byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum::<usize>()
+            + self.pt_row.len() * std::mem::size_of::<u32>()
+            + self
+                .fields
+                .iter()
+                .map(|f| f.name.len() + std::mem::size_of::<AptField>())
+                .sum::<usize>()
+    }
 }
 
 /// Resolves a PT-side attribute (with its FROM-entry binding) to a wide PT
 /// field index.
 fn pt_field_for(pt: &ProvenanceTable, pt_from_idx: Option<usize>, attr: &str) -> Result<usize> {
-    let from_idx = pt_from_idx.ok_or_else(|| {
-        GraphError::Malformed("PT-side edge is missing its FROM binding".into())
-    })?;
+    let from_idx = pt_from_idx
+        .ok_or_else(|| GraphError::Malformed("PT-side edge is missing its FROM binding".into()))?;
     pt.fields
         .iter()
         .position(|f| f.from_idx == from_idx && f.attr == attr)

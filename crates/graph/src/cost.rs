@@ -147,8 +147,7 @@ mod tests {
         }
         let mut schema = SchemaGraph::new();
         schema.add_condition("game", "stats", JoinCond::on(&[("game_id", "game_id")]));
-        let query =
-            parse_sql("SELECT count(*) AS c, team_id FROM game GROUP BY team_id").unwrap();
+        let query = parse_sql("SELECT count(*) AS c, team_id FROM game GROUP BY team_id").unwrap();
         (db, schema, query)
     }
 

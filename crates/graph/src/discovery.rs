@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use cajade_storage::{AttrKind, Column, Database, DataType};
+use cajade_storage::{AttrKind, Column, DataType, Database};
 
 use crate::schema_graph::{JoinCond, SchemaGraph};
 use crate::Result;
@@ -162,8 +162,18 @@ pub fn discover_joins(db: &Database, cfg: &DiscoveryConfig) -> Vec<JoinCandidate
         y.score
             .partial_cmp(&x.score)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (x.from_table.as_str(), x.from_col.as_str(), x.to_table.as_str())
-                .cmp(&(y.from_table.as_str(), y.from_col.as_str(), y.to_table.as_str())))
+            .then_with(|| {
+                (
+                    x.from_table.as_str(),
+                    x.from_col.as_str(),
+                    x.to_table.as_str(),
+                )
+                    .cmp(&(
+                        y.from_table.as_str(),
+                        y.from_col.as_str(),
+                        y.to_table.as_str(),
+                    ))
+            })
     });
     out
 }
@@ -264,7 +274,9 @@ mod tests {
     fn numeric_columns_are_not_join_candidates() {
         let db = undeclared_fk_db();
         let cands = discover_joins(&db, &DiscoveryConfig::default());
-        assert!(cands.iter().all(|c| c.from_col != "amount" && c.to_col != "amount"));
+        assert!(cands
+            .iter()
+            .all(|c| c.from_col != "amount" && c.to_col != "amount"));
     }
 
     #[test]

@@ -129,7 +129,16 @@ pub(crate) fn extend_jg(schema: &SchemaGraph, query: &Query, omega: &JoinGraph) 
         };
         for (rel, pt_from_idx) in rels {
             for (schema_edge, cond_idx, other_rel, cond) in schema.adjacent(&rel) {
-                add_edge(omega, v, other_rel, schema_edge, cond_idx, &cond, pt_from_idx, &mut out);
+                add_edge(
+                    omega,
+                    v,
+                    other_rel,
+                    schema_edge,
+                    cond_idx,
+                    &cond,
+                    pt_from_idx,
+                    &mut out,
+                );
             }
         }
     }
@@ -295,8 +304,7 @@ mod tests {
         let graphs = enumerate_join_graphs(&schema, &db, &query, 20, &cfg).unwrap();
         // Depth 0: PT. Depth 1: PT-stats. Depth 2: PT-stats-player and
         // PT-stats + a second parallel PT-stats… (dedup removes repeats).
-        let structures: Vec<String> =
-            graphs.iter().map(|g| g.graph.structure_string()).collect();
+        let structures: Vec<String> = graphs.iter().map(|g| g.graph.structure_string()).collect();
         assert!(structures.contains(&"PT".to_string()));
         assert!(structures.contains(&"PT - stats".to_string()));
         assert!(structures.iter().any(|s| s.contains("player")));

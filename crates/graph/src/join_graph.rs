@@ -124,9 +124,15 @@ impl JoinGraph {
     pub fn structure_string(&self) -> String {
         let aliases = self.display_aliases();
         let mut s = aliases.join(" - ");
-        let extra = self.edges.len().saturating_sub(self.nodes.len().saturating_sub(1));
+        let extra = self
+            .edges
+            .len()
+            .saturating_sub(self.nodes.len().saturating_sub(1));
         if extra > 0 {
-            s.push_str(&format!(" (+{extra} extra edge{})", if extra > 1 { "s" } else { "" }));
+            s.push_str(&format!(
+                " (+{extra} extra edge{})",
+                if extra > 1 { "s" } else { "" }
+            ));
         }
         s
     }
@@ -200,6 +206,39 @@ impl JoinGraph {
     }
 }
 
+/// A hashable canonical join-graph key: two graphs get equal keys iff
+/// they are isomorphic under a PT-fixing, label-preserving node
+/// permutation (see [`JoinGraph::canonical_key`]). This is the cache key
+/// the service layer uses to share one materialized APT between all
+/// sessions asking about the same join-graph structure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinGraphKey(String);
+
+impl JoinGraphKey {
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Approximate heap footprint (for cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl std::fmt::Display for JoinGraphKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl JoinGraph {
+    /// The graph's hashable canonical key.
+    pub fn key(&self) -> JoinGraphKey {
+        JoinGraphKey(self.canonical_key())
+    }
+}
+
 /// Heap's algorithm over a small index set.
 fn permute(items: &[usize], f: &mut impl FnMut(&[usize])) {
     let mut v = items.to_vec();
@@ -262,7 +301,9 @@ mod tests {
     fn display_aliases_number_repeats() {
         let g = JoinGraph {
             nodes: vec![
-                JgNode { label: NodeLabel::Pt },
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
                 rel("lineup_player"),
                 rel("lineup_player"),
                 rel("game"),
@@ -279,11 +320,23 @@ mod tests {
     fn canonical_key_identifies_isomorphic_graphs() {
         // PT - a, PT - b (nodes in different order).
         let g1 = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+                rel("b"),
+            ],
             edges: vec![edge(0, 1, 0, 0), edge(0, 2, 1, 0)],
         };
         let g2 = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("b"), rel("a")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("b"),
+                rel("a"),
+            ],
             edges: vec![edge(0, 2, 0, 0), edge(0, 1, 1, 0)],
         };
         assert_eq!(g1.canonical_key(), g2.canonical_key());
@@ -292,11 +345,21 @@ mod tests {
     #[test]
     fn canonical_key_distinguishes_conditions() {
         let g1 = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+            ],
             edges: vec![edge(0, 1, 0, 0)],
         };
         let g2 = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+            ],
             edges: vec![edge(0, 1, 0, 1)], // different condition index
         };
         assert_ne!(g1.canonical_key(), g2.canonical_key());
@@ -306,11 +369,23 @@ mod tests {
     fn canonical_key_distinguishes_topology() {
         // PT - a - b vs. PT - a, PT - b.
         let chain = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+                rel("b"),
+            ],
             edges: vec![edge(0, 1, 0, 0), edge(1, 2, 1, 0)],
         };
         let star = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a"), rel("b")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+                rel("b"),
+            ],
             edges: vec![edge(0, 1, 0, 0), edge(0, 2, 1, 0)],
         };
         assert_ne!(chain.canonical_key(), star.canonical_key());
@@ -319,7 +394,12 @@ mod tests {
     #[test]
     fn structure_string_notes_extra_edges() {
         let g = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("a")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("a"),
+            ],
             edges: vec![edge(0, 1, 0, 0), edge(0, 1, 0, 1)],
         };
         assert!(g.structure_string().contains("extra edge"));
@@ -328,7 +408,12 @@ mod tests {
     #[test]
     fn describe_edges_renders_conditions() {
         let g = JoinGraph {
-            nodes: vec![JgNode { label: NodeLabel::Pt }, rel("player_salary")],
+            nodes: vec![
+                JgNode {
+                    label: NodeLabel::Pt,
+                },
+                rel("player_salary"),
+            ],
             edges: vec![edge(0, 1, 0, 0)],
         };
         assert_eq!(g.describe_edges(), vec!["PT.x = player_salary.y"]);

@@ -34,7 +34,7 @@ pub use cost::CostEstimator;
 pub use discovery::{discover_joins, discovered_schema_graph, DiscoveryConfig, JoinCandidate};
 pub use enumerate::{enumerate_join_graphs, EnumConfig, EnumeratedGraph};
 pub use error::GraphError;
-pub use join_graph::{JgEdge, JgNode, JoinGraph, NodeLabel};
+pub use join_graph::{JgEdge, JgNode, JoinGraph, JoinGraphKey, NodeLabel};
 pub use schema_graph::{AttrPair, JoinCond, SchemaEdge, SchemaGraph};
 
 /// Crate-wide result alias.

@@ -277,10 +277,7 @@ mod tests {
         let db = fk_db();
         let mut g = SchemaGraph::new();
         g.add_condition("game", "team", JoinCond::on(&[("nope", "team_id")]));
-        assert!(matches!(
-            g.validate(&db),
-            Err(GraphError::BadCondition(_))
-        ));
+        assert!(matches!(g.validate(&db), Err(GraphError::BadCondition(_))));
     }
 
     #[test]

@@ -93,7 +93,15 @@ mod tests {
         Pattern::from_preds(
             preds
                 .iter()
-                .map(|&(f, v)| (f, Pred { op: PredOp::Eq, value: PatValue::Int(v) }))
+                .map(|&(f, v)| {
+                    (
+                        f,
+                        Pred {
+                            op: PredOp::Eq,
+                            value: PatValue::Int(v),
+                        },
+                    )
+                })
                 .collect(),
         )
     }

@@ -116,8 +116,7 @@ mod tests {
                 ])
                 .unwrap();
         }
-        let q = parse_sql("SELECT count(*) AS c, season_name FROM t GROUP BY season_name")
-            .unwrap();
+        let q = parse_sql("SELECT count(*) AS c, season_name FROM t GROUP BY season_name").unwrap();
         (db, q)
     }
 

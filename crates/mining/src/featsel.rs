@@ -219,11 +219,7 @@ fn feature_column(apt: &Apt, field: usize, rows: &[u32]) -> FeatureColumn {
     match apt.fields[field].kind {
         AttrKind::Numeric => FeatureColumn::Numeric(
             rows.iter()
-                .map(|&r| {
-                    apt.columns[field]
-                        .f64_at(r as usize)
-                        .unwrap_or(f64::NAN)
-                })
+                .map(|&r| apt.columns[field].f64_at(r as usize).unwrap_or(f64::NAN))
                 .collect(),
         ),
         AttrKind::Categorical => {

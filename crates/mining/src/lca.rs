@@ -39,7 +39,13 @@ pub fn lca_candidates(apt: &Apt, sample: &[u32], cat_fields: &[usize]) -> Vec<Pa
             for (k, &field) in cat_fields.iter().enumerate() {
                 if let (Some(a), Some(b)) = (cells[i][k], cells[j][k]) {
                     if a == b {
-                        preds.push((field, Pred { op: PredOp::Eq, value: a }));
+                        preds.push((
+                            field,
+                            Pred {
+                                op: PredOp::Eq,
+                                value: a,
+                            },
+                        ));
                     }
                 }
             }
@@ -112,8 +118,7 @@ mod tests {
         let (db, apt, cats) = fixture();
         let sample: Vec<u32> = (0..apt.num_rows as u32).collect();
         let pats = lca_candidates(&apt, &sample, &cats);
-        let rendered: HashSet<String> =
-            pats.iter().map(|p| p.render(&apt, db.pool())).collect();
+        let rendered: HashSet<String> = pats.iter().map(|p| p.render(&apt, db.pool())).collect();
         // Pair (1,2): team=GSW ∧ player=Curry. Pair (1,3)/(2,3): team=GSW.
         // Pair (3,4): player=LeBron. Pair (1,4)/(2,4): no agreement.
         assert!(rendered.contains("prov_t_team=GSW ∧ prov_t_player=Curry"));

@@ -475,9 +475,10 @@ mod tests {
         let good = out.explanations.iter().any(|e| {
             e.primary_group == t1
                 && e.metrics.f_score > 0.6
-                && e.pattern.preds().iter().any(|(f, p)| {
-                    apt.fields[*f].name == "prov_t_pts" && p.op == PredOp::Ge
-                })
+                && e.pattern
+                    .preds()
+                    .iter()
+                    .any(|(f, p)| apt.fields[*f].name == "prov_t_pts" && p.op == PredOp::Ge)
         });
         assert!(
             good,
@@ -493,10 +494,7 @@ mod tests {
     fn group_by_attribute_never_appears() {
         let (out, apt, _db, _, _) = mine(&default_test_params());
         let season = apt.field_index("prov_t_season").unwrap();
-        assert!(out
-            .explanations
-            .iter()
-            .all(|e| e.pattern.is_free(season)));
+        assert!(out.explanations.iter().all(|e| e.pattern.is_free(season)));
     }
 
     #[test]
@@ -584,7 +582,10 @@ mod tests {
                 |(thr1, thr2, op1, op2)| {
                     let base = Pattern::from_preds(vec![(
                         player,
-                        Pred { op: PredOp::Eq, value: PatValue::Str(star.0) },
+                        Pred {
+                            op: PredOp::Eq,
+                            value: PatValue::Str(star.0),
+                        },
                     )]);
                     let r1 = base.refine(
                         pts,

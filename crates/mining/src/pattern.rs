@@ -268,8 +268,20 @@ mod tests {
         let num = apt.field_index("prov_t_num").unwrap();
         let a = db.lookup_str("a").unwrap();
         let p = Pattern::from_preds(vec![
-            (cat, Pred { op: PredOp::Eq, value: PatValue::Str(a.0) }),
-            (num, Pred { op: PredOp::Le, value: PatValue::Int(20) }),
+            (
+                cat,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Str(a.0),
+                },
+            ),
+            (
+                num,
+                Pred {
+                    op: PredOp::Le,
+                    value: PatValue::Int(20),
+                },
+            ),
         ]);
         let matches: Vec<usize> = (0..apt.num_rows).filter(|&r| p.matches(&apt, r)).collect();
         assert_eq!(matches, vec![0, 1]); // rows with cat=a and num≤20
@@ -281,7 +293,10 @@ mod tests {
         let num = apt.field_index("prov_t_num").unwrap();
         let p = Pattern::from_preds(vec![(
             num,
-            Pred { op: PredOp::Ge, value: PatValue::Int(40) },
+            Pred {
+                op: PredOp::Ge,
+                value: PatValue::Int(40),
+            },
         )]);
         let count = (0..apt.num_rows).filter(|&r| p.matches(&apt, r)).count();
         assert_eq!(count, 2);
@@ -301,8 +316,20 @@ mod tests {
         let cat = apt.field_index("prov_t_cat").unwrap();
         let num = apt.field_index("prov_t_num").unwrap();
         let p = Pattern::empty()
-            .refine(num, Pred { op: PredOp::Le, value: PatValue::Int(30) })
-            .refine(cat, Pred { op: PredOp::Eq, value: PatValue::Str(0) });
+            .refine(
+                num,
+                Pred {
+                    op: PredOp::Le,
+                    value: PatValue::Int(30),
+                },
+            )
+            .refine(
+                cat,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Str(0),
+                },
+            );
         assert_eq!(p.len(), 2);
         assert!(p.preds().windows(2).all(|w| w[0].0 < w[1].0));
         assert!(!p.is_free(cat));
@@ -313,12 +340,36 @@ mod tests {
     fn pattern_identity_in_hash_set() {
         use std::collections::HashSet;
         let p1 = Pattern::from_preds(vec![
-            (3, Pred { op: PredOp::Le, value: PatValue::Float(2.5f64.to_bits()) }),
-            (1, Pred { op: PredOp::Eq, value: PatValue::Str(7) }),
+            (
+                3,
+                Pred {
+                    op: PredOp::Le,
+                    value: PatValue::Float(2.5f64.to_bits()),
+                },
+            ),
+            (
+                1,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Str(7),
+                },
+            ),
         ]);
         let p2 = Pattern::from_preds(vec![
-            (1, Pred { op: PredOp::Eq, value: PatValue::Str(7) }),
-            (3, Pred { op: PredOp::Le, value: PatValue::Float(2.5f64.to_bits()) }),
+            (
+                1,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Str(7),
+                },
+            ),
+            (
+                3,
+                Pred {
+                    op: PredOp::Le,
+                    value: PatValue::Float(2.5f64.to_bits()),
+                },
+            ),
         ]);
         let mut set = HashSet::new();
         set.insert(p1);
@@ -328,8 +379,20 @@ mod tests {
     #[test]
     fn from_preds_dedups_same_field() {
         let p = Pattern::from_preds(vec![
-            (1, Pred { op: PredOp::Eq, value: PatValue::Int(1) }),
-            (1, Pred { op: PredOp::Eq, value: PatValue::Int(2) }),
+            (
+                1,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Int(1),
+                },
+            ),
+            (
+                1,
+                Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Int(2),
+                },
+            ),
         ]);
         assert_eq!(p.len(), 1);
     }
@@ -341,7 +404,10 @@ mod tests {
         let a = db.lookup_str("a").unwrap();
         let p = Pattern::from_preds(vec![(
             cat,
-            Pred { op: PredOp::Eq, value: PatValue::Str(a.0) },
+            Pred {
+                op: PredOp::Eq,
+                value: PatValue::Str(a.0),
+            },
         )]);
         assert_eq!(p.render(&apt, db.pool()), "prov_t_cat=a");
         assert_eq!(Pattern::empty().render(&apt, db.pool()), "⟨empty⟩");
@@ -368,7 +434,13 @@ mod tests {
         let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
         let x = apt.field_index("prov_t_x").unwrap();
         for op in [PredOp::Eq, PredOp::Le, PredOp::Ge] {
-            let p = Pattern::from_preds(vec![(x, Pred { op, value: PatValue::Int(0) })]);
+            let p = Pattern::from_preds(vec![(
+                x,
+                Pred {
+                    op,
+                    value: PatValue::Int(0),
+                },
+            )]);
             assert!(!p.matches(&apt, 0), "{op:?} must not match NULL");
         }
     }

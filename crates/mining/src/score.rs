@@ -150,7 +150,10 @@ impl<'a> Scorer<'a> {
 
     /// `|PT(t)|` within scope.
     pub fn group_size(&self, group: usize) -> usize {
-        self.group_pt_counts.get(&(group as u32)).copied().unwrap_or(0)
+        self.group_pt_counts
+            .get(&(group as u32))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Scores `pattern` for `primary` against `secondary`
@@ -275,7 +278,13 @@ mod tests {
         let scorer = Scorer::exact(&apt, &pt);
 
         // x ≤ 3 covers 3 of g1's 4 rows and 1 of g2's 4 rows.
-        let p = Pattern::from_preds(vec![(x, Pred { op: PredOp::Le, value: PatValue::Int(3) })]);
+        let p = Pattern::from_preds(vec![(
+            x,
+            Pred {
+                op: PredOp::Le,
+                value: PatValue::Int(3),
+            },
+        )]);
         let m = scorer.score(&p, g1, Some(g2));
         assert_eq!((m.tp, m.a1, m.fp, m.a2), (3, 4, 1, 4));
         assert!((m.precision - 0.75).abs() < 1e-12);
@@ -292,7 +301,13 @@ mod tests {
         let (g1, g2) = groups(&db, &q, &pt);
         let x = apt.field_index("prov_t_x").unwrap();
         let scorer = Scorer::exact(&apt, &pt);
-        let p = Pattern::from_preds(vec![(x, Pred { op: PredOp::Ge, value: PatValue::Int(11) })]);
+        let p = Pattern::from_preds(vec![(
+            x,
+            Pred {
+                op: PredOp::Ge,
+                value: PatValue::Int(11),
+            },
+        )]);
         let m12 = scorer.score(&p, g1, Some(g2));
         let m21 = scorer.score(&p, g2, Some(g1));
         assert_eq!(m12.tp, 0);
@@ -309,7 +324,13 @@ mod tests {
         let x = apt.field_index("prov_t_x").unwrap();
         let scorer = Scorer::exact(&apt, &pt);
         // x ≤ 3 covers 3 g1-rows, 1 g2-row, 0 g3-rows; a2 = 6 (rest).
-        let p = Pattern::from_preds(vec![(x, Pred { op: PredOp::Le, value: PatValue::Int(3) })]);
+        let p = Pattern::from_preds(vec![(
+            x,
+            Pred {
+                op: PredOp::Le,
+                value: PatValue::Int(3),
+            },
+        )]);
         let m = scorer.score(&p, g1, None);
         assert_eq!((m.tp, m.a1, m.fp, m.a2), (3, 4, 1, 6));
     }
@@ -355,11 +376,23 @@ mod tests {
         // y ≥ 0 matches all three extensions of every PT row → still full
         // coverage, not triple.
         let y = apt.field_index("ctx.y").unwrap();
-        let p = Pattern::from_preds(vec![(y, Pred { op: PredOp::Ge, value: PatValue::Int(0) })]);
+        let p = Pattern::from_preds(vec![(
+            y,
+            Pred {
+                op: PredOp::Ge,
+                value: PatValue::Int(0),
+            },
+        )]);
         let m = scorer.score(&p, g1, Some(g2));
         assert_eq!((m.tp, m.a1, m.fp, m.a2), (4, 4, 4, 4));
         // y ≥ 2 matches exactly one extension per PT row → same coverage.
-        let p2 = Pattern::from_preds(vec![(y, Pred { op: PredOp::Ge, value: PatValue::Int(2) })]);
+        let p2 = Pattern::from_preds(vec![(
+            y,
+            Pred {
+                op: PredOp::Ge,
+                value: PatValue::Int(2),
+            },
+        )]);
         let m2 = scorer.score(&p2, g1, Some(g2));
         assert_eq!(m2.tp, 4);
     }

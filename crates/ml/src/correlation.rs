@@ -64,7 +64,11 @@ pub fn cramers_v(xs: &[u32], ys: &[u32]) -> f64 {
     if n == 0.0 || row.len() < 2 || col.len() < 2 {
         // Constant column: by convention fully determined ⇒ treat as
         // unassociated for clustering purposes (no information).
-        return if row.len() == 1 && col.len() == 1 { 1.0 } else { 0.0 };
+        return if row.len() == 1 && col.len() == 1 {
+            1.0
+        } else {
+            0.0
+        };
     }
     // χ² over the full contingency table — zero-observation cells still
     // contribute (they are exactly what makes identical columns score 1).
@@ -129,9 +133,7 @@ pub fn assoc_matrix(cols: &[FeatureColumn]) -> Vec<Vec<f64>> {
         for j in (i + 1)..p {
             let a = match (&cols[i], &cols[j]) {
                 (FeatureColumn::Numeric(x), FeatureColumn::Numeric(y)) => pearson(x, y).abs(),
-                (FeatureColumn::Categorical(x), FeatureColumn::Categorical(y)) => {
-                    cramers_v(x, y)
-                }
+                (FeatureColumn::Categorical(x), FeatureColumn::Categorical(y)) => cramers_v(x, y),
                 (FeatureColumn::Categorical(c), FeatureColumn::Numeric(n))
                 | (FeatureColumn::Numeric(n), FeatureColumn::Categorical(c)) => {
                     correlation_ratio(c, n)

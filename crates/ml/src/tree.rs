@@ -115,10 +115,7 @@ impl DecisionTree {
         let total = rows.len() as f64;
         let node_gini = gini(pos, total);
 
-        if depth >= config.max_depth
-            || rows.len() < config.min_samples_split
-            || node_gini == 0.0
-        {
+        if depth >= config.max_depth || rows.len() < config.min_samples_split || node_gini == 0.0 {
             return self.leaf(labels, &rows);
         }
 
@@ -149,18 +146,18 @@ impl DecisionTree {
 
         // Partition rows.
         let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = match split {
-            Split::Num { feature, threshold } => rows.iter().partition(|&&r| {
-                match &features[feature] {
+            Split::Num { feature, threshold } => {
+                rows.iter().partition(|&&r| match &features[feature] {
                     FeatureColumn::Numeric(v) => !v[r].is_nan() && v[r] <= threshold,
                     _ => unreachable!(),
-                }
-            }),
-            Split::Cat { feature, value } => rows.iter().partition(|&&r| {
-                match &features[feature] {
+                })
+            }
+            Split::Cat { feature, value } => {
+                rows.iter().partition(|&&r| match &features[feature] {
                     FeatureColumn::Categorical(v) => v[r] == value,
                     _ => unreachable!(),
-                }
-            }),
+                })
+            }
         };
         if left_rows.is_empty() || right_rows.is_empty() {
             return self.leaf(labels, &rows);
@@ -175,7 +172,15 @@ impl DecisionTree {
         let placeholder = self.nodes.len();
         self.nodes.push(Node::Leaf { prob: 0.5 }); // replaced below
         let left = self.build(features, labels, left_rows, config, rng, depth + 1, n_total);
-        let right = self.build(features, labels, right_rows, config, rng, depth + 1, n_total);
+        let right = self.build(
+            features,
+            labels,
+            right_rows,
+            config,
+            rng,
+            depth + 1,
+            n_total,
+        );
         self.nodes[placeholder] = match split {
             Split::Num { feature, threshold } => Node::SplitNum {
                 feature,
@@ -257,11 +262,7 @@ fn best_split_for_feature(
         FeatureColumn::Numeric(v) => {
             // Candidate thresholds: up to max_thresholds values sampled from
             // the node's distinct values.
-            let mut vals: Vec<f64> = rows
-                .iter()
-                .map(|&r| v[r])
-                .filter(|x| !x.is_nan())
-                .collect();
+            let mut vals: Vec<f64> = rows.iter().map(|&r| v[r]).filter(|x| !x.is_nan()).collect();
             if vals.is_empty() {
                 return None;
             }
@@ -296,7 +297,13 @@ fn best_split_for_feature(
                 let child = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
                 let gain = parent - child;
                 if best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
-                    best = Some((gain, Split::Num { feature, threshold: t }));
+                    best = Some((
+                        gain,
+                        Split::Num {
+                            feature,
+                            threshold: t,
+                        },
+                    ));
                 }
             }
             best
@@ -335,7 +342,13 @@ fn best_split_for_feature(
                 let child = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
                 let gain = parent - child;
                 if best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
-                    best = Some((gain, Split::Cat { feature, value: val }));
+                    best = Some((
+                        gain,
+                        Split::Cat {
+                            feature,
+                            value: val,
+                        },
+                    ));
                 }
             }
             best
@@ -414,8 +427,13 @@ mod tests {
         let features = vec![FeatureColumn::Numeric(vec![1.0, 2.0, 3.0])];
         let labels = vec![true, true, true];
         let mut rng = test_rng(1);
-        let tree =
-            DecisionTree::fit(&features, &labels, &[0, 1, 2], &TreeConfig::default(), &mut rng);
+        let tree = DecisionTree::fit(
+            &features,
+            &labels,
+            &[0, 1, 2],
+            &TreeConfig::default(),
+            &mut rng,
+        );
         assert_eq!(tree.num_nodes(), 1);
         assert_eq!(tree.predict_proba(&features, 0), 1.0);
     }

@@ -335,8 +335,7 @@ mod tests {
                     proptest::string::string_regex(ident).unwrap(),
                     prop_oneof![
                         any::<i64>().prop_map(Literal::Int),
-                        (-1000i64..1000)
-                            .prop_map(|i| Literal::Float(i as f64 / 8.0 + 0.0625)),
+                        (-1000i64..1000).prop_map(|i| Literal::Float(i as f64 / 8.0 + 0.0625)),
                         proptest::string::string_regex("[a-zA-Z '0-9]{0,12}")
                             .unwrap()
                             .prop_map(Literal::Str),

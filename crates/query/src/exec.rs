@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use bytes::BytesMut;
 use cajade_storage::rowkey::{encode_group_key, encode_key_into};
-use cajade_storage::{AttrKind, Database, DataType, Table, Value};
+use cajade_storage::{AttrKind, DataType, Database, Table, Value};
 
 use crate::ast::*;
 use crate::{QueryError, Result};
@@ -255,8 +255,7 @@ pub(crate) fn join_rows(binder: &Binder<'_>) -> Result<Joined> {
             }
         } else {
             // Build hash table on entry k side.
-            let mut build: HashMap<Vec<u8>, Vec<u32>> =
-                HashMap::with_capacity(candidates[k].len());
+            let mut build: HashMap<Vec<u8>, Vec<u32>> = HashMap::with_capacity(candidates[k].len());
             let key_cols_k: Vec<usize> = conds.iter().map(|(_, b)| b.col_idx).collect();
             let mut key_vals = Vec::with_capacity(key_cols_k.len());
             for &r in &candidates[k] {
@@ -275,7 +274,11 @@ pub(crate) fn join_rows(binder: &Binder<'_>) -> Result<Joined> {
                 key_vals.clear();
                 for bc in &probe_cols {
                     let base_row = row[bc.from_idx] as usize;
-                    key_vals.push(binder.tables[bc.from_idx].column(bc.col_idx).value(base_row));
+                    key_vals.push(
+                        binder.tables[bc.from_idx]
+                            .column(bc.col_idx)
+                            .value(base_row),
+                    );
                 }
                 let Some(key) = encode_key_into(&mut scratch, &key_vals) else {
                     continue;
@@ -469,7 +472,11 @@ fn aggregate(binder: &Binder<'_>, joined: &Joined, grouping: &Grouping) -> Resul
     let mut agg_cols = Vec::new();
     for agg in &binder.query.aggregates {
         agg_cols.push(agg.alias.clone());
-        fields.push((agg.alias.clone(), agg_output_type(binder, &agg.func)?, AttrKind::Numeric));
+        fields.push((
+            agg.alias.clone(),
+            agg_output_type(binder, &agg.func)?,
+            AttrKind::Numeric,
+        ));
     }
 
     // Accumulators: per aggregate, per group.
@@ -530,7 +537,8 @@ fn aggregate(binder: &Binder<'_>, joined: &Joined, grouping: &Grouping) -> Resul
         sb = sb.column(name.clone(), *dtype, *kind);
     }
     let mut table = Table::with_capacity(sb.build(), num_groups);
-    #[allow(clippy::needless_range_loop)] // g indexes both group keys and per-aggregate accumulators
+    #[allow(clippy::needless_range_loop)]
+    // g indexes both group keys and per-aggregate accumulators
     for g in 0..num_groups {
         let mut row: Vec<Value> = grouping.keys[g].clone();
         for (ai, agg) in binder.query.aggregates.iter().enumerate() {
@@ -681,11 +689,17 @@ mod tests {
         .unwrap();
         let r = execute(&db, &q).unwrap();
         let r15 = r.find_row(&db, &[("season", "2015-16")]).unwrap();
-        let ap = r.table.value(r15, r.table.schema().field_index("ap").unwrap());
+        let ap = r
+            .table
+            .value(r15, r.table.schema().field_index("ap").unwrap());
         assert_eq!(ap, Value::Float((110 + 120 + 105 + 99) as f64 / 4.0));
-        let mn = r.table.value(r15, r.table.schema().field_index("mn").unwrap());
+        let mn = r
+            .table
+            .value(r15, r.table.schema().field_index("mn").unwrap());
         assert_eq!(mn, Value::Int(99));
-        let mx = r.table.value(r15, r.table.schema().field_index("mx").unwrap());
+        let mx = r
+            .table
+            .value(r15, r.table.schema().field_index("mx").unwrap());
         assert_eq!(mx, Value::Int(120));
     }
 
@@ -722,7 +736,9 @@ mod tests {
         .unwrap();
         let r = execute(&db, &q).unwrap();
         let m = r.find_row(&db, &[("insurance", "Medicare")]).unwrap();
-        let dr = r.table.value(m, r.table.schema().field_index("death_rate").unwrap());
+        let dr = r
+            .table
+            .value(m, r.table.schema().field_index("death_rate").unwrap());
         assert_eq!(dr, Value::Float(0.5));
     }
 
@@ -764,7 +780,9 @@ mod tests {
         assert!(r.find_row(&db, &[("game_id", "5")]).is_none());
         // Game 2 (90 pts, the min) pairs with all 6 others.
         let g2 = r.find_row(&db, &[("game_id", "2")]).unwrap();
-        let c = r.table.value(g2, r.table.schema().field_index("c").unwrap());
+        let c = r
+            .table
+            .value(g2, r.table.schema().field_index("c").unwrap());
         assert_eq!(c, Value::Int(6));
     }
 

@@ -97,9 +97,7 @@ fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
             }
             c if c.is_ascii_digit() => {
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     j += 1;
                 }
                 out.push(SpannedTok {
@@ -123,28 +121,46 @@ fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedTok { tok: Tok::Symbol("<="), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol("<="),
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(SpannedTok { tok: Tok::Symbol("<>"), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol("<>"),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedTok { tok: Tok::Symbol("<"), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol("<"),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedTok { tok: Tok::Symbol(">="), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol(">="),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedTok { tok: Tok::Symbol(">"), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol(">"),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedTok { tok: Tok::Symbol("!="), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Symbol("!="),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Parse {
@@ -154,7 +170,10 @@ fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
                 }
             }
             '=' => {
-                out.push(SpannedTok { tok: Tok::Symbol("="), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol("="),
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
@@ -162,9 +181,7 @@ fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
                 // `x = -5` and `y <= -1.5` parse (no binary minus in this
                 // query class).
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     j += 1;
                 }
                 if j == i + 1 {
@@ -180,27 +197,45 @@ fn tokenize(sql: &str) -> Result<Vec<SpannedTok>> {
                 i = j;
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Symbol("*"), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol("*"),
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(SpannedTok { tok: Tok::Symbol("/"), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol("/"),
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Symbol(","), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol(","),
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::Symbol("("), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol("("),
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::Symbol(")"), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol(")"),
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(SpannedTok { tok: Tok::Symbol("."), offset: start });
+                out.push(SpannedTok {
+                    tok: Tok::Symbol("."),
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
@@ -585,10 +620,8 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        let q = parse_sql(
-            "SELECT count(*) AS c FROM t WHERE name = 'O''Neal' GROUP BY name",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT count(*) AS c FROM t WHERE name = 'O''Neal' GROUP BY name").unwrap();
         match &q.predicates[0] {
             Predicate::ColLit(_, _, Literal::Str(s)) => assert_eq!(s, "O'Neal"),
             other => panic!("unexpected predicate {other:?}"),

@@ -11,7 +11,7 @@
 //! This mirrors what the paper obtains from GProM/Perm, and it is the `PT`
 //! node that every join graph hangs off (paper §2.2).
 
-use cajade_storage::{AttrKind, Column, Database, DataType, Value};
+use cajade_storage::{AttrKind, Column, DataType, Database, Value};
 
 use crate::ast::Query;
 use crate::exec::{group, join_rows, Binder, Joined};
@@ -90,7 +90,14 @@ impl ProvenanceTable {
         let binder = Binder::new(db, query)?;
         let joined = join_rows(&binder)?;
         let grouping = group(&binder, &joined)?;
-        Self::from_parts(db, query, &binder, &joined, grouping.group_of, grouping.keys)
+        Self::from_parts(
+            db,
+            query,
+            &binder,
+            &joined,
+            grouping.group_of,
+            grouping.keys,
+        )
     }
 
     fn from_parts(
@@ -112,7 +119,8 @@ impl ProvenanceTable {
         // aliases, the alias (not the table name) disambiguates the wide
         // attribute names.
         let mut fields = Vec::new();
-        let mut per_entry_rows: Vec<Vec<usize>> = vec![Vec::with_capacity(joined.num_rows()); query.from.len()];
+        let mut per_entry_rows: Vec<Vec<usize>> =
+            vec![Vec::with_capacity(joined.num_rows()); query.from.len()];
         for i in 0..joined.num_rows() {
             let row = joined.row(i);
             for (k, r) in row.iter().enumerate() {
@@ -123,12 +131,7 @@ impl ProvenanceTable {
         let mut columns = Vec::new();
         for (k, tref) in query.from.iter().enumerate() {
             let table = binder.tables[k];
-            let dup = query
-                .from
-                .iter()
-                .filter(|t| t.table == tref.table)
-                .count()
-                > 1;
+            let dup = query.from.iter().filter(|t| t.table == tref.table).count() > 1;
             let rel_label = if dup { &tref.alias } else { &tref.table };
             for (ci, f) in table.schema().fields.iter().enumerate() {
                 fields.push(PtField {
@@ -182,6 +185,30 @@ impl ProvenanceTable {
         self.rows_of_group[group].len()
     }
 
+    /// Approximate heap footprint in bytes: wide columns plus the
+    /// group-mapping vectors. Drives the service cache's byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        let u32sz = std::mem::size_of::<u32>();
+        self.columns.iter().map(|c| c.approx_bytes()).sum::<usize>()
+            + self.group_of.len() * u32sz
+            + self.base_rows.len() * u32sz
+            + self
+                .rows_of_group
+                .iter()
+                .map(|g| g.len() * u32sz)
+                .sum::<usize>()
+            + self
+                .group_keys
+                .iter()
+                .map(|k| std::mem::size_of::<Vec<Value>>() + k.len() * std::mem::size_of::<Value>())
+                .sum::<usize>()
+            + self
+                .fields
+                .iter()
+                .map(|f| f.name.len() + std::mem::size_of::<PtField>())
+                .sum::<usize>()
+    }
+
     /// Cell accessor.
     #[inline]
     pub fn value(&self, row: usize, field: usize) -> Value {
@@ -191,7 +218,12 @@ impl ProvenanceTable {
     /// Finds the output tuple whose group key matches the given
     /// `(column, rendered value)` pairs (column names are the *original*
     /// group-by column names).
-    pub fn find_group(&self, db: &Database, query: &Query, wanted: &[(&str, &str)]) -> Option<usize> {
+    pub fn find_group(
+        &self,
+        db: &Database,
+        query: &Query,
+        wanted: &[(&str, &str)],
+    ) -> Option<usize> {
         'groups: for (g, key) in self.group_keys.iter().enumerate() {
             for (col, text) in wanted {
                 let pos = query.group_by.iter().position(|c| c.column == *col)?;
@@ -281,18 +313,12 @@ mod tests {
         let pt = ProvenanceTable::compute(&db, &q1()).unwrap();
         assert_eq!(pt.num_rows, 4, "g2, g3, g4, g5 won by GSW");
 
-        let t1 = pt
-            .find_group(&db, &q1(), &[("season", "2012-13")])
-            .unwrap();
-        let t2 = pt
-            .find_group(&db, &q1(), &[("season", "2015-16")])
-            .unwrap();
+        let t1 = pt.find_group(&db, &q1(), &[("season", "2012-13")]).unwrap();
+        let t2 = pt.find_group(&db, &q1(), &[("season", "2015-16")]).unwrap();
         assert_eq!(pt.group_size(t1), 1);
         assert_eq!(pt.group_size(t2), 2);
         // And 2013-14 exists with one row.
-        let t3 = pt
-            .find_group(&db, &q1(), &[("season", "2013-14")])
-            .unwrap();
+        let t3 = pt.find_group(&db, &q1(), &[("season", "2013-14")]).unwrap();
         assert_eq!(pt.group_size(t3), 1);
     }
 

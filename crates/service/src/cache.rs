@@ -1,0 +1,273 @@
+//! Keyed LRU cache with byte-budget accounting.
+//!
+//! The service keeps two of these: provenance/enumeration results keyed
+//! by `(db, epoch, sql)` and materialized APTs keyed by
+//! `(db, epoch, sql, join-graph key)`. Values travel behind `Arc`, so a
+//! hit is a pointer clone and eviction never frees memory still in use by
+//! an in-flight question.
+//!
+//! Eviction is least-recently-used by a logical tick, scanned linearly —
+//! entry counts are small (tens to hundreds of heavyweight tables), so a
+//! linked-list LRU would be complexity without measurable benefit.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Counter snapshot for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (approximate, see `approx_bytes`).
+    pub bytes: usize,
+    /// Byte budget.
+    pub budget_bytes: usize,
+    /// Lookup hits since construction.
+    pub hits: u64,
+    /// Lookup misses since construction.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Inserts rejected because a single value exceeded the whole budget.
+    pub rejected: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Entry<V>>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache with a byte budget.
+pub struct LruCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    budget_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache that will hold at most `budget_bytes` of accounted value
+    /// bytes.
+    pub fn new(budget_bytes: usize) -> Self {
+        LruCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` accounted as `bytes`, evicting least-recently-used
+    /// entries until the budget holds. A value larger than the entire
+    /// budget is not cached (callers still use it; it is just not
+    /// retained). Returns whether the value was retained.
+    pub fn insert(&self, key: K, value: V, bytes: usize) -> bool {
+        if bytes > self.budget_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + bytes > self.budget_bytes {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(k) => {
+                    let e = inner.map.remove(&k).expect("lru key present");
+                    inner.bytes -= e.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Removes every entry whose key fails `keep`, returning how many were
+    /// dropped. Used to sweep a database's stale epochs on re-registration.
+    pub fn retain(&self, keep: impl Fn(&K) -> bool) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        let mut freed = 0usize;
+        inner.map.retain(|k, e| {
+            if keep(k) {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        inner.bytes -= freed;
+        before - inner.map.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget_bytes: self.budget_bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counters() {
+        let c: LruCache<u32, &'static str> = LruCache::new(1024);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one", 10);
+        assert_eq!(c.get(&1), Some("one"));
+        assert_eq!(c.get(&2), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+        assert_eq!(s.bytes, 10);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 10, 40);
+        c.insert(2, 20, 40);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(3, 30, 40); // exceeds 100 → evict 2
+        assert_eq!(c.get(&2), None, "LRU entry evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 80);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_not_cached() {
+        let c: LruCache<u32, u32> = LruCache::new(100);
+        assert!(!c.insert(1, 1, 101));
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reaccounts() {
+        let c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 10, 60);
+        c.insert(1, 11, 30);
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, 30);
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn retain_sweeps_matching_keys() {
+        let c: LruCache<(u32, u32), u32> = LruCache::new(1000);
+        c.insert((1, 0), 1, 10);
+        c.insert((1, 1), 2, 10);
+        c.insert((2, 0), 3, 10);
+        let dropped = c.retain(|k| k.0 != 1);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.get(&(2, 0)), Some(3));
+        assert_eq!(c.stats().bytes, 10);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let c: Arc<LruCache<u64, u64>> = Arc::new(LruCache::new(8 * 1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 500 + i) % 64;
+                        if c.get(&k).is_none() {
+                            c.insert(k, k * 2, 64);
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert!(s.entries <= 64);
+        assert!(s.bytes <= 8 * 1024);
+        assert_eq!(s.hits + s.misses, 2000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Service-level errors.
+
+use std::fmt;
+
+use cajade_core::CoreError;
+use cajade_query::QueryError;
+
+/// Errors surfaced by the explanation service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// No database registered under this name.
+    UnknownDatabase(String),
+    /// No open session with this id.
+    UnknownSession(u64),
+    /// The session's SQL failed to parse.
+    Parse(QueryError),
+    /// The underlying pipeline failed.
+    Core(CoreError),
+    /// The owning [`crate::ExplanationService`] was dropped while a
+    /// session handle was still alive.
+    ServiceDropped,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownDatabase(name) => {
+                write!(f, "no database registered as `{name}`")
+            }
+            ServiceError::UnknownSession(id) => write!(f, "no open session #{id}"),
+            // QueryError's own rendering already says "SQL parse error".
+            ServiceError::Parse(e) => write!(f, "{e}"),
+            ServiceError::Core(e) => write!(f, "pipeline error: {e}"),
+            ServiceError::ServiceDropped => {
+                write!(f, "explanation service was shut down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::Parse(e)
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_database_and_session() {
+        assert!(ServiceError::UnknownDatabase("nba".into())
+            .to_string()
+            .contains("nba"));
+        assert!(ServiceError::UnknownSession(7).to_string().contains('7'));
+        let e: ServiceError = CoreError::NoSuchOutputTuple("x=1".into()).into();
+        assert!(e.to_string().contains("x=1"));
+    }
+}

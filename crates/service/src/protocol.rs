@@ -1,0 +1,478 @@
+//! The `cajade-serve` JSON-lines protocol.
+//!
+//! One request per input line, one response per output line. Every
+//! response is an object with `"ok": true|false`; errors carry
+//! `"error": "<message>"`.
+//!
+//! | op | request fields | response fields |
+//! |---|---|---|
+//! | `register` | `db`, `dataset` (`nba`\|`mimic`), `scale`? | `epoch`, `fingerprint`, `replaced`, `tables`, `rows` |
+//! | `query` | `db`, `sql` | `session`, `columns`, `rows` (≤ `max_rows`, default 50); warms the provenance cache and reuses an existing session on the same `(db, sql)` |
+//! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value) | `explanations`, `cache`, `timings` |
+//! | `stats` | — | service counters + both caches |
+//! | `close` | `session` | `closed` |
+//!
+//! Example exchange:
+//!
+//! ```text
+//! → {"op":"register","db":"nba","dataset":"nba","scale":0.25}
+//! ← {"ok":true,"db":"nba","epoch":0,"replaced":false,"tables":11,"rows":123456,...}
+//! → {"op":"query","db":"nba","sql":"SELECT COUNT(*) AS win, s.season_name FROM team t, game g, season s WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' GROUP BY s.season_name"}
+//! ← {"ok":true,"session":1,"columns":["win","season_name"],"rows":[...]}
+//! → {"op":"ask","session":1,"t1":{"season_name":"2015-16"},"t2":{"season_name":"2012-13"}}
+//! ← {"ok":true,"explanations":[...],"cache":{"provenance":"miss","apt_hits":0,"apt_misses":9},...}
+//! ```
+
+use cajade_core::UserQuestion;
+use cajade_datagen::{mimic, nba};
+use cajade_storage::Database;
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+use crate::{AskResult, ExplanationService};
+
+/// Handles one protocol line, returning the response object. Never
+/// panics on malformed input — all failures become `ok: false`.
+pub fn handle_line(service: &ExplanationService, line: &str) -> Json {
+    let line = line.trim();
+    if line.is_empty() {
+        return err("empty request");
+    }
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return err(&format!("bad JSON: {e}")),
+    };
+    let op = match req.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return err("missing \"op\""),
+    };
+    match op {
+        "register" => handle_register(service, &req),
+        "query" => handle_query(service, &req),
+        "ask" => handle_ask(service, &req),
+        "stats" => handle_stats(service),
+        "close" => handle_close(service, &req),
+        other => err(&format!("unknown op `{other}`")),
+    }
+}
+
+fn err(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn str_field<'a>(req: &'a Json, field: &str) -> Result<&'a str, Json> {
+    req.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(&format!("missing string field \"{field}\"")))
+}
+
+fn handle_register(service: &ExplanationService, req: &Json) -> Json {
+    let db_name = match str_field(req, "db") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let dataset = match str_field(req, "dataset") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let scale = req
+        .get("scale")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.1)
+        .clamp(0.01, 10.0);
+    let generated = match dataset {
+        "nba" => nba::generate(nba::NbaConfig::scaled(scale)),
+        "mimic" => mimic::generate(mimic::MimicConfig::scaled(scale)),
+        other => {
+            return err(&format!(
+                "unknown dataset `{other}` (expected \"nba\" or \"mimic\")"
+            ))
+        }
+    };
+    let tables = generated.db.tables().len();
+    let rows = generated.db.total_rows();
+    let outcome = service.register_database(db_name, generated.db, generated.schema_graph);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("db", Json::str(db_name)),
+        ("epoch", Json::num(outcome.epoch as f64)),
+        (
+            "fingerprint",
+            Json::str(format!("{:016x}", outcome.fingerprint)),
+        ),
+        ("replaced", Json::Bool(outcome.replaced)),
+        (
+            "invalidated_entries",
+            Json::num(outcome.invalidated_entries as f64),
+        ),
+        ("tables", Json::num(tables as f64)),
+        ("rows", Json::num(rows as f64)),
+    ])
+}
+
+fn handle_query(service: &ExplanationService, req: &Json) -> Json {
+    let db_name = match str_field(req, "db") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let sql = match str_field(req, "sql") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let max_rows = req.get("max_rows").and_then(Json::as_u64).unwrap_or(50) as usize;
+    let handle = match service.open_or_reuse_session(db_name, sql) {
+        Ok(h) => h,
+        Err(e) => return err(&e.to_string()),
+    };
+    // Preview runs the prepared stages through the provenance cache, so
+    // the caller sees the output tuples they can ask about AND the
+    // session's first ask skips preparation. If it fails (e.g. unknown
+    // column), close the just-opened session rather than leaking it.
+    let result = match handle.preview() {
+        Ok(r) => r,
+        Err(e) => {
+            service.close_session(handle.id());
+            return err(&e.to_string());
+        }
+    };
+    let reg = match service.database(db_name) {
+        Some(r) => r,
+        None => {
+            service.close_session(handle.id());
+            return err(&format!("no database registered as `{db_name}`"));
+        }
+    };
+    let columns: Vec<Json> = result
+        .table
+        .schema()
+        .fields
+        .iter()
+        .map(|f| Json::str(f.name.clone()))
+        .collect();
+    let rows = render_rows(&reg.db, &result.table, max_rows);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("session", Json::num(handle.id() as f64)),
+        ("db", Json::str(db_name)),
+        ("sql", Json::str(handle.sql())),
+        ("columns", Json::Arr(columns)),
+        ("rows", Json::Arr(rows)),
+        ("total_rows", Json::num(result.table.num_rows() as f64)),
+    ])
+}
+
+fn render_rows(db: &Database, table: &cajade_storage::Table, max_rows: usize) -> Vec<Json> {
+    (0..table.num_rows().min(max_rows))
+        .map(|r| {
+            Json::Arr(
+                (0..table.num_columns())
+                    .map(|c| Json::str(table.value(r, c).render(db.pool())))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Reads a `{"col": "value", ...}` object into question pairs.
+fn tuple_spec(req: &Json, field: &str) -> Option<Vec<(String, String)>> {
+    let obj = req.get(field)?.as_object()?;
+    Some(
+        obj.iter()
+            .map(|(k, v)| {
+                let rendered = match v {
+                    Json::Str(s) => s.clone(),
+                    other => other.render(),
+                };
+                (k.clone(), rendered)
+            })
+            .collect(),
+    )
+}
+
+fn handle_ask(service: &ExplanationService, req: &Json) -> Json {
+    let session_id = match req.get("session").and_then(Json::as_u64) {
+        Some(id) => id,
+        None => return err("missing numeric field \"session\""),
+    };
+    let handle = match service.session(session_id) {
+        Ok(h) => h,
+        Err(e) => return err(&e.to_string()),
+    };
+    let question = match (
+        tuple_spec(req, "t1"),
+        tuple_spec(req, "t2"),
+        tuple_spec(req, "t"),
+    ) {
+        (Some(t1), Some(t2), _) => UserQuestion::TwoPoint { t1, t2 },
+        (None, None, Some(t)) => UserQuestion::SinglePoint { t },
+        _ => return err("expected \"t1\"+\"t2\" (two-point) or \"t\" (single-point)"),
+    };
+    match handle.ask(&question) {
+        Ok(outcome) => ask_response(&outcome),
+        Err(e) => err(&e.to_string()),
+    }
+}
+
+fn ask_response(outcome: &AskResult) -> Json {
+    let explanations: Vec<Json> = outcome
+        .result
+        .explanations
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("pattern", Json::str(e.pattern_desc.clone())),
+                (
+                    "predicates",
+                    Json::Arr(
+                        e.preds
+                            .iter()
+                            .map(|(a, op, v)| {
+                                Json::Arr(vec![
+                                    Json::str(a.clone()),
+                                    Json::str(op.clone()),
+                                    Json::str(v.clone()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("join_graph", Json::str(e.graph_structure.clone())),
+                (
+                    "join_conditions",
+                    Json::Arr(e.graph_edges.iter().map(|s| Json::str(s.clone())).collect()),
+                ),
+                ("primary", Json::str(e.primary.clone())),
+                ("f_score", Json::num(e.metrics.f_score)),
+                ("precision", Json::num(e.metrics.precision)),
+                ("recall", Json::num(e.metrics.recall)),
+                ("provenance_only", Json::Bool(e.from_pt_only)),
+            ])
+        })
+        .collect();
+    let r = &outcome.result;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("explanations", Json::Arr(explanations)),
+        (
+            "cache",
+            Json::obj([
+                (
+                    "answer",
+                    Json::str(if outcome.answer_cache_hit {
+                        "hit"
+                    } else {
+                        "miss"
+                    }),
+                ),
+                (
+                    "provenance",
+                    Json::str(if outcome.provenance_cache_hit {
+                        "hit"
+                    } else {
+                        "miss"
+                    }),
+                ),
+                ("apt_hits", Json::num(outcome.apt_cache_hits as f64)),
+                ("apt_misses", Json::num(outcome.apt_cache_misses as f64)),
+            ]),
+        ),
+        (
+            "pipeline",
+            Json::obj([
+                (
+                    "graphs_enumerated",
+                    Json::num(r.num_graphs_enumerated as f64),
+                ),
+                ("graphs_mined", Json::num(r.num_graphs_mined as f64)),
+                ("pt_rows", Json::num(r.pt_rows as f64)),
+                ("patterns_evaluated", Json::num(r.patterns_evaluated as f64)),
+            ]),
+        ),
+        (
+            "timings_ms",
+            Json::obj([
+                ("wall", Json::num(outcome.wall.as_secs_f64() * 1e3)),
+                (
+                    "provenance",
+                    Json::num(r.timings.provenance.as_secs_f64() * 1e3),
+                ),
+                ("jg_enum", Json::num(r.timings.jg_enum.as_secs_f64() * 1e3)),
+                (
+                    "materialize_apts",
+                    Json::num(r.timings.materialize_apts.as_secs_f64() * 1e3),
+                ),
+                (
+                    "mining",
+                    Json::num(r.timings.mining.total().as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn cache_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("entries", Json::num(s.entries as f64)),
+        ("bytes", Json::num(s.bytes as f64)),
+        ("budget_bytes", Json::num(s.budget_bytes as f64)),
+        ("hits", Json::num(s.hits as f64)),
+        ("misses", Json::num(s.misses as f64)),
+        ("evictions", Json::num(s.evictions as f64)),
+        ("inserts", Json::num(s.inserts as f64)),
+        ("rejected", Json::num(s.rejected as f64)),
+    ])
+}
+
+fn handle_stats(service: &ExplanationService) -> Json {
+    let s = service.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("databases", Json::num(s.databases as f64)),
+        ("open_sessions", Json::num(s.open_sessions as f64)),
+        ("sessions_opened", Json::num(s.sessions_opened as f64)),
+        ("questions_answered", Json::num(s.questions_answered as f64)),
+        ("hit_rate", Json::num(s.hit_rate())),
+        ("provenance_cache", cache_json(&s.provenance_cache)),
+        ("apt_cache", cache_json(&s.apt_cache)),
+        ("answer_cache", cache_json(&s.answer_cache)),
+    ])
+}
+
+fn handle_close(service: &ExplanationService, req: &Json) -> Json {
+    let session_id = match req.get("session").and_then(Json::as_u64) {
+        Some(id) => id,
+        None => return err("missing numeric field \"session\""),
+    };
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("closed", Json::Bool(service.close_session(session_id))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    fn service_with_tiny_nba() -> ExplanationService {
+        let service = ExplanationService::new(ServiceConfig::default());
+        let gen = nba::generate(nba::NbaConfig::tiny());
+        service.register_database("nba", gen.db, gen.schema_graph);
+        service
+    }
+
+    const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
+         FROM team t, game g, season s \
+         WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+           AND t.team = 'GSW' GROUP BY s.season_name";
+
+    #[test]
+    fn malformed_lines_answer_ok_false() {
+        let service = ExplanationService::default();
+        for line in ["", "not json", "{}", r#"{"op":"wat"}"#, r#"{"op":"ask"}"#] {
+            let resp = handle_line(&service, line);
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line}"
+            );
+            assert!(resp.get("error").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn register_query_ask_round_trip() {
+        let service = service_with_tiny_nba();
+
+        let query_line = Json::obj([
+            ("op", Json::str("query")),
+            ("db", Json::str("nba")),
+            ("sql", Json::str(GSW_SQL)),
+        ])
+        .render();
+        let q = handle_line(&service, &query_line);
+        assert_eq!(q.get("ok").and_then(Json::as_bool), Some(true), "{q:?}");
+        let session = q.get("session").and_then(Json::as_u64).unwrap();
+        // Re-issuing the same query reuses the session instead of
+        // growing the registry.
+        let q_again = handle_line(&service, &query_line);
+        assert_eq!(q_again.get("session").and_then(Json::as_u64), Some(session));
+        assert!(q.get("rows").and_then(Json::as_array).unwrap().len() > 2);
+
+        let ask = format!(
+            r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}}}}"#
+        );
+        let a1 = handle_line(&service, &ask);
+        assert_eq!(a1.get("ok").and_then(Json::as_bool), Some(true), "{a1:?}");
+        assert!(!a1
+            .get("explanations")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+        // The `query` op previews through the provenance cache, so even
+        // the first ask skips preparation (but must still materialize).
+        assert_eq!(
+            a1.get("cache")
+                .and_then(|c| c.get("provenance"))
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert!(
+            a1.get("cache")
+                .and_then(|c| c.get("apt_misses"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+
+        // Second ask: everything question-independent must be a hit.
+        let a2 = handle_line(&service, &ask);
+        assert_eq!(
+            a2.get("cache")
+                .and_then(|c| c.get("provenance"))
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(
+            a2.get("cache")
+                .and_then(|c| c.get("apt_misses"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            a1.get("explanations").unwrap().render(),
+            a2.get("explanations").unwrap().render(),
+            "warm ask returns identical explanations"
+        );
+
+        let stats = handle_line(&service, r#"{"op":"stats"}"#);
+        assert_eq!(
+            stats.get("questions_answered").and_then(Json::as_u64),
+            Some(2)
+        );
+
+        let close = handle_line(
+            &service,
+            &format!(r#"{{"op":"close","session":{session}}}"#),
+        );
+        assert_eq!(close.get("closed").and_then(Json::as_bool), Some(true));
+        let again = handle_line(&service, &ask);
+        assert_eq!(again.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn register_via_protocol_generates_dataset() {
+        let service = ExplanationService::default();
+        let resp = handle_line(
+            &service,
+            r#"{"op":"register","db":"demo","dataset":"nba","scale":0.02}"#,
+        );
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        assert!(resp.get("rows").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(service.database_names(), vec!["demo".to_string()]);
+    }
+}

@@ -1,0 +1,364 @@
+//! The thread-safe explanation service: a catalog of registered
+//! databases, a registry of open sessions, and the shared
+//! provenance/APT caches that make repeated questions cheap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cajade_core::pipeline::PreparedQuery;
+use cajade_core::Params;
+use cajade_graph::{Apt, SchemaGraph};
+use cajade_query::parse_sql;
+use cajade_storage::Database;
+use parking_lot::RwLock;
+
+use crate::cache::LruCache;
+use crate::keys::{AnswerKey, AptKey, ProvKey};
+use crate::session::SessionHandle;
+use crate::stats::ServiceStats;
+use crate::{Result, ServiceError};
+
+/// Hard cap on concurrently-open sessions; opening beyond it evicts the
+/// oldest session id.
+const MAX_OPEN_SESSIONS: usize = 4096;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Byte budget of the provenance/enumeration cache.
+    pub prov_cache_bytes: usize,
+    /// Byte budget of the materialized-APT cache.
+    pub apt_cache_bytes: usize,
+    /// Byte budget of the answered-question cache.
+    pub answer_cache_bytes: usize,
+    /// Default pipeline parameters for sessions that don't override them.
+    /// `parallel` defaults to **on** here (unlike the one-shot API, whose
+    /// single-threaded default mirrors the paper's runtime breakdowns).
+    pub params: Params,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let mut params = Params::paper();
+        params.parallel = true;
+        ServiceConfig {
+            prov_cache_bytes: 256 * 1024 * 1024,
+            apt_cache_bytes: 512 * 1024 * 1024,
+            answer_cache_bytes: 64 * 1024 * 1024,
+            params,
+        }
+    }
+}
+
+/// A registered database: content plus its schema graph, pinned behind
+/// `Arc` so in-flight questions keep a consistent snapshot even while the
+/// name is re-registered.
+#[derive(Debug)]
+pub struct RegisteredDb {
+    /// Registration name.
+    pub name: String,
+    /// Registration epoch — advances when re-registration changes content.
+    pub epoch: u64,
+    /// Content fingerprint ([`Database::fingerprint`]).
+    pub fingerprint: u64,
+    /// The database.
+    pub db: Database,
+    /// Its schema graph.
+    pub schema_graph: SchemaGraph,
+}
+
+/// What [`ExplanationService::register_database`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOutcome {
+    /// The (possibly advanced) epoch now current for this name.
+    pub epoch: u64,
+    /// The database's content fingerprint.
+    pub fingerprint: u64,
+    /// True when this call replaced different content (epoch advanced and
+    /// cache entries were invalidated).
+    pub replaced: bool,
+    /// Cache entries dropped by the invalidation sweep.
+    pub invalidated_entries: usize,
+}
+
+pub(crate) struct ServiceInner {
+    pub(crate) dbs: RwLock<HashMap<String, Arc<RegisteredDb>>>,
+    pub(crate) sessions: RwLock<HashMap<u64, Arc<SessionHandle>>>,
+    pub(crate) next_session: AtomicU64,
+    /// Monotonic epoch source shared by all database names. Never reused
+    /// — even across unregister/re-register — so an in-flight ask holding
+    /// a removed database's snapshot can never collide with the keys of
+    /// freshly-registered content.
+    pub(crate) next_epoch: AtomicU64,
+    pub(crate) prov_cache: LruCache<ProvKey, Arc<PreparedQuery>>,
+    pub(crate) apt_cache: LruCache<AptKey, Arc<Apt>>,
+    pub(crate) answer_cache: LruCache<AnswerKey, Arc<cajade_core::SessionResult>>,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) questions_answered: AtomicU64,
+    pub(crate) params: Params,
+}
+
+impl ServiceInner {
+    pub(crate) fn registered(&self, name: &str) -> Result<Arc<RegisteredDb>> {
+        self.dbs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))
+    }
+
+    /// True while `epoch` is still the registered epoch for `name`. Asks
+    /// check this before cache inserts so work computed against a
+    /// just-replaced database snapshot is not retained under keys nothing
+    /// will ever look up again.
+    pub(crate) fn epoch_is_current(&self, name: &str, epoch: u64) -> bool {
+        self.dbs.read().get(name).is_some_and(|r| r.epoch == epoch)
+    }
+}
+
+/// A thread-safe, cache-backed explanation service (cheaply cloneable;
+/// clones share all state).
+///
+/// ```
+/// use cajade_service::{ExplanationService, ServiceConfig};
+/// use cajade_core::UserQuestion;
+/// use cajade_datagen::nba::{self, NbaConfig};
+///
+/// let service = ExplanationService::new(ServiceConfig::default());
+/// let gen = nba::generate(NbaConfig::tiny());
+/// service.register_database("nba", gen.db, gen.schema_graph);
+///
+/// let session = service
+///     .open_session(
+///         "nba",
+///         "SELECT COUNT(*) AS win, s.season_name \
+///          FROM team t, game g, season s \
+///          WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+///            AND t.team = 'GSW' GROUP BY s.season_name",
+///     )
+///     .unwrap();
+/// let q = UserQuestion::two_point(
+///     &[("season_name", "2015-16")],
+///     &[("season_name", "2012-13")],
+/// );
+/// let cold = session.ask(&q).unwrap();
+/// let warm = session.ask(&q).unwrap();
+/// assert!(!cold.provenance_cache_hit && warm.provenance_cache_hit);
+/// assert_eq!(
+///     cold.result.explanations.len(),
+///     warm.result.explanations.len()
+/// );
+/// ```
+pub struct ExplanationService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Clone for ExplanationService {
+    fn clone(&self) -> Self {
+        ExplanationService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for ExplanationService {
+    fn default() -> Self {
+        ExplanationService::new(ServiceConfig::default())
+    }
+}
+
+impl ExplanationService {
+    /// Creates a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        ExplanationService {
+            inner: Arc::new(ServiceInner {
+                dbs: RwLock::new(HashMap::new()),
+                sessions: RwLock::new(HashMap::new()),
+                next_session: AtomicU64::new(1),
+                next_epoch: AtomicU64::new(0),
+                prov_cache: LruCache::new(config.prov_cache_bytes),
+                apt_cache: LruCache::new(config.apt_cache_bytes),
+                answer_cache: LruCache::new(config.answer_cache_bytes),
+                sessions_opened: AtomicU64::new(0),
+                questions_answered: AtomicU64::new(0),
+                params: config.params,
+            }),
+        }
+    }
+
+    /// Registers (or re-registers) a database under `name`.
+    ///
+    /// Re-registering identical content (same [`Database::fingerprint`])
+    /// keeps the epoch — cached provenance and APTs stay valid. Different
+    /// content advances the epoch and eagerly sweeps every cache entry of
+    /// the stale epochs, so no session can observe explanations computed
+    /// against the replaced data.
+    pub fn register_database(
+        &self,
+        name: impl Into<String>,
+        db: Database,
+        schema_graph: SchemaGraph,
+    ) -> RegisterOutcome {
+        let name = name.into();
+        let fingerprint = db.fingerprint();
+        let mut dbs = self.inner.dbs.write();
+        let (epoch, replaced) = match dbs.get(&name) {
+            Some(existing) if existing.fingerprint == fingerprint => (existing.epoch, false),
+            Some(_) => (self.inner.next_epoch.fetch_add(1, Ordering::Relaxed), true),
+            None => (self.inner.next_epoch.fetch_add(1, Ordering::Relaxed), false),
+        };
+        dbs.insert(
+            name.clone(),
+            Arc::new(RegisteredDb {
+                name: name.clone(),
+                epoch,
+                fingerprint,
+                db,
+                schema_graph,
+            }),
+        );
+        drop(dbs);
+        let invalidated_entries = if replaced {
+            self.inner
+                .prov_cache
+                .retain(|k| k.db != name || k.epoch == epoch)
+                + self
+                    .inner
+                    .apt_cache
+                    .retain(|k| k.db != name || k.epoch == epoch)
+                + self
+                    .inner
+                    .answer_cache
+                    .retain(|k| k.db != name || k.epoch == epoch)
+        } else {
+            0
+        };
+        RegisterOutcome {
+            epoch,
+            fingerprint,
+            replaced,
+            invalidated_entries,
+        }
+    }
+
+    /// Removes a database and sweeps its cache entries. Open sessions on
+    /// it fail their next `ask` with [`ServiceError::UnknownDatabase`].
+    pub fn unregister_database(&self, name: &str) -> bool {
+        let removed = self.inner.dbs.write().remove(name).is_some();
+        if removed {
+            self.inner.prov_cache.retain(|k| k.db != name);
+            self.inner.apt_cache.retain(|k| k.db != name);
+            self.inner.answer_cache.retain(|k| k.db != name);
+        }
+        removed
+    }
+
+    /// Snapshot of a registered database.
+    pub fn database(&self, name: &str) -> Option<Arc<RegisteredDb>> {
+        self.inner.dbs.read().get(name).cloned()
+    }
+
+    /// Registered database names (sorted).
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.dbs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Opens an interactive session over `(db, sql)` with the service's
+    /// default parameters.
+    pub fn open_session(&self, db: &str, sql: &str) -> Result<Arc<SessionHandle>> {
+        let params = self.inner.params.clone();
+        self.open_session_with_params(db, sql, params)
+    }
+
+    /// Like [`open_session`](Self::open_session), but returns an existing
+    /// open session on the same `(db, canonical SQL)` with the service's
+    /// default parameters when one exists. The serve protocol's `query`
+    /// op uses this so a client issuing the same query repeatedly does
+    /// not grow the session registry.
+    pub fn open_or_reuse_session(&self, db: &str, sql: &str) -> Result<Arc<SessionHandle>> {
+        self.inner.registered(db)?;
+        let canonical = parse_sql(sql)?.to_sql();
+        let default_fp = SessionHandle::params_fingerprint_of(&self.inner.params);
+        let existing = self
+            .inner
+            .sessions
+            .read()
+            .values()
+            .find(|h| {
+                h.db_name() == db
+                    && h.sql() == canonical
+                    && SessionHandle::params_fingerprint_of(h.params()) == default_fp
+            })
+            .cloned();
+        match existing {
+            Some(h) => Ok(h),
+            None => self.open_session(db, sql),
+        }
+    }
+
+    /// Opens a session with explicit parameters.
+    pub fn open_session_with_params(
+        &self,
+        db: &str,
+        sql: &str,
+        params: Params,
+    ) -> Result<Arc<SessionHandle>> {
+        // Validate eagerly: the database must exist and the SQL must parse.
+        self.inner.registered(db)?;
+        let query = parse_sql(sql)?;
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(SessionHandle::new(
+            id,
+            db.to_string(),
+            query,
+            params,
+            Arc::downgrade(&self.inner),
+        ));
+        {
+            let mut sessions = self.inner.sessions.write();
+            sessions.insert(id, Arc::clone(&handle));
+            // Bound the registry: a client that never closes sessions must
+            // not grow server memory without limit. Oldest id goes first
+            // (sessions are cheap handles; their cached work survives in
+            // the byte-budgeted caches regardless).
+            while sessions.len() > MAX_OPEN_SESSIONS {
+                if let Some(&oldest) = sessions.keys().min() {
+                    sessions.remove(&oldest);
+                }
+            }
+        }
+        self.inner.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Looks up an open session by id.
+    pub fn session(&self, id: u64) -> Result<Arc<SessionHandle>> {
+        self.inner
+            .sessions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::UnknownSession(id))
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn close_session(&self, id: u64) -> bool {
+        self.inner.sessions.write().remove(&id).is_some()
+    }
+
+    /// Counter + cache snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            databases: self.inner.dbs.read().len(),
+            open_sessions: self.inner.sessions.read().len(),
+            sessions_opened: self.inner.sessions_opened.load(Ordering::Relaxed),
+            questions_answered: self.inner.questions_answered.load(Ordering::Relaxed),
+            provenance_cache: self.inner.prov_cache.stats(),
+            apt_cache: self.inner.apt_cache.stats(),
+            answer_cache: self.inner.answer_cache.stats(),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Interactive session handles.
+//!
+//! A [`SessionHandle`] pins one `(database, query)` pair and answers
+//! repeated [`ask`](SessionHandle::ask) calls. The first question pays
+//! for provenance, join-graph enumeration, and APT materialization; the
+//! service caches all three keyed by database epoch, canonical SQL, and
+//! canonical join-graph key, so later questions — from this handle or any
+//! other session on the same query — skip straight to mining (§2.4's
+//! interactive usage pattern).
+
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use cajade_core::pipeline::{self, GraphOutcome, PreparedQuery};
+use cajade_core::{Params, SessionResult, UserQuestion};
+use cajade_graph::Apt;
+use cajade_query::Query;
+use rayon::prelude::*;
+
+use crate::keys::{AnswerKey, AptKey, ProvKey};
+use crate::service::{RegisteredDb, ServiceInner};
+use crate::{Result, ServiceError};
+
+/// One answered question plus its cache telemetry.
+#[derive(Debug)]
+pub struct AskResult {
+    /// The ranked explanations and pipeline statistics. On a warm ask the
+    /// provenance / enumeration / materialization timings reflect work
+    /// actually done (zero on cache hits), mirroring the latency the
+    /// caller observed.
+    pub result: SessionResult,
+    /// Whether the fully-ranked answer came straight from the answer
+    /// cache (same db epoch, query, parameters, and question). When true,
+    /// no pipeline stage ran at all.
+    pub answer_cache_hit: bool,
+    /// Whether provenance + enumeration came from cache.
+    pub provenance_cache_hit: bool,
+    /// Join graphs whose APT came from cache.
+    pub apt_cache_hits: usize,
+    /// Join graphs whose APT had to be materialized.
+    pub apt_cache_misses: usize,
+    /// End-to-end wall clock of this ask.
+    pub wall: Duration,
+}
+
+/// An open interactive session. Cheap to share across threads; all
+/// mutable state lives in the service's caches.
+pub struct SessionHandle {
+    id: u64,
+    db_name: String,
+    query: Query,
+    sql: String,
+    params: Params,
+    params_fingerprint: u64,
+    prep_fingerprint: u64,
+    service: Weak<ServiceInner>,
+}
+
+impl SessionHandle {
+    pub(crate) fn new(
+        id: u64,
+        db_name: String,
+        query: Query,
+        params: Params,
+        service: Weak<ServiceInner>,
+    ) -> Self {
+        let sql = query.to_sql();
+        let params_fingerprint = SessionHandle::params_fingerprint_of(&params);
+        // Only the enumeration-relevant knobs key the prepared-query
+        // cache: two sessions differing purely in mining parameters can
+        // safely share one prepared result.
+        let prep_fingerprint = fnv1a(
+            format!(
+                "{}|{}|{}|{}",
+                params.max_edges,
+                params.max_cost.to_bits(),
+                params.check_pk_coverage,
+                params.include_pt_only
+            )
+            .as_bytes(),
+        );
+        SessionHandle {
+            id,
+            db_name,
+            query,
+            sql,
+            params,
+            params_fingerprint,
+            prep_fingerprint,
+            service,
+        }
+    }
+
+    /// The cache fingerprint of a parameter set. The Debug rendering
+    /// covers every λ; hashing it is a pragmatic fingerprint without a
+    /// bespoke Hash impl across crates.
+    pub(crate) fn params_fingerprint_of(params: &Params) -> u64 {
+        fnv1a(format!("{params:?}").as_bytes())
+    }
+
+    /// Session id (stable for the lifetime of the service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The registered database name this session queries.
+    pub fn db_name(&self) -> &str {
+        &self.db_name
+    }
+
+    /// Canonical SQL of the session's query.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The session's pipeline parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Answers one user question.
+    ///
+    /// Stage reuse: provenance + enumeration are fetched from (or
+    /// inserted into) the provenance cache; each valid join graph's APT
+    /// is fetched from (or materialized into) the APT cache; mining and
+    /// ranking always run because they depend on the question.
+    pub fn ask(&self, question: &UserQuestion) -> Result<AskResult> {
+        let inner = self.service.upgrade().ok_or(ServiceError::ServiceDropped)?;
+        let t_start = Instant::now();
+        let reg: Arc<RegisteredDb> = inner.registered(&self.db_name)?;
+
+        // ---- Stage 0: the fully-ranked answer may already be cached. ----
+        let answer_key = AnswerKey {
+            db: self.db_name.clone(),
+            epoch: reg.epoch,
+            sql: self.sql.clone(),
+            params_fingerprint: self.params_fingerprint,
+            question: AnswerKey::canonical_question(question),
+        };
+        if let Some(cached) = inner.answer_cache.get(&answer_key) {
+            inner
+                .questions_answered
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut result = (*cached).clone();
+            // No pipeline stage ran; the cold run's stage timings would
+            // misreport this request's work.
+            result.timings = cajade_core::SessionTimings::default();
+            return Ok(AskResult {
+                result,
+                answer_cache_hit: true,
+                provenance_cache_hit: true,
+                apt_cache_hits: 0,
+                apt_cache_misses: 0,
+                wall: t_start.elapsed(),
+            });
+        }
+
+        // ---- Stage 1+2: provenance + enumeration, cached. ---------------
+        let (prepared, provenance_cache_hit) = self.prepare_cached(&inner, &reg)?;
+
+        let mining_question =
+            pipeline::resolve_question(&reg.db, &self.query, &prepared.pt, question)?;
+
+        // ---- Stage 3: APTs, cached per canonical join-graph key. --------
+        let valid = prepared.valid_graph_indices();
+        let mut ready: Vec<(usize, Arc<Apt>, Duration)> = Vec::with_capacity(valid.len());
+        let mut misses: Vec<(usize, AptKey)> = Vec::new();
+        for &gi in &valid {
+            let key = AptKey {
+                db: self.db_name.clone(),
+                epoch: reg.epoch,
+                sql: self.sql.clone(),
+                graph: prepared.graphs[gi].graph.key(),
+            };
+            match inner.apt_cache.get(&key) {
+                Some(apt) => ready.push((gi, apt, Duration::ZERO)),
+                None => misses.push((gi, key)),
+            }
+        }
+        let apt_cache_hits = ready.len();
+        let apt_cache_misses = misses.len();
+
+        let materialize_one = |gi: usize| -> Result<(Arc<Apt>, Duration)> {
+            let t0 = Instant::now();
+            let apt = pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
+            Ok((Arc::new(apt), t0.elapsed()))
+        };
+        let fresh: Vec<(usize, Arc<Apt>, Duration)> = if self.params.parallel && misses.len() > 1 {
+            misses
+                .par_iter()
+                .map(|(gi, _)| materialize_one(*gi).map(|(a, d)| (*gi, a, d)))
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            misses
+                .iter()
+                .map(|(gi, _)| materialize_one(*gi).map(|(a, d)| (*gi, a, d)))
+                .collect::<Result<Vec<_>>>()?
+        };
+        // Skip inserts if the database was re-registered mid-ask: keys of
+        // a stale epoch would be unreachable yet hold cache budget.
+        if inner.epoch_is_current(&self.db_name, reg.epoch) {
+            for ((_, key), (_, apt, _)) in misses.iter().zip(&fresh) {
+                inner
+                    .apt_cache
+                    .insert(key.clone(), Arc::clone(apt), apt.approx_bytes());
+            }
+        }
+        ready.extend(fresh);
+        ready.sort_by_key(|(gi, _, _)| *gi);
+
+        // ---- Stage 4: mining (always question-specific). ----------------
+        let mine_one = |(gi, apt, mat): &(usize, Arc<Apt>, Duration)| -> GraphOutcome {
+            pipeline::mine_one(
+                &reg.db,
+                &self.query,
+                &prepared.pt,
+                apt,
+                &mining_question,
+                &self.params,
+                *gi,
+                *mat,
+            )
+        };
+        let outcomes: Vec<GraphOutcome> = if self.params.parallel && ready.len() > 1 {
+            ready.par_iter().map(mine_one).collect()
+        } else {
+            ready.iter().map(mine_one).collect()
+        };
+
+        // ---- Stage 5: assemble + rank. ----------------------------------
+        let mut result = pipeline::assemble(&prepared, outcomes, &self.params);
+        if provenance_cache_hit {
+            // Those phases were skipped; report the latency actually paid.
+            result.timings.provenance = Duration::ZERO;
+            result.timings.jg_enum = Duration::ZERO;
+        }
+        if inner.epoch_is_current(&self.db_name, reg.epoch) {
+            inner
+                .answer_cache
+                .insert(answer_key, Arc::new(result.clone()), answer_bytes(&result));
+        }
+        inner
+            .questions_answered
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(AskResult {
+            result,
+            answer_cache_hit: false,
+            provenance_cache_hit,
+            apt_cache_hits,
+            apt_cache_misses,
+            wall: t_start.elapsed(),
+        })
+    }
+
+    /// Convenience: two-point question from `(column, value)` pairs.
+    pub fn ask_between(&self, t1: &[(&str, &str)], t2: &[(&str, &str)]) -> Result<AskResult> {
+        self.ask(&UserQuestion::two_point(t1, t2))
+    }
+
+    /// Runs (or fetches) the session's prepared stages and returns the
+    /// query's answer relation. Used by the serve protocol's `query` op:
+    /// previewing the output tuples warms the provenance cache, so the
+    /// session's first `ask` already skips preparation.
+    pub fn preview(&self) -> Result<cajade_query::QueryResult> {
+        let inner = self.service.upgrade().ok_or(ServiceError::ServiceDropped)?;
+        let reg = inner.registered(&self.db_name)?;
+        let (prepared, _) = self.prepare_cached(&inner, &reg)?;
+        Ok(prepared.result.clone())
+    }
+
+    /// Provenance-cache get-or-compute for this session's `(db, query,
+    /// enumeration params)` coordinates.
+    fn prepare_cached(
+        &self,
+        inner: &ServiceInner,
+        reg: &RegisteredDb,
+    ) -> Result<(Arc<PreparedQuery>, bool)> {
+        let prov_key = ProvKey {
+            db: self.db_name.clone(),
+            epoch: reg.epoch,
+            sql: self.sql.clone(),
+            prep_fingerprint: self.prep_fingerprint,
+        };
+        match inner.prov_cache.get(&prov_key) {
+            Some(p) => Ok((p, true)),
+            None => {
+                let p = Arc::new(pipeline::prepare(
+                    &reg.db,
+                    &reg.schema_graph,
+                    &self.query,
+                    &self.params,
+                )?);
+                if inner.epoch_is_current(&self.db_name, reg.epoch) {
+                    inner
+                        .prov_cache
+                        .insert(prov_key, Arc::clone(&p), prepared_bytes(&p));
+                }
+                Ok((p, false))
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+/// Cache accounting for an answered question: the ranked explanation list
+/// plus the result preview table.
+fn answer_bytes(r: &SessionResult) -> usize {
+    r.explanations
+        .iter()
+        .map(|e| {
+            e.pattern_desc.len()
+                + e.primary.len()
+                + e.graph_structure.len()
+                + e.graph_edges.iter().map(String::len).sum::<usize>()
+                + e.preds
+                    .iter()
+                    .map(|(a, b, c)| a.len() + b.len() + c.len())
+                    .sum::<usize>()
+                + 128
+        })
+        .sum::<usize>()
+        + r.apt_stats
+            .iter()
+            .map(|(s, _, _)| s.len() + 32)
+            .sum::<usize>()
+        + (0..r.result.table.num_columns())
+            .map(|c| r.result.table.column(c).approx_bytes())
+            .sum::<usize>()
+        + 512
+}
+
+/// Cache accounting for a prepared query: the provenance table dominates;
+/// enumeration output and the query result are small but counted.
+fn prepared_bytes(p: &PreparedQuery) -> usize {
+    let graphs = p
+        .graphs
+        .iter()
+        .map(|g| 64 + g.graph.nodes.len() * 32 + g.graph.edges.len() * 96)
+        .sum::<usize>();
+    p.pt.approx_bytes() + graphs + 256
+}

@@ -1,0 +1,52 @@
+//! Service statistics snapshots.
+
+use crate::cache::CacheStats;
+
+/// One consistent-enough snapshot of the service's counters (each counter
+/// is read atomically; the set is not transactional).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Databases currently registered.
+    pub databases: usize,
+    /// Sessions currently open.
+    pub open_sessions: usize,
+    /// Sessions opened since construction.
+    pub sessions_opened: u64,
+    /// Questions answered since construction.
+    pub questions_answered: u64,
+    /// Provenance/enumeration cache counters.
+    pub provenance_cache: CacheStats,
+    /// Materialized-APT cache counters.
+    pub apt_cache: CacheStats,
+    /// Answered-question cache counters.
+    pub answer_cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Overall cache hit rate across all three caches (0.0 when no
+    /// lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.provenance_cache.hits + self.apt_cache.hits + self.answer_cache.hits;
+        let total =
+            hits + self.provenance_cache.misses + self.apt_cache.misses + self.answer_cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(ServiceStats::default().hit_rate(), 0.0);
+        let mut s = ServiceStats::default();
+        s.provenance_cache.hits = 3;
+        s.provenance_cache.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -278,15 +278,33 @@ impl Column {
         let mut out = Column::with_capacity(self.dtype(), indices.len());
         for (row, &i) in indices.iter().enumerate() {
             match (&mut out, self) {
-                (Column::Int { data, nulls }, Column::Int { data: src, nulls: sn }) => {
+                (
+                    Column::Int { data, nulls },
+                    Column::Int {
+                        data: src,
+                        nulls: sn,
+                    },
+                ) => {
                     data.push(src[i]);
                     nulls.push(sn.is_null(i), row);
                 }
-                (Column::Float { data, nulls }, Column::Float { data: src, nulls: sn }) => {
+                (
+                    Column::Float { data, nulls },
+                    Column::Float {
+                        data: src,
+                        nulls: sn,
+                    },
+                ) => {
                     data.push(src[i]);
                     nulls.push(sn.is_null(i), row);
                 }
-                (Column::Str { data, nulls }, Column::Str { data: src, nulls: sn }) => {
+                (
+                    Column::Str { data, nulls },
+                    Column::Str {
+                        data: src,
+                        nulls: sn,
+                    },
+                ) => {
                     data.push(src[i]);
                     nulls.push(sn.is_null(i), row);
                 }
@@ -294,6 +312,18 @@ impl Column {
             }
         }
         out
+    }
+
+    /// Approximate heap footprint in bytes (cell payloads + null bitmap).
+    /// Used by cache byte-budget accounting; intentionally cheap rather
+    /// than allocator-exact.
+    pub fn approx_bytes(&self) -> usize {
+        let payload = match self {
+            Column::Int { data, .. } => data.len() * std::mem::size_of::<i64>(),
+            Column::Float { data, .. } => data.len() * std::mem::size_of::<f64>(),
+            Column::Str { data, .. } => data.len() * std::mem::size_of::<crate::StrId>(),
+        };
+        payload + self.len().div_ceil(8)
     }
 }
 

@@ -44,18 +44,22 @@ pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> 
     let header = lines
         .next_row()
         .map_err(|e| StorageError::InvalidForeignKey(format!("csv: {e}")))? // reuse error slot
-        .ok_or_else(|| StorageError::ArityMismatch { expected: schema.arity(), got: 0 })?;
+        .ok_or_else(|| StorageError::ArityMismatch {
+            expected: schema.arity(),
+            got: 0,
+        })?;
 
     // Map schema field → header position.
     let mut positions = Vec::with_capacity(schema.arity());
     for f in &schema.fields {
-        let pos = header
-            .iter()
-            .position(|h| h == &f.name)
-            .ok_or_else(|| StorageError::NoSuchColumn {
-                table: schema.name.clone(),
-                column: f.name.clone(),
-            })?;
+        let pos =
+            header
+                .iter()
+                .position(|h| h == &f.name)
+                .ok_or_else(|| StorageError::NoSuchColumn {
+                    table: schema.name.clone(),
+                    column: f.name.clone(),
+                })?;
         positions.push(pos);
     }
 
@@ -68,12 +72,10 @@ pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> 
         for (fi, &pos) in positions.iter().enumerate() {
             let raw = row.get(pos).map(String::as_str).unwrap_or("");
             let field = &table.schema().fields[fi];
-            let v = parse_cell(raw, field.dtype, pool).map_err(|_| {
-                StorageError::TypeMismatch {
-                    column: field.name.clone(),
-                    expected: field.dtype.name(),
-                    got: "unparseable text",
-                }
+            let v = parse_cell(raw, field.dtype, pool).map_err(|_| StorageError::TypeMismatch {
+                column: field.name.clone(),
+                expected: field.dtype.name(),
+                got: "unparseable text",
             })?;
             values.push(v);
         }

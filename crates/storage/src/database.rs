@@ -3,6 +3,7 @@ use std::collections::HashMap;
 use crate::pool::{StrId, StringPool};
 use crate::schema::Schema;
 use crate::table::Table;
+use crate::value::Value;
 use crate::{Result, StorageError};
 
 /// A foreign-key constraint: `from_table(from_cols) → to_table(to_cols)`.
@@ -175,6 +176,89 @@ impl Database {
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.num_rows()).sum()
     }
+
+    /// A content fingerprint of the whole catalog: schemas, foreign keys,
+    /// and every cell value (strings hashed by their text, not their
+    /// pool id, so logically-equal databases agree regardless of intern
+    /// order). Two databases with the same fingerprint hold the same
+    /// data, which is what cache invalidation on re-registration needs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        for t in &self.tables {
+            let schema = t.schema();
+            h.write_str(&schema.name);
+            for f in &schema.fields {
+                h.write_str(&f.name);
+                h.write_str(f.dtype.name());
+                h.write_u64(matches!(f.kind, crate::AttrKind::Numeric) as u64);
+                h.write_u64(f.is_pk as u64);
+            }
+            h.write_u64(t.num_rows() as u64);
+            for c in 0..t.num_columns() {
+                let col = t.column(c);
+                for row in 0..col.len() {
+                    match col.value(row) {
+                        Value::Null => h.write_u64(0x9E3779B97F4A7C15),
+                        Value::Int(i) => {
+                            h.write_u64(1);
+                            h.write_u64(i as u64);
+                        }
+                        Value::Float(f) => {
+                            h.write_u64(2);
+                            // Normalize so 2.0f and NaN payloads hash stably.
+                            h.write_u64(if f == 0.0 { 0 } else { f.to_bits() });
+                        }
+                        Value::Str(id) => {
+                            h.write_u64(3);
+                            h.write_str(self.pool.resolve(id));
+                        }
+                    }
+                }
+            }
+        }
+        for fk in &self.foreign_keys {
+            h.write_str(&fk.from_table);
+            for c in &fk.from_cols {
+                h.write_str(c);
+            }
+            h.write_str(&fk.to_table);
+            for c in &fk.to_cols {
+                h.write_str(c);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a, kept local so fingerprints are stable across Rust
+/// releases (`DefaultHasher`'s algorithm is unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -267,13 +351,55 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_tracks_content() {
+        let a = db_with_two_tables();
+        let b = db_with_two_tables();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same print");
+
+        // A data change moves the fingerprint.
+        let mut c = db_with_two_tables();
+        let gsw = c.intern("GSW");
+        c.table_mut("team")
+            .unwrap()
+            .push_row(vec![Value::Int(1), Value::Str(gsw)])
+            .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // Equal strings interned in different order still agree.
+        let mut d1 = db_with_two_tables();
+        let x = d1.intern("x");
+        let _y = d1.intern("y");
+        let mut d2 = db_with_two_tables();
+        let _y = d2.intern("y");
+        let x2 = d2.intern("x");
+        d1.table_mut("team")
+            .unwrap()
+            .push_row(vec![Value::Int(1), Value::Str(x)])
+            .unwrap();
+        d2.table_mut("team")
+            .unwrap()
+            .push_row(vec![Value::Int(1), Value::Str(x2)])
+            .unwrap();
+        assert_eq!(d1.fingerprint(), d2.fingerprint());
+
+        // Foreign keys participate.
+        let mut e = db_with_two_tables();
+        e.add_foreign_key(ForeignKey {
+            from_table: "game".into(),
+            from_cols: vec!["winner_id".into()],
+            to_table: "team".into(),
+            to_cols: vec!["team_id".into()],
+        })
+        .unwrap();
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
     fn replace_table_swaps_contents() {
         let mut db = db_with_two_tables();
         let schema = db.table("team").unwrap().schema().clone();
         let mut bigger = Table::new(schema);
-        bigger
-            .push_row(vec![Value::Int(9), Value::Null])
-            .unwrap();
+        bigger.push_row(vec![Value::Int(9), Value::Null]).unwrap();
         db.replace_table(bigger).unwrap();
         assert_eq!(db.table("team").unwrap().num_rows(), 1);
     }

@@ -58,7 +58,10 @@ impl fmt::Display for StorageError {
                 "type mismatch for column `{column}`: expected {expected}, got {got}"
             ),
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} fields, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} fields, row has {got}"
+                )
             }
             StorageError::RowOutOfBounds { row, len } => {
                 write!(f, "row {row} out of bounds (table has {len} rows)")

@@ -137,7 +137,9 @@ mod tests {
     fn arb_nonnull() -> impl Strategy<Value = Value> {
         prop_oneof![
             any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Value::Float),
             (0u32..500).prop_map(|i| Value::Str(StrId(i))),
         ]
     }

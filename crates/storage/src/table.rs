@@ -193,10 +193,7 @@ mod tests {
     #[test]
     fn row_out_of_bounds() {
         let t = Table::new(schema());
-        assert!(matches!(
-            t.row(0),
-            Err(StorageError::RowOutOfBounds { .. })
-        ));
+        assert!(matches!(t.row(0), Err(StorageError::RowOutOfBounds { .. })));
     }
 
     #[test]

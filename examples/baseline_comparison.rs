@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .zip(et.render(&apt0, nba.db.pool(), &cfg))
     {
-        println!("  {desc}  (support {}, rate {:.2})", p.support, p.outcome_rate);
+        println!(
+            "  {desc}  (support {}, rate {:.2})",
+            p.support, p.outcome_rate
+        );
     }
 
     // ---- 4. CAPE (counterbalances). --------------------------------------
@@ -93,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
     );
     for c in cape {
-        println!("  counterbalance {} (residual {:+.1})", c.rendered, c.residual);
+        println!(
+            "  counterbalance {} (residual {:+.1})",
+            c.rendered, c.residual
+        );
     }
     println!(
         "\nCAPE answers a different question — it finds seasons that are \

@@ -27,7 +27,11 @@ store_id,city,segment
         let urban = matches!(store, 101 | 103 | 105);
         let online = if urban { i % 4 != 0 } else { i % 4 == 0 };
         let channel = if online { "online" } else { "in_person" };
-        let amount = if online { 220 + (i % 60) } else { 90 + (i % 40) };
+        let amount = if online {
+            220 + (i % 60)
+        } else {
+            90 + (i % 40)
+        };
         sales_csv.push_str(&format!("{i},{store},{channel},{amount}\n"));
     }
 
@@ -64,17 +68,18 @@ store_id,city,segment
     }
 
     // ---- 4. Query + question + explanations. ---------------------------
-    let query = parse_sql(
-        "SELECT AVG(amount) AS avg_amount, channel FROM sales GROUP BY channel",
-    )?;
+    let query = parse_sql("SELECT AVG(amount) AS avg_amount, channel FROM sales GROUP BY channel")?;
     let result = cajade::query::execute(&db, &query)?;
     println!("\naverage sale amount by channel:\n{}", result.render(&db));
 
     let mut params = Params::fast().with_fd_exclusion(true);
     params.mining.sel_attr = SelAttr::All;
     let session = ExplanationSession::new(&db, &schema_graph, params);
-    let outcome =
-        session.explain_between(&query, &[("channel", "online")], &[("channel", "in_person")])?;
+    let outcome = session.explain_between(
+        &query,
+        &[("channel", "online")],
+        &[("channel", "in_person")],
+    )?;
 
     println!("why are online sales larger than in-person sales?");
     for (i, e) in outcome.explanations.iter().take(5).enumerate() {

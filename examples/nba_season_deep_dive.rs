@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          GROUP BY s.season_name",
     )?;
     let r = cajade::query::execute(&nba.db, &q_green)?;
-    println!("Q_nba1 — Draymond Green avg points per season:\n{}", r.render(&nba.db));
+    println!(
+        "Q_nba1 — Draymond Green avg points per season:\n{}",
+        r.render(&nba.db)
+    );
 
     println!("UQ: why 2015-16 (t1) vs 2016-17 (t2)?");
     let outcome = session.explain_between(

@@ -14,7 +14,10 @@
 //! * [`metrics`] — NDCG / Kendall-tau ranking metrics,
 //! * [`datagen`] — synthetic NBA and MIMIC datasets,
 //! * [`baselines`] — Explanation Tables, CAPE, provenance-only,
-//! * [`core`] — the end-to-end [`core::ExplanationSession`].
+//! * [`core`] — the end-to-end [`core::ExplanationSession`],
+//! * [`service`] — the interactive explanation service: session
+//!   registry, provenance/APT/answer caches, and the `cajade-serve`
+//!   JSON-lines binary.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use cajade_metrics as metrics;
 pub use cajade_mining as mining;
 pub use cajade_ml as ml;
 pub use cajade_query as query;
+pub use cajade_service as service;
 pub use cajade_storage as storage;
 
 /// One-stop imports for examples and downstream users.
@@ -54,5 +58,6 @@ pub mod prelude {
     pub use cajade_graph::{JoinGraph, SchemaGraph};
     pub use cajade_mining::Pattern;
     pub use cajade_query::{parse_sql, Query};
+    pub use cajade_service::{ExplanationService, ServiceConfig, SessionHandle};
     pub use cajade_storage::{AttrKind, DataType, Database, Value};
 }

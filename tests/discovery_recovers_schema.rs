@@ -62,7 +62,12 @@ fn discovery_is_deterministic() {
     let b = discover_joins(&gen.db, &DiscoveryConfig::default());
     let render = |cs: &[cajade::graph::JoinCandidate]| -> Vec<String> {
         cs.iter()
-            .map(|c| format!("{}.{}→{}.{}", c.from_table, c.from_col, c.to_table, c.to_col))
+            .map(|c| {
+                format!(
+                    "{}.{}→{}.{}",
+                    c.from_table, c.from_col, c.to_table, c.to_col
+                )
+            })
             .collect()
     };
     assert_eq!(render(&a), render(&b));

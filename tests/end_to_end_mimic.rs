@@ -47,7 +47,10 @@ fn medicare_vs_private_explanations() {
                 || a.contains("los")
         })
     });
-    assert!(context_hit, "expected Table-6-shaped context: {rendered:#?}");
+    assert!(
+        context_hit,
+        "expected Table-6-shaped context: {rendered:#?}"
+    );
 }
 
 #[test]
@@ -72,8 +75,8 @@ fn single_point_outlier_question() {
 fn icu_stay_length_question() {
     // Q_mimic3: ICU stays grouped by los_group; why so many short stays?
     let gen = mimic();
-    let q = parse_sql("SELECT COUNT(*) AS cnt, los_group FROM icustays GROUP BY los_group")
-        .unwrap();
+    let q =
+        parse_sql("SELECT COUNT(*) AS cnt, los_group FROM icustays GROUP BY los_group").unwrap();
     let result = cajade::query::execute(&gen.db, &q).unwrap();
     assert!(result.num_rows() >= 4, "los groups populated");
 
@@ -94,7 +97,10 @@ fn icu_stay_length_question() {
     assert!(
         hit,
         "expected hospital-stay-length context: {:#?}",
-        out.explanations.iter().map(|e| e.render_line()).collect::<Vec<_>>()
+        out.explanations
+            .iter()
+            .map(|e| e.render_line())
+            .collect::<Vec<_>>()
     );
 }
 

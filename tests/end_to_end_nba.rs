@@ -83,7 +83,8 @@ fn fd_exclusion_supersedes_manual_ban_list() {
         for (attr, op, value) in &e.preds {
             // Equality on a season id / season name restates the group:
             // the FD check must have dropped those attributes.
-            let restates = (attr.contains("season__id") || attr.contains("season_id")
+            let restates = (attr.contains("season__id")
+                || attr.contains("season_id")
                 || attr.contains("season_name"))
                 && op == "=";
             assert!(
@@ -121,18 +122,25 @@ fn draymond_green_salary_explanation() {
         )
         .unwrap();
     assert!(!out.explanations.is_empty());
-    let salary_hit = out.explanations.iter().any(|e| {
-        e.preds.iter().any(|(a, _, _)| a.contains("salary"))
-    });
+    let salary_hit = out
+        .explanations
+        .iter()
+        .any(|e| e.preds.iter().any(|(a, _, _)| a.contains("salary")));
     let stats_hit = out.explanations.iter().any(|e| {
-        e.preds
-            .iter()
-            .any(|(a, _, _)| a.contains("minutes") || a.contains("usage") || a.contains("tspct") || a.contains("points"))
+        e.preds.iter().any(|(a, _, _)| {
+            a.contains("minutes")
+                || a.contains("usage")
+                || a.contains("tspct")
+                || a.contains("points")
+        })
     });
     assert!(
         salary_hit || stats_hit,
         "expected salary- or stat-based context explanations, got {:#?}",
-        out.explanations.iter().map(|e| e.render_line()).collect::<Vec<_>>()
+        out.explanations
+            .iter()
+            .map(|e| e.render_line())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -149,8 +157,14 @@ fn two_point_directions_are_asymmetric() {
         .unwrap();
     // Both directions appear among the explanations (patterns covering t1
     // and patterns covering t2).
-    let has_t1 = out.explanations.iter().any(|e| e.primary.contains("2015-16"));
-    let has_t2 = out.explanations.iter().any(|e| e.primary.contains("2012-13"));
+    let has_t1 = out
+        .explanations
+        .iter()
+        .any(|e| e.primary.contains("2015-16"));
+    let has_t2 = out
+        .explanations
+        .iter()
+        .any(|e| e.primary.contains("2012-13"));
     assert!(has_t1 && has_t2);
 }
 

@@ -155,18 +155,27 @@ fn example5_star_player_pattern() {
     let graphs =
         cajade::graph::enumerate_join_graphs(&sg, &db, &q1(), pt.num_rows, &Default::default())
             .unwrap();
-    let omega1 = graphs
-        .iter()
-        .find(|g| g.graph.num_edges() == 1)
-        .unwrap();
+    let omega1 = graphs.iter().find(|g| g.graph.num_edges() == 1).unwrap();
     let apt = Apt::materialize(&db, &pt, &omega1.graph).unwrap();
 
     let player = apt.field_index("player_game_scoring.player").unwrap();
     let pts = apt.field_index("player_game_scoring.pts").unwrap();
     let curry = db.lookup_str("S. Curry").unwrap();
     let phi1 = Pattern::from_preds(vec![
-        (player, Pred { op: PredOp::Eq, value: PatValue::Str(curry.0) }),
-        (pts, Pred { op: PredOp::Ge, value: PatValue::Int(23) }),
+        (
+            player,
+            Pred {
+                op: PredOp::Eq,
+                value: PatValue::Str(curry.0),
+            },
+        ),
+        (
+            pts,
+            Pred {
+                op: PredOp::Ge,
+                value: PatValue::Int(23),
+            },
+        ),
     ]);
 
     let t1 = pt.find_group(&db, &q1(), &[("season", "2015-16")]).unwrap();
@@ -197,7 +206,9 @@ fn session_rediscovers_phi1() {
     // Some top explanation references Curry or his points jump.
     let hit = out.explanations.iter().any(|e| {
         e.pattern_desc.contains("S. Curry")
-            || e.preds.iter().any(|(a, op, _)| a.contains("pts") && op == "≥")
+            || e.preds
+                .iter()
+                .any(|(a, op, _)| a.contains("pts") && op == "≥")
     });
     assert!(
         hit,
@@ -233,10 +244,7 @@ fn single_point_on_figure1() {
     let graphs =
         cajade::graph::enumerate_join_graphs(&sg, &db, &q1(), pt.num_rows, &Default::default())
             .unwrap();
-    let omega1 = graphs
-        .iter()
-        .find(|g| g.graph.num_edges() == 1)
-        .unwrap();
+    let omega1 = graphs.iter().find(|g| g.graph.num_edges() == 1).unwrap();
     let apt = Apt::materialize(&db, &pt, &omega1.graph).unwrap();
     let outcome = cajade::mining::mine_apt(
         &apt,
