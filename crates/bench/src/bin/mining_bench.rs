@@ -1,0 +1,259 @@
+//! `mining_bench` — the mining-engine perf trajectory harness.
+//!
+//! Measures, on the NBA scale-0.05 service workload (the ROADMAP's cold
+//! baseline):
+//!
+//! * cold first ask, scalar vs vectorized engine,
+//! * warm new-question ask (cached `PreparedApt`, mining only),
+//! * warm repeat ask (answer cache),
+//! * raw pattern-scoring throughput (patterns/sec, both engines).
+//!
+//! ```text
+//! cargo run -p cajade-bench --release --bin mining_bench -- \
+//!     [--scale <f>] [--json <path>]
+//! ```
+//!
+//! With `--json` (default `BENCH_mining.json` in the working directory)
+//! the results are written as a flat JSON object so future PRs can track
+//! the trajectory; the PR that introduced the engine records its numbers
+//! in the README's Performance section.
+
+use std::time::{Duration, Instant};
+
+use cajade_bench::workloads::nba_db;
+use cajade_core::{Params, ScoreEngine, UserQuestion};
+use cajade_datagen::GeneratedDb;
+use cajade_graph::Apt;
+use cajade_mining::{lca_candidates, Pattern, Question, ScoreIndex, Scorer};
+use cajade_query::ProvenanceTable;
+use cajade_service::{ExplanationService, ServiceConfig};
+
+const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
+     FROM team t, game g, season s \
+     WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+       AND t.team = 'GSW' GROUP BY s.season_name";
+
+fn question_1() -> UserQuestion {
+    UserQuestion::two_point(&[("season_name", "2015-16")], &[("season_name", "2012-13")])
+}
+
+fn question_2() -> UserQuestion {
+    UserQuestion::two_point(&[("season_name", "2016-17")], &[("season_name", "2012-13")])
+}
+
+fn service_with(gen: &GeneratedDb, engine: ScoreEngine, answer_cache: usize) -> ExplanationService {
+    let mut params = Params::fast();
+    params.mining.engine = engine;
+    let service = ExplanationService::new(ServiceConfig {
+        answer_cache_bytes: answer_cache,
+        params,
+        ..ServiceConfig::default()
+    });
+    service.register_database("nba", gen.db.clone(), gen.schema_graph.clone());
+    service
+}
+
+/// Best-of-`n` wall clock of `f`.
+fn best_of(n: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..n).map(|_| f()).min().unwrap_or_default()
+}
+
+fn cold_ask(gen: &GeneratedDb, engine: ScoreEngine) -> Duration {
+    best_of(5, || {
+        let service = service_with(gen, engine, 64 * 1024 * 1024);
+        let session = service.open_session("nba", GSW_SQL).unwrap();
+        let t0 = Instant::now();
+        let _ = session.ask(&question_1()).unwrap();
+        t0.elapsed()
+    })
+}
+
+fn warm_asks(gen: &GeneratedDb) -> (Duration, Duration) {
+    // Answer cache off, so the "new question" path re-mines each time.
+    let service = service_with(gen, ScoreEngine::Vectorized, 0);
+    let session = service.open_session("nba", GSW_SQL).unwrap();
+    session.ask(&question_1()).unwrap();
+    let warm_new = best_of(5, || {
+        let t0 = Instant::now();
+        let a = session.ask(&question_2()).unwrap();
+        assert!(a.provenance_cache_hit && a.apt_cache_misses == 0);
+        t0.elapsed()
+    });
+
+    let service = service_with(gen, ScoreEngine::Vectorized, 64 * 1024 * 1024);
+    let session = service.open_session("nba", GSW_SQL).unwrap();
+    session.ask(&question_1()).unwrap();
+    let warm_repeat = best_of(5, || {
+        let t0 = Instant::now();
+        let a = session.ask(&question_1()).unwrap();
+        assert!(a.answer_cache_hit);
+        t0.elapsed()
+    });
+    (warm_new, warm_repeat)
+}
+
+/// Raw scoring throughput on the largest APT: patterns scored per second
+/// (each score = both question directions).
+fn scoring_throughput(gen: &GeneratedDb) -> (f64, f64, f64, usize, usize) {
+    let q = cajade_query::parse_sql(GSW_SQL).unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let params = Params::fast();
+    let graphs = cajade_graph::enumerate_join_graphs(
+        &gen.schema_graph,
+        &gen.db,
+        &q,
+        pt.num_rows,
+        &cajade_graph::EnumConfig {
+            max_edges: params.max_edges,
+            max_cost: params.max_cost,
+            check_pk_coverage: params.check_pk_coverage,
+            include_pt_only: params.include_pt_only,
+        },
+    )
+    .unwrap();
+    let apt = graphs
+        .iter()
+        .filter(|g| g.valid)
+        .map(|eg| Apt::materialize(&gen.db, &pt, &eg.graph).unwrap())
+        .max_by_key(|a| a.num_rows)
+        .expect("valid graph");
+    let cat_fields: Vec<usize> = apt
+        .pattern_fields()
+        .into_iter()
+        .filter(|&f| apt.fields[f].kind == cajade_storage::AttrKind::Categorical)
+        .take(4)
+        .collect();
+    let sample: Vec<u32> = (0..apt.num_rows.min(400) as u32).collect();
+    let cat_pats = lca_candidates(&apt, &sample, &cat_fields);
+    // Extend with the refinement shapes the BFS actually scores: numeric
+    // thresholds alone and combined with each categorical candidate.
+    let num_fields: Vec<usize> = apt
+        .pattern_fields()
+        .into_iter()
+        .filter(|&f| apt.fields[f].kind == cajade_storage::AttrKind::Numeric)
+        .take(4)
+        .collect();
+    let mut patterns = cat_pats.clone();
+    for &f in &num_fields {
+        for c in cajade_mining::fragments::fragment_boundaries(&apt, f, None, 6) {
+            for op in [cajade_mining::PredOp::Le, cajade_mining::PredOp::Ge] {
+                let pred = cajade_mining::Pred {
+                    op,
+                    value: cajade_mining::PatValue::Float(c.to_bits()),
+                };
+                patterns.push(Pattern::from_preds(vec![(f, pred)]));
+                for base in &cat_pats {
+                    if base.is_free(f) {
+                        patterns.push(base.refine(f, pred));
+                    }
+                }
+            }
+        }
+    }
+    let question = Question::TwoPoint { t1: 0, t2: 1 };
+    let directions = question.directions();
+
+    let reps = 20;
+    let scorer = Scorer::exact(&apt, &pt);
+    let t0 = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..reps {
+        for p in &patterns {
+            for &(t, s) in &directions {
+                acc += scorer.score(p, t, s).tp;
+            }
+        }
+    }
+    let scalar_rate = (reps * patterns.len()) as f64 / t0.elapsed().as_secs_f64();
+
+    let index = ScoreIndex::exact(&apt, &pt);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for p in &patterns {
+            for &(t, s) in &directions {
+                acc += index.score(p, t, s).tp;
+            }
+        }
+    }
+    let vector_rate = (reps * patterns.len()) as f64 / t0.elapsed().as_secs_f64();
+
+    // The refinement BFS's actual hot loop: masks are derived
+    // incrementally (parent AND predicate), so scoring is popcounts only.
+    let masks: Vec<_> = patterns.iter().map(|p| index.pattern_mask(p)).collect();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for m in &masks {
+            for &(t, s) in &directions {
+                acc += index.score_mask(m, t, s).tp;
+            }
+        }
+    }
+    let mask_rate = (reps * patterns.len()) as f64 / t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (
+        scalar_rate,
+        vector_rate,
+        mask_rate,
+        apt.num_rows,
+        patterns.len(),
+    )
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.05f64;
+    let mut json_path = Some("BENCH_mining.json".to_string());
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+            }
+            "--json" => {
+                i += 1;
+                json_path = argv.get(i).cloned();
+            }
+            "--no-json" => json_path = None,
+            other => eprintln!("ignoring unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+
+    let gen = nba_db(scale);
+    println!("# mining-bench — NBA scale {scale}, GSW wins query\n");
+
+    let cold_scalar = cold_ask(&gen, ScoreEngine::Scalar);
+    let cold_vector = cold_ask(&gen, ScoreEngine::Vectorized);
+    let (warm_new, warm_repeat) = warm_asks(&gen);
+    let (scalar_rate, vector_rate, mask_rate, apt_rows, num_patterns) = scoring_throughput(&gen);
+
+    println!("cold ask, scalar engine      {:>10.2} ms", ms(cold_scalar));
+    println!("cold ask, vectorized engine  {:>10.2} ms", ms(cold_vector));
+    println!("warm new question (re-mine)  {:>10.2} ms", ms(warm_new));
+    println!("warm repeat (answer cache)   {:>10.3} ms", ms(warm_repeat));
+    println!(
+        "scoring throughput            scalar {scalar_rate:>12.0} pat/s | vectorized {vector_rate:>12.0} pat/s | incremental masks {mask_rate:>12.0} pat/s ({:.0}×, {num_patterns} patterns × 2 directions, {apt_rows}-row APT)",
+        mask_rate / scalar_rate.max(1e-9)
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns}\n}}\n",
+            ms(cold_scalar),
+            ms(cold_vector),
+            ms(warm_new),
+            ms(warm_repeat),
+            scalar_rate,
+            vector_rate,
+            mask_rate,
+            mask_rate / scalar_rate.max(1e-9),
+        );
+        std::fs::write(&path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cajade_graph::{enumerate_join_graphs, Apt, EnumConfig, EnumeratedGraph, SchemaGraph};
-use cajade_mining::{mine_apt, MiningTimings, Question};
+use cajade_mining::{mine_apt, mine_prepared, MiningTimings, PreparedApt, Question};
 use cajade_query::{execute, ProvenanceTable, Query, QueryResult};
 use cajade_storage::Database;
 use rayon::prelude::*;
@@ -170,6 +170,51 @@ pub fn mine_one(
     materialize_time: Duration,
 ) -> GraphOutcome {
     let outcome = mine_apt(apt, pt, question, &params.mining);
+    let explanations = outcome
+        .explanations
+        .iter()
+        .map(|m| {
+            Explanation::from_mined(
+                m,
+                apt,
+                db.pool(),
+                group_label(db, query, pt, m.primary_group),
+                graph_index,
+            )
+        })
+        .collect();
+    GraphOutcome {
+        explanations,
+        apt_stat: (apt.graph.structure_string(), apt.num_rows, apt.fields.len()),
+        materialize: materialize_time,
+        mining: outcome.timings,
+        patterns: outcome.patterns_evaluated,
+    }
+}
+
+/// Stage 4, interactive variant: mines one APT through its cached
+/// question-independent preparation ([`cajade_mining::prepare_apt`]).
+/// When `prep_computed` is set, the preparation ran as part of this ask
+/// and its phase timings are attributed to the outcome; on a warm
+/// [`PreparedApt`] the feature-selection / candidate-generation /
+/// sampling / prepare phases report zero — the ask skipped them.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_one_prepared(
+    db: &Database,
+    query: &Query,
+    pt: &ProvenanceTable,
+    apt: &Apt,
+    prep: &PreparedApt,
+    question: &Question,
+    params: &Params,
+    graph_index: usize,
+    materialize_time: Duration,
+    prep_computed: bool,
+) -> GraphOutcome {
+    let mut outcome = mine_prepared(prep, apt, pt, question, &params.mining);
+    if prep_computed {
+        outcome.timings.accumulate(&prep.prep_timings);
+    }
     let explanations = outcome
         .explanations
         .iter()

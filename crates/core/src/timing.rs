@@ -25,7 +25,8 @@ impl SessionTimings {
         self.provenance + self.jg_enum + self.materialize_apts + self.mining.total()
     }
 
-    /// `(step name, duration)` rows in the paper's table order.
+    /// `(step name, duration)` rows in the paper's table order, plus the
+    /// vectorized engine's index/bitmap preparation step.
     pub fn breakdown_rows(&self) -> Vec<(&'static str, Duration)> {
         vec![
             ("Feature Selection", self.mining.feature_selection),
@@ -34,6 +35,7 @@ impl SessionTimings {
             ("Materialize APTs", self.materialize_apts),
             ("Refine Patterns", self.mining.refine_patterns),
             ("Sampling for F1", self.mining.sampling_for_f1),
+            ("Prepare Index", self.mining.prepare),
             ("JG Enum.", self.jg_enum),
             ("Provenance", self.provenance),
         ]
@@ -70,10 +72,11 @@ mod tests {
                 sampling_for_f1: Duration::from_millis(5),
                 fscore_calc: Duration::from_millis(5),
                 refine_patterns: Duration::from_millis(5),
+                prepare: Duration::from_millis(5),
             },
         };
-        assert_eq!(t.total(), Duration::from_millis(85));
-        assert_eq!(t.breakdown_rows().len(), 8);
+        assert_eq!(t.total(), Duration::from_millis(90));
+        assert_eq!(t.breakdown_rows().len(), 9);
         let text = t.render();
         assert!(text.contains("F-score Calc."));
         assert!(text.contains("total"));

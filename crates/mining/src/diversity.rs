@@ -58,12 +58,23 @@ pub fn select_top_k_diverse(items: &[(Pattern, f64)], k: usize) -> Vec<usize> {
     selected.push(first);
     remaining.retain(|&i| i != first);
 
+    // `min_div[i]` caches `min_{Φ'∈R} D(Φ_i, Φ')` incrementally: each new
+    // pick updates every remaining candidate with one diversity
+    // computation, so selection is O(k·n) diversity evaluations instead
+    // of the O(k²·n) of recomputing the minimum from scratch per
+    // comparison. The cached minimum is the same value, so the selection
+    // (including tie-breaks) is unchanged.
+    let mut min_div: Vec<f64> = items
+        .iter()
+        .map(|(pat, _)| diversity_score(pat, &items[first].0))
+        .collect();
+
     while selected.len() < k && !remaining.is_empty() {
         let best = *remaining
             .iter()
             .max_by(|&&a, &&b| {
-                let wa = wscore(items, &selected, a);
-                let wb = wscore(items, &selected, b);
+                let wa = items[a].1 + min_div[a];
+                let wb = items[b].1 + min_div[b];
                 wa.partial_cmp(&wb)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(b.cmp(&a))
@@ -71,17 +82,11 @@ pub fn select_top_k_diverse(items: &[(Pattern, f64)], k: usize) -> Vec<usize> {
             .unwrap();
         selected.push(best);
         remaining.retain(|&i| i != best);
+        for &i in &remaining {
+            min_div[i] = min_div[i].min(diversity_score(&items[i].0, &items[best].0));
+        }
     }
     selected
-}
-
-fn wscore(items: &[(Pattern, f64)], selected: &[usize], candidate: usize) -> f64 {
-    let (pat, f) = &items[candidate];
-    let min_div = selected
-        .iter()
-        .map(|&s| diversity_score(pat, &items[s].0))
-        .fold(f64::INFINITY, f64::min);
-    f + if min_div.is_finite() { min_div } else { 0.0 }
 }
 
 #[cfg(test)]

@@ -1,0 +1,635 @@
+//! Columnar bitmap scoring engine for the mining hot loop.
+//!
+//! [`Scorer::score`](crate::score::Scorer::score) walks the APT row by row
+//! through the interpreted [`Pattern::matches`] for every candidate
+//! Algorithm 1 generates — thousands of scans per question. This module
+//! replaces that with set-at-a-time evaluation:
+//!
+//! * a [`ScoreIndex`] is built **once** per `(APT, λ_F1 sample)`: the
+//!   sample rows are sorted by `(output group, PT row)` and the pattern
+//!   fields are gathered into dense typed arrays (`i64`/`f64` values,
+//!   interned `u32` string codes — the global [`cajade_storage::StringPool`]
+//!   already dictionary-encodes categoricals) with side null bitmaps;
+//! * evaluating one predicate produces a [`Mask`] — a 64-bit-word bitmap
+//!   over the sorted sample — and a pattern's matches are the AND of its
+//!   predicate masks;
+//! * Definition-7 TP/FP counting becomes segmented popcounts: each output
+//!   group owns a contiguous position range, and distinct covered PT rows
+//!   are counted by popcount (one APT row per PT row in the sample) or a
+//!   segment-deduplicated bit walk (join fan-out duplicated PT rows).
+//!
+//! The refinement BFS in [`mine_apt`](crate::miner::mine_apt) carries each
+//! pattern's mask and scores a refined child as
+//! `parent_mask AND predicate_mask` + popcount, with the
+//! `|num_fields| × λ#frag × 2` threshold predicate masks precomputed in a
+//! [`PredBank`]. The engine returns metrics **bit-identical** to the
+//! scalar [`Scorer`](crate::score::Scorer) (a property test enforces
+//! this), so the scalar path remains a verified-equivalent fallback
+//! selectable via [`ScoreEngine`].
+
+use cajade_graph::Apt;
+use cajade_query::ProvenanceTable;
+use cajade_storage::Column;
+
+use crate::pattern::{PatValue, Pattern, Pred, PredOp};
+use crate::score::PatternMetrics;
+
+/// Which scoring kernel the miner uses. Both produce bit-identical
+/// [`PatternMetrics`]; the scalar path is kept as a verified fallback and
+/// for environments where the index's memory is unwelcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreEngine {
+    /// Row-at-a-time interpreted matching ([`crate::score::Scorer`]).
+    Scalar,
+    /// Columnar bitmap evaluation ([`ScoreIndex`]).
+    Vectorized,
+}
+
+/// A fixed-width bitmap over the scan positions of a [`ScoreIndex`].
+///
+/// The trailing word is always tail-masked (bits past `len` are zero), so
+/// popcounts never need a final correction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Mask {
+    /// All-zero mask of `len` bits.
+    pub fn empty(len: usize) -> Mask {
+        Mask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one mask of `len` bits (tail-masked).
+    pub fn full(len: usize) -> Mask {
+        let mut m = Mask {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        if !len.is_multiple_of(64) {
+            if let Some(last) = m.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        m
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the mask has zero bits of capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∧ other` as a new mask.
+    pub fn and(&self, other: &Mask) -> Mask {
+        debug_assert_eq!(self.len, other.len);
+        Mask {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// `self ∧= other` in place.
+    pub fn and_assign(&mut self, other: &Mask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Removes every bit set in `other` (`self ∧= ¬other`).
+    pub fn and_not_assign(&mut self, other: &Mask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Total set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set bits within `[start, end)`.
+    pub fn count_ones_range(&self, start: usize, end: usize) -> usize {
+        if start >= end {
+            return 0;
+        }
+        let (sw, sb) = (start / 64, start % 64);
+        let (ew, eb) = (end / 64, end % 64);
+        let lo = u64::MAX << sb;
+        if sw == ew {
+            let hi = if eb == 0 { 0 } else { u64::MAX >> (64 - eb) };
+            return (self.words[sw] & lo & hi).count_ones() as usize;
+        }
+        let mut n = (self.words[sw] & lo).count_ones() as usize;
+        for w in &self.words[sw + 1..ew] {
+            n += w.count_ones() as usize;
+        }
+        if eb != 0 {
+            n += (self.words[ew] & (u64::MAX >> (64 - eb))).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Approximate heap bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Calls `f` for each set bit index in `[start, end)`, ascending.
+    #[inline]
+    fn for_each_set_in(&self, start: usize, end: usize, mut f: impl FnMut(usize)) {
+        if start >= end {
+            return;
+        }
+        let sw = start / 64;
+        let ew = (end - 1) / 64;
+        for wi in sw..=ew {
+            let mut w = self.words[wi];
+            if wi == sw && !start.is_multiple_of(64) {
+                w &= u64::MAX << (start % 64);
+            }
+            if wi == ew && !end.is_multiple_of(64) {
+                w &= u64::MAX >> (64 - end % 64);
+            }
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                f(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+/// One dictionary/typed-array encoded APT column, gathered in scan order.
+#[derive(Debug, Clone)]
+enum EncData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    /// Interned string ids (the pool is the dictionary).
+    Str(Vec<u32>),
+}
+
+#[derive(Debug, Clone)]
+struct EncCol {
+    data: EncData,
+    /// Bit set ⇒ position is NULL. `None` when the column has no nulls.
+    nulls: Option<Mask>,
+}
+
+/// A columnar scoring index over one APT and one (optional) λ_F1 row
+/// sample. Owns copies of the encoded columns, so it stays valid (and
+/// cacheable) independently of the APT it was built from.
+#[derive(Debug, Clone)]
+pub struct ScoreIndex {
+    /// Scan positions → APT row, sorted by `(group, pt_row)`.
+    order: Vec<u32>,
+    /// Scan position → dense segment id (one segment per distinct PT row
+    /// present in the scan; ids ascend along positions).
+    seg_of: Vec<u32>,
+    /// Per output group: `[start, end)` position range.
+    group_ranges: Vec<(u32, u32)>,
+    /// Fast path: every segment holds exactly one position (no join
+    /// fan-out inside the sample), so counting = popcount.
+    unit_segments: bool,
+    /// Encoded columns, parallel to the APT's fields.
+    cols: Vec<EncCol>,
+    /// Full `|PT(t)|` per group (Definition 7 denominators — never
+    /// shrunk by sampling or lossy joins).
+    group_pt_counts: Vec<usize>,
+    /// Total PT rows.
+    total_pt: usize,
+}
+
+impl ScoreIndex {
+    /// Builds an index over all APT rows (exact metrics).
+    pub fn exact(apt: &Apt, pt: &ProvenanceTable) -> ScoreIndex {
+        Self::build(apt, pt, None)
+    }
+
+    /// Builds an index over a fixed APT row sample (λ_F1-samp).
+    pub fn sampled(apt: &Apt, pt: &ProvenanceTable, sample: &[u32]) -> ScoreIndex {
+        Self::build(apt, pt, Some(sample))
+    }
+
+    fn build(apt: &Apt, pt: &ProvenanceTable, sample: Option<&[u32]>) -> ScoreIndex {
+        let scan: Vec<u32> = match sample {
+            Some(s) => s.to_vec(),
+            None => (0..apt.num_rows as u32).collect(),
+        };
+        // Sort scan rows by (group, pt_row) so each group is a contiguous
+        // position range and each distinct PT row a contiguous segment.
+        let mut keyed: Vec<(u32, u32, u32)> = scan
+            .iter()
+            .map(|&r| {
+                let p = apt.pt_row[r as usize];
+                (pt.group_of[p as usize], p, r)
+            })
+            .collect();
+        keyed.sort_by_key(|&(g, p, _)| (g, p));
+
+        let n = keyed.len();
+        let num_groups = pt.rows_of_group.len();
+        let mut order = Vec::with_capacity(n);
+        let mut seg_of = Vec::with_capacity(n);
+        let mut group_ranges = vec![(0u32, 0u32); num_groups];
+        let mut segs = 0u32;
+        let mut cur_group = u32::MAX;
+        let mut cur_pt = u32::MAX;
+        for (i, &(g, p, r)) in keyed.iter().enumerate() {
+            if i == 0 || p != cur_pt || g != cur_group {
+                if i > 0 {
+                    segs += 1;
+                }
+                cur_pt = p;
+            }
+            if g != cur_group {
+                if cur_group != u32::MAX {
+                    group_ranges[cur_group as usize].1 = i as u32;
+                }
+                if (g as usize) < num_groups {
+                    group_ranges[g as usize].0 = i as u32;
+                }
+                cur_group = g;
+            }
+            order.push(r);
+            seg_of.push(segs);
+        }
+        if cur_group != u32::MAX && (cur_group as usize) < num_groups {
+            group_ranges[cur_group as usize].1 = n as u32;
+        }
+        let num_segs = if n == 0 { 0 } else { segs as usize + 1 };
+        let unit_segments = num_segs == n;
+
+        let cols = apt
+            .columns
+            .iter()
+            .map(|c| encode_column(c, &order))
+            .collect();
+
+        ScoreIndex {
+            order,
+            seg_of,
+            group_ranges,
+            unit_segments,
+            cols,
+            group_pt_counts: pt.rows_of_group.iter().map(Vec::len).collect(),
+            total_pt: pt.num_rows,
+        }
+    }
+
+    /// Number of scan positions (bitmap width).
+    pub fn scan_size(&self) -> usize {
+        self.order.len()
+    }
+
+    /// All-one mask sized for this index (the empty pattern's matches).
+    pub fn full_mask(&self) -> Mask {
+        Mask::full(self.order.len())
+    }
+
+    /// Evaluates one predicate into a fresh mask over the scan positions.
+    /// Semantics mirror [`Pattern::matches`] exactly: NULL never matches,
+    /// `=` follows SQL equality (ints widen against floats, strings
+    /// compare by interned id, cross-kind is false), `≤`/`≥` compare the
+    /// numeric view and are false for strings.
+    pub fn eval_pred(&self, field: usize, pred: &Pred) -> Mask {
+        let col = &self.cols[field];
+        let n = self.order.len();
+        let mut out = Mask::empty(n);
+        match (&col.data, pred.op) {
+            (EncData::Int(vals), PredOp::Eq) => match pred.value {
+                PatValue::Int(c) => fill(&mut out, vals, |&v| v == c),
+                PatValue::Float(bits) => {
+                    let t = f64::from_bits(bits);
+                    fill(&mut out, vals, |&v| (v as f64) == t)
+                }
+                PatValue::Str(_) => {}
+            },
+            (EncData::Float(vals), PredOp::Eq) => match pred.value {
+                PatValue::Int(c) => fill(&mut out, vals, |&v| v == c as f64),
+                PatValue::Float(bits) => {
+                    let t = f64::from_bits(bits);
+                    fill(&mut out, vals, |&v| v == t)
+                }
+                PatValue::Str(_) => {}
+            },
+            (EncData::Str(vals), PredOp::Eq) => {
+                if let PatValue::Str(id) = pred.value {
+                    fill(&mut out, vals, |&v| v == id)
+                }
+            }
+            (EncData::Str(_), PredOp::Le | PredOp::Ge) => {}
+            (EncData::Int(vals), op) => {
+                if let Some(t) = pred.value.as_f64() {
+                    match op {
+                        PredOp::Le => fill(&mut out, vals, |&v| (v as f64) <= t),
+                        _ => fill(&mut out, vals, |&v| (v as f64) >= t),
+                    }
+                }
+            }
+            (EncData::Float(vals), op) => {
+                if let Some(t) = pred.value.as_f64() {
+                    match op {
+                        PredOp::Le => fill(&mut out, vals, |&v| v <= t),
+                        _ => fill(&mut out, vals, |&v| v >= t),
+                    }
+                }
+            }
+        }
+        if let Some(nulls) = &col.nulls {
+            out.and_not_assign(nulls);
+        }
+        out
+    }
+
+    /// The match mask of a whole pattern (AND of its predicate masks).
+    pub fn pattern_mask(&self, pattern: &Pattern) -> Mask {
+        let mut mask = self.full_mask();
+        for (field, pred) in pattern.preds() {
+            mask.and_assign(&self.eval_pred(*field, pred));
+        }
+        mask
+    }
+
+    /// Distinct covered PT rows (segments) among set bits in `[start, end)`.
+    fn count_covered(&self, mask: &Mask, start: usize, end: usize) -> usize {
+        if self.unit_segments {
+            return mask.count_ones_range(start, end);
+        }
+        let mut count = 0usize;
+        let mut last = u32::MAX;
+        mask.for_each_set_in(start, end, |p| {
+            let s = self.seg_of[p];
+            if s != last {
+                count += 1;
+                last = s;
+            }
+        });
+        count
+    }
+
+    /// Definition-7 metrics of a match mask for `primary` vs `secondary`
+    /// (`None` ⇒ all other outputs). Bit-identical to
+    /// [`Scorer::score`](crate::score::Scorer::score) on the same sample.
+    pub fn score_mask(
+        &self,
+        mask: &Mask,
+        primary: usize,
+        secondary: Option<usize>,
+    ) -> PatternMetrics {
+        let n = self.order.len();
+        let (ps, pe) = self
+            .group_ranges
+            .get(primary)
+            .map(|&(s, e)| (s as usize, e as usize))
+            .unwrap_or((0, 0));
+        let tp = self.count_covered(mask, ps, pe);
+        let a1 = self.group_pt_counts.get(primary).copied().unwrap_or(0);
+        let (fp, a2) = match secondary {
+            Some(s) => {
+                let (ss, se) = self
+                    .group_ranges
+                    .get(s)
+                    .map(|&(s, e)| (s as usize, e as usize))
+                    .unwrap_or((0, 0));
+                (
+                    self.count_covered(mask, ss, se),
+                    self.group_pt_counts.get(s).copied().unwrap_or(0),
+                )
+            }
+            None => (self.count_covered(mask, 0, n) - tp, self.total_pt - a1),
+        };
+        PatternMetrics::from_counts(tp, a1, fp, a2)
+    }
+
+    /// Convenience: mask + score in one call.
+    pub fn score(
+        &self,
+        pattern: &Pattern,
+        primary: usize,
+        secondary: Option<usize>,
+    ) -> PatternMetrics {
+        self.score_mask(&self.pattern_mask(pattern), primary, secondary)
+    }
+
+    /// Approximate heap bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.order.len();
+        let cols: usize = self
+            .cols
+            .iter()
+            .map(|c| {
+                (match &c.data {
+                    EncData::Int(v) => v.len() * 8,
+                    EncData::Float(v) => v.len() * 8,
+                    EncData::Str(v) => v.len() * 4,
+                }) + c.nulls.as_ref().map_or(0, Mask::approx_bytes)
+            })
+            .sum();
+        n * (4 + 4) + self.group_ranges.len() * 8 + self.group_pt_counts.len() * 8 + cols
+    }
+}
+
+#[inline]
+fn fill<T>(out: &mut Mask, vals: &[T], pred: impl Fn(&T) -> bool) {
+    for (i, v) in vals.iter().enumerate() {
+        if pred(v) {
+            out.set(i);
+        }
+    }
+}
+
+fn encode_column(col: &Column, order: &[u32]) -> EncCol {
+    let mut nulls = None;
+    let mut any = false;
+    let data = match col {
+        Column::Int { data, nulls: nm } => {
+            let mut mask = Mask::empty(order.len());
+            let gathered = order
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    if nm.is_null(r as usize) {
+                        mask.set(i);
+                        any = true;
+                    }
+                    data[r as usize]
+                })
+                .collect();
+            if any {
+                nulls = Some(mask);
+            }
+            EncData::Int(gathered)
+        }
+        Column::Float { data, nulls: nm } => {
+            let mut mask = Mask::empty(order.len());
+            let gathered = order
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    if nm.is_null(r as usize) {
+                        mask.set(i);
+                        any = true;
+                    }
+                    data[r as usize]
+                })
+                .collect();
+            if any {
+                nulls = Some(mask);
+            }
+            EncData::Float(gathered)
+        }
+        Column::Str { data, nulls: nm } => {
+            let mut mask = Mask::empty(order.len());
+            let gathered = order
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    if nm.is_null(r as usize) {
+                        mask.set(i);
+                        any = true;
+                    }
+                    data[r as usize].0
+                })
+                .collect();
+            if any {
+                nulls = Some(mask);
+            }
+            EncData::Str(gathered)
+        }
+    };
+    EncCol { data, nulls }
+}
+
+/// Precomputed refinement predicate masks: for every selected numeric
+/// field and fragment boundary, the `≤`/`≥` threshold masks
+/// (`|num_fields| × λ#frag × 2` bitmaps). The refinement BFS scores a
+/// child as `parent_mask AND bank.mask(..)` + popcount.
+#[derive(Debug, Clone)]
+pub struct PredBank {
+    /// `per_field[i][b]` = `[≤ mask, ≥ mask]` for boundary `b` of the
+    /// `i`-th fragmented field.
+    per_field: Vec<Vec<[Mask; 2]>>,
+}
+
+impl PredBank {
+    /// Builds the bank for `frag` (`(field, boundaries)` pairs, in the
+    /// miner's refinement order).
+    pub fn build(index: &ScoreIndex, frag: &[(usize, Vec<f64>)]) -> PredBank {
+        let per_field = frag
+            .iter()
+            .map(|(field, boundaries)| {
+                boundaries
+                    .iter()
+                    .map(|&c| {
+                        [PredOp::Le, PredOp::Ge].map(|op| {
+                            index.eval_pred(
+                                *field,
+                                &Pred {
+                                    op,
+                                    value: PatValue::Float(c.to_bits()),
+                                },
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        PredBank { per_field }
+    }
+
+    /// The precomputed mask of `frag[field_idx]`'s `boundary_idx`-th
+    /// threshold under `op`.
+    pub fn mask(&self, field_idx: usize, boundary_idx: usize, op: PredOp) -> &Mask {
+        let slot = match op {
+            PredOp::Le => 0,
+            PredOp::Ge => 1,
+            PredOp::Eq => unreachable!("refinements are threshold predicates"),
+        };
+        &self.per_field[field_idx][boundary_idx][slot]
+    }
+
+    /// Approximate heap bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.per_field
+            .iter()
+            .flat_map(|f| f.iter())
+            .map(|pair| pair[0].approx_bytes() + pair[1].approx_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_full_is_tail_masked() {
+        let m = Mask::full(70);
+        assert_eq!(m.count_ones(), 70);
+        assert_eq!(m.count_ones_range(0, 70), 70);
+        assert_eq!(m.count_ones_range(64, 70), 6);
+        assert_eq!(m.count_ones_range(3, 3), 0);
+    }
+
+    #[test]
+    fn mask_range_counts() {
+        let mut m = Mask::empty(200);
+        for i in (0..200).step_by(3) {
+            m.set(i);
+        }
+        let naive = |s: usize, e: usize| (s..e).filter(|&i| i % 3 == 0).count();
+        for (s, e) in [(0, 200), (1, 199), (63, 65), (64, 128), (130, 131), (5, 5)] {
+            assert_eq!(m.count_ones_range(s, e), naive(s, e), "[{s},{e})");
+        }
+    }
+
+    #[test]
+    fn mask_bit_walk_matches_get() {
+        let mut m = Mask::empty(150);
+        for i in [0, 1, 63, 64, 65, 127, 128, 149] {
+            m.set(i);
+        }
+        let mut seen = Vec::new();
+        m.for_each_set_in(1, 149, |i| seen.push(i));
+        assert_eq!(seen, vec![1, 63, 64, 65, 127, 128]);
+    }
+
+    #[test]
+    fn and_not_clears_null_positions() {
+        let mut a = Mask::full(10);
+        let mut nulls = Mask::empty(10);
+        nulls.set(3);
+        nulls.set(9);
+        a.and_not_assign(&nulls);
+        assert_eq!(a.count_ones(), 8);
+        assert!(!a.get(3) && !a.get(9));
+    }
+}

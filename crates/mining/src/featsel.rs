@@ -92,7 +92,7 @@ pub fn select_features(
     cfg: &FeatSelConfig,
 ) -> FeatureSelection {
     let candidates = apt.pattern_fields();
-    let mut relevance = vec![0.0; apt.fields.len()];
+    let relevance = vec![0.0; apt.fields.len()];
 
     if candidates.is_empty() {
         return FeatureSelection {
@@ -128,12 +128,124 @@ pub fn select_features(
     } else {
         vec![1.0 / candidates.len() as f64; candidates.len()]
     };
+    finish_selection(apt, &candidates, importances, &features, cfg, relevance)
+}
+
+/// Question-independent `filterAttrs`: ranks attributes by their ability
+/// to tell the query's output groups apart in general, rather than for
+/// one specific `(t1, t2)` pair.
+///
+/// A one-vs-rest forest is trained for each of the up to
+/// `MAX_ONE_VS_REST` (currently 4) largest output groups with the
+/// overall tree budget split across them, and the
+/// importances are averaged weighted by `|PT(t)|`. Clustering and
+/// representative selection are shared with [`select_features`]. This is
+/// what makes feature selection cacheable in a
+/// [`PreparedApt`](crate::prepared::PreparedApt): the result depends only
+/// on the APT and the parameters, so a *new* question on a warm APT skips
+/// the phase entirely.
+pub fn select_features_global(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    cfg: &FeatSelConfig,
+) -> FeatureSelection {
+    /// Cap on one-vs-rest tasks, so wide group-bys don't multiply cost.
+    const MAX_ONE_VS_REST: usize = 4;
+
+    let candidates = apt.pattern_fields();
+    let relevance = vec![0.0; apt.fields.len()];
+    if candidates.is_empty() {
+        return FeatureSelection {
+            num_fields: Vec::new(),
+            cat_fields: Vec::new(),
+            clusters: Vec::new(),
+            relevance,
+        };
+    }
+
+    // Training rows: all APT rows, reservoir-capped; the feature matrix is
+    // extracted once and shared by every one-vs-rest task.
+    let mut rows: Vec<u32> = (0..apt.num_rows as u32).collect();
+    if rows.len() > cfg.max_train_rows {
+        let keep = reservoir_sample(rows.len(), cfg.max_train_rows, cfg.seed);
+        rows = keep.into_iter().map(|i| rows[i]).collect();
+    }
+    let features: Vec<FeatureColumn> = candidates
+        .iter()
+        .map(|&f| feature_column(apt, f, &rows))
+        .collect();
+    let row_groups: Vec<u32> = rows
+        .iter()
+        .map(|&r| pt.group_of[apt.pt_row[r as usize] as usize])
+        .collect();
+
+    // The largest groups by full |PT(t)| (ties by index, deterministic).
+    let mut groups: Vec<(usize, usize)> = pt
+        .rows_of_group
+        .iter()
+        .enumerate()
+        .map(|(g, rows)| (g, rows.len()))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    groups.truncate(MAX_ONE_VS_REST);
+
+    // Both the tree budget and the per-tree row budget are split across
+    // the one-vs-rest tasks, so the ensemble costs about as much as one
+    // question-specific forest (whose training scope is a 2-group subset
+    // of the APT) rather than `tasks ×` that.
+    let tasks = groups.len().max(1);
+    let trees_per_task = (cfg.forest_trees.div_ceil(tasks)).max(2);
+    let bootstrap_fraction = 1.0 / tasks as f64;
+    let total_weight: f64 = groups.iter().map(|&(_, n)| n as f64).sum();
+
+    let mut importances = vec![0.0; candidates.len()];
+    let mut any_task = false;
+    for &(g, pt_size) in &groups {
+        let labels: Vec<bool> = row_groups.iter().map(|&rg| rg as usize == g).collect();
+        let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+        if !has_both || rows.is_empty() {
+            continue;
+        }
+        any_task = true;
+        let forest = RandomForest::fit(
+            &features,
+            &labels,
+            &RandomForestConfig {
+                num_trees: trees_per_task,
+                bootstrap_fraction,
+                seed: cfg.seed.wrapping_add(g as u64),
+                ..Default::default()
+            },
+        );
+        let w = pt_size as f64 / total_weight.max(1.0);
+        for (imp, fi) in importances.iter_mut().zip(&forest.importances) {
+            *imp += w * fi;
+        }
+    }
+    if !any_task {
+        importances = vec![1.0 / candidates.len() as f64; candidates.len()];
+    }
+
+    finish_selection(apt, &candidates, importances, &features, cfg, relevance)
+}
+
+/// Shared tail of `filterAttrs`: correlation clustering, representative
+/// picking, and λ#sel-attr ranking over forest importances.
+fn finish_selection(
+    apt: &Apt,
+    candidates: &[usize],
+    importances: Vec<f64>,
+    features: &[FeatureColumn],
+    cfg: &FeatSelConfig,
+    mut relevance: Vec<f64>,
+) -> FeatureSelection {
     for (&f, &imp) in candidates.iter().zip(&importances) {
         relevance[f] = imp;
     }
 
     // Cluster correlated attributes, keep one representative each.
-    let assoc = assoc_matrix(&features);
+    let assoc = assoc_matrix(features);
     let clusters_local = cluster_attributes(&assoc, cfg.cluster_threshold);
     let reps_local = cluster_representatives(&clusters_local, &importances);
 

@@ -7,7 +7,7 @@
 //! keeping constants that t and t′ agree upon." Only categorical
 //! attributes participate; numeric attributes stay `*` until refinement.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use cajade_graph::Apt;
 
@@ -16,46 +16,104 @@ use crate::pattern::{PatValue, Pattern, Pred, PredOp};
 /// Generates deduplicated LCA candidates over `cat_fields` from the APT
 /// rows in `sample` (quadratic in the sample size — exactly the cost
 /// profile Fig. 10b–e measures).
+///
+/// The O(n²) pair loop runs over per-field dense `u32` dictionary codes,
+/// so an agreement check is one integer compare and deduplication hashes
+/// a compact `(field, code)` word list; a [`Pattern`] is only materialized
+/// the first time a candidate is seen. Duplicate code vectors are
+/// collapsed before pairing, so the quadratic factor is the number of
+/// *distinct* vectors. The candidate **set** is identical to the
+/// value-based pairwise formulation (code equality coincides with
+/// [`PatValue`] equality, and a vector appearing twice contributes its
+/// self-meet); the emission **order** is the deterministic unique-pair
+/// order, which can differ from the original row-pair order when the
+/// sample contains duplicates — downstream recall ranking is stable, so
+/// only exact recall ties at the k_cat cut can resolve differently.
 pub fn lca_candidates(apt: &Apt, sample: &[u32], cat_fields: &[usize]) -> Vec<Pattern> {
-    let mut seen: HashSet<Pattern> = HashSet::new();
-    let mut out = Vec::new();
+    const MISSING: u32 = u32::MAX;
+    let k = cat_fields.len();
+    let n = sample.len();
+    if k == 0 || n < 2 {
+        return Vec::new();
+    }
 
-    // Pre-extract the categorical cells once (they are compared O(n²) times).
-    let cells: Vec<Vec<Option<PatValue>>> = sample
-        .iter()
-        .map(|&r| {
-            cat_fields
-                .iter()
-                .map(|&f| PatValue::from_value(&apt.value(r as usize, f)))
-                .collect()
-        })
-        .collect();
+    // Dictionary-encode the categorical cells once: row-major code matrix
+    // plus a per-field code → value table for pattern materialization.
+    let mut dicts: Vec<HashMap<PatValue, u32>> = vec![HashMap::new(); k];
+    let mut values: Vec<Vec<PatValue>> = vec![Vec::new(); k];
+    let mut codes: Vec<u32> = Vec::with_capacity(n * k);
+    for &r in sample {
+        for (fi, &f) in cat_fields.iter().enumerate() {
+            let code = match PatValue::from_value(&apt.value(r as usize, f)) {
+                None => MISSING,
+                Some(pv) => *dicts[fi].entry(pv).or_insert_with(|| {
+                    values[fi].push(pv);
+                    (values[fi].len() - 1) as u32
+                }),
+            };
+            codes.push(code);
+        }
+    }
 
-    let n = cells.len();
-    let mut preds: Vec<(usize, Pred)> = Vec::with_capacity(cat_fields.len());
+    // Collapse duplicate code rows: the pairwise meet only depends on the
+    // two rows' code vectors, so the O(n²) loop runs over *distinct*
+    // vectors (with a self-pair for any vector appearing at least twice —
+    // two identical sample rows agree on all their non-null fields). On
+    // categorical-only projections duplicates are the common case, which
+    // shrinks the quadratic factor by orders of magnitude.
+    let mut first_seen: HashMap<&[u32], usize> = HashMap::new();
+    let mut uniq: Vec<usize> = Vec::new(); // unique vector → first row index
+    let mut multi: Vec<bool> = Vec::new(); // appears ≥ 2 times
     for i in 0..n {
-        for j in (i + 1)..n {
-            preds.clear();
-            for (k, &field) in cat_fields.iter().enumerate() {
-                if let (Some(a), Some(b)) = (cells[i][k], cells[j][k]) {
-                    if a == b {
-                        preds.push((
-                            field,
-                            Pred {
-                                op: PredOp::Eq,
-                                value: a,
-                            },
-                        ));
-                    }
+        let row = &codes[i * k..(i + 1) * k];
+        match first_seen.get(row) {
+            Some(&u) => multi[u] = true,
+            None => {
+                first_seen.insert(row, uniq.len());
+                uniq.push(i);
+                multi.push(false);
+            }
+        }
+    }
+    drop(first_seen);
+
+    let m = uniq.len();
+    let mut seen: HashSet<Box<[u64]>> = HashSet::new();
+    let mut out = Vec::new();
+    let mut agree: Vec<u64> = Vec::with_capacity(k);
+    for ui in 0..m {
+        let ci = &codes[uniq[ui] * k..uniq[ui] * k + k];
+        for uj in ui..m {
+            if uj == ui && !multi[ui] {
+                continue; // a self-pair needs two copies of the row
+            }
+            let cj = &codes[uniq[uj] * k..uniq[uj] * k + k];
+            agree.clear();
+            for fi in 0..k {
+                let c = ci[fi];
+                if c != MISSING && c == cj[fi] {
+                    agree.push(((fi as u64) << 32) | c as u64);
                 }
             }
-            if preds.is_empty() {
+            if agree.is_empty() || seen.contains(agree.as_slice()) {
                 continue;
             }
-            let p = Pattern::from_preds(preds.clone());
-            if seen.insert(p.clone()) {
-                out.push(p);
-            }
+            seen.insert(agree.clone().into_boxed_slice());
+            let preds = agree
+                .iter()
+                .map(|&key| {
+                    let fi = (key >> 32) as usize;
+                    let code = (key & u32::MAX as u64) as usize;
+                    (
+                        cat_fields[fi],
+                        Pred {
+                            op: PredOp::Eq,
+                            value: values[fi][code],
+                        },
+                    )
+                })
+                .collect();
+            out.push(Pattern::from_preds(preds));
         }
     }
     out

@@ -24,18 +24,22 @@
 #![warn(missing_docs)]
 
 pub mod diversity;
+pub mod engine;
 pub mod fd;
 pub mod featsel;
 pub mod fragments;
 pub mod lca;
 pub mod miner;
 pub mod pattern;
+pub mod prepared;
 pub mod score;
 
 pub use diversity::{diversity_score, match_score, select_top_k_diverse};
+pub use engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
 pub use fd::group_determining_fields;
 pub use featsel::{FeatureSelection, SelAttr};
 pub use lca::lca_candidates;
 pub use miner::{mine_apt, MinedExplanation, MiningOutcome, MiningParams, MiningTimings};
 pub use pattern::{PatValue, Pattern, Pred, PredOp};
+pub use prepared::{mine_prepared, prepare_apt, PreparedApt};
 pub use score::{PatternMetrics, Question, Scorer};

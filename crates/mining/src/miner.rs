@@ -16,7 +16,7 @@
 //! Final selection is diversity-aware top-k (§3.5) followed by exact
 //! re-scoring on the full APT so reported supports are exact.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use cajade_graph::Apt;
@@ -24,6 +24,7 @@ use cajade_ml::sampling::{bernoulli_sample, sample_with_cap};
 use cajade_query::ProvenanceTable;
 
 use crate::diversity::select_top_k_diverse;
+use crate::engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
 use crate::featsel::{all_features, select_features, FeatSelConfig, FeatureSelection, SelAttr};
 use crate::fragments::fragment_boundaries;
 use crate::lca::lca_candidates;
@@ -80,6 +81,10 @@ pub struct MiningParams {
     pub banned_attrs: Vec<String>,
     /// RNG seed (sampling, forest).
     pub seed: u64,
+    /// Which scoring kernel evaluates patterns. Both engines return
+    /// bit-identical metrics (property-tested); `Scalar` keeps the
+    /// row-at-a-time [`Scorer`] as a verified fallback.
+    pub engine: ScoreEngine,
 }
 
 impl Default for MiningParams {
@@ -102,6 +107,7 @@ impl Default for MiningParams {
             exclude_fd_attrs: false,
             banned_attrs: Vec::new(),
             seed: 0xCA7ADE,
+            engine: ScoreEngine::Vectorized,
         }
     }
 }
@@ -119,6 +125,10 @@ pub struct MiningTimings {
     pub fscore_calc: Duration,
     /// `Refine Patterns` row.
     pub refine_patterns: Duration,
+    /// Column encoding + predicate-bitmap precomputation (the vectorized
+    /// engine's `ScoreIndex`/`PredBank` build; zero on the scalar path and
+    /// on warm `PreparedApt` asks).
+    pub prepare: Duration,
 }
 
 impl MiningTimings {
@@ -129,6 +139,7 @@ impl MiningTimings {
             + self.sampling_for_f1
             + self.fscore_calc
             + self.refine_patterns
+            + self.prepare
     }
 
     /// Accumulates another APT's timings (per-query totals).
@@ -138,6 +149,7 @@ impl MiningTimings {
         self.sampling_for_f1 += other.sampling_for_f1;
         self.fscore_calc += other.fscore_calc;
         self.refine_patterns += other.refine_patterns;
+        self.prepare += other.prepare;
     }
 }
 
@@ -214,18 +226,30 @@ pub fn mine_apt(
     }
     timings.feature_selection = t0.elapsed();
 
-    // ---- Phase 3 (done early; scorer is needed for ranking): F1 sample.
+    // ---- Phase 3 (done early; the scorer is needed for ranking): F1
+    // sample + engine-specific scoring state.
     let t0 = Instant::now();
-    let scorer = if params.lambda_f1_samp >= 1.0 {
-        Scorer::exact(apt, pt)
+    let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
+        None
     } else {
-        let sample: Vec<u32> = bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
-            .into_iter()
-            .map(|i| i as u32)
-            .collect();
-        Scorer::sampled(apt, pt, sample)
+        Some(
+            bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect(),
+        )
     };
     timings.sampling_for_f1 = t0.elapsed();
+
+    let t0 = Instant::now();
+    let index = match params.engine {
+        ScoreEngine::Scalar => None,
+        ScoreEngine::Vectorized => Some(match &sample {
+            Some(rows) => ScoreIndex::sampled(apt, pt, rows),
+            None => ScoreIndex::exact(apt, pt),
+        }),
+    };
+    timings.prepare += t0.elapsed();
 
     // ---- Phase 2: LCA candidates over the λ_pat-samp sample. -----------
     let t0 = Instant::now();
@@ -243,27 +267,7 @@ pub fn mine_apt(
     cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
     timings.gen_pat_cand = t0.elapsed();
 
-    // Rank candidates by recall (best direction), keep top k_cat.
-    let directions = question.directions();
-    let mut patterns_evaluated = 0usize;
-    let t0 = Instant::now();
-    let mut ranked: Vec<(Pattern, f64)> = cat_pats
-        .into_iter()
-        .map(|p| {
-            patterns_evaluated += 1;
-            let best_recall = directions
-                .iter()
-                .map(|&(t, s)| scorer.score(&p, t, s).recall)
-                .fold(0.0, f64::max);
-            (p, best_recall)
-        })
-        .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    ranked.truncate(params.k_cat_patterns);
-    timings.fscore_calc += t0.elapsed();
-
-    // ---- Phases 4+5: refinement loop with recall pruning. --------------
-    // Fragment boundaries per selected numeric field (computed once).
+    // ---- Fragment boundaries per selected numeric field (once). --------
     let t0 = Instant::now();
     let frag: Vec<(usize, Vec<f64>)> = fs
         .num_fields
@@ -272,38 +276,200 @@ pub fn mine_apt(
         .collect();
     timings.refine_patterns += t0.elapsed();
 
-    let mut todo: VecDeque<Pattern> = VecDeque::new();
+    // Predicate bitmaps for every (field, boundary, ≤/≥) refinement.
+    let t0 = Instant::now();
+    let bank = index.as_ref().map(|ix| PredBank::build(ix, &frag));
+    timings.prepare += t0.elapsed();
+
+    let eval = match (&index, &bank) {
+        (Some(ix), Some(bk)) => SampleEval::Vector {
+            index: ix,
+            bank: bk,
+        },
+        _ => SampleEval::Scalar(match sample {
+            Some(rows) => Scorer::sampled(apt, pt, rows),
+            None => Scorer::exact(apt, pt),
+        }),
+    };
+    let candidates: Vec<(Pattern, Option<Mask>)> =
+        cat_pats.into_iter().map(|p| (p, None)).collect();
+
+    let (explanations, patterns_evaluated) = mine_core(
+        apt,
+        pt,
+        question,
+        params,
+        candidates,
+        &frag,
+        &eval,
+        &mut timings,
+    );
+
+    MiningOutcome {
+        explanations,
+        timings,
+        feature_selection: fs,
+        patterns_evaluated,
+    }
+}
+
+/// The scoring backend of one mining run: the scalar row-at-a-time
+/// [`Scorer`] or the columnar [`ScoreIndex`] + precomputed refinement
+/// masks. Both yield bit-identical metrics.
+pub(crate) enum SampleEval<'a> {
+    /// Interpreted row-scan scoring.
+    Scalar(Scorer<'a>),
+    /// Bitmap kernel.
+    Vector {
+        /// Sample index (mask evaluation + segmented popcounts).
+        index: &'a ScoreIndex,
+        /// Precomputed `(field, boundary, op)` refinement masks, aligned
+        /// with the `frag` list passed to [`mine_core`].
+        bank: &'a PredBank,
+    },
+}
+
+/// Candidate ranking + refinement BFS + diversity top-k + exact
+/// re-scoring — the shared back half of Algorithm 1, used by both
+/// [`mine_apt`] (per-question preparation) and
+/// [`mine_prepared`](crate::prepared::mine_prepared) (cached
+/// question-independent preparation).
+///
+/// `candidates` are the unranked categorical seeds; a `Some` mask is the
+/// pattern's precomputed match bitmap (pooled candidates), `None` masks
+/// are evaluated here (memoized per distinct equality predicate).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mine_core(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+    params: &MiningParams,
+    candidates: Vec<(Pattern, Option<Mask>)>,
+    frag: &[(usize, Vec<f64>)],
+    eval: &SampleEval<'_>,
+    timings: &mut MiningTimings,
+) -> (Vec<MinedExplanation>, usize) {
+    let directions = question.directions();
+    let mut patterns_evaluated = 0usize;
+
+    // ---- Rank categorical candidates by recall, keep top k_cat. --------
+    let t0 = Instant::now();
+    let mut eq_memo: HashMap<(usize, Pred), Mask> = HashMap::new();
+    let mut ranked: Vec<(Pattern, Option<Mask>, f64)> = candidates
+        .into_iter()
+        .map(|(p, mask)| {
+            patterns_evaluated += 1;
+            let (mask, best_recall) = match eval {
+                SampleEval::Scalar(scorer) => {
+                    let r = directions
+                        .iter()
+                        .map(|&(t, s)| scorer.score(&p, t, s).recall)
+                        .fold(0.0, f64::max);
+                    (None, r)
+                }
+                SampleEval::Vector { index, .. } => {
+                    let mask = mask.unwrap_or_else(|| {
+                        let mut m = index.full_mask();
+                        for (field, pred) in p.preds() {
+                            let pm = eq_memo
+                                .entry((*field, *pred))
+                                .or_insert_with(|| index.eval_pred(*field, pred));
+                            m.and_assign(pm);
+                        }
+                        m
+                    });
+                    let r = directions
+                        .iter()
+                        .map(|&(t, s)| index.score_mask(&mask, t, s).recall)
+                        .fold(0.0, f64::max);
+                    (Some(mask), r)
+                }
+            };
+            (p, mask, best_recall)
+        })
+        .collect();
+    drop(eq_memo);
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(params.k_cat_patterns);
+    timings.fscore_calc += t0.elapsed();
+
+    // ---- Refinement BFS with recall pruning. ---------------------------
+    let full_mask = match eval {
+        SampleEval::Vector { index, .. } => Some(index.full_mask()),
+        SampleEval::Scalar(_) => None,
+    };
+    // The lattice is enumerated **canonically**: a child only refines
+    // fragment fields strictly after its parent's last refined one, so
+    // every pattern (seed × subset of fragment fields, one threshold
+    // each) is generated exactly once and no deduplication set is needed.
+    // This is output-equivalent to generate-and-dedup: a pattern whose
+    // canonical parent was recall-pruned has, by the same anti-
+    // monotonicity that makes λ_recall pruning sound (Proposition 3.1),
+    // recall no higher than that pruned parent in *every* direction — it
+    // could never be kept nor seed a keepable refinement. (The argument
+    // assumes the `max_patterns` safety cap does not bind: a binding cap
+    // truncates the enumeration at a — deterministic — prefix that
+    // differs from the dedup-based order.)
+    struct TodoItem {
+        pat: Pattern,
+        mask: Option<Mask>,
+        /// First fragment-field index this pattern may refine.
+        next_fi: usize,
+        /// Numeric predicates already on the pattern (λ_attrNum budget).
+        numeric_preds: usize,
+    }
+    let mut todo: VecDeque<TodoItem> = VecDeque::with_capacity(256);
     // The empty pattern seeds numeric-only refinements (pure-context
     // explanations like `salary < 15330435`, Table 4).
-    todo.push_back(Pattern::empty());
-    for (p, _) in ranked {
-        todo.push_back(p);
+    todo.push_back(TodoItem {
+        pat: Pattern::empty(),
+        mask: full_mask,
+        next_fi: 0,
+        numeric_preds: 0,
+    });
+    for (p, mask, _) in ranked {
+        let numeric_preds = p.num_numeric_preds(apt);
+        todo.push_back(TodoItem {
+            pat: p,
+            mask,
+            next_fi: 0,
+            numeric_preds,
+        });
     }
 
-    let mut done: HashSet<Pattern> = HashSet::new();
     // Candidates: (pattern, primary, secondary, sampled metrics).
-    let mut candidates: Vec<(Pattern, usize, Option<usize>, PatternMetrics)> = Vec::new();
+    let mut kept: Vec<(Pattern, usize, Option<usize>, PatternMetrics)> = Vec::new();
 
-    while let Some(pat) = todo.pop_front() {
-        if !done.insert(pat.clone()) {
-            continue;
-        }
+    while let Some(item) = todo.pop_front() {
         if patterns_evaluated >= params.max_patterns {
             break;
         }
         patterns_evaluated += 1;
+        let TodoItem {
+            pat,
+            mask,
+            next_fi,
+            numeric_preds,
+        } = item;
 
         // Score in both directions (Algorithm 1 line 11).
         let t_score = Instant::now();
         let mut best_recall = 0.0f64;
         for &(primary, secondary) in &directions {
-            let m = scorer.score(&pat, primary, secondary);
+            let m = match (eval, &mask) {
+                (SampleEval::Vector { index, .. }, Some(mask)) => {
+                    index.score_mask(mask, primary, secondary)
+                }
+                (SampleEval::Scalar(scorer), _) => scorer.score(&pat, primary, secondary),
+                _ => unreachable!("vector queue entries always carry a mask"),
+            };
             best_recall = best_recall.max(m.recall);
             if !pat.is_empty() && m.recall > params.lambda_recall {
-                candidates.push((pat.clone(), primary, secondary, m));
+                kept.push((pat.clone(), primary, secondary, m));
             }
         }
-        timings.fscore_calc += t_score.elapsed();
+        let t_mid = Instant::now();
+        timings.fscore_calc += t_mid - t_score;
 
         // Prune refinements when recall already fell below λ_recall
         // (Proposition 3.1: refinement can only lower recall). The empty
@@ -311,16 +477,15 @@ pub fn mine_apt(
         if best_recall <= params.lambda_recall && !pat.is_empty() {
             continue;
         }
-        if pat.num_numeric_preds(apt) >= params.lambda_attr_num {
+        if numeric_preds >= params.lambda_attr_num {
             continue;
         }
 
-        let t_refine = Instant::now();
-        for (field, boundaries) in &frag {
+        for (fi, (field, boundaries)) in frag.iter().enumerate().skip(next_fi) {
             if !pat.is_free(*field) {
                 continue;
             }
-            for &c in boundaries {
+            for (bi, &c) in boundaries.iter().enumerate() {
                 for op in [PredOp::Le, PredOp::Ge] {
                     let refined = pat.refine(
                         *field,
@@ -329,28 +494,49 @@ pub fn mine_apt(
                             value: float_const(c),
                         },
                     );
-                    if !done.contains(&refined) {
-                        todo.push_back(refined);
-                    }
+                    // Incremental refinement: the child's matches are the
+                    // parent's AND the threshold's bitmap.
+                    let child_mask = match (eval, &mask) {
+                        (SampleEval::Vector { bank, .. }, Some(m)) => {
+                            Some(m.and(bank.mask(fi, bi, op)))
+                        }
+                        _ => None,
+                    };
+                    todo.push_back(TodoItem {
+                        pat: refined,
+                        mask: child_mask,
+                        next_fi: fi + 1,
+                        numeric_preds: numeric_preds + 1,
+                    });
                 }
             }
         }
-        timings.refine_patterns += t_refine.elapsed();
+        timings.refine_patterns += t_mid.elapsed();
     }
 
     // ---- Top-k with diversity, then exact re-scoring. -------------------
-    let items: Vec<(Pattern, f64)> = candidates
+    let items: Vec<(Pattern, f64)> = kept
         .iter()
         .map(|(p, _, _, m)| (p.clone(), m.f_score))
         .collect();
     let selected = select_top_k_diverse(&items, params.top_k);
 
-    let exact = Scorer::exact(apt, pt);
+    // When the scan already covered every APT row (λ_F1 ≥ 1.0), the
+    // "sampled" metrics *are* the exact metrics — re-scoring would
+    // recompute bit-identical numbers row by row.
+    let scan_was_exact = match eval {
+        SampleEval::Scalar(scorer) => scorer.scan_size() == apt.num_rows,
+        SampleEval::Vector { index, .. } => index.scan_size() == apt.num_rows,
+    };
+    let exact = (!scan_was_exact).then(|| Scorer::exact(apt, pt));
     let explanations: Vec<MinedExplanation> = selected
         .into_iter()
         .map(|i| {
-            let (pat, primary, secondary, sampled) = &candidates[i];
-            let metrics = exact.score(pat, *primary, *secondary);
+            let (pat, primary, secondary, sampled) = &kept[i];
+            let metrics = match &exact {
+                Some(exact) => exact.score(pat, *primary, *secondary),
+                None => *sampled,
+            };
             MinedExplanation {
                 pattern: pat.clone(),
                 primary_group: *primary,
@@ -361,24 +547,43 @@ pub fn mine_apt(
         })
         .collect();
 
-    MiningOutcome {
-        explanations,
-        timings,
-        feature_selection: fs,
-        patterns_evaluated,
-    }
+    (explanations, patterns_evaluated)
 }
 
 /// APT rows relevant to the question (both groups for two-point; all rows
 /// for single-point).
-fn question_scope_rows(apt: &Apt, pt: &ProvenanceTable, question: &Question) -> Vec<u32> {
+///
+/// The two-point scope is built from `pt.rows_of_group` — the two groups'
+/// PT rows become a per-PT-row membership bitmap, and the APT scan is one
+/// bit test per row instead of a `group_of` gather + two group compares.
+pub(crate) fn question_scope_rows(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+) -> Vec<u32> {
     match question {
-        Question::TwoPoint { t1, t2 } => (0..apt.num_rows as u32)
-            .filter(|&r| {
-                let g = pt.group_of[apt.pt_row[r as usize] as usize] as usize;
-                g == *t1 || g == *t2
-            })
-            .collect(),
+        Question::TwoPoint { t1, t2 } => {
+            let mut member = vec![0u64; pt.num_rows.div_ceil(64)];
+            for t in [*t1, *t2] {
+                if let Some(rows) = pt.rows_of_group.get(t) {
+                    for &r in rows {
+                        member[r as usize / 64] |= 1 << (r % 64);
+                    }
+                }
+            }
+            let in_scope: usize = member.iter().map(|w| w.count_ones() as usize).sum();
+            if in_scope == pt.num_rows {
+                // Both groups cover the whole PT — every APT row is in scope.
+                return (0..apt.num_rows as u32).collect();
+            }
+            let mut out = Vec::new();
+            for (r, &p) in apt.pt_row.iter().enumerate() {
+                if member[p as usize / 64] & (1 << (p % 64)) != 0 {
+                    out.push(r as u32);
+                }
+            }
+            out
+        }
         Question::SinglePoint { .. } => (0..apt.num_rows as u32).collect(),
     }
 }

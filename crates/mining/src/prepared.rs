@@ -1,0 +1,300 @@
+//! Question-independent APT preparation (§2.4 interactive usage).
+//!
+//! In an interactive session the user asks a *sequence* of questions over
+//! one query. Most of Algorithm 1's work per APT does not actually depend
+//! on the question:
+//!
+//! * the λ_F1 row sample and its columnar [`ScoreIndex`] (seeded RNG),
+//! * numeric fragment boundaries (computed over all APT rows),
+//! * the `|num_fields| × λ#frag × 2` refinement predicate bitmaps,
+//! * the LCA candidate pool and each candidate's match bitmap,
+//! * feature selection — once it is formulated group-globally
+//!   ([`select_features_global`]) instead of per `(t1, t2)` pair.
+//!
+//! [`prepare_apt`] hoists all of that into a [`PreparedApt`] that the
+//! service caches next to the materialized APT, so a **new** question on a
+//! warm APT skips the feature-selection / candidate-generation / fragment
+//! phases entirely and goes straight to recall ranking + the refinement
+//! BFS — both running on the bitmap kernel. Only the per-question scoring
+//! runs per ask, and [`MiningTimings`] reports the skipped phases as zero.
+//!
+//! Two deliberate deviations from the per-question [`mine_apt`] flow make
+//! this possible (both deterministic, both documented here because they
+//! can change which explanations are mined relative to the one-shot
+//! path): feature selection is group-global, and the LCA pool is sampled
+//! from **all** APT rows rather than the two-point question's scope —
+//! out-of-scope candidates simply rank last on recall and fall out of the
+//! top-k_cat cut.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cajade_graph::Apt;
+use cajade_ml::sampling::{bernoulli_sample, sample_with_cap};
+use cajade_query::ProvenanceTable;
+
+use crate::engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
+use crate::featsel::{all_features, select_features_global, FeatSelConfig, FeatureSelection};
+use crate::fragments::fragment_boundaries;
+use crate::lca::lca_candidates;
+use crate::miner::{mine_core, MiningOutcome, MiningParams, MiningTimings, SampleEval};
+use crate::pattern::Pattern;
+use crate::score::{Question, Scorer};
+
+/// Everything about one `(APT, MiningParams)` pair that is independent of
+/// the user question. Owns its data (no borrows of the APT), so it can be
+/// cached behind `Arc` alongside the materialized APT.
+#[derive(Debug, Clone)]
+pub struct PreparedApt {
+    /// Group-global feature selection (ban list already applied).
+    pub fs: FeatureSelection,
+    /// Columnar index over the λ_F1 sample (exact when sampling is off).
+    /// `None` when prepared for the scalar engine, which never reads it.
+    pub index: Option<ScoreIndex>,
+    /// The λ_F1 sample rows (`None` ⇒ all rows) — kept so the scalar
+    /// fallback engine can score the identical sample.
+    pub sample: Option<Vec<u32>>,
+    /// LCA candidate pool with each candidate's precomputed match bitmap
+    /// (unranked; ranking is per-question; masks absent on the scalar
+    /// engine).
+    pub pool: Vec<(Pattern, Option<Mask>)>,
+    /// Fragment boundaries per selected numeric field.
+    pub frag: Vec<(usize, Vec<f64>)>,
+    /// Refinement predicate bitmaps aligned with `frag` (scalar: `None`).
+    pub bank: Option<PredBank>,
+    /// Wall-clock of the preparation phases (attributed to the ask that
+    /// computed them; cache hits report zero).
+    pub prep_timings: MiningTimings,
+}
+
+impl PreparedApt {
+    /// Approximate heap footprint for cache byte budgeting.
+    pub fn approx_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, ScoreIndex::approx_bytes)
+            + self.bank.as_ref().map_or(0, PredBank::approx_bytes)
+            + self
+                .pool
+                .iter()
+                .map(|(p, m)| p.len() * 24 + m.as_ref().map_or(0, Mask::approx_bytes))
+                .sum::<usize>()
+            + self
+                .frag
+                .iter()
+                .map(|(_, b)| 16 + b.len() * 8)
+                .sum::<usize>()
+            + self.sample.as_ref().map_or(0, |s| s.len() * 4)
+            + self.fs.relevance.len() * 8
+            + 256
+    }
+}
+
+/// Runs every question-independent phase of Algorithm 1 for one APT.
+pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> PreparedApt {
+    let mut timings = MiningTimings::default();
+
+    // ---- Feature selection (group-global, cacheable). ------------------
+    let t0 = Instant::now();
+    let mut fs = if params.feature_selection {
+        select_features_global(
+            apt,
+            pt,
+            &FeatSelConfig {
+                sel_attr: params.sel_attr,
+                cluster_threshold: params.cluster_threshold,
+                forest_trees: params.forest_trees,
+                max_train_rows: 5000,
+                seed: params.seed,
+            },
+        )
+    } else {
+        all_features(apt)
+    };
+    if !params.banned_attrs.is_empty() {
+        let banned = |f: &usize| {
+            params
+                .banned_attrs
+                .iter()
+                .any(|b| apt.fields[*f].name.contains(b.as_str()))
+        };
+        fs.num_fields.retain(|f| !banned(f));
+        fs.cat_fields.retain(|f| !banned(f));
+    }
+    timings.feature_selection = t0.elapsed();
+
+    // ---- λ_F1 sample + columnar index. ---------------------------------
+    let t0 = Instant::now();
+    let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
+        None
+    } else {
+        Some(
+            bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect(),
+        )
+    };
+    timings.sampling_for_f1 = t0.elapsed();
+
+    // The bitmap state (index, per-candidate masks, predicate bank) is
+    // only built for the vectorized engine; a scalar-engine preparation
+    // would cache memory the miner never reads.
+    let vectorized = params.engine == ScoreEngine::Vectorized;
+    let t0 = Instant::now();
+    let index = vectorized.then(|| match &sample {
+        Some(rows) => ScoreIndex::sampled(apt, pt, rows),
+        None => ScoreIndex::exact(apt, pt),
+    });
+    timings.prepare += t0.elapsed();
+
+    // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
+    let t0 = Instant::now();
+    let lca_rows: Vec<u32> = sample_with_cap(
+        apt.num_rows,
+        params.lambda_pat_samp,
+        params.pat_samp_cap,
+        params.seed.wrapping_add(1),
+    )
+    .into_iter()
+    .map(|i| i as u32)
+    .collect();
+    let mut cat_pats = lca_candidates(apt, &lca_rows, &fs.cat_fields);
+    cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
+    let mut eq_memo: HashMap<(usize, crate::pattern::Pred), Mask> = HashMap::new();
+    let pool: Vec<(Pattern, Option<Mask>)> = cat_pats
+        .into_iter()
+        .map(|p| {
+            let mask = index.as_ref().map(|index| {
+                let mut m = index.full_mask();
+                for (field, pred) in p.preds() {
+                    let pm = eq_memo
+                        .entry((*field, *pred))
+                        .or_insert_with(|| index.eval_pred(*field, pred));
+                    m.and_assign(pm);
+                }
+                m
+            });
+            (p, mask)
+        })
+        .collect();
+    timings.gen_pat_cand = t0.elapsed();
+
+    // ---- Fragment boundaries + refinement predicate bitmaps. ------------
+    let t0 = Instant::now();
+    let frag: Vec<(usize, Vec<f64>)> = fs
+        .num_fields
+        .iter()
+        .map(|&f| (f, fragment_boundaries(apt, f, None, params.num_frags)))
+        .collect();
+    let bank = index.as_ref().map(|index| PredBank::build(index, &frag));
+    timings.prepare += t0.elapsed();
+
+    PreparedApt {
+        fs,
+        index,
+        sample,
+        pool,
+        frag,
+        bank,
+        prep_timings: timings,
+    }
+}
+
+/// Runs the per-question half of Algorithm 1 on a [`PreparedApt`].
+///
+/// The returned [`MiningTimings`] cover only the work done *for this
+/// question* — feature-selection / candidate-generation / fragment /
+/// prepare phases are zero (the caller adds
+/// [`PreparedApt::prep_timings`] on the ask that actually computed the
+/// preparation).
+pub fn mine_prepared(
+    prepared: &PreparedApt,
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    question: &Question,
+    params: &MiningParams,
+) -> MiningOutcome {
+    let mut timings = MiningTimings::default();
+
+    // FD exclusion is inherently question-specific (which attributes
+    // restate *these* groups); when enabled it runs per ask against the
+    // prepared selection.
+    /// Fragment list + bitmap bank rebuilt without FD-excluded fields.
+    type FragOverride = (Vec<(usize, Vec<f64>)>, Option<PredBank>);
+    let mut fs = prepared.fs.clone();
+    let mut frag_override: Option<FragOverride> = None;
+    if params.exclude_fd_attrs {
+        let t0 = Instant::now();
+        let fd = crate::fd::group_determining_fields(apt, pt, question);
+        fs.num_fields.retain(|f| !fd.contains(f));
+        fs.cat_fields.retain(|f| !fd.contains(f));
+        if fs.num_fields.len() != prepared.frag.len() {
+            // Rebuild the fragment list + bank without the excluded
+            // numeric fields (rare path — FD exclusion is off by default).
+            let frag: Vec<(usize, Vec<f64>)> = prepared
+                .frag
+                .iter()
+                .filter(|(f, _)| fs.num_fields.contains(f))
+                .cloned()
+                .collect();
+            let bank = prepared
+                .index
+                .as_ref()
+                .map(|index| PredBank::build(index, &frag));
+            frag_override = Some((frag, bank));
+        }
+        timings.feature_selection += t0.elapsed();
+    }
+
+    // Candidate seeds: the pooled patterns, minus any touching an
+    // FD-excluded categorical field.
+    let candidates: Vec<(Pattern, Option<Mask>)> = prepared
+        .pool
+        .iter()
+        .filter(|(p, _)| {
+            !params.exclude_fd_attrs
+                || p.preds()
+                    .iter()
+                    .all(|(f, _)| fs.cat_fields.contains(f) || fs.num_fields.contains(f))
+        })
+        .cloned()
+        .collect();
+
+    let (frag, bank): (&[(usize, Vec<f64>)], Option<&PredBank>) = match &frag_override {
+        Some((f, b)) => (f, b.as_ref()),
+        None => (&prepared.frag, prepared.bank.as_ref()),
+    };
+
+    let scalar_scorer;
+    let eval = match (params.engine, &prepared.index, bank) {
+        (ScoreEngine::Vectorized, Some(index), Some(bank)) => SampleEval::Vector { index, bank },
+        // Scalar engine, or a preparation built for the scalar engine
+        // (the service keys prepared state by the full mining-params
+        // fingerprint, so an engine mismatch cannot happen there; direct
+        // API callers fall back to the scalar scorer).
+        _ => {
+            scalar_scorer = match &prepared.sample {
+                Some(rows) => Scorer::sampled(apt, pt, rows.clone()),
+                None => Scorer::exact(apt, pt),
+            };
+            SampleEval::Scalar(scalar_scorer)
+        }
+    };
+
+    let (explanations, patterns_evaluated) = mine_core(
+        apt,
+        pt,
+        question,
+        params,
+        candidates,
+        frag,
+        &eval,
+        &mut timings,
+    );
+
+    MiningOutcome {
+        explanations,
+        timings,
+        feature_selection: fs,
+        patterns_evaluated,
+    }
+}

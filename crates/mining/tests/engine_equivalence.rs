@@ -1,0 +1,349 @@
+//! The vectorized scoring engine is a *verified-equivalent* replacement
+//! for the scalar `Scorer`:
+//!
+//! 1. a property test asserts bit-identical [`PatternMetrics`] between
+//!    [`ScoreIndex`] and [`Scorer`] on randomized APTs (nulls, join
+//!    fan-out, mixed types), random patterns (Eq/Le/Ge), random row
+//!    samples, and both question kinds;
+//! 2. determinism tests assert that `mine_apt` and the prepared path
+//!    produce identical explanations (same patterns, same order, same
+//!    metrics) with the engine on vs off.
+
+use proptest::prelude::*;
+
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::{
+    mine_apt, mine_prepared, prepare_apt, MiningParams, PatValue, Pattern, Pred, PredOp, Question,
+    ScoreEngine, ScoreIndex, Scorer,
+};
+use cajade_query::{parse_sql, ProvenanceTable};
+use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
+
+/// Builds a database from randomized rows: `grp` (k groups), a
+/// categorical `cat`, and two numeric columns with optional nulls —
+/// optionally joined to a fan-out context table so one PT row extends to
+/// several APT rows.
+#[allow(clippy::type_complexity)]
+fn build_apt(
+    rows: &[(u8, u8, Option<i64>, Option<i64>)],
+    fanout: &[u8],
+) -> (Database, Apt, ProvenanceTable, usize) {
+    let mut db = Database::new("p");
+    db.create_table(
+        SchemaBuilder::new("t")
+            .column_pk("id", DataType::Int, AttrKind::Categorical)
+            .column("grp", DataType::Str, AttrKind::Categorical)
+            .column("cat", DataType::Str, AttrKind::Categorical)
+            .column("x", DataType::Int, AttrKind::Numeric)
+            .column("y", DataType::Float, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    let grp_ids: Vec<_> = (0..4).map(|g| db.intern(&format!("g{g}"))).collect();
+    let cat_ids: Vec<_> = (0..3).map(|c| db.intern(&format!("c{c}"))).collect();
+    for (i, &(g, c, x, y)) in rows.iter().enumerate() {
+        db.table_mut("t")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::Str(grp_ids[g as usize % 4]),
+                Value::Str(cat_ids[c as usize % 3]),
+                x.map(Value::Int).unwrap_or(Value::Null),
+                y.map(|v| Value::Float(v as f64 / 2.0))
+                    .unwrap_or(Value::Null),
+            ])
+            .unwrap();
+    }
+    let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+
+    let graph = if fanout.is_empty() {
+        JoinGraph::pt_only()
+    } else {
+        // Context table: row `id` appears `fanout[id % len]` times, so some
+        // PT rows extend to several APT rows and some to none.
+        db.create_table(
+            SchemaBuilder::new("ctx")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column_pk("copy", DataType::Int, AttrKind::Categorical)
+                .column("z", DataType::Int, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..rows.len() {
+            let copies = fanout[i % fanout.len()] % 4;
+            for copy in 0..copies {
+                db.table_mut("ctx")
+                    .unwrap()
+                    .push_row(vec![
+                        Value::Int(i as i64),
+                        Value::Int(copy as i64),
+                        Value::Int((i as i64 * 7 + copy as i64) % 13),
+                    ])
+                    .unwrap();
+            }
+        }
+        let mut g = JoinGraph::pt_only();
+        g.nodes.push(cajade_graph::JgNode {
+            label: cajade_graph::NodeLabel::Rel("ctx".into()),
+        });
+        g.edges.push(cajade_graph::JgEdge {
+            from: 0,
+            to: 1,
+            cond: cajade_graph::JoinCond::on(&[("id", "id")]),
+            schema_edge: 0,
+            cond_idx: 0,
+            pt_from_idx: Some(0),
+        });
+        g
+    };
+    let apt = Apt::materialize(&db, &pt, &graph).unwrap();
+    let groups = pt.rows_of_group.len();
+    (db, apt, pt, groups)
+}
+
+fn pattern_from_spec(apt: &Apt, db: &Database, spec: &[(u8, u8, i64)]) -> Pattern {
+    let fields = apt.pattern_fields();
+    let preds = spec
+        .iter()
+        .map(|&(fsel, opsel, c)| {
+            let field = fields[fsel as usize % fields.len()];
+            let pred = match opsel % 4 {
+                0 => Pred {
+                    op: PredOp::Le,
+                    value: PatValue::Int(c),
+                },
+                1 => Pred {
+                    op: PredOp::Ge,
+                    value: PatValue::Float((c as f64 / 2.0).to_bits()),
+                },
+                2 => Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Int(c),
+                },
+                _ => Pred {
+                    op: PredOp::Eq,
+                    value: PatValue::Str(
+                        db.lookup_str(&format!("c{}", c.rem_euclid(3))).unwrap().0,
+                    ),
+                },
+            };
+            (field, pred)
+        })
+        .collect();
+    Pattern::from_preds(preds)
+}
+
+#[test]
+fn prop_vectorized_metrics_bit_identical_to_scalar() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strategy = (
+        proptest::collection::vec(
+            (
+                0u8..4,
+                0u8..3,
+                (proptest::bool::ANY, -5i64..15),
+                (proptest::bool::ANY, -5i64..15),
+            ),
+            2..40,
+        ),
+        proptest::collection::vec(0u8..4, 0..6),
+        proptest::collection::vec((0u8..8, 0u8..4, -6i64..16), 0..4),
+        proptest::collection::vec(proptest::bool::ANY, 0..40),
+        0u8..6,
+        proptest::bool::ANY,
+    );
+    runner
+        .run(
+            &strategy,
+            |(rows, fanout, pat_spec, sample_bits, qsel, single_point)| {
+                let rows: Vec<(u8, u8, Option<i64>, Option<i64>)> = rows
+                    .into_iter()
+                    .map(|(g, c, (has_x, x), (has_y, y))| {
+                        (g, c, has_x.then_some(x), has_y.then_some(y))
+                    })
+                    .collect();
+                let (db, apt, pt, groups) = build_apt(&rows, &fanout);
+                let pattern = pattern_from_spec(&apt, &db, &pat_spec);
+
+                // Random sample of APT rows (possibly empty / possibly all).
+                let sample: Vec<u32> = (0..apt.num_rows as u32)
+                    .filter(|&r| {
+                        sample_bits
+                            .get(r as usize % sample_bits.len().max(1))
+                            .copied()
+                            .unwrap_or(true)
+                    })
+                    .collect();
+
+                let questions: Vec<Question> = if single_point {
+                    vec![Question::SinglePoint {
+                        t: qsel as usize % groups.max(1),
+                    }]
+                } else {
+                    vec![Question::TwoPoint {
+                        t1: qsel as usize % groups.max(1),
+                        t2: (qsel as usize + 1) % groups.max(1),
+                    }]
+                };
+
+                for question in &questions {
+                    for &(primary, secondary) in &question.directions() {
+                        // Exact scan.
+                        let scalar = Scorer::exact(&apt, &pt).score(&pattern, primary, secondary);
+                        let vector =
+                            ScoreIndex::exact(&apt, &pt).score(&pattern, primary, secondary);
+                        prop_assert_eq!(scalar, vector);
+
+                        // Sampled scan — same fixed sample for both engines.
+                        let scalar = Scorer::sampled(&apt, &pt, sample.clone())
+                            .score(&pattern, primary, secondary);
+                        let vector = ScoreIndex::sampled(&apt, &pt, &sample)
+                            .score(&pattern, primary, secondary);
+                        prop_assert_eq!(scalar, vector);
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+fn star_fixture() -> (Database, cajade_query::Query) {
+    let mut db = Database::new("m");
+    db.create_table(
+        SchemaBuilder::new("t")
+            .column_pk("id", DataType::Int, AttrKind::Categorical)
+            .column("season", DataType::Str, AttrKind::Categorical)
+            .column("player", DataType::Str, AttrKind::Categorical)
+            .column("pts", DataType::Int, AttrKind::Numeric)
+            .column("noise", DataType::Int, AttrKind::Numeric)
+            .build(),
+    )
+    .unwrap();
+    let s1 = db.intern("s1");
+    let s2 = db.intern("s2");
+    let star = db.intern("star");
+    let other = db.intern("other");
+    let mut id = 0i64;
+    for (season, base) in [(s1, 10), (s2, 30)] {
+        for i in 0..40i64 {
+            id += 1;
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![
+                    Value::Int(id),
+                    Value::Str(season),
+                    Value::Str(if i % 2 == 0 { star } else { other }),
+                    Value::Int(if i % 2 == 0 { base + i % 5 } else { 20 }),
+                    Value::Int((i * 13) % 7),
+                ])
+                .unwrap();
+        }
+    }
+    let q = parse_sql("SELECT count(*) AS c, season FROM t GROUP BY season").unwrap();
+    (db, q)
+}
+
+fn rendered(out: &cajade_mining::MiningOutcome, apt: &Apt, db: &Database) -> Vec<String> {
+    out.explanations
+        .iter()
+        .map(|e| {
+            format!(
+                "{}|{}|{:?}|{:?}|{:.12}",
+                e.pattern.render(apt, db.pool()),
+                e.primary_group,
+                e.secondary_group,
+                (e.metrics.tp, e.metrics.a1, e.metrics.fp, e.metrics.a2),
+                e.metrics.f_score
+            )
+        })
+        .collect()
+}
+
+/// `mine_apt` output (same explanations, same order) is unchanged with
+/// the engine on vs off — across sampling configurations and both
+/// question kinds.
+#[test]
+fn mine_apt_identical_with_engine_on_and_off() {
+    let (db, q) = star_fixture();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+    let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+    for (pat_samp, f1_samp) in [(1.0, 1.0), (1.0, 0.5), (0.6, 0.3)] {
+        for question in [
+            Question::TwoPoint { t1: 1, t2: 0 },
+            Question::SinglePoint { t: 0 },
+        ] {
+            let mut params = MiningParams {
+                lambda_pat_samp: pat_samp,
+                lambda_f1_samp: f1_samp,
+                ..Default::default()
+            };
+            params.engine = ScoreEngine::Vectorized;
+            let vectorized = mine_apt(&apt, &pt, &question, &params);
+            params.engine = ScoreEngine::Scalar;
+            let scalar = mine_apt(&apt, &pt, &question, &params);
+            assert_eq!(
+                rendered(&vectorized, &apt, &db),
+                rendered(&scalar, &apt, &db),
+                "engine changed mine_apt output (λ_pat={pat_samp}, λ_F1={f1_samp}, {question:?})"
+            );
+            assert_eq!(vectorized.patterns_evaluated, scalar.patterns_evaluated);
+            assert!(!vectorized.explanations.is_empty());
+        }
+    }
+}
+
+/// The prepared (question-independent) path is likewise engine-invariant.
+#[test]
+fn mine_prepared_identical_with_engine_on_and_off() {
+    let (db, q) = star_fixture();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+    let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+    for f1_samp in [1.0, 0.4] {
+        let mut params = MiningParams {
+            lambda_f1_samp: f1_samp,
+            lambda_pat_samp: 1.0,
+            ..Default::default()
+        };
+        let question = Question::TwoPoint { t1: 1, t2: 0 };
+        params.engine = ScoreEngine::Vectorized;
+        let prep_v = prepare_apt(&apt, &pt, &params);
+        let vectorized = mine_prepared(&prep_v, &apt, &pt, &question, &params);
+        params.engine = ScoreEngine::Scalar;
+        let prep_s = prepare_apt(&apt, &pt, &params);
+        let scalar = mine_prepared(&prep_s, &apt, &pt, &question, &params);
+        assert_eq!(
+            rendered(&vectorized, &apt, &db),
+            rendered(&scalar, &apt, &db),
+            "engine changed mine_prepared output (λ_F1={f1_samp})"
+        );
+        assert!(!vectorized.explanations.is_empty());
+    }
+}
+
+/// A fresh question on an existing `PreparedApt` gives the same answer as
+/// preparing from scratch (the service's warm-vs-cold identity), and its
+/// per-question timings report the skipped phases as zero.
+#[test]
+fn warm_prepared_matches_fresh_preparation() {
+    let (db, q) = star_fixture();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+    let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+    let params = MiningParams::default();
+    let warm_prep = prepare_apt(&apt, &pt, &params);
+
+    for question in [
+        Question::TwoPoint { t1: 0, t2: 1 },
+        Question::TwoPoint { t1: 1, t2: 0 },
+        Question::SinglePoint { t: 1 },
+    ] {
+        let fresh_prep = prepare_apt(&apt, &pt, &params);
+        let fresh = mine_prepared(&fresh_prep, &apt, &pt, &question, &params);
+        let warm = mine_prepared(&warm_prep, &apt, &pt, &question, &params);
+        assert_eq!(rendered(&warm, &apt, &db), rendered(&fresh, &apt, &db));
+        assert_eq!(warm.timings.feature_selection, std::time::Duration::ZERO);
+        assert_eq!(warm.timings.gen_pat_cand, std::time::Duration::ZERO);
+        assert_eq!(warm.timings.prepare, std::time::Duration::ZERO);
+    }
+}

@@ -7,56 +7,136 @@
 //! * categorical–categorical: Cramér's V,
 //! * categorical–numeric: correlation ratio η.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::dataset::{FeatureColumn, MISSING_CAT};
 
 /// Pearson correlation coefficient of paired samples (missing = NaN pairs
-/// skipped). Returns 0.0 when either side is constant.
+/// skipped). Returns 0.0 when either side is constant. Two fused passes,
+/// no intermediate allocation — this runs once per numeric attribute pair
+/// of every APT's clustering step.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len());
-    let pairs: Vec<(f64, f64)> = xs
-        .iter()
-        .zip(ys)
-        .filter(|(x, y)| !x.is_nan() && !y.is_nan())
-        .map(|(&x, &y)| (x, y))
-        .collect();
-    let n = pairs.len() as f64;
+    // Single fused pass over raw moments; centering happens algebraically
+    // (`Σ(x−x̄)(y−ȳ) = Σxy − n·x̄·ȳ`). The lost numerical stability is
+    // irrelevant at clustering precision, and the pass count is what this
+    // costs per attribute pair of every APT.
+    let mut n = 0.0f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        if !x.is_nan() && !y.is_nan() {
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+    }
     if n < 2.0 {
         return 0.0;
     }
-    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
-    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut vx = 0.0;
-    let mut vy = 0.0;
-    for (x, y) in &pairs {
-        cov += (x - mx) * (y - my);
-        vx += (x - mx).powi(2);
-        vy += (y - my).powi(2);
-    }
+    let cov = sxy - sx * sy / n;
+    let vx = sxx - sx * sx / n;
+    let vy = syy - sy * sy / n;
     if vx <= 0.0 || vy <= 0.0 {
         return 0.0;
     }
-    cov / (vx.sqrt() * vy.sqrt())
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
 }
 
 /// Cramér's V between two categorical columns (bias-uncorrected), in
 /// `[0, 1]`. Missing codes are skipped.
+///
+/// Zero-observation cells of the contingency table still contribute to χ²
+/// (they are exactly what makes identical columns score 1), but they are
+/// never enumerated: with `e = rx·cy/n`, the full-table sum telescopes to
+/// `χ² = Σ_observed o²/e − n`, so the cost is `O(n + observed·log)`
+/// instead of `O(distinct_x × distinct_y)` — the latter is quadratic for
+/// high-cardinality pairs (dates, ids) and used to dominate feature
+/// selection. Observed cells are summed in sorted key order, keeping the
+/// float accumulation deterministic (HashMap iteration order would make
+/// near-tie clustering decisions flap between runs).
 pub fn cramers_v(xs: &[u32], ys: &[u32]) -> f64 {
     assert_eq!(xs.len(), ys.len());
-    // BTreeMaps keep the summation order deterministic — float
-    // addition is not associative, and HashMap iteration order would make
-    // near-tie clustering decisions flap between runs.
-    let mut joint: BTreeMap<(u32, u32), f64> = BTreeMap::new();
-    let mut row: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut col: BTreeMap<u32, f64> = BTreeMap::new();
+    // Feature codes are dense by construction, so marginals live in flat
+    // arrays; the joint table goes dense too while `kx·ky` stays small,
+    // falling back to a hash map (with a determinism sort) beyond that.
+    const DENSE_CODE_LIMIT: u32 = 1 << 16;
+    const DENSE_JOINT_LIMIT: u64 = 1 << 22;
+    let max_code = xs
+        .iter()
+        .chain(ys)
+        .filter(|&&c| c != MISSING_CAT)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    if max_code < DENSE_CODE_LIMIT {
+        let kx = max_code as usize + 1;
+        let mut row = vec![0.0f64; kx];
+        let mut col = vec![0.0f64; kx];
+        let mut n = 0.0;
+        let dense_joint = (kx as u64 * kx as u64) <= DENSE_JOINT_LIMIT;
+        let mut joint_dense = if dense_joint {
+            vec![0.0f64; kx * kx]
+        } else {
+            Vec::new()
+        };
+        let mut joint_map: HashMap<u64, f64> = HashMap::new();
+        for (&x, &y) in xs.iter().zip(ys) {
+            if x == MISSING_CAT || y == MISSING_CAT {
+                continue;
+            }
+            row[x as usize] += 1.0;
+            col[y as usize] += 1.0;
+            n += 1.0;
+            if dense_joint {
+                joint_dense[x as usize * kx + y as usize] += 1.0;
+            } else {
+                *joint_map.entry(((x as u64) << 32) | y as u64).or_default() += 1.0;
+            }
+        }
+        let rows_used = row.iter().filter(|&&c| c > 0.0).count();
+        let cols_used = col.iter().filter(|&&c| c > 0.0).count();
+        if n == 0.0 || rows_used < 2 || cols_used < 2 {
+            return if rows_used == 1 && cols_used == 1 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let mut chi2 = 0.0;
+        if dense_joint {
+            for (cell, &obs) in joint_dense.iter().enumerate() {
+                if obs > 0.0 {
+                    let exp = row[cell / kx] * col[cell % kx] / n;
+                    chi2 += obs * obs / exp;
+                }
+            }
+        } else {
+            let mut cells: Vec<(u64, f64)> = joint_map.into_iter().collect();
+            cells.sort_unstable_by_key(|&(key, _)| key);
+            for (key, obs) in cells {
+                let exp = row[(key >> 32) as usize] * col[key as u32 as usize] / n;
+                chi2 += obs * obs / exp;
+            }
+        }
+        return finish_chi2(chi2, n, rows_used, cols_used);
+    }
+
+    let mut joint: HashMap<u64, f64> = HashMap::new();
+    let mut row: HashMap<u32, f64> = HashMap::new();
+    let mut col: HashMap<u32, f64> = HashMap::new();
     let mut n = 0.0;
     for (&x, &y) in xs.iter().zip(ys) {
         if x == MISSING_CAT || y == MISSING_CAT {
             continue;
         }
-        *joint.entry((x, y)).or_default() += 1.0;
+        *joint.entry(((x as u64) << 32) | y as u64).or_default() += 1.0;
         *row.entry(x).or_default() += 1.0;
         *col.entry(y).or_default() += 1.0;
         n += 1.0;
@@ -70,17 +150,21 @@ pub fn cramers_v(xs: &[u32], ys: &[u32]) -> f64 {
             0.0
         };
     }
-    // χ² over the full contingency table — zero-observation cells still
-    // contribute (they are exactly what makes identical columns score 1).
+    let mut cells: Vec<(u64, f64)> = joint.into_iter().collect();
+    cells.sort_unstable_by_key(|&(key, _)| key);
     let mut chi2 = 0.0;
-    for (x, rx) in &row {
-        for (y, cy) in &col {
-            let exp = rx * cy / n;
-            let obs = joint.get(&(*x, *y)).copied().unwrap_or(0.0);
-            chi2 += (obs - exp).powi(2) / exp;
-        }
+    for (key, obs) in cells {
+        let exp = row[&((key >> 32) as u32)] * col[&(key as u32)] / n;
+        chi2 += obs * obs / exp;
     }
-    let k = row.len().min(col.len()) as f64;
+    finish_chi2(chi2, n, row.len(), col.len())
+}
+
+/// `Σ_all (o−e)²/e = Σ_obs o²/e − n`; clamp the tiny negative residue
+/// float cancellation can leave for near-independent columns.
+fn finish_chi2(partial: f64, n: f64, rows_used: usize, cols_used: usize) -> f64 {
+    let chi2 = (partial - n).max(0.0);
+    let k = rows_used.min(cols_used) as f64;
     (chi2 / (n * (k - 1.0))).sqrt().min(1.0)
 }
 
@@ -89,36 +173,61 @@ pub fn cramers_v(xs: &[u32], ys: &[u32]) -> f64 {
 /// category, square-rooted.
 pub fn correlation_ratio(cats: &[u32], nums: &[f64]) -> f64 {
     assert_eq!(cats.len(), nums.len());
-    let mut groups: BTreeMap<u32, (f64, f64)> = BTreeMap::new(); // (sum, count)
+    // Dense per-group accumulators when codes are small (the common case
+    // — feature codes are dense); iteration in index order matches the
+    // previous sorted-map order, so the float sums are unchanged.
+    const DENSE_CODE_LIMIT: u32 = 1 << 16;
+    let max_code = cats
+        .iter()
+        .filter(|&&c| c != MISSING_CAT)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let mut dense: Vec<(f64, f64)> = Vec::new(); // (sum, count)
+    let mut sparse: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    let use_dense = max_code < DENSE_CODE_LIMIT;
+    if use_dense {
+        dense = vec![(0.0, 0.0); max_code as usize + 1];
+    }
     let mut total_sum = 0.0;
+    let mut total_sq = 0.0;
     let mut total_n = 0.0;
     for (&c, &x) in cats.iter().zip(nums) {
         if c == MISSING_CAT || x.is_nan() {
             continue;
         }
-        let e = groups.entry(c).or_default();
+        let e = if use_dense {
+            &mut dense[c as usize]
+        } else {
+            sparse.entry(c).or_default()
+        };
         e.0 += x;
         e.1 += 1.0;
         total_sum += x;
+        total_sq += x * x;
         total_n += 1.0;
     }
-    if total_n < 2.0 || groups.len() < 2 {
+    let group_values: Vec<(f64, f64)> = if use_dense {
+        dense
+            .into_iter()
+            .filter(|&(_, count)| count > 0.0)
+            .collect()
+    } else {
+        sparse.into_values().collect()
+    };
+    if total_n < 2.0 || group_values.len() < 2 {
         return 0.0;
     }
+    // One pass of raw moments: `Σ(x−x̄)² = Σx² − n·x̄²` and
+    // `Σ n_g (x̄_g − x̄)² = Σ s_g²/n_g − n·x̄²` — no second data scan.
     let grand_mean = total_sum / total_n;
     let mut between = 0.0;
-    for (sum, count) in groups.values() {
-        let gm = sum / count;
-        between += count * (gm - grand_mean).powi(2);
+    for (sum, count) in &group_values {
+        between += sum * sum / count;
     }
-    let mut total_var = 0.0;
-    for (&c, &x) in cats.iter().zip(nums) {
-        if c == MISSING_CAT || x.is_nan() {
-            continue;
-        }
-        total_var += (x - grand_mean).powi(2);
-    }
-    if total_var <= 0.0 {
+    between -= total_n * grand_mean * grand_mean;
+    let total_var = total_sq - total_n * grand_mean * grand_mean;
+    if total_var <= 0.0 || between <= 0.0 {
         return 0.0;
     }
     (between / total_var).sqrt().min(1.0)

@@ -35,6 +35,9 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Inserts rejected because a single value exceeded the whole budget.
     pub rejected: u64,
+    /// Misses that waited on another thread's in-flight computation of the
+    /// same key instead of recomputing ([`LruCache::get_or_try_compute`]).
+    pub coalesced: u64,
 }
 
 struct Entry<V> {
@@ -52,12 +55,18 @@ struct Inner<K, V> {
 /// A thread-safe LRU cache with a byte budget.
 pub struct LruCache<K, V> {
     inner: Mutex<Inner<K, V>>,
+    /// Per-key in-flight latches backing the single-flight
+    /// [`get_or_try_compute`](LruCache::get_or_try_compute): concurrent
+    /// misses on the same key serialize here, and all but the first get
+    /// the winner's value instead of recomputing.
+    inflight: Mutex<HashMap<K, std::sync::Arc<Mutex<()>>>>,
     budget_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
     rejected: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
@@ -70,13 +79,74 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
                 bytes: 0,
                 tick: 0,
             }),
+            inflight: Mutex::new(HashMap::new()),
             budget_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// Uncounted lookup (refreshes recency, touches no hit/miss counter).
+    /// Used by the single-flight double-check so a waiter's satisfied
+    /// lookup is reported as `coalesced` rather than a second miss+hit.
+    fn peek(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Single-flight get-or-compute: a hit returns immediately; on a miss,
+    /// exactly one caller runs `compute` while concurrent callers for the
+    /// same key block on a per-key latch and then receive the winner's
+    /// cached value (`coalesced` counts them). Returns `(value, hit)`
+    /// where `hit` is true when no computation ran for this caller.
+    ///
+    /// `compute` returns the value plus `Some(bytes)` to cache it, or
+    /// `None` to hand the value back without retaining it (e.g. when the
+    /// owning database was re-registered mid-computation). If `compute`
+    /// fails, waiters find no cached value and compute in turn —
+    /// serialized by the stale latch, so an erroring key never stampedes.
+    pub fn get_or_try_compute<E>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> Result<(V, Option<usize>), E>,
+    ) -> Result<(V, bool), E> {
+        if let Some(v) = self.get(key) {
+            return Ok((v, true));
+        }
+        let latch = std::sync::Arc::clone(
+            self.inflight
+                .lock()
+                .entry(key.clone())
+                .or_insert_with(|| std::sync::Arc::new(Mutex::new(()))),
+        );
+        let guard = latch.lock();
+        if let Some(v) = self.peek(key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ok((v, true));
+        }
+        // Compute and insert while still holding the latch, so a waiter
+        // can only wake after the value is resident.
+        let result = compute().map(|(value, bytes)| {
+            if let Some(bytes) = bytes {
+                self.insert(key.clone(), value.clone(), bytes);
+            }
+            (value, false)
+        });
+        // Drop the latch from the registry before releasing it; late
+        // waiters holding the stale Arc still serialize on it and then
+        // re-check the cache.
+        self.inflight.lock().remove(key);
+        drop(guard);
+        result
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
@@ -177,6 +247,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             evictions: self.evictions.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -246,6 +317,62 @@ mod tests {
         assert_eq!(dropped, 2);
         assert_eq!(c.get(&(2, 0)), Some(3));
         assert_eq!(c.stats().bytes, 10);
+    }
+
+    #[test]
+    fn single_flight_computes_once_for_concurrent_misses() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let c: Arc<LruCache<u32, u32>> = Arc::new(LruCache::new(1024));
+        let computes = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let n = Arc::clone(&computes);
+                s.spawn(move || {
+                    let (v, _) = c
+                        .get_or_try_compute::<()>(&7, || {
+                            n.fetch_add(1, Ordering::SeqCst);
+                            // Long enough that the other threads reach the
+                            // latch while the winner is still computing.
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            Ok((42, Some(8)))
+                        })
+                        .unwrap();
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "only one thread computes; the rest coalesce or hit"
+        );
+        let s = c.stats();
+        assert_eq!(s.inserts, 1);
+        assert!(s.coalesced + s.hits >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn single_flight_error_does_not_poison_the_key() {
+        let c: LruCache<u32, u32> = LruCache::new(1024);
+        let err = c.get_or_try_compute(&1, || Err::<(u32, Option<usize>), _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        // The key computes fine afterwards.
+        let (v, hit) = c.get_or_try_compute::<()>(&1, || Ok((5, Some(4)))).unwrap();
+        assert_eq!((v, hit), (5, false));
+        let (v, hit) = c
+            .get_or_try_compute::<()>(&1, || unreachable!("cached"))
+            .unwrap();
+        assert_eq!((v, hit), (5, true));
+    }
+
+    #[test]
+    fn single_flight_uncached_compute_is_not_retained() {
+        let c: LruCache<u32, u32> = LruCache::new(1024);
+        let (v, hit) = c.get_or_try_compute::<()>(&9, || Ok((3, None))).unwrap();
+        assert_eq!((v, hit), (3, false));
+        assert_eq!(c.get(&9), None, "None bytes means do not retain");
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod stats;
 pub use cache::CacheStats;
 pub use error::ServiceError;
 pub use keys::{AnswerKey, AptKey, ProvKey};
-pub use service::{ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
+pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
 pub use session::{AskResult, SessionHandle};
 pub use stats::ServiceStats;
 

@@ -320,6 +320,7 @@ fn cache_json(s: &CacheStats) -> Json {
         ("evictions", Json::num(s.evictions as f64)),
         ("inserts", Json::num(s.inserts as f64)),
         ("rejected", Json::num(s.rejected as f64)),
+        ("coalesced", Json::num(s.coalesced as f64)),
     ])
 }
 
@@ -331,6 +332,11 @@ fn handle_stats(service: &ExplanationService) -> Json {
         ("open_sessions", Json::num(s.open_sessions as f64)),
         ("sessions_opened", Json::num(s.sessions_opened as f64)),
         ("questions_answered", Json::num(s.questions_answered as f64)),
+        ("prepared_apt_hits", Json::num(s.prepared_apt_hits as f64)),
+        (
+            "prepared_apt_misses",
+            Json::num(s.prepared_apt_misses as f64),
+        ),
         ("hit_rate", Json::num(s.hit_rate())),
         ("provenance_cache", cache_json(&s.provenance_cache)),
         ("apt_cache", cache_json(&s.apt_cache)),

@@ -9,9 +9,10 @@ use std::sync::Arc;
 use cajade_core::pipeline::PreparedQuery;
 use cajade_core::Params;
 use cajade_graph::{Apt, SchemaGraph};
+use cajade_mining::PreparedApt;
 use cajade_query::parse_sql;
 use cajade_storage::Database;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::LruCache;
 use crate::keys::{AnswerKey, AptKey, ProvKey};
@@ -22,6 +23,68 @@ use crate::{Result, ServiceError};
 /// Hard cap on concurrently-open sessions; opening beyond it evicts the
 /// oldest session id.
 const MAX_OPEN_SESSIONS: usize = 4096;
+
+/// Prepared-state variants kept per cached APT (one per distinct mining
+/// parameter fingerprint — sessions rarely use more than one or two).
+const MAX_PREPARED_VARIANTS: usize = 4;
+
+/// One APT-cache entry: the materialized APT plus its question-independent
+/// mining preparation(s), keyed by mining-parameter fingerprint. A *new*
+/// question on a warm entry reuses both and skips straight to scoring.
+#[derive(Debug)]
+pub struct AptEntry {
+    /// The materialized APT.
+    pub apt: Arc<Apt>,
+    /// `(mining params fingerprint, prepared state)` pairs, newest last.
+    prepared: Mutex<Vec<(u64, Arc<PreparedApt>)>>,
+}
+
+impl AptEntry {
+    /// Wraps a freshly materialized APT with no prepared state yet.
+    pub fn new(apt: Arc<Apt>) -> Arc<AptEntry> {
+        Arc::new(AptEntry {
+            apt,
+            prepared: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Returns the prepared state for `fingerprint`, building it via
+    /// `build` on first use. The per-entry lock is held across the build,
+    /// so concurrent asks on the same APT prepare it exactly once.
+    /// Returns `(prepared, hit)`.
+    pub fn prepared_for(
+        &self,
+        fingerprint: u64,
+        build: impl FnOnce() -> PreparedApt,
+    ) -> (Arc<PreparedApt>, bool) {
+        let mut variants = self.prepared.lock();
+        if let Some((_, p)) = variants.iter().find(|(fp, _)| *fp == fingerprint) {
+            return (Arc::clone(p), true);
+        }
+        let p = Arc::new(build());
+        variants.push((fingerprint, Arc::clone(&p)));
+        if variants.len() > MAX_PREPARED_VARIANTS {
+            variants.remove(0);
+        }
+        (p, false)
+    }
+
+    /// Drops all prepared variants (byte-budget pressure).
+    pub fn clear_prepared(&self) {
+        self.prepared.lock().clear();
+    }
+
+    /// Approximate heap footprint: APT + every prepared variant.
+    pub fn approx_bytes(&self) -> usize {
+        self.apt.approx_bytes()
+            + self
+                .prepared
+                .lock()
+                .iter()
+                .map(|(_, p)| p.approx_bytes())
+                .sum::<usize>()
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -92,10 +155,12 @@ pub(crate) struct ServiceInner {
     /// freshly-registered content.
     pub(crate) next_epoch: AtomicU64,
     pub(crate) prov_cache: LruCache<ProvKey, Arc<PreparedQuery>>,
-    pub(crate) apt_cache: LruCache<AptKey, Arc<Apt>>,
+    pub(crate) apt_cache: LruCache<AptKey, Arc<AptEntry>>,
     pub(crate) answer_cache: LruCache<AnswerKey, Arc<cajade_core::SessionResult>>,
     pub(crate) sessions_opened: AtomicU64,
     pub(crate) questions_answered: AtomicU64,
+    pub(crate) prepared_apt_hits: AtomicU64,
+    pub(crate) prepared_apt_misses: AtomicU64,
     pub(crate) params: Params,
 }
 
@@ -182,6 +247,8 @@ impl ExplanationService {
                 answer_cache: LruCache::new(config.answer_cache_bytes),
                 sessions_opened: AtomicU64::new(0),
                 questions_answered: AtomicU64::new(0),
+                prepared_apt_hits: AtomicU64::new(0),
+                prepared_apt_misses: AtomicU64::new(0),
                 params: config.params,
             }),
         }
@@ -356,6 +423,8 @@ impl ExplanationService {
             open_sessions: self.inner.sessions.read().len(),
             sessions_opened: self.inner.sessions_opened.load(Ordering::Relaxed),
             questions_answered: self.inner.questions_answered.load(Ordering::Relaxed),
+            prepared_apt_hits: self.inner.prepared_apt_hits.load(Ordering::Relaxed),
+            prepared_apt_misses: self.inner.prepared_apt_misses.load(Ordering::Relaxed),
             provenance_cache: self.inner.prov_cache.stats(),
             apt_cache: self.inner.apt_cache.stats(),
             answer_cache: self.inner.answer_cache.stats(),

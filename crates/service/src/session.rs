@@ -13,12 +13,12 @@ use std::time::{Duration, Instant};
 
 use cajade_core::pipeline::{self, GraphOutcome, PreparedQuery};
 use cajade_core::{Params, SessionResult, UserQuestion};
-use cajade_graph::Apt;
+use cajade_mining::{prepare_apt, PreparedApt};
 use cajade_query::Query;
 use rayon::prelude::*;
 
 use crate::keys::{AnswerKey, AptKey, ProvKey};
-use crate::service::{RegisteredDb, ServiceInner};
+use crate::service::{AptEntry, RegisteredDb, ServiceInner};
 use crate::{Result, ServiceError};
 
 /// One answered question plus its cache telemetry.
@@ -162,69 +162,127 @@ impl SessionHandle {
             pipeline::resolve_question(&reg.db, &self.query, &prepared.pt, question)?;
 
         // ---- Stage 3: APTs, cached per canonical join-graph key. --------
+        // Each APT is resolved through the cache's single-flight latch, so
+        // two concurrent cold asks on the same query share one `AptEntry`
+        // per graph: one thread materializes, the other coalesces — and
+        // because the entry object is shared, the (more expensive) mining
+        // preparation below is deduplicated by the entry's own lock too.
         let valid = prepared.valid_graph_indices();
-        let mut ready: Vec<(usize, Arc<Apt>, Duration)> = Vec::with_capacity(valid.len());
-        let mut misses: Vec<(usize, AptKey)> = Vec::new();
-        for &gi in &valid {
+        type ReadyRow = (usize, AptKey, Arc<AptEntry>, bool, Duration);
+        let resolve_one = |gi: usize| -> Result<ReadyRow> {
             let key = AptKey {
                 db: self.db_name.clone(),
                 epoch: reg.epoch,
                 sql: self.sql.clone(),
                 graph: prepared.graphs[gi].graph.key(),
             };
-            match inner.apt_cache.get(&key) {
-                Some(apt) => ready.push((gi, apt, Duration::ZERO)),
-                None => misses.push((gi, key)),
-            }
-        }
-        let apt_cache_hits = ready.len();
-        let apt_cache_misses = misses.len();
-
-        let materialize_one = |gi: usize| -> Result<(Arc<Apt>, Duration)> {
             let t0 = Instant::now();
-            let apt = pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
-            Ok((Arc::new(apt), t0.elapsed()))
+            let (entry, hit) = inner.apt_cache.get_or_try_compute(
+                &key,
+                || -> Result<(Arc<AptEntry>, Option<usize>)> {
+                    let apt = pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
+                    let entry = AptEntry::new(Arc::new(apt));
+                    // Skip caching if the database was re-registered
+                    // mid-ask: keys of a stale epoch would be unreachable
+                    // yet hold cache budget.
+                    let bytes = inner
+                        .epoch_is_current(&self.db_name, reg.epoch)
+                        .then(|| entry.approx_bytes());
+                    Ok((entry, bytes))
+                },
+            )?;
+            let mat = if hit { Duration::ZERO } else { t0.elapsed() };
+            Ok((gi, key, entry, hit, mat))
         };
-        let fresh: Vec<(usize, Arc<Apt>, Duration)> = if self.params.parallel && misses.len() > 1 {
-            misses
+        let mut ready: Vec<ReadyRow> = if self.params.parallel && valid.len() > 1 {
+            valid
                 .par_iter()
-                .map(|(gi, _)| materialize_one(*gi).map(|(a, d)| (*gi, a, d)))
+                .map(|&gi| resolve_one(gi))
                 .collect::<Result<Vec<_>>>()?
         } else {
-            misses
-                .iter()
-                .map(|(gi, _)| materialize_one(*gi).map(|(a, d)| (*gi, a, d)))
+            valid
+                .into_iter()
+                .map(resolve_one)
                 .collect::<Result<Vec<_>>>()?
         };
-        // Skip inserts if the database was re-registered mid-ask: keys of
-        // a stale epoch would be unreachable yet hold cache budget.
-        if inner.epoch_is_current(&self.db_name, reg.epoch) {
-            for ((_, key), (_, apt, _)) in misses.iter().zip(&fresh) {
-                inner
+        ready.sort_by_key(|(gi, _, _, _, _)| *gi);
+        let apt_cache_hits = ready.iter().filter(|(_, _, _, hit, _)| *hit).count();
+        let apt_cache_misses = ready.len() - apt_cache_hits;
+
+        // ---- Stage 3.5: question-independent mining preparation. --------
+        // Feature selection, the LCA candidate pool, fragment boundaries,
+        // and the scoring index/bitmaps depend only on (APT, mining
+        // params); they are computed once per cached entry and reused by
+        // every later question.
+        let mining_fp = fnv1a(format!("{:?}", self.params.mining).as_bytes());
+        let prepare_one = |(gi, key, entry, _, mat): &ReadyRow| {
+            let (prep, hit) = entry.prepared_for(mining_fp, || {
+                prepare_apt(&entry.apt, &prepared.pt, &self.params.mining)
+            });
+            (*gi, key.clone(), Arc::clone(entry), prep, hit, *mat)
+        };
+        type PreppedRow = (
+            usize,
+            AptKey,
+            Arc<AptEntry>,
+            Arc<PreparedApt>,
+            bool,
+            Duration,
+        );
+        let prepped: Vec<PreppedRow> = if self.params.parallel && ready.len() > 1 {
+            ready.par_iter().map(prepare_one).collect()
+        } else {
+            ready.iter().map(prepare_one).collect()
+        };
+        let mut prep_hits = 0u64;
+        let mut prep_misses = 0u64;
+        // (Re-)insert entries so the cache accounts the APT *and* its
+        // prepared state; skip if the database was re-registered mid-ask —
+        // keys of a stale epoch would be unreachable yet hold budget.
+        let epoch_current = inner.epoch_is_current(&self.db_name, reg.epoch);
+        for (_, key, entry, _, hit, _) in &prepped {
+            if *hit {
+                prep_hits += 1;
+                continue;
+            }
+            prep_misses += 1;
+            if epoch_current
+                && !inner
                     .apt_cache
-                    .insert(key.clone(), Arc::clone(apt), apt.approx_bytes());
+                    .insert(key.clone(), Arc::clone(entry), entry.approx_bytes())
+            {
+                // Too big for the budget with prepared state attached:
+                // drop the prepared variants rather than hold unaccounted
+                // memory in a shared entry.
+                entry.clear_prepared();
             }
         }
-        ready.extend(fresh);
-        ready.sort_by_key(|(gi, _, _)| *gi);
+        inner
+            .prepared_apt_hits
+            .fetch_add(prep_hits, std::sync::atomic::Ordering::Relaxed);
+        inner
+            .prepared_apt_misses
+            .fetch_add(prep_misses, std::sync::atomic::Ordering::Relaxed);
 
-        // ---- Stage 4: mining (always question-specific). ----------------
-        let mine_one = |(gi, apt, mat): &(usize, Arc<Apt>, Duration)| -> GraphOutcome {
-            pipeline::mine_one(
+        // ---- Stage 4: mining (only the question-specific half). ---------
+        let mine_one = |(gi, _, entry, prep, hit, mat): &PreppedRow| -> GraphOutcome {
+            pipeline::mine_one_prepared(
                 &reg.db,
                 &self.query,
                 &prepared.pt,
-                apt,
+                &entry.apt,
+                prep,
                 &mining_question,
                 &self.params,
                 *gi,
                 *mat,
+                !*hit,
             )
         };
-        let outcomes: Vec<GraphOutcome> = if self.params.parallel && ready.len() > 1 {
-            ready.par_iter().map(mine_one).collect()
+        let outcomes: Vec<GraphOutcome> = if self.params.parallel && prepped.len() > 1 {
+            prepped.par_iter().map(mine_one).collect()
         } else {
-            ready.iter().map(mine_one).collect()
+            prepped.iter().map(mine_one).collect()
         };
 
         // ---- Stage 5: assemble + rank. ----------------------------------
@@ -270,6 +328,11 @@ impl SessionHandle {
 
     /// Provenance-cache get-or-compute for this session's `(db, query,
     /// enumeration params)` coordinates.
+    ///
+    /// Computation is **single-flighted**: two concurrent cold asks on the
+    /// same coordinates serialize on a per-key latch, one computes
+    /// provenance + enumeration, and the other receives the cached result
+    /// (`provenance_cache.coalesced` counts the deduplicated work).
     fn prepare_cached(
         &self,
         inner: &ServiceInner,
@@ -281,23 +344,20 @@ impl SessionHandle {
             sql: self.sql.clone(),
             prep_fingerprint: self.prep_fingerprint,
         };
-        match inner.prov_cache.get(&prov_key) {
-            Some(p) => Ok((p, true)),
-            None => {
-                let p = Arc::new(pipeline::prepare(
-                    &reg.db,
-                    &reg.schema_graph,
-                    &self.query,
-                    &self.params,
-                )?);
-                if inner.epoch_is_current(&self.db_name, reg.epoch) {
-                    inner
-                        .prov_cache
-                        .insert(prov_key, Arc::clone(&p), prepared_bytes(&p));
-                }
-                Ok((p, false))
-            }
-        }
+        inner.prov_cache.get_or_try_compute(&prov_key, || {
+            let p = Arc::new(pipeline::prepare(
+                &reg.db,
+                &reg.schema_graph,
+                &self.query,
+                &self.params,
+            )?);
+            // Skip caching if the database was re-registered mid-compute:
+            // a stale-epoch key would hold budget nothing can look up.
+            let bytes = inner
+                .epoch_is_current(&self.db_name, reg.epoch)
+                .then(|| prepared_bytes(&p));
+            Ok((p, bytes))
+        })
     }
 }
 

@@ -14,6 +14,12 @@ pub struct ServiceStats {
     pub sessions_opened: u64,
     /// Questions answered since construction.
     pub questions_answered: u64,
+    /// Per-APT mining preparations reused from a warm cache entry (the
+    /// ask skipped feature selection, LCA candidates, and fragments).
+    pub prepared_apt_hits: u64,
+    /// Per-APT mining preparations computed (cold entry or new mining
+    /// parameter fingerprint).
+    pub prepared_apt_misses: u64,
     /// Provenance/enumeration cache counters.
     pub provenance_cache: CacheStats,
     /// Materialized-APT cache counters.

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use cajade_core::{ExplanationSession, Params, UserQuestion};
+use cajade_core::{Params, UserQuestion};
 use cajade_datagen::mimic::{self, MimicConfig};
 use cajade_datagen::nba::{self, NbaConfig};
 use cajade_service::{ExplanationService, ServiceConfig};
@@ -74,17 +74,28 @@ fn question_2_skips_preparation_and_matches_a_cold_run() {
     assert_eq!(a2.result.timings.jg_enum, Duration::ZERO);
     assert_eq!(a2.result.timings.materialize_apts, Duration::ZERO);
 
-    // The warm question-2 answer is identical to a from-scratch run of
-    // the one-shot pipeline with the same parameters.
-    let gen = nba::generate(NbaConfig::tiny());
-    let cold = ExplanationSession::new(&gen.db, &gen.schema_graph, Params::fast())
-        .explain(&cajade_query::parse_sql(GSW_SQL).unwrap(), &q2)
+    // The warm question-2 answer is identical to a cold run on a fresh
+    // service with the same parameters. (The interactive path mines
+    // through the cached question-independent preparation — global
+    // feature selection and an unscoped LCA pool — so the one-shot
+    // `ExplanationSession`, which prepares per question, is not the
+    // reference; a cold *service* run is.)
+    let cold_service = tiny_service(fast_config());
+    let cold = cold_service
+        .open_session("nba", GSW_SQL)
+        .unwrap()
+        .ask(&q2)
         .unwrap();
-    assert!(!cold.explanations.is_empty());
+    assert!(!cold.result.explanations.is_empty());
     assert_eq!(
         rendered(&a2.result.explanations),
-        rendered(&cold.explanations)
+        rendered(&cold.result.explanations)
     );
+    // Warm mining skipped every question-independent phase.
+    assert_eq!(a2.result.timings.mining.feature_selection, Duration::ZERO);
+    assert_eq!(a2.result.timings.mining.gen_pat_cand, Duration::ZERO);
+    assert_eq!(a2.result.timings.mining.sampling_for_f1, Duration::ZERO);
+    assert_eq!(a2.result.timings.mining.prepare, Duration::ZERO);
 
     // Repeating question 1 verbatim is an answer-cache hit with the
     // identical ranked list.
@@ -102,6 +113,89 @@ fn question_2_skips_preparation_and_matches_a_cold_run() {
     assert_eq!(stats.provenance_cache.misses, 1);
     assert_eq!(stats.provenance_cache.hits, 1); // q2 (q1-again hit answers)
     assert_eq!(stats.answer_cache.hits, 1);
+}
+
+#[test]
+fn warm_prepared_apt_skips_question_independent_phases() {
+    // Acceptance check for question-independent preparation: a *new*
+    // question on a warm `PreparedApt` skips feature extraction, LCA
+    // candidate generation, and fragment/bitmap preparation entirely —
+    // verified through both `MiningTimings` and the service counters.
+    let service = tiny_service(fast_config());
+    let session = service.open_session("nba", GSW_SQL).unwrap();
+
+    let a1 = session.ask(&q("2015-16", "2012-13")).unwrap();
+    let s1 = service.stats();
+    assert_eq!(s1.prepared_apt_hits, 0);
+    assert!(s1.prepared_apt_misses > 0, "cold ask prepares every APT");
+    // The cold ask reports the preparation it paid for.
+    assert!(a1.result.timings.mining.feature_selection > Duration::ZERO);
+
+    let a2 = session.ask(&q("2016-17", "2012-13")).unwrap();
+    let s2 = service.stats();
+    assert!(!a2.answer_cache_hit && a2.provenance_cache_hit);
+    assert_eq!(a2.apt_cache_misses, 0);
+    assert_eq!(
+        s2.prepared_apt_hits, s1.prepared_apt_misses,
+        "every prepared APT is reused"
+    );
+    assert_eq!(s2.prepared_apt_misses, s1.prepared_apt_misses);
+    // Question-independent phases report zero on the warm ask; only
+    // scoring and refinement ran.
+    let m = a2.result.timings.mining;
+    assert_eq!(m.feature_selection, Duration::ZERO);
+    assert_eq!(m.gen_pat_cand, Duration::ZERO);
+    assert_eq!(m.sampling_for_f1, Duration::ZERO);
+    assert_eq!(m.prepare, Duration::ZERO);
+    assert!(m.fscore_calc > Duration::ZERO);
+    assert!(!a2.result.explanations.is_empty());
+}
+
+#[test]
+fn concurrent_cold_asks_single_flight_provenance() {
+    // Satellite: two concurrent cold asks on the same (db, query) must
+    // not both compute provenance. With the per-key in-flight latch, the
+    // prepared query is computed and inserted exactly once regardless of
+    // interleaving; without it, both threads would insert.
+    let config = ServiceConfig {
+        answer_cache_bytes: 0, // force both asks through the pipeline
+        ..fast_config()
+    };
+    let service = tiny_service(config);
+    let question = q("2015-16", "2012-13");
+
+    let (r1, r2) = std::thread::scope(|scope| {
+        let svc_a = service.clone();
+        let svc_b = service.clone();
+        let qa = &question;
+        let qb = &question;
+        let a = scope.spawn(move || {
+            let session = svc_a.open_session("nba", GSW_SQL).unwrap();
+            rendered(&session.ask(qa).unwrap().result.explanations)
+        });
+        let b = scope.spawn(move || {
+            let session = svc_b.open_session("nba", GSW_SQL).unwrap();
+            rendered(&session.ask(qb).unwrap().result.explanations)
+        });
+        (a.join().expect("ask 1"), b.join().expect("ask 2"))
+    });
+
+    assert!(!r1.is_empty());
+    assert_eq!(r1, r2, "both asks see the same answer");
+    let stats = service.stats();
+    let prov = stats.provenance_cache;
+    assert_eq!(
+        prov.inserts, 1,
+        "single-flight: provenance computed once, not per thread: {prov:?}"
+    );
+    // APT materialization and mining preparation are deduplicated too:
+    // both asks resolve shared `AptEntry`s, so every graph is prepared
+    // exactly once (the second ask's lookups are all hits) whether or not
+    // the threads overlapped.
+    assert_eq!(
+        stats.prepared_apt_hits, stats.prepared_apt_misses,
+        "each APT prepared once across both asks: {stats:?}"
+    );
 }
 
 #[test]
@@ -142,7 +236,7 @@ fn lru_eviction_under_a_small_apt_budget_stays_correct() {
     );
 
     // A different question now partially misses on APTs — and still
-    // produces exactly the cold one-shot answer.
+    // produces exactly the answer a fresh cold service computes.
     let q2 = q("2016-17", "2012-13");
     let a2 = session.ask(&q2).unwrap();
     assert!(
@@ -150,13 +244,14 @@ fn lru_eviction_under_a_small_apt_budget_stays_correct() {
         "evicted APTs must re-materialize: {:?}",
         service.stats().apt_cache
     );
-    let gen = nba::generate(NbaConfig::tiny());
-    let cold = ExplanationSession::new(&gen.db, &gen.schema_graph, Params::fast())
-        .explain(&cajade_query::parse_sql(GSW_SQL).unwrap(), &q2)
+    let cold = tiny_service(fast_config())
+        .open_session("nba", GSW_SQL)
+        .unwrap()
+        .ask(&q2)
         .unwrap();
     assert_eq!(
         rendered(&a2.result.explanations),
-        rendered(&cold.explanations)
+        rendered(&cold.result.explanations)
     );
     assert!(!a1.result.explanations.is_empty());
 }

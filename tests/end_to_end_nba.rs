@@ -205,7 +205,7 @@ fn timings_and_stats_are_consistent() {
     assert!(out.num_graphs_enumerated >= out.num_graphs_mined);
     assert!(out.patterns_evaluated > 0);
     let rows = out.timings.breakdown_rows();
-    assert_eq!(rows.len(), 8);
+    assert_eq!(rows.len(), 9);
     let total: f64 = rows.iter().map(|(_, d)| d.as_secs_f64()).sum();
     assert!((total - out.timings.total().as_secs_f64()).abs() < 1e-9);
 }
