@@ -1,10 +1,10 @@
 //! Offline stand-in for `proptest`.
 //!
 //! The build container has no network access, so the workspace vendors
-//! the property-testing subset its test suites use: the [`Strategy`]
+//! the property-testing subset its test suites use: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map` / `prop_filter` / `boxed`, range and tuple and
 //! [`collection::vec`] strategies, [`string::string_regex`] over a small
-//! regex subset, `any::<T>()`, [`Just`], `prop_oneof!`, the `proptest!`
+//! regex subset, `any::<T>()`, [`Just`](strategy::Just), `prop_oneof!`, the `proptest!`
 //! macro family, and a deterministic [`test_runner::TestRunner`].
 //!
 //! Failing inputs are reported but **not shrunk** — acceptable for a

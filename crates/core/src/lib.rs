@@ -30,7 +30,7 @@ pub mod pipeline;
 mod session;
 mod timing;
 
-pub use cajade_mining::{PreparedApt, Question, ScoreEngine, SelAttr};
+pub use cajade_mining::{FeatSelEngine, PreparedApt, Question, ScoreEngine, SelAttr};
 pub use error::CoreError;
 pub use explanation::Explanation;
 pub use export::{ExplanationExport, SessionExport};

@@ -41,7 +41,8 @@ impl SessionTimings {
         ]
     }
 
-    /// Renders the breakdown as aligned text (seconds, two decimals).
+    /// Renders the breakdown as aligned text (seconds, two decimals),
+    /// with the refinement-BFS pruning counters appended when any fired.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, d) in self.breakdown_rows() {
@@ -52,6 +53,12 @@ impl SessionTimings {
             "total",
             self.total().as_secs_f64()
         ));
+        if self.mining.ub_pruned_children > 0 || self.mining.recall_pruned_subtrees > 0 {
+            out.push_str(&format!(
+                "pruning: {} children ub-pruned, {} subtrees recall-pruned\n",
+                self.mining.ub_pruned_children, self.mining.recall_pruned_subtrees
+            ));
+        }
         out
     }
 }
@@ -73,6 +80,7 @@ mod tests {
                 fscore_calc: Duration::from_millis(5),
                 refine_patterns: Duration::from_millis(5),
                 prepare: Duration::from_millis(5),
+                ..MiningTimings::default()
             },
         };
         assert_eq!(t.total(), Duration::from_millis(90));
@@ -80,5 +88,14 @@ mod tests {
         let text = t.render();
         assert!(text.contains("F-score Calc."));
         assert!(text.contains("total"));
+        // Counters don't contribute to durations and only render when set.
+        assert!(!text.contains("ub-pruned"));
+        let mut with_counters = t;
+        with_counters.mining.ub_pruned_children = 7;
+        with_counters.mining.recall_pruned_subtrees = 3;
+        assert_eq!(with_counters.total(), Duration::from_millis(90));
+        let text = with_counters.render();
+        assert!(text.contains("7 children ub-pruned"));
+        assert!(text.contains("3 subtrees recall-pruned"));
     }
 }

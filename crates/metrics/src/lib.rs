@@ -2,7 +2,7 @@
 //!
 //! Ranking-quality metrics used throughout the paper's evaluation:
 //!
-//! * [`ndcg`] — normalized discounted cumulative gain \[Järvelin &
+//! * [`mod@ndcg`] — normalized discounted cumulative gain \[Järvelin &
 //!   Kekäläinen 2002\], the sample-quality metric of Fig. 10f and Table 9,
 //! * [`kendall_tau_distance`] — pairwise ranking error \[Kendall 1938\]
 //!   used in Table 9,

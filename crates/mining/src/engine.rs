@@ -309,6 +309,34 @@ impl ScoreIndex {
         self.order.len()
     }
 
+    /// Scan positions → APT row, sorted by `(output group, PT row)`. This
+    /// is the canonical training order the histogram feature selection
+    /// reuses, so index-backed and index-free callers see identical row
+    /// sequences (see [`crate::featsel::hist_scan_order`]).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Full `|PT(t)|` of one output group — the Definition-7 `a`
+    /// denominator (never shrunk by sampling or lossy joins).
+    pub fn group_size(&self, group: usize) -> usize {
+        self.group_pt_counts.get(group).copied().unwrap_or(0)
+    }
+
+    /// Distinct covered PT rows of `mask` within `primary`'s segment —
+    /// the TP count of [`Self::score_mask`] alone, without the FP side.
+    /// The refinement BFS uses this on the precomputed [`PredBank`] masks
+    /// to bound a child's achievable recall/F-score before materializing
+    /// its mask.
+    pub fn tp_of(&self, mask: &Mask, primary: usize) -> usize {
+        let (ps, pe) = self
+            .group_ranges
+            .get(primary)
+            .map(|&(s, e)| (s as usize, e as usize))
+            .unwrap_or((0, 0));
+        self.count_covered(mask, ps, pe)
+    }
+
     /// All-one mask sized for this index (the empty pattern's matches).
     pub fn full_mask(&self) -> Mask {
         Mask::full(self.order.len())

@@ -8,17 +8,39 @@
 //!    `cajade-ml::cluster`) and keep one representative per cluster —
 //!    the member with the highest relevance.
 //! 3. Keep the λ#sel-attr most relevant representatives.
+//!
+//! Two trainers implement step 1, selected by [`FeatSelEngine`]:
+//!
+//! * [`FeatSelEngine::FloatMatrix`] — the original path: decode APT cells
+//!   into per-sample `f64` rows / hash-interned codes and train the
+//!   row-rescanning [`RandomForest`];
+//! * [`FeatSelEngine::Histogram`] (default) — gather the candidate
+//!   columns straight from the typed arrays / interned string ids (no
+//!   `Value` boxing) in the scoring engine's `(group, PT row)` scan
+//!   order, quantile-bin each numeric column **once**, and train
+//!   [`HistForest`]s whose per-node split search reads class histograms
+//!   instead of re-scanning rows. When a
+//!   [`ScoreIndex`](crate::engine::ScoreIndex) exists (vectorized
+//!   engine), its scan order is reused (the gather reads the same
+//!   encoded representation the index holds); the scalar engine
+//!   reconstructs the identical order with [`hist_scan_order`], so both
+//!   engines select identical features.
+//!
+//! The histogram path trains on the λ_F1 sample (the rows the index
+//! covers) rather than all APT rows — a deliberate, documented deviation
+//! from the float path that keeps preparation single-pass; the
+//! `max_train_rows` reservoir cap usually dominates either way.
 
 use std::collections::HashMap;
 
 use cajade_graph::Apt;
 use cajade_ml::cluster::{cluster_attributes, cluster_representatives};
 use cajade_ml::correlation::assoc_matrix;
-use cajade_ml::forest::{RandomForest, RandomForestConfig};
+use cajade_ml::forest::{HistForest, RandomForest, RandomForestConfig};
 use cajade_ml::sampling::reservoir_sample;
-use cajade_ml::FeatureColumn;
+use cajade_ml::{BinnedColumn, FeatureColumn};
 use cajade_query::ProvenanceTable;
-use cajade_storage::{AttrKind, Value};
+use cajade_storage::{AttrKind, Column, Value};
 
 use crate::pattern::PatValue;
 use crate::score::Question;
@@ -42,6 +64,18 @@ impl SelAttr {
             SelAttr::All => available,
         }
     }
+}
+
+/// Which forest trainer implements `filterAttrs`' relevance ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatSelEngine {
+    /// Decode APT cells into float matrices / hash-interned codes and
+    /// train the row-rescanning reference forest. Kept as the verified
+    /// baseline (see the `hist_featsel_equivalence` integration tests).
+    FloatMatrix,
+    /// Gather encoded columns in scan order, bin once, train histogram
+    /// forests ([`HistForest`]).
+    Histogram,
 }
 
 /// Result of `filterAttrs`.
@@ -68,6 +102,18 @@ pub struct FeatSelConfig {
     pub forest_trees: usize,
     /// Cap on training rows (runtime guard; sampled uniformly above it).
     pub max_train_rows: usize,
+    /// Bin budget per column for the histogram trainer (numeric quantile
+    /// bins / retained categorical values). Twice the float trainer's
+    /// per-node threshold cap, since global bins must serve every node.
+    pub hist_bins: usize,
+    /// Row cap for the association-matrix estimate on the histogram path
+    /// (strided subsample over the group-sorted training rows). The
+    /// matrix only feeds a thresholded clustering decision, so a few
+    /// hundred rows estimate it as well as thousands — and the `p²/2`
+    /// pairwise measures are the dominant cost of the phase once forest
+    /// training is histogram-based. The float path keeps the uncapped
+    /// computation as the frozen reference.
+    pub max_assoc_rows: usize,
     /// Seed for forest + sampling.
     pub seed: u64,
 }
@@ -79,6 +125,8 @@ impl Default for FeatSelConfig {
             cluster_threshold: 0.9,
             forest_trees: 20,
             max_train_rows: 5000,
+            hist_bins: 32,
+            max_assoc_rows: 512,
             seed: 0xFEA7,
         }
     }
@@ -128,7 +176,14 @@ pub fn select_features(
     } else {
         vec![1.0 / candidates.len() as f64; candidates.len()]
     };
-    finish_selection(apt, &candidates, importances, &features, cfg, relevance)
+    finish_selection(
+        apt,
+        &candidates,
+        importances,
+        assoc_matrix(&features),
+        cfg,
+        relevance,
+    )
 }
 
 /// Question-independent `filterAttrs`: ranks attributes by their ability
@@ -149,9 +204,6 @@ pub fn select_features_global(
     pt: &ProvenanceTable,
     cfg: &FeatSelConfig,
 ) -> FeatureSelection {
-    /// Cap on one-vs-rest tasks, so wide group-bys don't multiply cost.
-    const MAX_ONE_VS_REST: usize = 4;
-
     let candidates = apt.pattern_fields();
     let relevance = vec![0.0; apt.fields.len()];
     if candidates.is_empty() {
@@ -179,6 +231,48 @@ pub fn select_features_global(
         .map(|&r| pt.group_of[apt.pt_row[r as usize] as usize])
         .collect();
 
+    let mut importances = vec![0.0; candidates.len()];
+    let mut any_task = false;
+    for (g, weight, forest_cfg) in one_vs_rest_plan(pt, cfg) {
+        let labels: Vec<bool> = row_groups.iter().map(|&rg| rg as usize == g).collect();
+        let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
+        if !has_both || rows.is_empty() {
+            continue;
+        }
+        any_task = true;
+        let forest = RandomForest::fit(&features, &labels, &forest_cfg);
+        for (imp, fi) in importances.iter_mut().zip(&forest.importances) {
+            *imp += weight * fi;
+        }
+    }
+    if !any_task {
+        importances = vec![1.0 / candidates.len() as f64; candidates.len()];
+    }
+
+    finish_selection(
+        apt,
+        &candidates,
+        importances,
+        assoc_matrix(&features),
+        cfg,
+        relevance,
+    )
+}
+
+/// The group-global one-vs-rest task plan, shared verbatim by both
+/// trainers (the same reason `cajade_ml::forest` factors its bagging
+/// loop into one copy): up to `MAX_ONE_VS_REST` largest output groups by
+/// full `|PT(t)|` (ties by index), the tree budget and per-tree row
+/// budget split across tasks — so the ensemble costs about as much as
+/// one question-specific forest rather than `tasks ×` that — with
+/// `|PT(t)|`-proportional importance weights and per-group seed offsets.
+fn one_vs_rest_plan(
+    pt: &ProvenanceTable,
+    cfg: &FeatSelConfig,
+) -> Vec<(usize, f64, RandomForestConfig)> {
+    /// Cap on one-vs-rest tasks, so wide group-bys don't multiply cost.
+    const MAX_ONE_VS_REST: usize = 4;
+
     // The largest groups by full |PT(t)| (ties by index, deterministic).
     let mut groups: Vec<(usize, usize)> = pt
         .rows_of_group
@@ -190,53 +284,331 @@ pub fn select_features_global(
     groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     groups.truncate(MAX_ONE_VS_REST);
 
-    // Both the tree budget and the per-tree row budget are split across
-    // the one-vs-rest tasks, so the ensemble costs about as much as one
-    // question-specific forest (whose training scope is a 2-group subset
-    // of the APT) rather than `tasks ×` that.
     let tasks = groups.len().max(1);
     let trees_per_task = (cfg.forest_trees.div_ceil(tasks)).max(2);
     let bootstrap_fraction = 1.0 / tasks as f64;
     let total_weight: f64 = groups.iter().map(|&(_, n)| n as f64).sum();
 
+    groups
+        .into_iter()
+        .map(|(g, pt_size)| {
+            (
+                g,
+                pt_size as f64 / total_weight.max(1.0),
+                RandomForestConfig {
+                    num_trees: trees_per_task,
+                    bootstrap_fraction,
+                    seed: cfg.seed.wrapping_add(g as u64),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Histogram-forest `filterAttrs` on encoded columns.
+// ---------------------------------------------------------------------
+
+/// The canonical training order of the histogram trainer: the λ_F1
+/// sample rows (all rows when sampling is off) sorted by
+/// `(output group, PT row)` — exactly the scan order
+/// [`ScoreIndex`](crate::engine::ScoreIndex) builds. Callers holding an
+/// index should pass [`ScoreIndex::order`](crate::engine::ScoreIndex::order)
+/// instead of recomputing this.
+pub fn hist_scan_order(apt: &Apt, pt: &ProvenanceTable, sample: Option<&[u32]>) -> Vec<u32> {
+    let mut rows: Vec<u32> = match sample {
+        Some(s) => s.to_vec(),
+        None => (0..apt.num_rows as u32).collect(),
+    };
+    rows.sort_by_key(|&r| {
+        let p = apt.pt_row[r as usize];
+        (pt.group_of[p as usize], p)
+    });
+    rows
+}
+
+/// The dictionary key of one categorical cell: interned string id, raw
+/// integer, or float bits — whatever the typed column already stores, so
+/// no value decoding or hash-interning of rendered values is needed.
+fn cat_key(col: &Column, r: usize) -> Option<u64> {
+    match col {
+        Column::Int { data, nulls } => (!nulls.is_null(r)).then(|| data[r] as u64),
+        Column::Float { data, nulls } => (!nulls.is_null(r)).then(|| data[r].to_bits()),
+        Column::Str { data, nulls } => (!nulls.is_null(r)).then(|| data[r].0 as u64),
+    }
+}
+
+/// Gathers one APT field over `rows` straight from the typed column
+/// arrays (no `Value` boxing): numeric values as-is, categorical cells as
+/// first-appearance dense codes — the identical code assignment (and
+/// therefore identical association matrix) the float path's decode
+/// produces, at a fraction of its cost.
+fn fast_feature_column(apt: &Apt, field: usize, rows: &[u32]) -> FeatureColumn {
+    match apt.fields[field].kind {
+        AttrKind::Numeric => FeatureColumn::Numeric(
+            rows.iter()
+                .map(|&r| apt.columns[field].f64_at(r as usize).unwrap_or(f64::NAN))
+                .collect(),
+        ),
+        AttrKind::Categorical => {
+            let col = &apt.columns[field];
+            let mut codes: HashMap<u64, u32> = HashMap::new();
+            let data = rows
+                .iter()
+                .map(|&r| match cat_key(col, r as usize) {
+                    None => u32::MAX,
+                    Some(k) => {
+                        let next = codes.len() as u32;
+                        *codes.entry(k).or_insert(next)
+                    }
+                })
+                .collect();
+            FeatureColumn::Categorical(data)
+        }
+    }
+}
+
+/// Shared tail of both histogram paths: gather each candidate column
+/// once, bin it for the forest, run the per-task forests, average
+/// importances, and cluster on the same gathered view (the association
+/// matrix is computed over full values/codes, not bins, so clustering
+/// decisions match the float path on identical training rows).
+fn hist_selection(
+    apt: &Apt,
+    candidates: &[usize],
+    rows: &[u32],
+    tasks: &[(Vec<bool>, f64, RandomForestConfig)],
+    cfg: &FeatSelConfig,
+    relevance: Vec<f64>,
+) -> FeatureSelection {
+    let features: Vec<FeatureColumn> = candidates
+        .iter()
+        .map(|&f| fast_feature_column(apt, f, rows))
+        .collect();
+    let cols: Vec<BinnedColumn> = features
+        .iter()
+        .map(|fc| match fc {
+            FeatureColumn::Numeric(v) => BinnedColumn::from_f64(v, cfg.hist_bins),
+            FeatureColumn::Categorical(codes) => BinnedColumn::from_keys(
+                codes.iter().map(|&c| (c != u32::MAX).then_some(c as u64)),
+                cfg.hist_bins,
+            ),
+        })
+        .collect();
+
     let mut importances = vec![0.0; candidates.len()];
     let mut any_task = false;
-    for &(g, pt_size) in &groups {
-        let labels: Vec<bool> = row_groups.iter().map(|&rg| rg as usize == g).collect();
+    for (labels, weight, forest_cfg) in tasks {
         let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
         if !has_both || rows.is_empty() {
             continue;
         }
         any_task = true;
-        let forest = RandomForest::fit(
-            &features,
-            &labels,
-            &RandomForestConfig {
-                num_trees: trees_per_task,
-                bootstrap_fraction,
-                seed: cfg.seed.wrapping_add(g as u64),
-                ..Default::default()
-            },
-        );
-        let w = pt_size as f64 / total_weight.max(1.0);
+        let forest = HistForest::fit(&cols, labels, forest_cfg);
         for (imp, fi) in importances.iter_mut().zip(&forest.importances) {
-            *imp += w * fi;
+            *imp += weight * fi;
         }
     }
     if !any_task {
         importances = vec![1.0 / candidates.len() as f64; candidates.len()];
     }
 
-    finish_selection(apt, &candidates, importances, &features, cfg, relevance)
+    // Association estimate, twice restricted:
+    //
+    // * columns — only the `max(16, 4·λ#sel-attr)` most important
+    //   candidates are clustered to start with (a low-relevance feature
+    //   can never *represent* a cluster past a higher member, so the
+    //   unmeasured tail stays as 0-association singletons); if the
+    //   selection nevertheless reaches into that tail — the measured top
+    //   collapsed into fewer clusters than λ#sel-attr — the matrix is
+    //   recomputed over *all* candidates, so redundant tail features can
+    //   never be co-selected just because their pairs went unmeasured;
+    // * rows — a strided subsample (rows are group-sorted, so a fixed
+    //   stride samples every output group proportionally): the matrix
+    //   feeds a thresholded merge decision, not a precise estimate.
+    let step = if rows.len() > cfg.max_assoc_rows.max(1) {
+        rows.len().div_ceil(cfg.max_assoc_rows.max(1))
+    } else {
+        1
+    };
+    let lambda = cfg.sel_attr.resolve(candidates.len());
+    let mut by_importance: Vec<usize> = (0..candidates.len()).collect();
+    by_importance.sort_by(|&a, &b| {
+        importances[b]
+            .partial_cmp(&importances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut m = (4 * lambda).max(16).min(candidates.len());
+    loop {
+        let mut measured: Vec<usize> = by_importance[..m].to_vec();
+        measured.sort_unstable();
+        let assoc = if step == 1 && m == candidates.len() {
+            assoc_matrix(&features)
+        } else {
+            let views: Vec<FeatureColumn> = measured
+                .iter()
+                .map(|&i| match &features[i] {
+                    FeatureColumn::Numeric(v) => {
+                        FeatureColumn::Numeric(v.iter().step_by(step).copied().collect())
+                    }
+                    FeatureColumn::Categorical(v) => {
+                        FeatureColumn::Categorical(v.iter().step_by(step).copied().collect())
+                    }
+                })
+                .collect();
+            let small = assoc_matrix(&views);
+            let mut full = vec![vec![0.0; candidates.len()]; candidates.len()];
+            for (i, row) in full.iter_mut().enumerate() {
+                row[i] = 1.0;
+            }
+            for (si, &i) in measured.iter().enumerate() {
+                for (sj, &j) in measured.iter().enumerate() {
+                    full[i][j] = small[si][sj];
+                }
+            }
+            full
+        };
+        let fs = finish_selection(
+            apt,
+            candidates,
+            importances.clone(),
+            assoc,
+            cfg,
+            relevance.clone(),
+        );
+        let all_selected_measured = m == candidates.len() || {
+            let measured_fields: Vec<usize> = measured.iter().map(|&i| candidates[i]).collect();
+            fs.num_fields
+                .iter()
+                .chain(&fs.cat_fields)
+                .all(|f| measured_fields.contains(f))
+        };
+        if all_selected_measured {
+            return fs;
+        }
+        // Rare fallback: the restricted clustering ran out of measured
+        // representatives — measure every pair and redo.
+        m = candidates.len();
+    }
+}
+
+/// Histogram-forest `filterAttrs` for one question (the [`select_features`]
+/// counterpart): trains on the scan-order rows belonging to the
+/// question's output group(s).
+pub fn select_features_hist(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    scan_order: &[u32],
+    question: &Question,
+    cfg: &FeatSelConfig,
+) -> FeatureSelection {
+    let candidates = apt.pattern_fields();
+    let relevance = vec![0.0; apt.fields.len()];
+    if candidates.is_empty() {
+        return FeatureSelection {
+            num_fields: Vec::new(),
+            cat_fields: Vec::new(),
+            clusters: Vec::new(),
+            relevance,
+        };
+    }
+
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for &r in scan_order {
+        let g = pt.group_of[apt.pt_row[r as usize] as usize] as usize;
+        let label = match question {
+            Question::TwoPoint { t1, t2 } => {
+                if g == *t1 {
+                    true
+                } else if g == *t2 {
+                    false
+                } else {
+                    continue;
+                }
+            }
+            Question::SinglePoint { t } => g == *t,
+        };
+        rows.push(r);
+        labels.push(label);
+    }
+    if rows.len() > cfg.max_train_rows {
+        let keep = reservoir_sample(rows.len(), cfg.max_train_rows, cfg.seed);
+        rows = keep.iter().map(|&i| rows[i]).collect();
+        labels = keep.iter().map(|&i| labels[i]).collect();
+    }
+
+    let forest_cfg = RandomForestConfig {
+        num_trees: cfg.forest_trees,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    hist_selection(
+        apt,
+        &candidates,
+        &rows,
+        &[(labels, 1.0, forest_cfg)],
+        cfg,
+        relevance,
+    )
+}
+
+/// Histogram-forest group-global `filterAttrs` (the
+/// [`select_features_global`] counterpart): one-vs-rest tasks over the
+/// largest output groups, importances averaged weighted by `|PT(t)|`.
+/// Question-independent, so the result is cacheable in a
+/// [`PreparedApt`](crate::prepared::PreparedApt).
+pub fn select_features_hist_global(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    scan_order: &[u32],
+    cfg: &FeatSelConfig,
+) -> FeatureSelection {
+    let candidates = apt.pattern_fields();
+    let relevance = vec![0.0; apt.fields.len()];
+    if candidates.is_empty() {
+        return FeatureSelection {
+            num_fields: Vec::new(),
+            cat_fields: Vec::new(),
+            clusters: Vec::new(),
+            relevance,
+        };
+    }
+
+    let mut rows: Vec<u32> = scan_order.to_vec();
+    if rows.len() > cfg.max_train_rows {
+        let keep = reservoir_sample(rows.len(), cfg.max_train_rows, cfg.seed);
+        rows = keep.into_iter().map(|i| rows[i]).collect();
+    }
+    let row_groups: Vec<u32> = rows
+        .iter()
+        .map(|&r| pt.group_of[apt.pt_row[r as usize] as usize])
+        .collect();
+
+    // Same task plan as the float trainer — one shared copy.
+    let tasks: Vec<(Vec<bool>, f64, RandomForestConfig)> = one_vs_rest_plan(pt, cfg)
+        .into_iter()
+        .map(|(g, weight, forest_cfg)| {
+            let labels: Vec<bool> = row_groups.iter().map(|&rg| rg as usize == g).collect();
+            (labels, weight, forest_cfg)
+        })
+        .collect();
+
+    hist_selection(apt, &candidates, &rows, &tasks, cfg, relevance)
 }
 
 /// Shared tail of `filterAttrs`: correlation clustering, representative
-/// picking, and λ#sel-attr ranking over forest importances.
+/// picking, and λ#sel-attr ranking over forest importances. `assoc` is
+/// the candidate-pairwise association matrix — both paths compute it
+/// over full decoded values/codes (never over bins), the histogram path
+/// merely restricting which pairs and rows it measures.
 fn finish_selection(
     apt: &Apt,
     candidates: &[usize],
     importances: Vec<f64>,
-    features: &[FeatureColumn],
+    assoc: Vec<Vec<f64>>,
     cfg: &FeatSelConfig,
     mut relevance: Vec<f64>,
 ) -> FeatureSelection {
@@ -245,7 +617,6 @@ fn finish_selection(
     }
 
     // Cluster correlated attributes, keep one representative each.
-    let assoc = assoc_matrix(features);
     let clusters_local = cluster_attributes(&assoc, cfg.cluster_threshold);
     let reps_local = cluster_representatives(&clusters_local, &importances);
 

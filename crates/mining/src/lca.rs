@@ -1,4 +1,4 @@
-//! LCA pattern-candidate generation (paper §3.2, after Gebaly et al. [19]).
+//! LCA pattern-candidate generation (paper §3.2, after Gebaly et al. \[19\]).
 //!
 //! "The LCA method generates pattern candidates from a sample by computing
 //! the cross product of the sample with itself. A candidate pattern is

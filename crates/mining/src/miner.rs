@@ -25,7 +25,10 @@ use cajade_query::ProvenanceTable;
 
 use crate::diversity::select_top_k_diverse;
 use crate::engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
-use crate::featsel::{all_features, select_features, FeatSelConfig, FeatureSelection, SelAttr};
+use crate::featsel::{
+    all_features, hist_scan_order, select_features, select_features_global, select_features_hist,
+    select_features_hist_global, FeatSelConfig, FeatSelEngine, FeatureSelection, SelAttr,
+};
 use crate::fragments::fragment_boundaries;
 use crate::lca::lca_candidates;
 use crate::pattern::{PatValue, Pattern, Pred, PredOp};
@@ -85,6 +88,20 @@ pub struct MiningParams {
     /// bit-identical metrics (property-tested); `Scalar` keeps the
     /// row-at-a-time [`Scorer`] as a verified fallback.
     pub engine: ScoreEngine,
+    /// Which forest trainer runs feature selection. Both engines use the
+    /// same trainer (the choice is orthogonal to `engine`), so scalar and
+    /// vectorized runs stay bit-identical.
+    pub featsel_engine: FeatSelEngine,
+    /// F-score upper-bound pruning in the refinement BFS (vectorized
+    /// engine only): a lattice child is skipped — mask never built,
+    /// never scored — when `min(tp_parent, tp_pred)` caps its recall at
+    /// ≤ λ_recall in every direction (it could neither be kept nor seed a
+    /// keepable refinement, by Proposition 3.1's anti-monotonicity), or,
+    /// for `top_k = 1`, when its F-score bound `2·tp_ub/(tp_ub + a1)`
+    /// cannot beat the best kept F-score so far. Output-invariant by
+    /// construction (property-tested) as long as `max_patterns` does not
+    /// bind; [`MiningTimings::ub_pruned_children`] counts the skips.
+    pub refine_ub_prune: bool,
 }
 
 impl Default for MiningParams {
@@ -108,11 +125,14 @@ impl Default for MiningParams {
             banned_attrs: Vec::new(),
             seed: 0xCA7ADE,
             engine: ScoreEngine::Vectorized,
+            featsel_engine: FeatSelEngine::Histogram,
+            refine_ub_prune: true,
         }
     }
 }
 
-/// Per-phase wall-clock timings (the paper's breakdown rows).
+/// Per-phase wall-clock timings (the paper's breakdown rows) plus the
+/// refinement-BFS pruning counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MiningTimings {
     /// `Feature Selection` row.
@@ -129,6 +149,13 @@ pub struct MiningTimings {
     /// engine's `ScoreIndex`/`PredBank` build; zero on the scalar path and
     /// on warm `PreparedApt` asks).
     pub prepare: Duration,
+    /// Lattice children skipped by the F-score upper bound before their
+    /// mask was built or scored ([`MiningParams::refine_ub_prune`]).
+    pub ub_pruned_children: u64,
+    /// Subtrees cut after scoring because the pattern's best recall fell
+    /// to ≤ λ_recall (the Proposition-3.1 prune; the pattern itself *was*
+    /// evaluated).
+    pub recall_pruned_subtrees: u64,
 }
 
 impl MiningTimings {
@@ -142,7 +169,7 @@ impl MiningTimings {
             + self.prepare
     }
 
-    /// Accumulates another APT's timings (per-query totals).
+    /// Accumulates another APT's timings and counters (per-query totals).
     pub fn accumulate(&mut self, other: &MiningTimings) {
         self.feature_selection += other.feature_selection;
         self.gen_pat_cand += other.gen_pat_cand;
@@ -150,6 +177,8 @@ impl MiningTimings {
         self.fscore_calc += other.fscore_calc;
         self.refine_patterns += other.refine_patterns;
         self.prepare += other.prepare;
+        self.ub_pruned_children += other.ub_pruned_children;
+        self.recall_pruned_subtrees += other.recall_pruned_subtrees;
     }
 }
 
@@ -191,43 +220,9 @@ pub fn mine_apt(
 ) -> MiningOutcome {
     let mut timings = MiningTimings::default();
 
-    // ---- Phase 1: feature selection (filterAttrs). ---------------------
-    let t0 = Instant::now();
-    let mut fs = if params.feature_selection {
-        select_features(
-            apt,
-            pt,
-            question,
-            &FeatSelConfig {
-                sel_attr: params.sel_attr,
-                cluster_threshold: params.cluster_threshold,
-                forest_trees: params.forest_trees,
-                max_train_rows: 5000,
-                seed: params.seed,
-            },
-        )
-    } else {
-        all_features(apt)
-    };
-    if !params.banned_attrs.is_empty() {
-        let banned = |f: &usize| {
-            params
-                .banned_attrs
-                .iter()
-                .any(|b| apt.fields[*f].name.contains(b.as_str()))
-        };
-        fs.num_fields.retain(|f| !banned(f));
-        fs.cat_fields.retain(|f| !banned(f));
-    }
-    if params.exclude_fd_attrs {
-        let fd = crate::fd::group_determining_fields(apt, pt, question);
-        fs.num_fields.retain(|f| !fd.contains(f));
-        fs.cat_fields.retain(|f| !fd.contains(f));
-    }
-    timings.feature_selection = t0.elapsed();
-
-    // ---- Phase 3 (done early; the scorer is needed for ranking): F1
-    // sample + engine-specific scoring state.
+    // ---- Phase 3 (done early; the scorer is needed for ranking and the
+    // histogram feature selection reuses the index's encoding): F1 sample
+    // + engine-specific scoring state.
     let t0 = Instant::now();
     let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
         None
@@ -250,6 +245,23 @@ pub fn mine_apt(
         }),
     };
     timings.prepare += t0.elapsed();
+
+    // ---- Phase 1: feature selection (filterAttrs). ---------------------
+    let t0 = Instant::now();
+    let mut fs = run_featsel(
+        apt,
+        pt,
+        params,
+        index.as_ref(),
+        sample.as_deref(),
+        Some(question),
+    );
+    if params.exclude_fd_attrs {
+        let fd = crate::fd::group_determining_fields(apt, pt, question);
+        fs.num_fields.retain(|f| !fd.contains(f));
+        fs.cat_fields.retain(|f| !fd.contains(f));
+    }
+    timings.feature_selection = t0.elapsed();
 
     // ---- Phase 2: LCA candidates over the λ_pat-samp sample. -----------
     let t0 = Instant::now();
@@ -311,6 +323,68 @@ pub fn mine_apt(
         feature_selection: fs,
         patterns_evaluated,
     }
+}
+
+/// The feature-selection dispatch shared by [`mine_apt`] (question-
+/// specific, `question = Some`) and
+/// [`prepare_apt`](crate::prepared::prepare_apt) (group-global,
+/// `question = None`): maps [`MiningParams`] onto a [`FeatSelConfig`],
+/// picks the trainer per [`MiningParams::featsel_engine`] — the
+/// histogram trainer reuses the index's `(group, PT row)` scan order
+/// when one exists and reconstructs the identical order otherwise — and
+/// applies the `banned_attrs` filter. One copy, so cold asks and warm
+/// `PreparedApt` asks can never diverge in how selection is wired up.
+pub(crate) fn run_featsel(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    params: &MiningParams,
+    index: Option<&ScoreIndex>,
+    sample: Option<&[u32]>,
+    question: Option<&Question>,
+) -> FeatureSelection {
+    let featsel_cfg = FeatSelConfig {
+        sel_attr: params.sel_attr,
+        cluster_threshold: params.cluster_threshold,
+        forest_trees: params.forest_trees,
+        seed: params.seed,
+        ..FeatSelConfig::default()
+    };
+    let mut fs = if !params.feature_selection {
+        all_features(apt)
+    } else {
+        match (params.featsel_engine, question) {
+            (FeatSelEngine::FloatMatrix, Some(q)) => select_features(apt, pt, q, &featsel_cfg),
+            (FeatSelEngine::FloatMatrix, None) => select_features_global(apt, pt, &featsel_cfg),
+            (FeatSelEngine::Histogram, q) => {
+                // The histogram trainer consumes rows in the index's
+                // (group, PT row) scan order over the same typed-array /
+                // dictionary representation the index encodes.
+                let order_owned;
+                let order: &[u32] = match index {
+                    Some(ix) => ix.order(),
+                    None => {
+                        order_owned = hist_scan_order(apt, pt, sample);
+                        &order_owned
+                    }
+                };
+                match q {
+                    Some(q) => select_features_hist(apt, pt, order, q, &featsel_cfg),
+                    None => select_features_hist_global(apt, pt, order, &featsel_cfg),
+                }
+            }
+        }
+    };
+    if !params.banned_attrs.is_empty() {
+        let banned = |f: &usize| {
+            params
+                .banned_attrs
+                .iter()
+                .any(|b| apt.fields[*f].name.contains(b.as_str()))
+        };
+        fs.num_fields.retain(|f| !banned(f));
+        fs.cat_fields.retain(|f| !banned(f));
+    }
+    fs
 }
 
 /// The scoring backend of one mining run: the scalar row-at-a-time
@@ -398,6 +472,60 @@ pub(crate) fn mine_core(
         SampleEval::Vector { index, .. } => Some(index.full_mask()),
         SampleEval::Scalar(_) => None,
     };
+
+    // F-score upper-bound pruning state (vectorized engine only): the
+    // per-direction TP count of every refinement predicate mask, computed
+    // once from the PredBank. A child's TP is bounded by
+    // `min(tp_parent, tp_pred)` (its mask is the AND of both), so many
+    // children can be discarded without building or scoring their mask:
+    // if the bound caps recall at ≤ λ_recall in every direction, the
+    // child could neither enter the kept set nor — by Proposition 3.1 —
+    // seed a refinement that does. With `top_k = 1` the bound also prunes
+    // against the best kept F-score so far (`F ≤ 2·tp/(tp + a1)`, i.e.
+    // perfect precision and all bounded TPs recalled); with diversity-
+    // aware selection of k > 1 patterns a kept-but-low-F pattern can
+    // still displace a near-duplicate (§3.5), so the floor only applies
+    // when a single pattern is requested. Both rules leave `mine_apt`
+    // output bit-identical (property-tested) unless `max_patterns` binds.
+    //
+    // `pred_tp[fi][bi][op slot][direction]` — aligned with `frag`.
+    /// Per-direction `a1` denominators + per-predicate TP counts.
+    type UbState = (Vec<usize>, Vec<Vec<[Vec<usize>; 2]>>);
+    let ub_state: Option<UbState> = match (&eval, params) {
+        (
+            SampleEval::Vector { index, bank },
+            MiningParams {
+                refine_ub_prune: true,
+                ..
+            },
+        ) => {
+            let a1s: Vec<usize> = directions
+                .iter()
+                .map(|&(primary, _)| index.group_size(primary))
+                .collect();
+            let pred_tp: Vec<Vec<[Vec<usize>; 2]>> = frag
+                .iter()
+                .enumerate()
+                .map(|(fi, (_, boundaries))| {
+                    (0..boundaries.len())
+                        .map(|bi| {
+                            [PredOp::Le, PredOp::Ge].map(|op| {
+                                let mask = bank.mask(fi, bi, op);
+                                directions
+                                    .iter()
+                                    .map(|&(primary, _)| index.tp_of(mask, primary))
+                                    .collect()
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            Some((a1s, pred_tp))
+        }
+        _ => None,
+    };
+    // The `top_k = 1` F-score floor: highest kept (sampled) F so far.
+    let mut kept_f_floor = f64::NEG_INFINITY;
     // The lattice is enumerated **canonically**: a child only refines
     // fragment fields strictly after its parent's last refined one, so
     // every pattern (seed × subset of fragment fields, one threshold
@@ -455,7 +583,8 @@ pub(crate) fn mine_core(
         // Score in both directions (Algorithm 1 line 11).
         let t_score = Instant::now();
         let mut best_recall = 0.0f64;
-        for &(primary, secondary) in &directions {
+        let mut item_tps = [0usize; 2];
+        for (d, &(primary, secondary)) in directions.iter().enumerate() {
             let m = match (eval, &mask) {
                 (SampleEval::Vector { index, .. }, Some(mask)) => {
                     index.score_mask(mask, primary, secondary)
@@ -464,7 +593,9 @@ pub(crate) fn mine_core(
                 _ => unreachable!("vector queue entries always carry a mask"),
             };
             best_recall = best_recall.max(m.recall);
+            item_tps[d] = m.tp;
             if !pat.is_empty() && m.recall > params.lambda_recall {
+                kept_f_floor = kept_f_floor.max(m.f_score);
                 kept.push((pat.clone(), primary, secondary, m));
             }
         }
@@ -475,6 +606,7 @@ pub(crate) fn mine_core(
         // (Proposition 3.1: refinement can only lower recall). The empty
         // pattern always has recall 1 and is always refined.
         if best_recall <= params.lambda_recall && !pat.is_empty() {
+            timings.recall_pruned_subtrees += 1;
             continue;
         }
         if numeric_preds >= params.lambda_attr_num {
@@ -487,6 +619,36 @@ pub(crate) fn mine_core(
             }
             for (bi, &c) in boundaries.iter().enumerate() {
                 for op in [PredOp::Le, PredOp::Ge] {
+                    // F-score upper bound: discard the child subtree when
+                    // `min(tp_parent, tp_pred)` proves it can never be
+                    // kept (nor, for top_k = 1, beat the kept-F floor).
+                    if let Some((a1s, pred_tp)) = &ub_state {
+                        let slot = match op {
+                            PredOp::Le => 0,
+                            _ => 1,
+                        };
+                        let tps = &pred_tp[fi][bi][slot];
+                        let viable = a1s.iter().enumerate().any(|(d, &a1)| {
+                            let tp_ub = item_tps[d].min(tps[d]);
+                            let recall_ub = if a1 == 0 {
+                                0.0
+                            } else {
+                                tp_ub as f64 / a1 as f64
+                            };
+                            if recall_ub <= params.lambda_recall {
+                                return false;
+                            }
+                            if params.top_k == 1 {
+                                let f_ub = 2.0 * tp_ub as f64 / (tp_ub + a1) as f64;
+                                return f_ub > kept_f_floor;
+                            }
+                            true
+                        });
+                        if !viable {
+                            timings.ub_pruned_children += 1;
+                            continue;
+                        }
+                    }
                     let refined = pat.refine(
                         *field,
                         Pred {

@@ -9,7 +9,8 @@
 //! * the `|num_fields| × λ#frag × 2` refinement predicate bitmaps,
 //! * the LCA candidate pool and each candidate's match bitmap,
 //! * feature selection — once it is formulated group-globally
-//!   ([`select_features_global`]) instead of per `(t1, t2)` pair.
+//!   ([`select_features_global`](crate::featsel::select_features_global))
+//!   instead of per `(t1, t2)` pair.
 //!
 //! [`prepare_apt`] hoists all of that into a [`PreparedApt`] that the
 //! service caches next to the materialized APT, so a **new** question on a
@@ -18,13 +19,16 @@
 //! BFS — both running on the bitmap kernel. Only the per-question scoring
 //! runs per ask, and [`MiningTimings`] reports the skipped phases as zero.
 //!
-//! Two deliberate deviations from the per-question [`mine_apt`] flow make
-//! this possible (both deterministic, both documented here because they
+//! Deliberate deviations from the per-question
+//! [`mine_apt`](crate::miner::mine_apt) flow make
+//! this possible (all deterministic, all documented here because they
 //! can change which explanations are mined relative to the one-shot
-//! path): feature selection is group-global, and the LCA pool is sampled
+//! path): feature selection is group-global, the LCA pool is sampled
 //! from **all** APT rows rather than the two-point question's scope —
 //! out-of-scope candidates simply rank last on recall and fall out of the
-//! top-k_cat cut.
+//! top-k_cat cut — and the default histogram feature selection trains on
+//! the λ_F1 sample (the rows the index encodes) rather than on an
+//! independent all-rows sample.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -34,10 +38,12 @@ use cajade_ml::sampling::{bernoulli_sample, sample_with_cap};
 use cajade_query::ProvenanceTable;
 
 use crate::engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
-use crate::featsel::{all_features, select_features_global, FeatSelConfig, FeatureSelection};
+use crate::featsel::FeatureSelection;
 use crate::fragments::fragment_boundaries;
 use crate::lca::lca_candidates;
-use crate::miner::{mine_core, MiningOutcome, MiningParams, MiningTimings, SampleEval};
+use crate::miner::{
+    mine_core, run_featsel, MiningOutcome, MiningParams, MiningTimings, SampleEval,
+};
 use crate::pattern::Pattern;
 use crate::score::{Question, Scorer};
 
@@ -92,35 +98,6 @@ impl PreparedApt {
 pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> PreparedApt {
     let mut timings = MiningTimings::default();
 
-    // ---- Feature selection (group-global, cacheable). ------------------
-    let t0 = Instant::now();
-    let mut fs = if params.feature_selection {
-        select_features_global(
-            apt,
-            pt,
-            &FeatSelConfig {
-                sel_attr: params.sel_attr,
-                cluster_threshold: params.cluster_threshold,
-                forest_trees: params.forest_trees,
-                max_train_rows: 5000,
-                seed: params.seed,
-            },
-        )
-    } else {
-        all_features(apt)
-    };
-    if !params.banned_attrs.is_empty() {
-        let banned = |f: &usize| {
-            params
-                .banned_attrs
-                .iter()
-                .any(|b| apt.fields[*f].name.contains(b.as_str()))
-        };
-        fs.num_fields.retain(|f| !banned(f));
-        fs.cat_fields.retain(|f| !banned(f));
-    }
-    timings.feature_selection = t0.elapsed();
-
     // ---- λ_F1 sample + columnar index. ---------------------------------
     let t0 = Instant::now();
     let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
@@ -137,7 +114,10 @@ pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> Pr
 
     // The bitmap state (index, per-candidate masks, predicate bank) is
     // only built for the vectorized engine; a scalar-engine preparation
-    // would cache memory the miner never reads.
+    // would cache memory the miner never reads. It is built *before*
+    // feature selection so the histogram trainer can reuse the index's
+    // `(group, PT row)` scan order (its gathers read the same
+    // typed-array/dictionary representation the index encodes).
     let vectorized = params.engine == ScoreEngine::Vectorized;
     let t0 = Instant::now();
     let index = vectorized.then(|| match &sample {
@@ -145,6 +125,11 @@ pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> Pr
         None => ScoreIndex::exact(apt, pt),
     });
     timings.prepare += t0.elapsed();
+
+    // ---- Feature selection (group-global, cacheable). ------------------
+    let t0 = Instant::now();
+    let fs = run_featsel(apt, pt, params, index.as_ref(), sample.as_deref(), None);
+    timings.feature_selection = t0.elapsed();
 
     // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
     let t0 = Instant::now();

@@ -1,0 +1,261 @@
+//! Pins the histogram-forest feature selection against the float-matrix
+//! reference trainer on fixed seeds:
+//!
+//! * the selected feature sets (`num_fields` / `cat_fields`) are equal,
+//! * the relevance ranking agrees on what matters (the planted signal
+//!   family outranks noise under both trainers),
+//! * `mine_apt` returns identical explanations under either
+//!   [`FeatSelEngine`], so switching the default trainer did not change
+//!   the mined top-k.
+
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::featsel::{
+    hist_scan_order, select_features, select_features_global, select_features_hist,
+    select_features_hist_global, FeatSelConfig,
+};
+use cajade_mining::{mine_apt, FeatSelEngine, MiningParams, Question};
+use cajade_query::{parse_sql, ProvenanceTable};
+use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
+
+/// `signal` separates the two groups; `noise` does not; `dup` duplicates
+/// `signal` (must cluster with it); `label_cat` is a categorical
+/// restatement of the signal.
+fn fixture() -> (Database, cajade_query::Query) {
+    let mut db = Database::new("fs");
+    db.create_table(
+        SchemaBuilder::new("t")
+            .column_pk("id", DataType::Int, AttrKind::Categorical)
+            .column("grp", DataType::Str, AttrKind::Categorical)
+            .column("signal", DataType::Int, AttrKind::Numeric)
+            .column("dup", DataType::Int, AttrKind::Numeric)
+            .column("noise", DataType::Int, AttrKind::Numeric)
+            .column("label_cat", DataType::Str, AttrKind::Categorical)
+            .build(),
+    )
+    .unwrap();
+    let g1 = db.intern("g1");
+    let g2 = db.intern("g2");
+    let a = db.intern("a");
+    let b = db.intern("b");
+    for i in 0..200i64 {
+        let grp = if i % 2 == 0 { g1 } else { g2 };
+        let signal = if i % 2 == 0 { i % 40 } else { 60 + i % 40 };
+        let cat = if i % 2 == 0 { a } else { b };
+        db.table_mut("t")
+            .unwrap()
+            .push_row(vec![
+                Value::Int(i),
+                Value::Str(grp),
+                Value::Int(signal),
+                Value::Int(signal * 2),
+                Value::Int((i * 7918) % 100), // even multiplier: genuine noise
+                Value::Str(cat),
+            ])
+            .unwrap();
+    }
+    let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+    (db, q)
+}
+
+fn setup() -> (Database, cajade_query::Query, ProvenanceTable, Apt) {
+    let (db, q) = fixture();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+    let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+    (db, q, pt, apt)
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn question_selection_sets_match_float_trainer() {
+    let (_db, _q, pt, apt) = setup();
+    let cfg = FeatSelConfig::default();
+    let question = Question::TwoPoint { t1: 0, t2: 1 };
+    let float = select_features(&apt, &pt, &question, &cfg);
+    let order = hist_scan_order(&apt, &pt, None);
+    let hist = select_features_hist(&apt, &pt, &order, &question, &cfg);
+
+    assert_eq!(
+        sorted(float.num_fields.clone()),
+        sorted(hist.num_fields.clone()),
+        "numeric selections diverged: float {float:?} vs hist {hist:?}"
+    );
+    assert_eq!(
+        sorted(float.cat_fields.clone()),
+        sorted(hist.cat_fields.clone()),
+        "categorical selections diverged"
+    );
+
+    // Both trainers agree the signal family dwarfs the noise column.
+    let family = [
+        apt.field_index("prov_t_signal").unwrap(),
+        apt.field_index("prov_t_dup").unwrap(),
+        apt.field_index("prov_t_label__cat").unwrap(),
+    ];
+    let noise = apt.field_index("prov_t_noise").unwrap();
+    for fs in [&float, &hist] {
+        let best_family = family.iter().map(|&f| fs.relevance[f]).fold(0.0, f64::max);
+        assert!(
+            best_family > fs.relevance[noise] * 5.0,
+            "relevance did not separate signal from noise: {:?}",
+            fs.relevance
+        );
+    }
+}
+
+#[test]
+fn global_selection_matches_float_trainer_up_to_cluster_representatives() {
+    let (_db, _q, pt, apt) = setup();
+    let cfg = FeatSelConfig::default();
+    let float = select_features_global(&apt, &pt, &cfg);
+    let order = hist_scan_order(&apt, &pt, None);
+    let hist = select_features_hist_global(&apt, &pt, &order, &cfg);
+
+    // Clustering runs on the identical association matrix — the clusters
+    // must agree exactly.
+    assert_eq!(float.clusters, hist.clusters);
+    // Which member *represents* a cluster of mutually-redundant
+    // attributes is arbitrary (importance splits freely among perfectly
+    // correlated features), so selections are compared at cluster level:
+    // both trainers must select representatives of the same clusters.
+    let cluster_of = |fs: &cajade_mining::FeatureSelection, f: usize| {
+        fs.clusters
+            .iter()
+            .position(|c| c.contains(&f))
+            .unwrap_or(usize::MAX)
+    };
+    let selected_clusters = |fs: &cajade_mining::FeatureSelection| {
+        sorted(
+            fs.num_fields
+                .iter()
+                .chain(&fs.cat_fields)
+                .map(|&f| cluster_of(fs, f))
+                .collect(),
+        )
+    };
+    assert_eq!(
+        selected_clusters(&float),
+        selected_clusters(&hist),
+        "float {float:?} vs hist {hist:?}"
+    );
+    // The correlated duplicate pair shares a cluster under both trainers.
+    let signal = apt.field_index("prov_t_signal").unwrap();
+    let dup = apt.field_index("prov_t_dup").unwrap();
+    assert_eq!(cluster_of(&float, signal), cluster_of(&float, dup));
+    assert_eq!(cluster_of(&hist, signal), cluster_of(&hist, dup));
+}
+
+/// Pathological shape for the restricted association matrix: more
+/// mutually-correlated high-importance features than the measured-pair
+/// budget, with duplicate *weak* features in the unmeasured tail. The
+/// histogram path must fall back to measuring every pair rather than
+/// co-selecting redundant tail features whose associations defaulted to
+/// "never merge".
+#[test]
+fn restricted_assoc_never_coselects_redundant_tail_features() {
+    let mut db = Database::new("wide");
+    let mut builder = SchemaBuilder::new("t")
+        .column_pk("id", DataType::Int, AttrKind::Categorical)
+        .column("grp", DataType::Str, AttrKind::Categorical);
+    for k in 0..17 {
+        builder = builder.column(format!("s{k}"), DataType::Int, AttrKind::Numeric);
+    }
+    builder = builder
+        .column("w", DataType::Int, AttrKind::Numeric)
+        .column("w2", DataType::Int, AttrKind::Numeric);
+    db.create_table(builder.build()).unwrap();
+    let g1 = db.intern("g1");
+    let g2 = db.intern("g2");
+    for i in 0..240i64 {
+        let grp = if i % 2 == 0 { g1 } else { g2 };
+        // Strong signal: disjoint ranges per group; 17 exact multiples.
+        let s = if i % 2 == 0 { i % 40 } else { 100 + i % 40 };
+        // Weak signal: overlapping but shifted ranges; w2 duplicates w.
+        let w = (i * 7) % 50 + if i % 2 == 0 { 0 } else { 12 };
+        let mut row = vec![Value::Int(i), Value::Str(grp)];
+        for k in 0..17i64 {
+            row.push(Value::Int(s * (k + 1)));
+        }
+        row.push(Value::Int(w));
+        row.push(Value::Int(w * 3));
+        db.table_mut("t").unwrap().push_row(row).unwrap();
+    }
+    let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+    let pt = ProvenanceTable::compute(&db, &q).unwrap();
+    let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+
+    let cfg = FeatSelConfig::default(); // λ#sel-attr = 3 → 16 measured pairs
+    let order = hist_scan_order(&apt, &pt, None);
+    for fs in [
+        select_features_hist(
+            &apt,
+            &pt,
+            &order,
+            &Question::TwoPoint { t1: 0, t2: 1 },
+            &cfg,
+        ),
+        select_features_hist_global(&apt, &pt, &order, &cfg),
+    ] {
+        let selected: Vec<usize> = fs
+            .num_fields
+            .iter()
+            .chain(&fs.cat_fields)
+            .copied()
+            .collect();
+        let s_family: Vec<usize> = (0..17)
+            .map(|k| apt.field_index(&format!("prov_t_s{k}")).unwrap())
+            .collect();
+        let w_family = [
+            apt.field_index("prov_t_w").unwrap(),
+            apt.field_index("prov_t_w2").unwrap(),
+        ];
+        let s_selected = selected.iter().filter(|f| s_family.contains(f)).count();
+        let w_selected = selected.iter().filter(|f| w_family.contains(f)).count();
+        assert!(
+            s_selected <= 1 && w_selected <= 1,
+            "redundant co-selection: {s_selected} signal copies and {w_selected} weak \
+             duplicates selected ({fs:?})"
+        );
+    }
+}
+
+#[test]
+fn mined_top_k_identical_under_either_trainer() {
+    let (db, q, pt, apt) = setup();
+    let question = Question::TwoPoint { t1: 0, t2: 1 };
+    for (pat_samp, f1_samp) in [(1.0, 1.0), (1.0, 0.5)] {
+        let mut params = MiningParams {
+            lambda_pat_samp: pat_samp,
+            lambda_f1_samp: f1_samp,
+            ..Default::default()
+        };
+        params.featsel_engine = FeatSelEngine::Histogram;
+        let hist = mine_apt(&apt, &pt, &question, &params);
+        params.featsel_engine = FeatSelEngine::FloatMatrix;
+        let float = mine_apt(&apt, &pt, &question, &params);
+        let render = |out: &cajade_mining::MiningOutcome| -> Vec<String> {
+            out.explanations
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}|{}|{:?}|{:?}",
+                        e.pattern.render(&apt, db.pool()),
+                        e.primary_group,
+                        e.secondary_group,
+                        (e.metrics.tp, e.metrics.a1, e.metrics.fp, e.metrics.a2),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            render(&hist),
+            render(&float),
+            "trainer changed the mined top-k (λ_pat={pat_samp}, λ_F1={f1_samp})"
+        );
+        assert!(!hist.explanations.is_empty());
+    }
+    let _ = q;
+}

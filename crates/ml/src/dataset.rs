@@ -1,6 +1,17 @@
-//! Feature-matrix representation decoupled from the storage layer: the
-//! mining crate converts APT columns into [`FeatureColumn`]s before calling
-//! the forest / clustering code, keeping this crate dependency-free.
+//! Feature-matrix representations decoupled from the storage layer.
+//!
+//! Two representations coexist:
+//!
+//! * [`FeatureColumn`] — decoded values (`f64` / dense `u32` codes), the
+//!   input of the float-matrix [`DecisionTree`](crate::tree::DecisionTree)
+//!   trainer and of the association measures in [`crate::correlation`];
+//! * [`BinnedColumn`] — a *pre-binned* column: every value is a small
+//!   bin code (`u16`), numeric bins carry their quantile upper edges, and
+//!   missing values occupy a dedicated trailing bin. This is what the
+//!   histogram trainer ([`crate::tree::HistTree`]) consumes: split search
+//!   walks bin histograms instead of re-scanning and re-sorting node rows,
+//!   and the codes can be gathered straight from dictionary/typed-array
+//!   encoded storage without materializing per-row floats.
 
 /// One feature (attribute) over all rows.
 #[derive(Debug, Clone)]
@@ -13,6 +24,211 @@ pub enum FeatureColumn {
 
 /// Sentinel for a missing categorical value.
 pub const MISSING_CAT: u32 = u32::MAX;
+
+/// What a [`BinnedColumn`]'s bins mean.
+#[derive(Debug, Clone)]
+pub enum BinKind {
+    /// Ordered bins from quantile binning. `thresholds[b]` is the largest
+    /// value of bin `b`; a split candidate `≤ thresholds[b]` sends bins
+    /// `0..=b` left. Values above the last threshold live in an implicit
+    /// top bin (`thresholds.len()`) that can only ever go right.
+    Numeric {
+        /// Quantile upper edges, strictly increasing.
+        thresholds: Vec<f64>,
+    },
+    /// Unordered bins (one per retained category). Bins `0..split_values`
+    /// are equality-split candidates (`code == v` goes left); when the
+    /// column's cardinality exceeded the bin budget, bin `split_values`
+    /// aggregates the rare remainder and is never a split candidate —
+    /// mirroring the float trainer's candidate-value sampling.
+    Categorical {
+        /// Number of equality-splittable bins.
+        split_values: u16,
+    },
+}
+
+/// A pre-binned feature column for histogram tree training.
+///
+/// Codes are `u16`; valid value bins are `0..num_bins` and the dedicated
+/// missing bin is `num_bins` itself (so histograms are simply
+/// `num_bins + 1` wide and accumulation is branch-free). Missing values
+/// always route to the right child, matching the float trainer.
+#[derive(Debug, Clone)]
+pub struct BinnedColumn {
+    codes: Vec<u16>,
+    num_bins: u16,
+    kind: BinKind,
+}
+
+impl BinnedColumn {
+    /// Quantile-bins a numeric column (`NaN` = missing) into at most
+    /// `max_bins` value bins. Thresholds are drawn from the distinct
+    /// values the same way the float trainer samples split candidates:
+    /// all of them when few, evenly spaced quantiles otherwise. Columns
+    /// much longer than the bin budget estimate their quantiles from a
+    /// strided sample (≥ 16 values per bin), so the sort — the only
+    /// super-linear step — stays bounded; every row is still coded.
+    pub fn from_f64(values: &[f64], max_bins: usize) -> BinnedColumn {
+        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
+        let sample_cap = 16 * max_bins;
+        let step = if values.len() > sample_cap {
+            values.len().div_ceil(sample_cap)
+        } else {
+            1
+        };
+        let mut vals: Vec<f64> = values
+            .iter()
+            .step_by(step)
+            .copied()
+            .filter(|x| !x.is_nan())
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        let thresholds: Vec<f64> = if vals.len() <= max_bins {
+            vals
+        } else {
+            let step = vals.len() as f64 / max_bins as f64;
+            let mut t: Vec<f64> = (0..max_bins)
+                .map(|i| vals[(i as f64 * step) as usize])
+                .collect();
+            t.dedup();
+            t
+        };
+        // Value bins: one per threshold plus the implicit top bin.
+        let num_bins = (thresholds.len() + 1) as u16;
+        let codes = values
+            .iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    num_bins // missing bin
+                } else {
+                    thresholds.partition_point(|&t| t < v) as u16
+                }
+            })
+            .collect();
+        BinnedColumn {
+            codes,
+            num_bins,
+            kind: BinKind::Numeric { thresholds },
+        }
+    }
+
+    /// Builds a categorical binned column from arbitrary per-row keys
+    /// (`None` = missing). Dense codes are assigned in first-appearance
+    /// order; when the cardinality exceeds `max_bins`, the `max_bins`
+    /// most frequent categories (ties: earliest appearance) keep their
+    /// own bins and the rest collapse into a non-splittable "other" bin.
+    pub fn from_keys<I: IntoIterator<Item = Option<u64>>>(
+        keys: I,
+        max_bins: usize,
+    ) -> BinnedColumn {
+        use std::collections::HashMap;
+        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
+        let mut dense: HashMap<u64, u32> = HashMap::new();
+        let mut raw: Vec<u32> = Vec::new();
+        const MISSING_RAW: u32 = u32::MAX;
+        for key in keys {
+            match key {
+                None => raw.push(MISSING_RAW),
+                Some(k) => {
+                    let next = dense.len() as u32;
+                    raw.push(*dense.entry(k).or_insert(next));
+                }
+            }
+        }
+        let distinct = dense.len();
+        if distinct <= max_bins {
+            let num_bins = distinct as u16;
+            let codes = raw
+                .iter()
+                .map(|&c| if c == MISSING_RAW { num_bins } else { c as u16 })
+                .collect();
+            return BinnedColumn {
+                codes,
+                num_bins,
+                kind: BinKind::Categorical {
+                    split_values: num_bins,
+                },
+            };
+        }
+        // Cap: keep the most frequent categories, collapse the tail.
+        let mut counts = vec![0u32; distinct];
+        for &c in &raw {
+            if c != MISSING_RAW {
+                counts[c as usize] += 1;
+            }
+        }
+        let mut order: Vec<u32> = (0..distinct as u32).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), c));
+        let split_values = max_bins as u16;
+        let other = split_values; // the aggregated-rare bin
+        let num_bins = split_values + 1;
+        let mut remap = vec![other; distinct];
+        // Kept categories are renumbered by first appearance so the code
+        // assignment stays independent of the frequency ordering details.
+        let mut kept: Vec<u32> = order[..max_bins].to_vec();
+        kept.sort_unstable();
+        for (new, old) in kept.into_iter().enumerate() {
+            remap[old as usize] = new as u16;
+        }
+        let codes = raw
+            .iter()
+            .map(|&c| {
+                if c == MISSING_RAW {
+                    num_bins
+                } else {
+                    remap[c as usize]
+                }
+            })
+            .collect();
+        BinnedColumn {
+            codes,
+            num_bins,
+            kind: BinKind::Categorical { split_values },
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Per-row bin codes (`num_bins` = missing).
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Number of value bins (the missing bin is `num_bins` itself).
+    pub fn num_bins(&self) -> u16 {
+        self.num_bins
+    }
+
+    /// Bin semantics.
+    pub fn kind(&self) -> &BinKind {
+        &self.kind
+    }
+
+    /// True for quantile-binned numeric columns.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.kind, BinKind::Numeric { .. })
+    }
+
+    /// The bin code of row `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u16 {
+        self.codes[i]
+    }
+
+    /// Missing-value check for row `i`.
+    pub fn is_missing(&self, i: usize) -> bool {
+        self.codes[i] == self.num_bins
+    }
+}
 
 impl FeatureColumn {
     /// Number of rows.
@@ -64,5 +280,71 @@ mod tests {
         assert!(n.is_missing(1));
         assert!(!c.is_missing(0));
         assert!(c.is_missing(1));
+    }
+
+    #[test]
+    fn numeric_binning_small_domain_keeps_every_value() {
+        let col = BinnedColumn::from_f64(&[3.0, 1.0, 2.0, 1.0, f64::NAN], 16);
+        // Distinct values 1,2,3 → thresholds [1,2,3], codes are ranks.
+        assert_eq!(col.codes(), &[2, 0, 1, 0, col.num_bins()]);
+        assert!(col.is_missing(4));
+        assert!(!col.is_missing(0));
+        match col.kind() {
+            BinKind::Numeric { thresholds } => assert_eq!(thresholds, &[1.0, 2.0, 3.0]),
+            _ => panic!("numeric kind"),
+        }
+    }
+
+    #[test]
+    fn numeric_binning_caps_and_orders() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let col = BinnedColumn::from_f64(&values, 16);
+        assert!(col.num_bins() <= 17);
+        // Codes are monotone in the values.
+        for w in col.codes().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Values above the last threshold land in the implicit top bin.
+        assert_eq!(col.code(999), col.num_bins() - 1);
+    }
+
+    #[test]
+    fn categorical_binning_dense_codes_and_missing() {
+        let keys = [Some(7u64), Some(3), Some(7), None, Some(9)];
+        let col = BinnedColumn::from_keys(keys, 16);
+        // First-appearance order: 7→0, 3→1, 9→2.
+        assert_eq!(col.codes(), &[0, 1, 0, col.num_bins(), 2]);
+        assert!(!col.is_numeric());
+        match col.kind() {
+            BinKind::Categorical { split_values } => assert_eq!(*split_values, 3),
+            _ => panic!("categorical kind"),
+        }
+    }
+
+    #[test]
+    fn categorical_binning_caps_rare_values_into_other() {
+        // Values 0 and 1 dominate; 2..=9 appear once each; budget of 4.
+        let keys: Vec<Option<u64>> = (0..40)
+            .map(|i| {
+                Some(if i < 16 {
+                    0
+                } else if i < 32 {
+                    1
+                } else {
+                    (i - 30) as u64
+                })
+            })
+            .collect();
+        let col = BinnedColumn::from_keys(keys, 4);
+        match col.kind() {
+            BinKind::Categorical { split_values } => assert_eq!(*split_values, 4),
+            _ => panic!("categorical kind"),
+        }
+        assert_eq!(col.num_bins(), 5);
+        // The frequent values kept their own bins.
+        assert_eq!(col.code(0), 0);
+        assert_eq!(col.code(16), 1);
+        // Some rare value collapsed into the "other" bin (code 4).
+        assert!(col.codes().contains(&4));
     }
 }

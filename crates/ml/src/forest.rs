@@ -1,15 +1,84 @@
-//! Random forest = bagged CART trees + mean-decrease-impurity importances.
+//! Random forests = bagged CART trees + mean-decrease-impurity
+//! importances.
 //!
 //! CaJaDE trains a forest to predict whether an APT row belongs to the
 //! provenance of output `t1` or `t2` (paper §3.1, citing Breiman 2001) and
 //! keeps the λ#sel-attr most relevant attributes for pattern mining.
+//! [`RandomForest`] is the float-matrix reference; [`HistForest`] bags
+//! histogram trees over pre-binned columns through the *same* bagging
+//! loop (the private `fit_bagged`), so the bootstrap draws, √p feature
+//! default, and importance normalization stay in lockstep by
+//! construction. The
+//! two agree bit-for-bit when the binning is lossless **and** no
+//! per-node candidate sampling fires in the float trainer (its
+//! categorical split search consumes extra RNG once a node exceeds
+//! `max_thresholds` distinct values, which the histogram trainer never
+//! does) — the condition the equivalence tests arrange.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::dataset::FeatureColumn;
-use crate::tree::{DecisionTree, TreeConfig};
+use crate::dataset::{BinnedColumn, FeatureColumn};
+use crate::tree::{DecisionTree, HistTree, TreeConfig};
+
+/// The bagging loop shared by both forests: seeded bootstrap draws,
+/// √p features-per-node default, per-tree fit, summed + normalized
+/// mean-decrease-impurity importances. One copy keeps the two forests'
+/// RNG streams identical by construction.
+fn fit_bagged<T>(
+    num_features: usize,
+    n: usize,
+    config: &RandomForestConfig,
+    mut fit_tree: impl FnMut(&[u32], &TreeConfig, &mut StdRng) -> T,
+    importances_of: impl Fn(&T) -> &[f64],
+) -> (Vec<T>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut tree_cfg = config.tree.clone();
+    if tree_cfg.features_per_node.is_none() {
+        tree_cfg.features_per_node = Some(((num_features as f64).sqrt().ceil() as usize).max(1));
+    }
+
+    let sample_size = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
+    let mut trees = Vec::with_capacity(config.num_trees);
+    let mut importances = vec![0.0; num_features];
+
+    for _ in 0..config.num_trees {
+        let rows: Vec<u32> = if n == 0 {
+            Vec::new()
+        } else {
+            (0..sample_size)
+                .map(|_| rng.gen_range(0..n) as u32)
+                .collect()
+        };
+        let tree = fit_tree(&rows, &tree_cfg, &mut rng);
+        for (imp, t) in importances.iter_mut().zip(importances_of(&tree)) {
+            *imp += t;
+        }
+        trees.push(tree);
+    }
+
+    let total: f64 = importances.iter().sum();
+    if total > 0.0 {
+        for imp in &mut importances {
+            *imp /= total;
+        }
+    }
+    (trees, importances)
+}
+
+/// Feature indices sorted by decreasing importance (ties broken by
+/// index for determinism).
+fn ranked_by_importance(importances: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..importances.len()).collect();
+    idx.sort_by(|&a, &b| {
+        importances[b]
+            .partial_cmp(&importances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
 
 /// Forest hyper-parameters.
 #[derive(Debug, Clone)]
@@ -55,37 +124,16 @@ impl RandomForest {
         let n = labels.len();
         assert!(features.iter().all(|f| f.len() == n), "ragged features");
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut tree_cfg = config.tree.clone();
-        if tree_cfg.features_per_node.is_none() {
-            // √p features per node, the standard forest default.
-            tree_cfg.features_per_node =
-                Some(((features.len() as f64).sqrt().ceil() as usize).max(1));
-        }
-
-        let sample_size = ((n as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
-        let mut trees = Vec::with_capacity(config.num_trees);
-        let mut importances = vec![0.0; features.len()];
-
-        for _ in 0..config.num_trees {
-            let rows: Vec<usize> = if n == 0 {
-                Vec::new()
-            } else {
-                (0..sample_size).map(|_| rng.gen_range(0..n)).collect()
-            };
-            let tree = DecisionTree::fit(features, labels, &rows, &tree_cfg, &mut rng);
-            for (imp, t) in importances.iter_mut().zip(&tree.importances) {
-                *imp += t;
-            }
-            trees.push(tree);
-        }
-
-        let total: f64 = importances.iter().sum();
-        if total > 0.0 {
-            for imp in &mut importances {
-                *imp /= total;
-            }
-        }
+        let (trees, importances) = fit_bagged(
+            features.len(),
+            n,
+            config,
+            |rows, tree_cfg, rng| {
+                let rows: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+                DecisionTree::fit(features, labels, &rows, tree_cfg, rng)
+            },
+            |t| &t.importances,
+        );
         RandomForest { trees, importances }
     }
 
@@ -104,14 +152,56 @@ impl RandomForest {
     /// Feature indices sorted by decreasing importance (ties broken by
     /// index for determinism).
     pub fn ranked_features(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.importances.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.importances[b]
-                .partial_cmp(&self.importances[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        idx
+        ranked_by_importance(&self.importances)
+    }
+}
+
+/// A forest of [`HistTree`]s over pre-binned columns.
+///
+/// Shares [`RandomForestConfig`] (and, through the common bagging
+/// loop, the bootstrap / √p-feature defaults and RNG stream) with the
+/// float forest; only the per-tree trainer differs.
+#[derive(Debug)]
+pub struct HistForest {
+    trees: Vec<HistTree>,
+    /// Normalized mean-decrease-impurity importances (sum to 1 unless all
+    /// zero).
+    pub importances: Vec<f64>,
+}
+
+impl HistForest {
+    /// Fits a histogram forest on all rows of `cols` / `labels`.
+    pub fn fit(cols: &[BinnedColumn], labels: &[bool], config: &RandomForestConfig) -> HistForest {
+        assert!(!cols.is_empty(), "need at least one feature");
+        let n = labels.len();
+        assert!(cols.iter().all(|c| c.len() == n), "ragged features");
+
+        let (trees, importances) = fit_bagged(
+            cols.len(),
+            n,
+            config,
+            |rows, tree_cfg, rng| HistTree::fit(cols, labels, rows, tree_cfg, rng),
+            |t| &t.importances,
+        );
+        HistForest { trees, importances }
+    }
+
+    /// Mean predicted probability of the positive class.
+    pub fn predict_proba(&self, cols: &[BinnedColumn], row: usize) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(cols, row))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+
+    /// Feature indices sorted by decreasing importance (ties broken by
+    /// index for determinism).
+    pub fn ranked_features(&self) -> Vec<usize> {
+        ranked_by_importance(&self.importances)
     }
 }
 
@@ -175,5 +265,67 @@ mod tests {
         // No split ever helps; importances all zero.
         assert!(forest.importances.iter().all(|&i| i == 0.0));
         assert!(forest.predict_proba(&features, 0) > 0.99);
+    }
+
+    // ---- histogram forest ---------------------------------------------
+
+    fn binned_xor_data() -> (Vec<BinnedColumn>, Vec<bool>) {
+        let (features, labels) = xor_data();
+        let cols = features
+            .iter()
+            .map(|f| match f {
+                FeatureColumn::Numeric(v) => BinnedColumn::from_f64(v, 32),
+                FeatureColumn::Categorical(v) => {
+                    BinnedColumn::from_keys(v.iter().map(|&c| Some(c as u64)), 32)
+                }
+            })
+            .collect();
+        (cols, labels)
+    }
+
+    #[test]
+    fn hist_forest_learns_xor_and_ranks_noise_last() {
+        let (cols, labels) = binned_xor_data();
+        let forest = HistForest::fit(&cols, &labels, &RandomForestConfig::default());
+        let correct = (0..labels.len())
+            .filter(|&r| (forest.predict_proba(&cols, r) > 0.5) == labels[r])
+            .count();
+        assert!(correct as f64 / labels.len() as f64 > 0.9, "acc {correct}");
+        assert_eq!(forest.ranked_features()[2], 2);
+    }
+
+    #[test]
+    fn hist_forest_deterministic_and_normalized() {
+        let (cols, labels) = binned_xor_data();
+        let cfg = RandomForestConfig::default();
+        let f1 = HistForest::fit(&cols, &labels, &cfg);
+        let f2 = HistForest::fit(&cols, &labels, &cfg);
+        assert_eq!(f1.importances, f2.importances);
+        let sum: f64 = f1.importances.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// With lossless binning (small discrete domains) the histogram
+    /// forest replays the float forest's RNG stream and split decisions
+    /// exactly — the normalized importances are bit-identical.
+    #[test]
+    fn hist_forest_matches_float_forest_on_lossless_binning() {
+        let n = 400usize;
+        let a: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 9) as f64).collect();
+        let labels: Vec<bool> = (0..n).map(|i| (a[i] == 1) ^ (x[i] > 3.0)).collect();
+        let features = vec![
+            FeatureColumn::Categorical(a.clone()),
+            FeatureColumn::Numeric(x.clone()),
+        ];
+        let cols = vec![
+            BinnedColumn::from_keys(a.iter().map(|&c| Some(c as u64)), 16),
+            BinnedColumn::from_f64(&x, 16),
+        ];
+        let cfg = RandomForestConfig::default();
+        let float = RandomForest::fit(&features, &labels, &cfg);
+        let hist = HistForest::fit(&cols, &labels, &cfg);
+        assert_eq!(float.importances, hist.importances);
+        assert_eq!(float.ranked_features(), hist.ranked_features());
     }
 }

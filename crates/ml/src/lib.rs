@@ -3,11 +3,15 @@
 //! Machine-learning substrate for CaJaDE's attribute preprocessing
 //! (paper §3.1):
 //!
-//! * [`forest`] — a from-scratch random forest (CART trees, Gini impurity,
+//! * [`forest`] — from-scratch random forests (CART trees, Gini impurity,
 //!   bootstrap bagging, mean-decrease-impurity importances). The paper uses
 //!   a random-forest classifier to rank attributes by how well they
 //!   distinguish rows belonging to the provenance of the two user-question
-//!   outputs, keeping only the top λ#sel-attr attributes.
+//!   outputs, keeping only the top λ#sel-attr attributes. Two trainers
+//!   exist: the float-matrix reference and a histogram trainer
+//!   ([`HistForest`]) over pre-binned [`BinnedColumn`]s whose per-node
+//!   split search reads class histograms (with parent − left = right
+//!   subtraction) instead of re-scanning rows.
 //! * [`cluster`] — attribute clustering by mutual association. The paper
 //!   uses VARCLUS; per its own remark ("any technique that can cluster
 //!   correlated attributes would be applicable") we use agglomerative
@@ -30,7 +34,7 @@ pub mod tree;
 
 pub use cluster::cluster_attributes;
 pub use correlation::{assoc_matrix, correlation_ratio, cramers_v, pearson};
-pub use dataset::FeatureColumn;
-pub use forest::{RandomForest, RandomForestConfig};
+pub use dataset::{BinKind, BinnedColumn, FeatureColumn};
+pub use forest::{HistForest, RandomForest, RandomForestConfig};
 pub use sampling::{bernoulli_sample, reservoir_sample, sample_with_cap};
-pub use tree::{DecisionTree, TreeConfig};
+pub use tree::{DecisionTree, HistTree, TreeConfig};

@@ -1,15 +1,21 @@
-//! CART decision tree for binary classification with Gini impurity.
+//! CART decision trees for binary classification with Gini impurity.
 //!
-//! Numeric features split on thresholds (`x ≤ t`), categorical features on
-//! equality (`x = v`). Missing values always go to the right child. The
-//! tree records, per feature, the total impurity decrease it produced —
-//! the raw material for the forest's mean-decrease-impurity importances
-//! the paper's feature-selection step relies on.
+//! Two trainers share the split semantics (numeric `x ≤ t`, categorical
+//! `x = v`, missing always right) and the per-feature impurity-decrease
+//! bookkeeping that feeds the forest's mean-decrease-impurity
+//! importances:
+//!
+//! * [`DecisionTree`] — the float-matrix reference: per node it re-scans
+//!   and re-sorts the node's rows for every candidate threshold;
+//! * [`HistTree`] — the histogram trainer on pre-binned
+//!   [`BinnedColumn`]s: per node it accumulates one class histogram per
+//!   feature and reads every candidate split off the histogram, deriving
+//!   the larger child's histograms by parent − left = right subtraction.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::dataset::FeatureColumn;
+use crate::dataset::{BinKind, BinnedColumn, FeatureColumn};
 
 /// Tree hyper-parameters.
 #[derive(Debug, Clone)]
@@ -356,6 +362,329 @@ fn best_split_for_feature(
     }
 }
 
+// ---------------------------------------------------------------------
+// Histogram-based CART on pre-binned columns.
+// ---------------------------------------------------------------------
+
+/// Per-feature class histograms of one node: `hists[f][bin] = [neg, pos]`
+/// counts, `num_bins + 1` wide (the trailing slot is the missing bin).
+type NodeHists = Vec<Vec<[u32; 2]>>;
+
+fn build_hists(cols: &[BinnedColumn], labels: &[bool], rows: &[u32]) -> NodeHists {
+    cols.iter()
+        .map(|col| {
+            let mut h = vec![[0u32; 2]; col.num_bins() as usize + 1];
+            for &r in rows {
+                h[col.code(r as usize) as usize][labels[r as usize] as usize] += 1;
+            }
+            h
+        })
+        .collect()
+}
+
+/// `parent − small = large`: the classic histogram-subtraction trick —
+/// only the smaller child's histograms are rebuilt from its rows, the
+/// larger child's are derived in `O(features × bins)`.
+fn subtract_hists(parent: &NodeHists, small: &NodeHists) -> NodeHists {
+    parent
+        .iter()
+        .zip(small)
+        .map(|(p, s)| {
+            p.iter()
+                .zip(s)
+                .map(|(pc, sc)| [pc[0] - sc[0], pc[1] - sc[1]])
+                .collect()
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum HNode {
+    Leaf {
+        prob: f64,
+    },
+    /// Go left iff `code ≤ bin` (missing bin is always greater).
+    SplitNum {
+        feature: usize,
+        bin: u16,
+        left: usize,
+        right: usize,
+    },
+    /// Go left iff `code == code_eq`.
+    SplitCat {
+        feature: usize,
+        code_eq: u16,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART tree trained on [`BinnedColumn`]s with per-node class
+/// histograms instead of row re-scans.
+///
+/// Split search walks each candidate feature's bin histogram once
+/// (`O(bins)` per feature) rather than re-scanning and re-sorting the
+/// node's rows per candidate threshold; child histograms are derived by
+/// the parent − left = right subtraction, so only the smaller child pays
+/// a build pass. On bins that losslessly cover the value domain the
+/// chosen splits — and therefore the mean-decrease-impurity importances —
+/// are identical to [`DecisionTree`]'s (see the equivalence tests).
+#[derive(Debug, Clone)]
+pub struct HistTree {
+    nodes: Vec<HNode>,
+    /// Per-feature accumulated (weighted) impurity decrease.
+    pub importances: Vec<f64>,
+}
+
+impl HistTree {
+    /// Fits a tree on the rows listed in `rows`.
+    pub fn fit(
+        cols: &[BinnedColumn],
+        labels: &[bool],
+        rows: &[u32],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut tree = HistTree {
+            nodes: Vec::new(),
+            importances: vec![0.0; cols.len()],
+        };
+        let n_total = rows.len().max(1) as f64;
+        let hists = build_hists(cols, labels, rows);
+        tree.build(cols, labels, rows.to_vec(), hists, config, rng, 0, n_total);
+        tree
+    }
+
+    fn leaf(&mut self, labels: &[bool], rows: &[u32]) -> usize {
+        let pos = rows.iter().filter(|&&r| labels[r as usize]).count() as f64;
+        let prob = if rows.is_empty() {
+            0.5
+        } else {
+            pos / rows.len() as f64
+        };
+        self.nodes.push(HNode::Leaf { prob });
+        self.nodes.len() - 1
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        cols: &[BinnedColumn],
+        labels: &[bool],
+        rows: Vec<u32>,
+        hists: NodeHists,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+        depth: usize,
+        n_total: f64,
+    ) -> usize {
+        let pos = rows.iter().filter(|&&r| labels[r as usize]).count() as f64;
+        let total = rows.len() as f64;
+        let node_gini = gini(pos, total);
+
+        if depth >= config.max_depth || rows.len() < config.min_samples_split || node_gini == 0.0 {
+            return self.leaf(labels, &rows);
+        }
+
+        // Candidate feature subset (same policy as the float trainer).
+        let mut feat_idx: Vec<usize> = (0..cols.len()).collect();
+        if let Some(k) = config.features_per_node {
+            feat_idx.shuffle(rng);
+            feat_idx.truncate(k.max(1));
+        }
+
+        let mut best: Option<(f64, HSplit)> = None;
+        for &f in &feat_idx {
+            if let Some((gain, split)) = best_hist_split(&cols[f], &hists[f], f, node_gini, total) {
+                if best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
+                    best = Some((gain, split));
+                }
+            }
+        }
+
+        let Some((gain, split)) = best else {
+            return self.leaf(labels, &rows);
+        };
+        if gain <= 1e-12 {
+            return self.leaf(labels, &rows);
+        }
+
+        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = match split {
+            HSplit::Num { feature, bin } => rows
+                .iter()
+                .partition(|&&r| cols[feature].code(r as usize) <= bin),
+            HSplit::Cat { feature, code } => rows
+                .iter()
+                .partition(|&&r| cols[feature].code(r as usize) == code),
+        };
+        if left_rows.is_empty() || right_rows.is_empty() {
+            return self.leaf(labels, &rows);
+        }
+
+        let f = match split {
+            HSplit::Num { feature, .. } | HSplit::Cat { feature, .. } => feature,
+        };
+        self.importances[f] += gain * (total / n_total);
+
+        // Histogram subtraction: rebuild only the smaller child.
+        let (small_rows, small_is_left) = if left_rows.len() <= right_rows.len() {
+            (&left_rows, true)
+        } else {
+            (&right_rows, false)
+        };
+        let small = build_hists(cols, labels, small_rows);
+        let large = subtract_hists(&hists, &small);
+        drop(hists);
+        let (left_h, right_h) = if small_is_left {
+            (small, large)
+        } else {
+            (large, small)
+        };
+
+        let placeholder = self.nodes.len();
+        self.nodes.push(HNode::Leaf { prob: 0.5 }); // replaced below
+        let left = self.build(
+            cols,
+            labels,
+            left_rows,
+            left_h,
+            config,
+            rng,
+            depth + 1,
+            n_total,
+        );
+        let right = self.build(
+            cols,
+            labels,
+            right_rows,
+            right_h,
+            config,
+            rng,
+            depth + 1,
+            n_total,
+        );
+        self.nodes[placeholder] = match split {
+            HSplit::Num { feature, bin } => HNode::SplitNum {
+                feature,
+                bin,
+                left,
+                right,
+            },
+            HSplit::Cat { feature, code } => HNode::SplitCat {
+                feature,
+                code_eq: code,
+                left,
+                right,
+            },
+        };
+        placeholder
+    }
+
+    /// Predicted probability of the positive class for row `row`.
+    pub fn predict_proba(&self, cols: &[BinnedColumn], row: usize) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                HNode::Leaf { prob } => return *prob,
+                HNode::SplitNum {
+                    feature,
+                    bin,
+                    left,
+                    right,
+                } => {
+                    idx = if cols[*feature].code(row) <= *bin {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                HNode::SplitCat {
+                    feature,
+                    code_eq,
+                    left,
+                    right,
+                } => {
+                    idx = if cols[*feature].code(row) == *code_eq {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HSplit {
+    Num { feature: usize, bin: u16 },
+    Cat { feature: usize, code: u16 },
+}
+
+/// Best split of one feature, read off its node histogram: numeric bins
+/// are scanned as a prefix sum (split candidates are the bin upper
+/// edges), categorical bins as one-vs-rest equality splits. Missing rows
+/// (trailing histogram slot) always stay on the right side, matching the
+/// float trainer's NaN routing.
+fn best_hist_split(
+    col: &BinnedColumn,
+    hist: &[[u32; 2]],
+    feature: usize,
+    parent_gini: f64,
+    total: f64,
+) -> Option<(f64, HSplit)> {
+    let pos_total: f64 = hist.iter().map(|c| c[1] as f64).sum();
+    let mut best: Option<(f64, HSplit)> = None;
+    let mut consider = |gain: f64, split: HSplit| {
+        if best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
+            best = Some((gain, split));
+        }
+    };
+    match col.kind() {
+        BinKind::Numeric { thresholds } => {
+            let (mut lp, mut ln) = (0.0f64, 0.0f64);
+            for (b, cell) in hist.iter().take(thresholds.len()).enumerate() {
+                lp += cell[1] as f64;
+                ln += cell[0] as f64;
+                let lt = lp + ln;
+                let rt = total - lt;
+                if lt == 0.0 || rt == 0.0 {
+                    continue;
+                }
+                let rp = pos_total - lp;
+                let child = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
+                consider(
+                    parent_gini - child,
+                    HSplit::Num {
+                        feature,
+                        bin: b as u16,
+                    },
+                );
+            }
+        }
+        BinKind::Categorical { split_values } => {
+            for v in 0..*split_values {
+                let [ln, lp] = hist[v as usize];
+                let (lp, ln) = (lp as f64, ln as f64);
+                let lt = lp + ln;
+                let rt = total - lt;
+                if lt == 0.0 || rt == 0.0 {
+                    continue;
+                }
+                let rp = pos_total - lp;
+                let child = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
+                consider(parent_gini - child, HSplit::Cat { feature, code: v });
+            }
+        }
+    }
+    best
+}
+
 /// Deterministic rng helper for tests.
 #[cfg(test)]
 pub(crate) fn test_rng(seed: u64) -> StdRng {
@@ -458,5 +787,95 @@ mod tests {
         let tree = DecisionTree::fit(&features, &labels, &rows, &cfg, &mut rng);
         // NaN rows predicted with the right-branch majority (true).
         assert!(tree.predict_proba(&features, 2) > 0.5);
+    }
+
+    // ---- histogram tree ------------------------------------------------
+
+    #[test]
+    fn hist_tree_learns_numeric_threshold() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let labels: Vec<bool> = xs.iter().map(|&x| x > 5.0).collect();
+        let cols = vec![BinnedColumn::from_f64(&xs, 32)];
+        let rows: Vec<u32> = (0..100).collect();
+        let mut rng = test_rng(7);
+        let tree = HistTree::fit(&cols, &labels, &rows, &TreeConfig::default(), &mut rng);
+        let correct = rows
+            .iter()
+            .filter(|&&r| (tree.predict_proba(&cols, r as usize) > 0.5) == labels[r as usize])
+            .count();
+        assert!(correct >= 95, "got {correct}/100 correct");
+        assert!(tree.importances[0] > 0.0);
+    }
+
+    #[test]
+    fn hist_tree_learns_categorical_split() {
+        let keys: Vec<Option<u64>> = (0..200).map(|i| Some((i % 7) as u64)).collect();
+        let labels: Vec<bool> = keys.iter().map(|k| *k == Some(3)).collect();
+        let cols = vec![BinnedColumn::from_keys(keys, 32)];
+        let rows: Vec<u32> = (0..200).collect();
+        let mut rng = test_rng(3);
+        let tree = HistTree::fit(&cols, &labels, &rows, &TreeConfig::default(), &mut rng);
+        let correct = rows
+            .iter()
+            .filter(|&&r| (tree.predict_proba(&cols, r as usize) > 0.5) == labels[r as usize])
+            .count();
+        assert_eq!(correct, 200);
+    }
+
+    #[test]
+    fn hist_tree_missing_routes_right() {
+        let vals = vec![1.0, 2.0, f64::NAN, 10.0, 11.0, f64::NAN];
+        let labels = vec![false, false, true, true, true, true];
+        let cols = vec![BinnedColumn::from_f64(&vals, 16)];
+        let rows: Vec<u32> = (0..6).collect();
+        let mut rng = test_rng(5);
+        let cfg = TreeConfig {
+            min_samples_split: 2,
+            ..TreeConfig::default()
+        };
+        let tree = HistTree::fit(&cols, &labels, &rows, &cfg, &mut rng);
+        assert!(tree.predict_proba(&cols, 2) > 0.5);
+    }
+
+    #[test]
+    fn hist_tree_pure_node_stays_leaf() {
+        let cols = vec![BinnedColumn::from_f64(&[1.0, 2.0, 3.0], 16)];
+        let labels = vec![true, true, true];
+        let mut rng = test_rng(1);
+        let tree = HistTree::fit(&cols, &labels, &[0, 1, 2], &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_proba(&cols, 0), 1.0);
+    }
+
+    /// On a domain the binning covers losslessly (distinct values within
+    /// both the bin budget and the float trainer's per-node threshold
+    /// cap), the histogram tree considers exactly the float tree's
+    /// candidate splits in the same order — the importances must be
+    /// bit-identical.
+    #[test]
+    fn hist_tree_importances_match_float_tree_on_lossless_binning() {
+        let n = 300usize;
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+        let cats: Vec<u32> = (0..n).map(|i| (i % 6) as u32).collect();
+        let labels: Vec<bool> = (0..n).map(|i| (xs[i] > 4.0) ^ (cats[i] == 2)).collect();
+
+        let float_features = vec![
+            FeatureColumn::Numeric(xs.clone()),
+            FeatureColumn::Categorical(cats.clone()),
+        ];
+        // Dense codes for `cats` are already first-appearance ordered
+        // (0..6), matching `from_keys`' assignment.
+        let cols = vec![
+            BinnedColumn::from_f64(&xs, 16),
+            BinnedColumn::from_keys(cats.iter().map(|&c| Some(c as u64)), 16),
+        ];
+        let rows_f: Vec<usize> = (0..n).collect();
+        let rows_h: Vec<u32> = (0..n as u32).collect();
+        let cfg = TreeConfig::default(); // all features per node → rng unused
+        let float_tree =
+            DecisionTree::fit(&float_features, &labels, &rows_f, &cfg, &mut test_rng(9));
+        let hist_tree = HistTree::fit(&cols, &labels, &rows_h, &cfg, &mut test_rng(9));
+        assert_eq!(float_tree.importances, hist_tree.importances);
+        assert_eq!(float_tree.num_nodes(), hist_tree.num_nodes());
     }
 }
