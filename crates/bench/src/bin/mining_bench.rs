@@ -10,7 +10,10 @@
 //! * warm new-question ask (cached `PreparedApt`, mining only),
 //! * warm repeat ask (answer cache),
 //! * refinement-BFS upper-bound pruning counters,
-//! * raw pattern-scoring throughput (patterns/sec, both engines).
+//! * raw pattern-scoring throughput (patterns/sec, both engines),
+//! * the ingestion subsystem's per-stage wall clock (scan / infer /
+//!   load / discover) on the CSV-exported corpus (best-of-5 minima per
+//!   stage, like every other number here).
 //!
 //! ```text
 //! cargo run -p cajade-bench --release --bin mining_bench -- \
@@ -24,6 +27,7 @@
 
 use std::time::{Duration, Instant};
 
+use cajade_bench::ingest_workload::TempDir;
 use cajade_bench::workloads::nba_db;
 use cajade_core::{FeatSelEngine, Params, ScoreEngine, UserQuestion};
 use cajade_datagen::GeneratedDb;
@@ -275,6 +279,36 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Best-of-5 per-stage ingest timings over the CSV-exported corpus
+/// (stage minima taken independently, like the featsel phase above).
+fn ingest_phases(gen: &GeneratedDb) -> cajade_ingest::IngestTimings {
+    let dir = TempDir::new("cajade_bench_ingest");
+    cajade_ingest::export_csv_dir(
+        &gen.db,
+        &gen.schema_graph,
+        dir.path(),
+        &cajade_ingest::ExportOptions::default(),
+    )
+    .expect("export corpus");
+    let mut best: Option<cajade_ingest::IngestTimings> = None;
+    for _ in 0..5 {
+        let run = cajade_ingest::ingest_dir(dir.path(), &cajade_ingest::IngestOptions::default())
+            .expect("ingest corpus")
+            .report
+            .timings;
+        best = Some(match best {
+            None => run,
+            Some(b) => cajade_ingest::IngestTimings {
+                scan: b.scan.min(run.scan),
+                infer: b.infer.min(run.infer),
+                load: b.load.min(run.load),
+                discover: b.discover.min(run.discover),
+            },
+        });
+    }
+    best.unwrap()
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05f64;
@@ -317,6 +351,7 @@ fn main() {
     );
     let (warm_new, warm_repeat) = warm_asks(&gen);
     let (scalar_rate, vector_rate, mask_rate, apt_rows, num_patterns) = scoring_throughput(&gen);
+    let ingest = ingest_phases(&gen);
 
     println!(
         "cold ask, scalar engine      {:>10.2} ms",
@@ -342,10 +377,18 @@ fn main() {
         "scoring throughput            scalar {scalar_rate:>12.0} pat/s | vectorized {vector_rate:>12.0} pat/s | incremental masks {mask_rate:>12.0} pat/s ({:.0}×, {num_patterns} patterns × 2 directions, {apt_rows}-row APT)",
         mask_rate / scalar_rate.max(1e-9)
     );
+    println!(
+        "csv ingest (export→ingest)    scan {:>7.2} ms | infer {:>7.2} ms | load {:>7.2} ms | discover {:>7.2} ms | total {:>7.2} ms",
+        ms(ingest.scan),
+        ms(ingest.infer),
+        ms(ingest.load),
+        ms(ingest.discover),
+        ms(ingest.total())
+    );
 
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns}\n}}\n",
+            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns},\n  \"ingest_scan_ms\": {:.3},\n  \"ingest_infer_ms\": {:.3},\n  \"ingest_load_ms\": {:.3},\n  \"ingest_discover_ms\": {:.3},\n  \"ingest_total_ms\": {:.3}\n}}\n",
             ms(cold_scalar.wall),
             ms(cold_vector.wall),
             ms(cold_vector.featsel),
@@ -359,6 +402,11 @@ fn main() {
             vector_rate,
             mask_rate,
             mask_rate / scalar_rate.max(1e-9),
+            ms(ingest.scan),
+            ms(ingest.infer),
+            ms(ingest.load),
+            ms(ingest.discover),
+            ms(ingest.total()),
         );
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");

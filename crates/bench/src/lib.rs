@@ -5,6 +5,7 @@
 //! criterion benches cover the hot kernels. See EXPERIMENTS.md at the
 //! workspace root for the experiment ↔ paper mapping and measured results.
 
+pub mod ingest_workload;
 pub mod tablefmt;
 pub mod user_study;
 pub mod workloads;

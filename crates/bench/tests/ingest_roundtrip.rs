@@ -1,0 +1,60 @@
+//! The ISSUE-4 acceptance test: the CSV-export→ingest round-trip of NBA
+//! scale 0.05 recovers a schema graph whose enumerated join graphs match
+//! the declared-schema run.
+//!
+//! The exported `dataset.toml` pins keys, kinds, and only the joins
+//! containment discovery cannot express (composite conditions and the
+//! lineup self-join); every single-column foreign key must be recovered
+//! by discovery — with no spurious extras — for the enumerations to
+//! agree.
+
+use cajade_bench::ingest_workload::{enumerated_keys, nba_round_trip};
+
+#[test]
+fn nba_round_trip_reaches_join_graph_parity() {
+    let (rt, _tmp) = nba_round_trip(0.05);
+
+    // Same relations, same row counts.
+    assert_eq!(
+        {
+            let mut names = rt.declared.db.table_names();
+            names.sort_unstable();
+            names
+        },
+        rt.ingested.db.table_names(),
+        "ingest loads one table per CSV file, name-sorted"
+    );
+    for t in rt.declared.db.tables() {
+        let loaded = rt.ingested.db.table(t.name()).unwrap();
+        assert_eq!(loaded.num_rows(), t.num_rows(), "{}", t.name());
+        assert_eq!(
+            loaded.schema().primary_key(),
+            t.schema().primary_key(),
+            "{}: pinned keys survive the round trip",
+            t.name()
+        );
+    }
+
+    // Join-graph parity: the set of valid enumerated join graphs for the
+    // workload query must be identical under both schema graphs.
+    let declared = enumerated_keys(&rt.declared.db, &rt.declared.schema_graph, 2);
+    let ingested = enumerated_keys(&rt.ingested.db, &rt.ingested.schema_graph, 2);
+    let missing: Vec<_> = declared.difference(&ingested).collect();
+    let extra: Vec<_> = ingested.difference(&declared).collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "join-graph parity broken:\n  missing ({}): {missing:#?}\n  extra ({}): {extra:#?}\n  report:\n{}",
+        missing.len(),
+        extra.len(),
+        rt.ingested.report.render()
+    );
+    assert!(!declared.is_empty());
+
+    // Discovery did real work: the single-column FKs came from it, not
+    // the manifest.
+    assert!(
+        rt.ingested.report.discovered_join_count() >= 8,
+        "expected the NBA single-column FKs to be discovered:\n{}",
+        rt.ingested.report.render()
+    );
+}

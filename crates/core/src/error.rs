@@ -15,6 +15,9 @@ pub enum CoreError {
     Graph(GraphError),
     /// A user-question tuple did not match any output tuple.
     NoSuchOutputTuple(String),
+    /// A user question was structurally invalid before ever touching the
+    /// data (e.g. no selecting pairs at all).
+    InvalidQuestion(String),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +29,7 @@ impl fmt::Display for CoreError {
             CoreError::NoSuchOutputTuple(msg) => {
                 write!(f, "user question matches no output tuple: {msg}")
             }
+            CoreError::InvalidQuestion(msg) => write!(f, "invalid user question: {msg}"),
         }
     }
 }

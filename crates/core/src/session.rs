@@ -57,6 +57,23 @@ impl UserQuestion {
                 .collect(),
         }
     }
+
+    /// Builds a question from already-split `(column, value)` specs, the
+    /// shape CLI flags and wire protocols produce: both specs non-empty →
+    /// two-point, only `t1` → single-point, anything else is an
+    /// [`crate::CoreError::InvalidQuestion`].
+    pub fn from_specs(t1: &[(String, String)], t2: &[(String, String)]) -> Result<UserQuestion> {
+        match (t1.is_empty(), t2.is_empty()) {
+            (false, false) => Ok(UserQuestion::TwoPoint {
+                t1: t1.to_vec(),
+                t2: t2.to_vec(),
+            }),
+            (false, true) => Ok(UserQuestion::SinglePoint { t: t1.to_vec() }),
+            (true, _) => Err(crate::CoreError::InvalidQuestion(
+                "no (column, value) pairs select the primary tuple t1".into(),
+            )),
+        }
+    }
 }
 
 /// Everything a session produces.

@@ -25,6 +25,12 @@ pub struct DiscoveryConfig {
     /// Minimum uniqueness (ndv / rows) of the to-side column — FK targets
     /// are keys or near-keys.
     pub min_to_uniqueness: f64,
+    /// Minimum fraction of the to-side's distinct values referenced by
+    /// the from side ([`JoinCandidate::to_coverage`]). Real foreign keys
+    /// exercise most of their target; a dense surrogate-key range that
+    /// merely contains another id column's values is referenced only
+    /// partially and gets rejected here.
+    pub min_to_coverage: f64,
     /// Cap on distinct values collected per column (memory guard).
     pub max_distinct: usize,
     /// Require non-trivial value sets (columns with fewer distinct values
@@ -37,6 +43,7 @@ impl Default for DiscoveryConfig {
         Self {
             min_containment: 0.95,
             min_to_uniqueness: 0.9,
+            min_to_coverage: 0.5,
             max_distinct: 100_000,
             min_distinct: 3,
         }
@@ -58,8 +65,55 @@ pub struct JoinCandidate {
     pub containment: f64,
     /// ndv/rows of the to-side column.
     pub to_uniqueness: f64,
+    /// Fraction of the to-side's distinct values the from side actually
+    /// references. True foreign keys tend to exercise most of their
+    /// target key; a dense surrogate-key range that merely *happens* to
+    /// contain another id column's values (the classic inclusion-
+    /// dependency false positive) is referenced only partially. Gated by
+    /// [`DiscoveryConfig::min_to_coverage`] and used to pick the best
+    /// target among same-score candidates. On *sampled or filtered*
+    /// data, where real FKs legitimately reference few target keys,
+    /// lower (or zero) the gate.
+    pub to_coverage: f64,
     /// Combined ranking score (containment × uniqueness, +name bonus).
     pub score: f64,
+}
+
+impl JoinCandidate {
+    /// One-line rendering with the evidence that ranked it, e.g.
+    /// `orders.customer_id → customers.id (containment 1.00, uniqueness 1.00, coverage 0.95)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}.{} → {}.{} (containment {:.2}, uniqueness {:.2}, coverage {:.2})",
+            self.from_table,
+            self.from_col,
+            self.to_table,
+            self.to_col,
+            self.containment,
+            self.to_uniqueness,
+            self.to_coverage
+        )
+    }
+}
+
+/// A schema graph assembled (or extended) by discovery, with the
+/// provenance of every proposed join that made it in — callers surface
+/// these so users can audit *why* the system joins their tables.
+#[derive(Debug, Clone)]
+pub struct DiscoveredGraph {
+    /// The (extended) schema graph, already validated against the database.
+    pub graph: SchemaGraph,
+    /// The discovered candidates that were accepted, strongest first.
+    pub accepted: Vec<JoinCandidate>,
+    /// Candidates that passed the thresholds but were dropped — because a
+    /// pinned edge already connects their table pair, their referencing
+    /// column already took a better target, or the `max_new` budget ran
+    /// out. Kept for reporting ("the system also noticed …").
+    pub skipped: Vec<JoinCandidate>,
+    /// How many of `skipped` were dropped *only* because the `max_new`
+    /// budget was exhausted — the count that justifies telling the user
+    /// to raise it.
+    pub budget_skipped: usize,
 }
 
 /// Distinct-value fingerprint of one column.
@@ -140,6 +194,10 @@ pub fn discover_joins(db: &Database, cfg: &DiscoveryConfig) -> Vec<JoinCandidate
             if to_uniqueness < cfg.min_to_uniqueness {
                 continue;
             }
+            let to_coverage = inter as f64 / b.values.len().max(1) as f64;
+            if to_coverage < cfg.min_to_coverage {
+                continue;
+            }
             let name_bonus = if a.col == b.col {
                 0.1
             } else if a.col.contains(&b.col) || b.col.contains(&a.col) {
@@ -154,24 +212,35 @@ pub fn discover_joins(db: &Database, cfg: &DiscoveryConfig) -> Vec<JoinCandidate
                 to_col: b.col.clone(),
                 containment,
                 to_uniqueness,
+                to_coverage,
                 score: containment * to_uniqueness + name_bonus,
             });
         }
     }
+    // Strongest first: score, then target coverage (breaks the dense-
+    // surrogate-key ties in favour of the fully-referenced key), then a
+    // lexicographic tail for determinism.
     out.sort_by(|x, y| {
         y.score
             .partial_cmp(&x.score)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| {
+                y.to_coverage
+                    .partial_cmp(&x.to_coverage)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| {
                 (
                     x.from_table.as_str(),
                     x.from_col.as_str(),
                     x.to_table.as_str(),
+                    x.to_col.as_str(),
                 )
                     .cmp(&(
                         y.from_table.as_str(),
                         y.from_col.as_str(),
                         y.to_table.as_str(),
+                        y.to_col.as_str(),
                     ))
             })
     });
@@ -185,16 +254,92 @@ pub fn discovered_schema_graph(
     cfg: &DiscoveryConfig,
     max_edges: usize,
 ) -> Result<SchemaGraph> {
-    let mut g = SchemaGraph::new();
-    for cand in discover_joins(db, cfg).into_iter().take(max_edges) {
-        g.add_condition(
-            &cand.from_table,
-            &cand.to_table,
-            JoinCond::on(&[(cand.from_col.as_str(), cand.to_col.as_str())]),
-        );
+    Ok(extend_schema_graph(db, cfg, SchemaGraph::new(), max_edges)?.graph)
+}
+
+/// Extends a *pinned* base graph (manifest-declared or FK-derived joins)
+/// with up to `max_new` discovered joins, keeping per-candidate
+/// provenance. Three selection rules separate this from blindly taking
+/// the strongest candidates:
+///
+/// * **pinned pairs are authoritative** — a candidate between a pair of
+///   relations the base graph already connects is skipped rather than
+///   second-guessed (the declared condition may be composite or
+///   otherwise out of reach of single-column containment discovery, and
+///   layering a weaker discovered variant next to it would distort
+///   enumeration);
+/// * **one target per referencing column** — a foreign key references
+///   one relation, so each `(from_table, from_col)` keeps only its
+///   best-ranked target (score, then [`JoinCandidate::to_coverage`]);
+/// * **composite-consumed columns stay consumed** — a referencing column
+///   already used on the referencing (a-)side of a pinned *composite*
+///   condition proposes no single-column joins of its own: its
+///   containments are transitive artifacts of the composite key (e.g.
+///   `stats.home_id ⊆ team.team_id` follows from
+///   `stats(game_date, home_id) → game → team`);
+/// * **no duplicate conditions** — a candidate whose condition already
+///   exists on the pair's edge (in either orientation, e.g. the reverse
+///   direction of an already-accepted join) is skipped.
+pub fn extend_schema_graph(
+    db: &Database,
+    cfg: &DiscoveryConfig,
+    base: SchemaGraph,
+    max_new: usize,
+) -> Result<DiscoveredGraph> {
+    let pinned_pairs: HashSet<(String, String)> = base
+        .edges()
+        .iter()
+        .flat_map(|e| [(e.a.clone(), e.b.clone()), (e.b.clone(), e.a.clone())])
+        .collect();
+    let composite_consumed: HashSet<(String, String)> = base
+        .edges()
+        .iter()
+        .flat_map(|e| {
+            e.conds
+                .iter()
+                .filter(|c| c.pairs.len() > 1)
+                .flat_map(|c| c.pairs.iter().map(|p| (e.a.clone(), p.left.clone())))
+        })
+        .collect();
+    let mut graph = base;
+    let mut accepted: Vec<JoinCandidate> = Vec::new();
+    let mut skipped = Vec::new();
+    let mut budget_skipped = 0usize;
+    let mut from_cols_used: HashSet<(String, String)> = HashSet::new();
+    for cand in discover_joins(db, cfg) {
+        let from_coord = (cand.from_table.clone(), cand.from_col.clone());
+        let covered = pinned_pairs.contains(&(cand.from_table.clone(), cand.to_table.clone()))
+            || composite_consumed.contains(&from_coord);
+        let from_col_taken = from_cols_used.contains(&from_coord);
+        let cond = JoinCond::on(&[(cand.from_col.as_str(), cand.to_col.as_str())]);
+        let duplicate = has_condition(&graph, &cand.from_table, &cand.to_table, &cond);
+        if covered || from_col_taken || duplicate || accepted.len() >= max_new {
+            if !(covered || from_col_taken || duplicate) {
+                budget_skipped += 1;
+            }
+            skipped.push(cand);
+            continue;
+        }
+        from_cols_used.insert((cand.from_table.clone(), cand.from_col.clone()));
+        graph.add_condition(&cand.from_table, &cand.to_table, cond);
+        accepted.push(cand);
     }
-    g.validate(db)?;
-    Ok(g)
+    graph.validate(db)?;
+    Ok(DiscoveredGraph {
+        graph,
+        accepted,
+        skipped,
+        budget_skipped,
+    })
+}
+
+/// True when `graph` already carries `cond` between `a` and `b` (in
+/// either orientation).
+fn has_condition(graph: &SchemaGraph, a: &str, b: &str, cond: &JoinCond) -> bool {
+    graph.edges().iter().any(|e| {
+        (e.a == a && e.b == b && e.conds.contains(cond))
+            || (e.a == b && e.b == a && e.conds.contains(&cond.flipped()))
+    })
 }
 
 #[cfg(test)]
@@ -293,6 +438,44 @@ mod tests {
         ];
         assert!(names.contains(&("orders", "customer_id")));
         assert!(names.contains(&("customers", "id")));
+    }
+
+    #[test]
+    fn pinned_pairs_are_not_second_guessed() {
+        let db = undeclared_fk_db();
+        // Pin a (deliberately different) condition between orders and
+        // customers: discovery must not layer its own variant on the pair.
+        let mut base = SchemaGraph::new();
+        base.add_condition("orders", "customers", JoinCond::on(&[("order_id", "id")]));
+        let out = extend_schema_graph(&db, &DiscoveryConfig::default(), base, 8).unwrap();
+        assert!(out.accepted.is_empty());
+        assert!(out
+            .skipped
+            .iter()
+            .any(|c| c.from_table == "orders" && c.to_table == "customers"));
+        assert_eq!(out.graph.edges().len(), 1);
+        assert_eq!(out.graph.edges()[0].conds.len(), 1);
+    }
+
+    #[test]
+    fn extend_reports_provenance() {
+        let db = undeclared_fk_db();
+        let out =
+            extend_schema_graph(&db, &DiscoveryConfig::default(), SchemaGraph::new(), 8).unwrap();
+        assert!(!out.accepted.is_empty());
+        let best = &out.accepted[0];
+        assert_eq!(
+            (best.from_table.as_str(), best.to_table.as_str()),
+            ("orders", "customers")
+        );
+        assert!(best.render().contains("orders.customer_id → customers.id"));
+        // Every accepted candidate has a matching graph condition.
+        for c in &out.accepted {
+            assert!(out.graph.edges().iter().any(|e| {
+                (e.a == c.from_table && e.b == c.to_table)
+                    || (e.a == c.to_table && e.b == c.from_table)
+            }));
+        }
     }
 
     #[test]

@@ -204,6 +204,72 @@ impl JoinGraph {
 
         best.unwrap_or_else(|| "PT|".to_string())
     }
+
+    /// Like [`canonical_key`](Self::canonical_key), but edges are
+    /// labelled with their *rendered join conditions* instead of
+    /// `(schema edge, condition)` indices. Two graphs enumerated from
+    /// **different** schema graphs (say, a declared one and a
+    /// discovery-assembled one) get equal semantic keys iff they join the
+    /// same relations on the same attribute pairs — the equivalence the
+    /// ingestion round-trip benchmark checks. Within one schema graph,
+    /// `canonical_key` is cheaper and exactly as discriminating.
+    pub fn semantic_key(&self) -> String {
+        let n = self.nodes.len();
+        let non_pt: Vec<usize> = (1..n).collect();
+        let mut best: Option<String> = None;
+
+        let cond_fwd = |e: &JgEdge| -> String {
+            e.cond
+                .pairs
+                .iter()
+                .map(|p| format!("{}={}", p.left, p.right))
+                .collect::<Vec<_>>()
+                .join("&")
+        };
+        let cond_rev = |e: &JgEdge| -> String {
+            e.cond
+                .pairs
+                .iter()
+                .map(|p| format!("{}={}", p.right, p.left))
+                .collect::<Vec<_>>()
+                .join("&")
+        };
+
+        permute(&non_pt, &mut |perm| {
+            let mut mapping = vec![0usize; n];
+            for (new_pos, &old) in perm.iter().enumerate() {
+                mapping[old] = new_pos + 1;
+            }
+            let mut labels = vec![String::new(); n];
+            labels[0] = "PT".into();
+            for &old in perm {
+                labels[mapping[old]] = match &self.nodes[old].label {
+                    NodeLabel::Pt => unreachable!("only node 0 is PT"),
+                    NodeLabel::Rel(r) => r.clone(),
+                };
+            }
+            let mut edge_keys: Vec<String> = self
+                .edges
+                .iter()
+                .map(|e| {
+                    let f = mapping[e.from];
+                    let t = mapping[e.to];
+                    if f <= t {
+                        format!("{f}>{t}:{}:{:?}", cond_fwd(e), e.pt_from_idx)
+                    } else {
+                        format!("{t}<{f}:{}:{:?}", cond_rev(e), e.pt_from_idx)
+                    }
+                })
+                .collect();
+            edge_keys.sort();
+            let key = format!("{}|{}", labels.join(","), edge_keys.join(";"));
+            if best.as_ref().is_none_or(|b| key < *b) {
+                best = Some(key);
+            }
+        });
+
+        best.unwrap_or_else(|| "PT|".to_string())
+    }
 }
 
 /// A hashable canonical join-graph key: two graphs get equal keys iff

@@ -31,7 +31,10 @@ pub mod schema_graph;
 
 pub use apt::{Apt, AptField};
 pub use cost::CostEstimator;
-pub use discovery::{discover_joins, discovered_schema_graph, DiscoveryConfig, JoinCandidate};
+pub use discovery::{
+    discover_joins, discovered_schema_graph, extend_schema_graph, DiscoveredGraph, DiscoveryConfig,
+    JoinCandidate,
+};
 pub use enumerate::{enumerate_join_graphs, EnumConfig, EnumeratedGraph};
 pub use error::GraphError;
 pub use join_graph::{JgEdge, JgNode, JoinGraph, JoinGraphKey, NodeLabel};

@@ -1,0 +1,435 @@
+//! Column type, kind, and key inference over streamed CSV rows.
+//!
+//! Pass 1 of the two-pass load: every record flows through a
+//! [`TableProfile`] that accumulates, per column,
+//!
+//! * a **type lattice** position (`Int ⊑ Float ⊑ Str`): a cell that
+//!   fails integer parsing promotes the column to `Float`, a cell that
+//!   fails float parsing promotes it to `Str` — but only within the
+//!   sampling window ([`InferConfig::sample_rows`]); later rows still
+//!   count nulls/distincts but no longer refine the type (the paper-\
+//!   scale corpora are far too large for full-scan inference),
+//! * **null statistics** (empty cells are NULL for numeric columns),
+//! * a capped **distinct-value sketch** driving key detection and the
+//!   categorical/numeric kind heuristic.
+//!
+//! [`TableProfile::into_schema`] then synthesizes a [`Schema`]:
+//! single-column unique keys are marked primary, integer columns with
+//! id-like names or key status stay categorical (equality-only in the
+//! pattern language), and everything a `dataset.toml` manifest pins
+//! overrides the inference.
+
+use std::collections::HashSet;
+
+use cajade_storage::{AttrKind, DataType, Field, Schema};
+
+use crate::manifest::Manifest;
+
+/// Inference tuning knobs (subset of [`crate::IngestOptions`]).
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// Rows examined for *type* decisions; rows beyond the window update
+    /// null/distinct statistics only.
+    pub sample_rows: usize,
+    /// Cap on tracked distinct values per column (memory guard). A
+    /// column that overflows the cap is treated as "many distinct" —
+    /// fine for keys, which is what the sketch is for.
+    pub max_distinct: usize,
+    /// Integer columns with at most this many distinct values are
+    /// treated as categorical codes (flags, enumerations) rather than
+    /// measures.
+    pub small_int_domain: usize,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        Self {
+            sample_rows: 100_000,
+            // ~8 MB/column worst case; key detection degrades (with a
+            // warning) rather than erring on tables beyond this.
+            max_distinct: 1 << 20,
+            small_int_domain: 12,
+        }
+    }
+}
+
+/// What a cell's text parses as (cheapest check first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellClass {
+    Empty,
+    Int,
+    Float,
+    Str,
+}
+
+fn classify(raw: &str) -> CellClass {
+    let t = raw.trim();
+    if t.is_empty() {
+        // Whitespace-only cells are as empty as empty ones; a space-padded
+        // gap must not demote a numeric column to Str.
+        return CellClass::Empty;
+    }
+    if t.parse::<i64>().is_ok() {
+        CellClass::Int
+    } else if t.parse::<f64>().is_ok() {
+        CellClass::Float
+    } else {
+        CellClass::Str
+    }
+}
+
+/// Per-column accumulator.
+#[derive(Debug)]
+pub struct ColumnProfile {
+    /// Column (header) name.
+    pub name: String,
+    /// Current type-lattice position (valid for the sampled window).
+    dtype: DataType,
+    /// True until the first non-empty cell fixes an initial type.
+    untyped: bool,
+    /// Empty cells seen.
+    pub nulls: usize,
+    /// Non-empty cells seen.
+    pub non_nulls: usize,
+    /// Capped distinct sketch (FNV-hashed cell text).
+    distinct: HashSet<u64>,
+    /// True once the sketch hit its cap.
+    pub distinct_truncated: bool,
+}
+
+impl ColumnProfile {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            dtype: DataType::Str,
+            untyped: true,
+            nulls: 0,
+            non_nulls: 0,
+            distinct: HashSet::new(),
+            distinct_truncated: false,
+        }
+    }
+
+    /// Distinct values seen (lower bound once truncated).
+    pub fn distinct_count(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// True iff every cell was non-null and distinct — a single-column
+    /// unique key over the scanned rows.
+    pub fn is_unique_key(&self) -> bool {
+        self.nulls == 0
+            && !self.distinct_truncated
+            && self.non_nulls > 0
+            && self.distinct.len() == self.non_nulls
+    }
+
+    /// The inferred physical type. All-null columns fall back to `Str`.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    fn observe(&mut self, raw: &str, in_sample: bool, cfg: &InferConfig) {
+        let class = classify(raw);
+        if class == CellClass::Empty {
+            self.nulls += 1;
+            return;
+        }
+        self.non_nulls += 1;
+        if in_sample {
+            let cell_type = match class {
+                CellClass::Int => DataType::Int,
+                CellClass::Float => DataType::Float,
+                CellClass::Str | CellClass::Empty => DataType::Str,
+            };
+            self.dtype = if self.untyped {
+                self.untyped = false;
+                cell_type
+            } else {
+                promote(self.dtype, cell_type)
+            };
+        }
+        if self.distinct.len() < cfg.max_distinct {
+            self.distinct.insert(fnv1a(raw.trim().as_bytes()));
+        } else if !self.distinct.contains(&fnv1a(raw.trim().as_bytes())) {
+            self.distinct_truncated = true;
+        }
+    }
+}
+
+/// Least upper bound in the `Int ⊑ Float ⊑ Str` lattice.
+fn promote(a: DataType, b: DataType) -> DataType {
+    use DataType::*;
+    match (a, b) {
+        (Str, _) | (_, Str) => Str,
+        (Float, _) | (_, Float) => Float,
+        (Int, Int) => Int,
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3); // the FNV-64 prime
+    }
+    h
+}
+
+/// Streaming profile of one CSV table (pass 1 of the two-pass load).
+#[derive(Debug)]
+pub struct TableProfile {
+    /// Table name (file stem).
+    pub table: String,
+    /// Per-column accumulators, in header order.
+    pub columns: Vec<ColumnProfile>,
+    /// Data rows observed.
+    pub rows: usize,
+    /// Rows whose field count differed from the header's.
+    pub ragged_rows: usize,
+    cfg: InferConfig,
+}
+
+impl TableProfile {
+    /// Starts a profile for `table` with the given header.
+    pub fn new(table: impl Into<String>, header: &[String], cfg: InferConfig) -> Self {
+        Self {
+            table: table.into(),
+            columns: header
+                .iter()
+                .map(|name| ColumnProfile::new(name.clone()))
+                .collect(),
+            rows: 0,
+            ragged_rows: 0,
+            cfg,
+        }
+    }
+
+    /// Feeds one record. Short records count missing fields as nulls;
+    /// long records' extra fields are ignored; both are tallied as
+    /// ragged.
+    pub fn observe_row(&mut self, fields: &[String]) {
+        if fields.len() != self.columns.len() {
+            self.ragged_rows += 1;
+        }
+        let in_sample = self.rows < self.cfg.sample_rows;
+        let cfg = self.cfg.clone();
+        for (i, col) in self.columns.iter_mut().enumerate() {
+            let raw = fields.get(i).map(String::as_str).unwrap_or("");
+            col.observe(raw, in_sample, &cfg);
+        }
+        self.rows += 1;
+    }
+
+    /// Synthesizes the schema: inferred types, kind heuristic, and
+    /// single-column key detection, with `manifest` pins overriding all
+    /// of it. Composite keys (no single column unique) are detected
+    /// post-load by [`crate::ingest_dir`], which sees full rows.
+    pub fn into_schema(&self, manifest: &Manifest) -> Schema {
+        let pinned = manifest.tables.get(&self.table);
+        let pinned_key: Option<&[String]> = pinned.and_then(|t| t.key.as_deref());
+        // Default single-column key: the first unique column, preferring
+        // id-named ones (a file with both a surrogate id and a unique
+        // name column should key on the id).
+        let inferred_key: Option<&str> = self
+            .columns
+            .iter()
+            .filter(|c| c.is_unique_key())
+            .min_by_key(|c| (!id_like(&c.name), position(&self.columns, &c.name)))
+            .map(|c| c.name.as_str());
+        let fields = self
+            .columns
+            .iter()
+            .map(|c| {
+                let is_pk = match pinned_key {
+                    Some(key) => key.iter().any(|k| k == &c.name),
+                    None => inferred_key == Some(c.name.as_str()),
+                };
+                let kind = manifest
+                    .pinned_kind(&self.table, &c.name)
+                    .unwrap_or_else(|| infer_kind(c, is_pk, &self.cfg));
+                Field {
+                    name: c.name.clone(),
+                    dtype: c.dtype(),
+                    kind,
+                    is_pk,
+                }
+            })
+            .collect();
+        Schema {
+            name: self.table.clone(),
+            fields,
+        }
+    }
+}
+
+fn position(cols: &[ColumnProfile], name: &str) -> usize {
+    cols.iter().position(|c| c.name == name).unwrap_or(0)
+}
+
+/// Kind heuristic (paper Definition 5: categorical attributes admit only
+/// `=` predicates, numeric ones also `≤`/`≥`):
+///
+/// * strings are categorical, floats are numeric;
+/// * integers are categorical when they behave like identifiers — an
+///   id-like name, key status, or a tiny domain (flags/codes) — and
+///   numeric otherwise (measures like points or amounts).
+fn infer_kind(col: &ColumnProfile, is_pk: bool, cfg: &InferConfig) -> AttrKind {
+    match col.dtype() {
+        DataType::Str => AttrKind::Categorical,
+        DataType::Float => AttrKind::Numeric,
+        DataType::Int => {
+            if is_pk
+                || id_like(&col.name)
+                || col.is_unique_key()
+                || (!col.distinct_truncated && col.distinct_count() <= cfg.small_int_domain)
+            {
+                AttrKind::Categorical
+            } else {
+                AttrKind::Numeric
+            }
+        }
+    }
+}
+
+/// Name-based identifier detection: `id`, `*_id`, `*_key`, `*_code`,
+/// `*_date` (case-insensitive) and their camel variants.
+fn id_like(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == "id"
+        || lower == "key"
+        || lower == "code"
+        || lower.ends_with("_id")
+        || lower.ends_with("id") && lower.len() > 2 && !lower.ends_with("paid")
+        || lower.ends_with("_key")
+        || lower.ends_with("_code")
+        || lower.ends_with("_date")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(rows: &[&[&str]], header: &[&str]) -> TableProfile {
+        let header: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        let mut p = TableProfile::new("t", &header, InferConfig::default());
+        for r in rows {
+            let fields: Vec<String> = r.iter().map(|s| s.to_string()).collect();
+            p.observe_row(&fields);
+        }
+        p
+    }
+
+    #[test]
+    fn int_float_str_lattice() {
+        let p = profile(
+            &[
+                &["1", "1", "1", ""],
+                &["2", "2.5", "x", "3"],
+                &["3", "", "2", ""],
+            ],
+            &["a", "b", "c", "d"],
+        );
+        assert_eq!(p.columns[0].dtype(), DataType::Int);
+        assert_eq!(p.columns[1].dtype(), DataType::Float, "int ⊔ float = float");
+        assert_eq!(p.columns[2].dtype(), DataType::Str, "any string wins");
+        assert_eq!(p.columns[3].dtype(), DataType::Int, "nulls don't type");
+        assert_eq!(p.columns[3].nulls, 2);
+    }
+
+    #[test]
+    fn all_null_column_falls_back_to_str() {
+        let p = profile(&[&[""], &[""]], &["ghost"]);
+        assert_eq!(p.columns[0].dtype(), DataType::Str);
+        assert!(!p.columns[0].is_unique_key());
+    }
+
+    #[test]
+    fn unique_key_detection_prefers_id_named_columns() {
+        let p = profile(
+            &[&["1", "alice", "7"], &["2", "bob", "7"]],
+            &["user_id", "name", "group"],
+        );
+        let m = Manifest::default();
+        let schema = p.into_schema(&m);
+        assert_eq!(schema.primary_key(), vec!["user_id"]);
+        // `name` is unique too, but the id-named column wins.
+        assert!(p.columns[1].is_unique_key());
+    }
+
+    #[test]
+    fn kind_heuristic_separates_ids_from_measures() {
+        let p = profile(
+            &[
+                &["1", "101", "23", "1"],
+                &["2", "102", "31", "0"],
+                &["3", "103", "44", "1"],
+                &["4", "101", "52", "0"],
+                &["5", "102", "19", "1"],
+                &["6", "103", "28", "0"],
+                &["7", "101", "33", "1"],
+                &["8", "102", "41", "0"],
+                &["9", "103", "27", "1"],
+                &["10", "101", "38", "0"],
+                &["11", "102", "45", "1"],
+                &["12", "103", "22", "0"],
+                &["13", "101", "36", "1"],
+                &["14", "102", "23", "0"],
+            ],
+            &["row_id", "store_id", "points", "flag"],
+        );
+        let m = Manifest::default();
+        let s = p.into_schema(&m);
+        assert_eq!(s.field("row_id").unwrap().kind, AttrKind::Categorical);
+        assert_eq!(s.field("store_id").unwrap().kind, AttrKind::Categorical);
+        assert_eq!(s.field("points").unwrap().kind, AttrKind::Numeric);
+        assert_eq!(
+            s.field("flag").unwrap().kind,
+            AttrKind::Categorical,
+            "tiny integer domains are codes"
+        );
+    }
+
+    #[test]
+    fn manifest_pins_beat_inference() {
+        let mut m = Manifest::default();
+        m.tables.insert(
+            "t".into(),
+            crate::manifest::TableManifest {
+                key: Some(vec!["zip".into()]),
+                categorical: vec!["points".into()],
+                numeric: vec![],
+            },
+        );
+        let p = profile(&[&["90210", "23"], &["10001", "31"]], &["zip", "points"]);
+        let s = p.into_schema(&m);
+        assert_eq!(s.primary_key(), vec!["zip"]);
+        assert_eq!(s.field("points").unwrap().kind, AttrKind::Categorical);
+    }
+
+    #[test]
+    fn sampling_window_freezes_the_type() {
+        let header = vec!["x".to_string()];
+        let mut p = TableProfile::new(
+            "t",
+            &header,
+            InferConfig {
+                sample_rows: 2,
+                ..InferConfig::default()
+            },
+        );
+        p.observe_row(&["1".into()]);
+        p.observe_row(&["2".into()]);
+        p.observe_row(&["not a number".into()]); // beyond the window
+        assert_eq!(p.columns[0].dtype(), DataType::Int);
+        assert_eq!(p.rows, 3);
+    }
+
+    #[test]
+    fn ragged_rows_are_tallied_and_padded() {
+        let p = profile(&[&["1", "a"], &["2"], &["3", "b", "zzz"]], &["id", "v"]);
+        assert_eq!(p.ragged_rows, 2);
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.columns[1].nulls, 1, "missing field counts as null");
+    }
+}

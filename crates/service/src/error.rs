@@ -3,6 +3,7 @@
 use std::fmt;
 
 use cajade_core::CoreError;
+use cajade_ingest::IngestError;
 use cajade_query::QueryError;
 
 /// Errors surfaced by the explanation service.
@@ -16,6 +17,8 @@ pub enum ServiceError {
     Parse(QueryError),
     /// The underlying pipeline failed.
     Core(CoreError),
+    /// CSV-directory ingestion failed during `register`.
+    Ingest(IngestError),
     /// The owning [`crate::ExplanationService`] was dropped while a
     /// session handle was still alive.
     ServiceDropped,
@@ -31,6 +34,7 @@ impl fmt::Display for ServiceError {
             // QueryError's own rendering already says "SQL parse error".
             ServiceError::Parse(e) => write!(f, "{e}"),
             ServiceError::Core(e) => write!(f, "pipeline error: {e}"),
+            ServiceError::Ingest(e) => write!(f, "ingest error: {e}"),
             ServiceError::ServiceDropped => {
                 write!(f, "explanation service was shut down")
             }
@@ -49,6 +53,12 @@ impl From<QueryError> for ServiceError {
 impl From<CoreError> for ServiceError {
     fn from(e: CoreError) -> Self {
         ServiceError::Core(e)
+    }
+}
+
+impl From<IngestError> for ServiceError {
+    fn from(e: IngestError) -> Self {
+        ServiceError::Ingest(e)
     }
 }
 

@@ -47,7 +47,7 @@ pub use error::ServiceError;
 pub use keys::{AnswerKey, AptKey, ProvKey};
 pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
 pub use session::{AskResult, SessionHandle};
-pub use stats::ServiceStats;
+pub use stats::{IngestStats, ServiceStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServiceError>;

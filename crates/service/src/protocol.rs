@@ -6,10 +6,10 @@
 //!
 //! | op | request fields | response fields |
 //! |---|---|---|
-//! | `register` | `db`, `dataset` (`nba`\|`mimic`), `scale`? | `epoch`, `fingerprint`, `replaced`, `tables`, `rows` |
+//! | `register` | `db`, plus either `dataset` (`nba`\|`mimic`) with `scale`? (synthetic source) or `source:"csv_dir"` with `path`, `strict`?, `max_joins`? | `epoch`, `fingerprint`, `replaced`, `tables`, `rows`; csv_dir adds an `ingest` report (per-stage timings, per-table stats, join provenance, warnings) |
 //! | `query` | `db`, `sql` | `session`, `columns`, `rows` (≤ `max_rows`, default 50); warms the provenance cache and reuses an existing session on the same `(db, sql)` |
 //! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value) | `explanations`, `cache`, `timings` |
-//! | `stats` | — | service counters + both caches |
+//! | `stats` | — | service counters + the three caches + cumulative ingest stats |
 //! | `close` | `session` | `closed` |
 //!
 //! Example exchange:
@@ -17,6 +17,8 @@
 //! ```text
 //! → {"op":"register","db":"nba","dataset":"nba","scale":0.25}
 //! ← {"ok":true,"db":"nba","epoch":0,"replaced":false,"tables":11,"rows":123456,...}
+//! → {"op":"register","db":"retail","source":"csv_dir","path":"tests/data/retail_csv"}
+//! ← {"ok":true,"db":"retail","tables":2,"rows":605,"ingest":{"timings_ms":{...},"tables":[...],"joins":[{"condition":"sales.store_id = stores.store_id","origin":"discovered",...}],...},...}
 //! → {"op":"query","db":"nba","sql":"SELECT COUNT(*) AS win, s.season_name FROM team t, game g, season s WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' GROUP BY s.season_name"}
 //! ← {"ok":true,"session":1,"columns":["win","season_name"],"rows":[...]}
 //! → {"op":"ask","session":1,"t1":{"season_name":"2015-16"},"t2":{"season_name":"2012-13"}}
@@ -71,6 +73,15 @@ fn handle_register(service: &ExplanationService, req: &Json) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
+    match req.get("source").and_then(Json::as_str) {
+        Some("csv_dir") => return handle_register_csv_dir(service, req, db_name),
+        Some("synthetic") | None => {}
+        Some(other) => {
+            return err(&format!(
+                "unknown source `{other}` (expected \"synthetic\" or \"csv_dir\")"
+            ))
+        }
+    }
     let dataset = match str_field(req, "dataset") {
         Ok(v) => v,
         Err(e) => return e,
@@ -107,6 +118,105 @@ fn handle_register(service: &ExplanationService, req: &Json) -> Json {
         ),
         ("tables", Json::num(tables as f64)),
         ("rows", Json::num(rows as f64)),
+    ])
+}
+
+fn handle_register_csv_dir(service: &ExplanationService, req: &Json, db_name: &str) -> Json {
+    let path = match str_field(req, "path") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let mut options = cajade_ingest::IngestOptions::default();
+    if let Some(strict) = req.get("strict").and_then(Json::as_bool) {
+        options.strict_types = strict;
+    }
+    if let Some(max_joins) = req.get("max_joins").and_then(Json::as_u64) {
+        options.max_discovered_joins = Some(max_joins as usize);
+    }
+    let (outcome, report) = match service.register_csv_dir(db_name, path, &options) {
+        Ok(r) => r,
+        Err(e) => return err(&e.to_string()),
+    };
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("db", Json::str(db_name)),
+        ("epoch", Json::num(outcome.epoch as f64)),
+        (
+            "fingerprint",
+            Json::str(format!("{:016x}", outcome.fingerprint)),
+        ),
+        ("replaced", Json::Bool(outcome.replaced)),
+        (
+            "invalidated_entries",
+            Json::num(outcome.invalidated_entries as f64),
+        ),
+        ("tables", Json::num(report.tables.len() as f64)),
+        ("rows", Json::num(report.total_rows() as f64)),
+        ("ingest", ingest_report_json(&report)),
+    ])
+}
+
+fn ingest_report_json(report: &cajade_ingest::IngestReport) -> Json {
+    let ms = |d: std::time::Duration| Json::num(d.as_secs_f64() * 1e3);
+    let tables: Vec<Json> = report
+        .tables
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("name", Json::str(t.name.clone())),
+                ("rows", Json::num(t.rows as f64)),
+                ("columns", Json::num(t.columns as f64)),
+                (
+                    "key",
+                    Json::Arr(t.key.iter().map(|k| Json::str(k.clone())).collect()),
+                ),
+                ("key_pinned", Json::Bool(t.key_pinned)),
+                ("ragged_rows", Json::num(t.ragged_rows as f64)),
+                ("coerced_nulls", Json::num(t.coerced_nulls as f64)),
+            ])
+        })
+        .collect();
+    let joins: Vec<Json> = report
+        .joins
+        .iter()
+        .map(|j| {
+            let mut fields = vec![
+                ("condition", Json::str(j.condition.clone())),
+                ("origin", Json::str(j.origin.label())),
+            ];
+            if let Some(e) = &j.evidence {
+                fields.push(("containment", Json::num(e.containment)));
+                fields.push(("uniqueness", Json::num(e.to_uniqueness)));
+                fields.push(("coverage", Json::num(e.to_coverage)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("dataset", Json::str(report.dataset.clone())),
+        ("manifest_used", Json::Bool(report.manifest_used)),
+        (
+            "timings_ms",
+            Json::obj([
+                ("scan", ms(report.timings.scan)),
+                ("infer", ms(report.timings.infer)),
+                ("load", ms(report.timings.load)),
+                ("discover", ms(report.timings.discover)),
+                ("total", ms(report.timings.total())),
+            ]),
+        ),
+        ("tables", Json::Arr(tables)),
+        ("joins", Json::Arr(joins)),
+        (
+            "warnings",
+            Json::Arr(
+                report
+                    .warnings
+                    .iter()
+                    .map(|w| Json::str(w.clone()))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -341,6 +451,23 @@ fn handle_stats(service: &ExplanationService) -> Json {
         ("provenance_cache", cache_json(&s.provenance_cache)),
         ("apt_cache", cache_json(&s.apt_cache)),
         ("answer_cache", cache_json(&s.answer_cache)),
+        (
+            "ingest",
+            Json::obj([
+                ("ingests", Json::num(s.ingest.ingests as f64)),
+                ("tables", Json::num(s.ingest.tables as f64)),
+                ("rows", Json::num(s.ingest.rows as f64)),
+                ("joins_pinned", Json::num(s.ingest.joins_pinned as f64)),
+                (
+                    "joins_discovered",
+                    Json::num(s.ingest.joins_discovered as f64),
+                ),
+                ("scan_ms", Json::num(s.ingest.scan_us as f64 / 1e3)),
+                ("infer_ms", Json::num(s.ingest.infer_us as f64 / 1e3)),
+                ("load_ms", Json::num(s.ingest.load_us as f64 / 1e3)),
+                ("discover_ms", Json::num(s.ingest.discover_us as f64 / 1e3)),
+            ]),
+        ),
     ])
 }
 

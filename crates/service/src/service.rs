@@ -9,6 +9,7 @@ use std::sync::Arc;
 use cajade_core::pipeline::PreparedQuery;
 use cajade_core::Params;
 use cajade_graph::{Apt, SchemaGraph};
+use cajade_ingest::{IngestOptions, IngestReport};
 use cajade_mining::PreparedApt;
 use cajade_query::parse_sql;
 use cajade_storage::Database;
@@ -17,7 +18,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::cache::LruCache;
 use crate::keys::{AnswerKey, AptKey, ProvKey};
 use crate::session::SessionHandle;
-use crate::stats::ServiceStats;
+use crate::stats::{IngestStats, ServiceStats};
 use crate::{Result, ServiceError};
 
 /// Hard cap on concurrently-open sessions; opening beyond it evicts the
@@ -161,6 +162,7 @@ pub(crate) struct ServiceInner {
     pub(crate) questions_answered: AtomicU64,
     pub(crate) prepared_apt_hits: AtomicU64,
     pub(crate) prepared_apt_misses: AtomicU64,
+    pub(crate) ingest_stats: Mutex<IngestStats>,
     pub(crate) params: Params,
 }
 
@@ -249,6 +251,7 @@ impl ExplanationService {
                 questions_answered: AtomicU64::new(0),
                 prepared_apt_hits: AtomicU64::new(0),
                 prepared_apt_misses: AtomicU64::new(0),
+                ingest_stats: Mutex::new(IngestStats::default()),
                 params: config.params,
             }),
         }
@@ -307,6 +310,33 @@ impl ExplanationService {
             replaced,
             invalidated_entries,
         }
+    }
+
+    /// Registers a directory of CSV files under `name`: runs the full
+    /// ingestion pipeline (`cajade_ingest::ingest_dir` — streaming
+    /// type/key inference, manifest-honouring load, containment-based
+    /// join discovery) and registers the result like
+    /// [`register_database`](Self::register_database). The ingested
+    /// database is named `name`, so re-registering an unchanged
+    /// directory keeps the epoch and every warm cache entry.
+    ///
+    /// Per-stage timings and load statistics accumulate in
+    /// [`ServiceStats::ingest`]; the per-run [`IngestReport`] is
+    /// returned for the caller (the serve protocol surfaces it in the
+    /// `register` response).
+    pub fn register_csv_dir(
+        &self,
+        name: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+        options: &IngestOptions,
+    ) -> Result<(RegisterOutcome, IngestReport)> {
+        let name = name.into();
+        let mut options = options.clone();
+        options.name = Some(name.clone());
+        let ingested = cajade_ingest::ingest_dir(dir, &options)?;
+        let outcome = self.register_database(name, ingested.db, ingested.schema_graph);
+        self.inner.ingest_stats.lock().record(&ingested.report);
+        Ok((outcome, ingested.report))
     }
 
     /// Removes a database and sweeps its cache entries. Open sessions on
@@ -425,6 +455,7 @@ impl ExplanationService {
             questions_answered: self.inner.questions_answered.load(Ordering::Relaxed),
             prepared_apt_hits: self.inner.prepared_apt_hits.load(Ordering::Relaxed),
             prepared_apt_misses: self.inner.prepared_apt_misses.load(Ordering::Relaxed),
+            ingest: *self.inner.ingest_stats.lock(),
             provenance_cache: self.inner.prov_cache.stats(),
             apt_cache: self.inner.apt_cache.stats(),
             answer_cache: self.inner.answer_cache.stats(),

@@ -2,6 +2,46 @@
 
 use crate::cache::CacheStats;
 
+/// Cumulative ingestion counters (CSV-directory `register` path). Stage
+/// durations accumulate in microseconds so the snapshot stays `Copy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// CSV-directory registrations performed.
+    pub ingests: u64,
+    /// Tables loaded across all ingests.
+    pub tables: u64,
+    /// Rows loaded across all ingests.
+    pub rows: u64,
+    /// Manifest-pinned joins across all ingests.
+    pub joins_pinned: u64,
+    /// Discovery-proposed joins across all ingests.
+    pub joins_discovered: u64,
+    /// Cumulative scan-stage time (µs).
+    pub scan_us: u64,
+    /// Cumulative infer-stage time (µs).
+    pub infer_us: u64,
+    /// Cumulative load-stage time (µs).
+    pub load_us: u64,
+    /// Cumulative discover-stage time (µs).
+    pub discover_us: u64,
+}
+
+impl IngestStats {
+    /// Folds one [`cajade_ingest::IngestReport`] into the totals.
+    pub fn record(&mut self, report: &cajade_ingest::IngestReport) {
+        self.ingests += 1;
+        self.tables += report.tables.len() as u64;
+        self.rows += report.total_rows() as u64;
+        let discovered = report.discovered_join_count() as u64;
+        self.joins_discovered += discovered;
+        self.joins_pinned += report.joins.len() as u64 - discovered;
+        self.scan_us += report.timings.scan.as_micros() as u64;
+        self.infer_us += report.timings.infer.as_micros() as u64;
+        self.load_us += report.timings.load.as_micros() as u64;
+        self.discover_us += report.timings.discover.as_micros() as u64;
+    }
+}
+
 /// One consistent-enough snapshot of the service's counters (each counter
 /// is read atomically; the set is not transactional).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,6 +60,8 @@ pub struct ServiceStats {
     /// Per-APT mining preparations computed (cold entry or new mining
     /// parameter fingerprint).
     pub prepared_apt_misses: u64,
+    /// CSV-directory ingestion counters.
+    pub ingest: IngestStats,
     /// Provenance/enumeration cache counters.
     pub provenance_cache: CacheStats,
     /// Materialized-APT cache counters.
@@ -46,6 +88,52 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ingest_stats_fold_reports() {
+        use cajade_ingest::{IngestReport, IngestTimings, JoinOrigin, JoinReport, TableReport};
+        let report = IngestReport {
+            dataset: "d".into(),
+            manifest_used: false,
+            tables: vec![TableReport {
+                name: "t".into(),
+                rows: 7,
+                columns: 2,
+                key: vec![],
+                key_pinned: false,
+                ragged_rows: 0,
+                coerced_nulls: 0,
+            }],
+            joins: vec![
+                JoinReport {
+                    condition: "a.x = b.x".into(),
+                    origin: JoinOrigin::Pinned,
+                    evidence: None,
+                },
+                JoinReport {
+                    condition: "a.y = c.y".into(),
+                    origin: JoinOrigin::Discovered,
+                    evidence: None,
+                },
+            ],
+            warnings: vec![],
+            timings: IngestTimings {
+                scan: std::time::Duration::from_micros(10),
+                infer: std::time::Duration::from_micros(20),
+                load: std::time::Duration::from_micros(30),
+                discover: std::time::Duration::from_micros(40),
+            },
+        };
+        let mut s = IngestStats::default();
+        s.record(&report);
+        s.record(&report);
+        assert_eq!(s.ingests, 2);
+        assert_eq!(s.rows, 14);
+        assert_eq!(s.joins_pinned, 2);
+        assert_eq!(s.joins_discovered, 2);
+        assert_eq!(s.scan_us, 20);
+        assert_eq!(s.discover_us, 80);
+    }
 
     #[test]
     fn hit_rate_handles_zero_lookups() {

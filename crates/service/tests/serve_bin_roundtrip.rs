@@ -1,0 +1,62 @@
+//! Drives the real `cajade-serve` binary over its stdin/stdout JSON-lines
+//! protocol: `register` a CSV directory → `query` → `ask` → `close`,
+//! asserting one well-formed response line per request.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use cajade_service::json::Json;
+
+#[test]
+fn serve_binary_ingests_csv_dir_and_explains() {
+    let fixture = format!("{}/../../tests/data/retail_csv", env!("CARGO_MANIFEST_DIR"));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cajade-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cajade-serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut lines = stdout.lines();
+    let mut exchange = |request: String| -> Json {
+        writeln!(stdin, "{request}").expect("write request");
+        stdin.flush().unwrap();
+        let line = lines
+            .next()
+            .expect("one response line per request")
+            .expect("read response");
+        Json::parse(&line).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+    };
+
+    let r = exchange(format!(
+        r#"{{"op":"register","db":"retail","source":"csv_dir","path":"{fixture}"}}"#
+    ));
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+    assert_eq!(r.get("rows").and_then(Json::as_u64), Some(605));
+    assert!(r.get("ingest").is_some());
+
+    let q = exchange(
+        r#"{"op":"query","db":"retail","sql":"SELECT AVG(amount) AS avg_amount, channel FROM sales GROUP BY channel"}"#
+            .to_string(),
+    );
+    assert_eq!(q.get("ok").and_then(Json::as_bool), Some(true), "{q:?}");
+    let session = q.get("session").and_then(Json::as_u64).unwrap();
+
+    let a = exchange(format!(
+        r#"{{"op":"ask","session":{session},"t1":{{"channel":"online"}},"t2":{{"channel":"in_person"}}}}"#
+    ));
+    assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true), "{a:?}");
+    assert!(!a
+        .get("explanations")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+
+    let c = exchange(format!(r#"{{"op":"close","session":{session}}}"#));
+    assert_eq!(c.get("closed").and_then(Json::as_bool), Some(true));
+
+    drop(stdin); // EOF ends the serve loop
+    let status = child.wait().expect("serve exit");
+    assert!(status.success(), "{status:?}");
+}

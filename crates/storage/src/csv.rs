@@ -1,11 +1,15 @@
 //! CSV import/export — the adoption path for using CaJaDE on your own
-//! data: load tables from CSV files, declare kinds/keys via the schema,
-//! and explain away.
+//! data: load tables from CSV files, declare kinds/keys via the schema
+//! (or let `cajade-ingest` infer them), and explain away.
 //!
 //! The dialect is RFC-4180-ish: comma-separated, double-quote quoting
-//! with `""` escapes, `\n` or `\r\n` line ends, one header row. Empty
-//! fields parse as NULL for numeric columns and as the empty string for
-//! string columns.
+//! with `""` escapes, `\n` or `\r\n` line ends, one header row, an
+//! optional UTF-8 BOM. Empty fields parse as NULL for numeric columns
+//! and as the empty string for string columns.
+//!
+//! [`CsvReader`] is the streaming record reader shared by the one-shot
+//! [`read_csv`] (schema known up front) and the ingestion subsystem's
+//! two-pass load (first pass infers the schema, second pass loads).
 
 use std::io::{BufRead, Write};
 
@@ -40,14 +44,11 @@ pub fn write_csv<W: Write>(table: &Table, pool: &StringPool, out: &mut W) -> std
 /// Reads CSV into a new [`Table`] with the given schema. Columns are
 /// matched by header name (order-independent); missing columns error.
 pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> Result<Table> {
-    let mut lines = CsvRows::new(input);
-    let header = lines
-        .next_row()
-        .map_err(|e| StorageError::InvalidForeignKey(format!("csv: {e}")))? // reuse error slot
-        .ok_or_else(|| StorageError::ArityMismatch {
-            expected: schema.arity(),
-            got: 0,
-        })?;
+    let mut rows = CsvReader::new(input);
+    let header = rows.next_row()?.ok_or_else(|| StorageError::Csv {
+        line: 0,
+        msg: "empty input (no header row)".into(),
+    })?;
 
     // Map schema field → header position.
     let mut positions = Vec::with_capacity(schema.arity());
@@ -64,18 +65,17 @@ pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> 
     }
 
     let mut table = Table::new(schema);
-    while let Some(row) = lines
-        .next_row()
-        .map_err(|e| StorageError::InvalidForeignKey(format!("csv: {e}")))?
-    {
+    while let Some(row) = rows.next_row()? {
         let mut values = Vec::with_capacity(positions.len());
         for (fi, &pos) in positions.iter().enumerate() {
             let raw = row.get(pos).map(String::as_str).unwrap_or("");
             let field = &table.schema().fields[fi];
-            let v = parse_cell(raw, field.dtype, pool).map_err(|_| StorageError::TypeMismatch {
-                column: field.name.clone(),
-                expected: field.dtype.name(),
-                got: "unparseable text",
+            let v = parse_typed_cell(raw, field.dtype, pool).ok_or_else(|| {
+                StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype.name(),
+                    got: "unparseable text",
+                }
             })?;
             values.push(v);
         }
@@ -84,21 +84,28 @@ pub fn read_csv<R: BufRead>(schema: Schema, pool: &mut StringPool, input: R) -> 
     Ok(table)
 }
 
-fn parse_cell(raw: &str, dtype: DataType, pool: &mut StringPool) -> std::result::Result<Value, ()> {
+/// Parses one CSV cell under a known [`DataType`]. Empty cells become
+/// NULL for numeric columns and the empty string for string columns.
+/// Returns `None` when the text does not parse as the requested type —
+/// callers decide whether that is an error ([`read_csv`]) or a coercion
+/// to NULL (the ingestion subsystem's lenient mode).
+pub fn parse_typed_cell(raw: &str, dtype: DataType, pool: &mut StringPool) -> Option<Value> {
     match dtype {
-        DataType::Str => Ok(Value::Str(pool.intern(raw))),
+        DataType::Str => Some(Value::Str(pool.intern(raw))),
         DataType::Int => {
-            if raw.is_empty() {
-                Ok(Value::Null)
+            let t = raw.trim();
+            if t.is_empty() {
+                Some(Value::Null)
             } else {
-                raw.trim().parse::<i64>().map(Value::Int).map_err(|_| ())
+                t.parse::<i64>().ok().map(Value::Int)
             }
         }
         DataType::Float => {
-            if raw.is_empty() {
-                Ok(Value::Null)
+            let t = raw.trim();
+            if t.is_empty() {
+                Some(Value::Null)
             } else {
-                raw.trim().parse::<f64>().map(Value::Float).map_err(|_| ())
+                t.parse::<f64>().ok().map(Value::Float)
             }
         }
     }
@@ -112,64 +119,110 @@ fn quote(s: &str) -> String {
     }
 }
 
-/// Streaming CSV row reader supporting quoted fields with embedded
-/// commas, quotes, and newlines.
-struct CsvRows<R: BufRead> {
+/// Streaming CSV record reader supporting quoted fields with embedded
+/// commas, quotes, and newlines, plus CRLF line ends and a UTF-8 BOM.
+///
+/// Tracks physical line numbers so parse failures can be reported
+/// against the source file ([`StorageError::Csv`]). Blank lines between
+/// records are skipped.
+pub struct CsvReader<R: BufRead> {
     input: R,
+    /// Physical lines consumed so far.
+    lines_read: u64,
+    /// Line where the most recently returned record started.
+    record_line: u64,
+    first: bool,
 }
 
-impl<R: BufRead> CsvRows<R> {
-    fn new(input: R) -> Self {
-        Self { input }
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            lines_read: 0,
+            record_line: 0,
+            first: true,
+        }
     }
 
-    fn next_row(&mut self) -> std::io::Result<Option<Vec<String>>> {
-        let mut raw = String::new();
-        // Accumulate physical lines until quotes balance (embedded \n).
+    /// 1-based physical line where the last record returned by
+    /// [`next_row`](Self::next_row) started (0 before the first record).
+    pub fn record_line(&self) -> u64 {
+        self.record_line
+    }
+
+    /// Reads the next logical record (which may span multiple physical
+    /// lines when a quoted field embeds newlines). Returns `Ok(None)` at
+    /// end of input.
+    pub fn next_row(&mut self) -> Result<Option<Vec<String>>> {
         loop {
-            let mut line = String::new();
-            let n = self.input.read_line(&mut line)?;
-            if n == 0 {
-                if raw.is_empty() {
-                    return Ok(None);
-                }
-                break;
-            }
-            raw.push_str(&line);
-            if raw.matches('"').count().is_multiple_of(2) {
-                break;
-            }
-        }
-        let raw = raw.trim_end_matches(['\n', '\r']);
-        if raw.is_empty() {
-            // Skip blank lines between records.
-            return self.next_row();
-        }
-
-        let mut fields = Vec::new();
-        let mut cur = String::new();
-        let mut chars = raw.chars().peekable();
-        let mut in_quotes = false;
-        while let Some(c) = chars.next() {
-            match c {
-                '"' if in_quotes => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        cur.push('"');
-                    } else {
-                        in_quotes = false;
+            let mut raw = String::new();
+            let start_line = self.lines_read + 1;
+            // Accumulate physical lines until quotes balance (embedded \n).
+            loop {
+                let mut line = String::new();
+                let n = self
+                    .input
+                    .read_line(&mut line)
+                    .map_err(|e| StorageError::Csv {
+                        line: self.lines_read + 1,
+                        msg: e.to_string(),
+                    })?;
+                if n == 0 {
+                    if raw.is_empty() {
+                        return Ok(None);
                     }
+                    break;
                 }
-                '"' => in_quotes = true,
-                ',' if !in_quotes => {
-                    fields.push(std::mem::take(&mut cur));
+                self.lines_read += 1;
+                if self.first {
+                    // Strip a UTF-8 byte-order mark from the head of the file.
+                    if let Some(rest) = line.strip_prefix('\u{feff}') {
+                        line = rest.to_string();
+                    }
+                    self.first = false;
                 }
-                c => cur.push(c),
+                raw.push_str(&line);
+                if raw.matches('"').count().is_multiple_of(2) {
+                    break;
+                }
             }
+            let raw = raw.trim_end_matches(['\n', '\r']);
+            if raw.is_empty() {
+                // Skip blank lines between records.
+                continue;
+            }
+            self.record_line = start_line;
+            return Ok(Some(split_record(raw)));
         }
-        fields.push(cur);
-        Ok(Some(fields))
     }
+}
+
+/// Splits one logical record into fields, honouring quoting.
+fn split_record(raw: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = raw.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
 }
 
 #[cfg(test)]
@@ -254,6 +307,30 @@ mod tests {
         let mut pool = StringPool::new();
         let t = read_csv(schema(), &mut pool, csv.as_bytes()).unwrap();
         assert_eq!(t.num_rows(), 1);
-        assert!(read_csv(schema(), &mut pool, "".as_bytes()).is_err());
+        let err = read_csv(schema(), &mut pool, "".as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv { line: 0, .. }));
+    }
+
+    #[test]
+    fn reader_tracks_record_lines_across_embedded_newlines() {
+        let csv = "id,name\n1,\"a\nb\"\n2,c\n";
+        let mut r = CsvReader::new(csv.as_bytes());
+        r.next_row().unwrap().unwrap(); // header
+        assert_eq!(r.record_line(), 1);
+        let row = r.next_row().unwrap().unwrap();
+        assert_eq!(row, vec!["1", "a\nb"]);
+        assert_eq!(r.record_line(), 2);
+        let row = r.next_row().unwrap().unwrap();
+        assert_eq!(row, vec!["2", "c"]);
+        assert_eq!(r.record_line(), 4, "quoted field consumed two lines");
+        assert!(r.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn bom_and_crlf_are_transparent() {
+        let csv = "\u{feff}id,name\r\n1,x\r\n";
+        let mut r = CsvReader::new(csv.as_bytes());
+        assert_eq!(r.next_row().unwrap().unwrap(), vec!["id", "name"]);
+        assert_eq!(r.next_row().unwrap().unwrap(), vec!["1", "x"]);
     }
 }

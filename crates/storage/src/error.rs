@@ -39,6 +39,21 @@ pub enum StorageError {
     },
     /// A foreign key referenced a missing table or column.
     InvalidForeignKey(String),
+    /// Malformed CSV input (I/O failure or unreadable structure).
+    Csv {
+        /// 1-based physical line where the offending record starts (0 when
+        /// the failure is not attributable to a line, e.g. an open error).
+        line: u64,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Column type inference failed or was contradicted by later data.
+    TypeInference {
+        /// Column whose inferred type broke.
+        column: String,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +82,16 @@ impl fmt::Display for StorageError {
                 write!(f, "row {row} out of bounds (table has {len} rows)")
             }
             StorageError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            StorageError::Csv { line, msg } => {
+                if *line == 0 {
+                    write!(f, "malformed CSV: {msg}")
+                } else {
+                    write!(f, "malformed CSV at line {line}: {msg}")
+                }
+            }
+            StorageError::TypeInference { column, msg } => {
+                write!(f, "type inference failed for column `{column}`: {msg}")
+            }
         }
     }
 }
@@ -92,6 +117,25 @@ mod tests {
             got: "Str",
         };
         assert!(e.to_string().contains("pts"));
+
+        let e = StorageError::Csv {
+            line: 17,
+            msg: "unbalanced quote".into(),
+        };
+        assert!(e.to_string().contains("line 17"));
+        assert!(e.to_string().contains("unbalanced quote"));
+        let unlocated = StorageError::Csv {
+            line: 0,
+            msg: "cannot open".into(),
+        };
+        assert!(!unlocated.to_string().contains("line"));
+
+        let e = StorageError::TypeInference {
+            column: "zip".into(),
+            msg: "Int column met `N/A`".into(),
+        };
+        assert!(e.to_string().contains("zip"));
+        assert!(e.to_string().contains("N/A"));
     }
 
     #[test]

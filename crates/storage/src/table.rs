@@ -95,6 +95,25 @@ impl Table {
         Ok(self.columns.iter().map(|c| c.value(row)).collect())
     }
 
+    /// Re-flags which fields form the primary key — used by ingestion's
+    /// post-load composite-key detection, which can only certify a key
+    /// after seeing every row. Every named column must exist; all other
+    /// fields lose their key flag.
+    pub fn set_primary_key(&mut self, key_columns: &[String]) -> Result<()> {
+        for name in key_columns {
+            if self.schema.field_index(name).is_none() {
+                return Err(StorageError::NoSuchColumn {
+                    table: self.schema.name.clone(),
+                    column: name.clone(),
+                });
+            }
+        }
+        for f in &mut self.schema.fields {
+            f.is_pk = key_columns.contains(&f.name);
+        }
+        Ok(())
+    }
+
     /// Appends a row, type-checking each value.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.columns.len() {

@@ -1,16 +1,23 @@
-//! Bring-your-own-data workflow: load tables from CSV, let join discovery
-//! propose the schema graph (no foreign keys declared), and explain a
-//! query result — the §8 "automatically find datasets to be used as
-//! context" direction end to end.
+//! Bring-your-own-data quickstart: drop CSV files in a directory, point
+//! [`cajade::ingest`] at it, and explain a query result — no
+//! hand-written schema, no declared foreign keys. Ingestion infers
+//! column types and keys, a containment scan discovers the join graph,
+//! and the explanation pipeline does the rest (the paper's §8
+//! "automatically find datasets to be used as context" direction, end to
+//! end).
 //!
 //! Run with: `cargo run --release --example csv_and_discovery`
 
-use cajade::graph::{discovered_schema_graph, DiscoveryConfig};
+use cajade::core::ExplanationSession;
 use cajade::prelude::*;
-use cajade::storage::{read_csv, SchemaBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ---- 1. "User-provided" CSV data (generated inline for the demo). --
+    // ---- 1. A "user-provided" CSV directory (generated for the demo). --
+    // Urban stores sell mostly online; rural/suburban mostly in person.
+    // Online sales are larger. That correlation — reachable only through
+    // a join ingestion must discover by itself — is the planted context.
+    let dir = std::env::temp_dir().join(format!("cajade_quickstart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
     let stores_csv = "\
 store_id,city,segment
 101,Springfield,urban
@@ -20,8 +27,6 @@ store_id,city,segment
 105,Capital City,urban
 ";
     let mut sales_csv = String::from("sale_id,store_id,channel,amount\n");
-    // Urban stores sell mostly online; rural/suburban mostly in person.
-    // Online sales are larger. This is the planted context for the demo.
     for i in 0..600 {
         let store = 101 + (i % 5);
         let urban = matches!(store, 101 | 103 | 105);
@@ -34,47 +39,41 @@ store_id,city,segment
         };
         sales_csv.push_str(&format!("{i},{store},{channel},{amount}\n"));
     }
+    std::fs::write(dir.join("stores.csv"), stores_csv)?;
+    std::fs::write(dir.join("sales.csv"), sales_csv)?;
 
-    // ---- 2. Load into the storage engine with declared kinds/keys. -----
-    let mut db = Database::new("retail");
-    let stores_schema = SchemaBuilder::new("stores")
-        .column_pk("store_id", DataType::Int, AttrKind::Categorical)
-        .column("city", DataType::Str, AttrKind::Categorical)
-        .column("segment", DataType::Str, AttrKind::Categorical)
-        .build();
-    let sales_schema = SchemaBuilder::new("sales")
-        .column_pk("sale_id", DataType::Int, AttrKind::Categorical)
-        .column("store_id", DataType::Int, AttrKind::Categorical)
-        .column("channel", DataType::Str, AttrKind::Categorical)
-        .column("amount", DataType::Int, AttrKind::Numeric)
-        .build();
-    let stores = read_csv(stores_schema, db.pool_mut(), stores_csv.as_bytes())?;
-    let sales = read_csv(sales_schema, db.pool_mut(), sales_csv.as_bytes())?;
-    db.insert_table(stores)?;
-    db.insert_table(sales)?;
-    println!(
-        "loaded {} stores, {} sales from CSV (no foreign keys declared)",
-        db.table("stores")?.num_rows(),
-        db.table("sales")?.num_rows()
-    );
-
-    // ---- 3. Join discovery proposes the schema graph from the data. ----
-    let schema_graph = discovered_schema_graph(&db, &DiscoveryConfig::default(), 4)?;
-    println!("\ndiscovered join conditions:");
-    for e in schema_graph.edges() {
-        for c in &e.conds {
-            println!("  {}", c.render(&e.a, &e.b));
-        }
+    // ---- 2. Ingest: schema inference + join discovery, zero config. ----
+    let ingested = ingest_dir(&dir, &IngestOptions::default())?;
+    print!("{}", ingested.report.render());
+    for t in ingested.db.tables() {
+        let fields: Vec<String> = t
+            .schema()
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}: {:?} {:?}{}",
+                    f.name,
+                    f.dtype,
+                    f.kind,
+                    if f.is_pk { " pk" } else { "" }
+                )
+            })
+            .collect();
+        println!("inferred schema {}({})", t.name(), fields.join(", "));
     }
 
-    // ---- 4. Query + question + explanations. ---------------------------
+    // ---- 3. Query + question + explanations. ---------------------------
     let query = parse_sql("SELECT AVG(amount) AS avg_amount, channel FROM sales GROUP BY channel")?;
-    let result = cajade::query::execute(&db, &query)?;
-    println!("\naverage sale amount by channel:\n{}", result.render(&db));
+    let result = cajade::query::execute(&ingested.db, &query)?;
+    println!(
+        "\naverage sale amount by channel:\n{}",
+        result.render(&ingested.db)
+    );
 
     let mut params = Params::fast().with_fd_exclusion(true);
     params.mining.sel_attr = SelAttr::All;
-    let session = ExplanationSession::new(&db, &schema_graph, params);
+    let session = ExplanationSession::new(&ingested.db, &ingested.schema_graph, params);
     let outcome = session.explain_between(
         &query,
         &[("channel", "online")],
@@ -85,8 +84,13 @@ store_id,city,segment
     for (i, e) in outcome.explanations.iter().take(5).enumerate() {
         println!("  {:>2}. {}", i + 1, e.render_line());
     }
+    assert!(
+        !outcome.explanations.is_empty(),
+        "ingested data must yield ranked explanations"
+    );
     if let Some(best) = outcome.explanations.iter().find(|e| !e.from_pt_only) {
         println!("\nnarrative: {}", best.narrate("sale amounts"));
     }
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

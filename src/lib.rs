@@ -12,6 +12,8 @@
 //! * [`ml`] — random forests, attribute clustering, samplers,
 //! * [`mining`] — summarization-pattern mining (Algorithm 1),
 //! * [`metrics`] — NDCG / Kendall-tau ranking metrics,
+//! * [`ingest`] — CSV-directory ingestion: type/key inference,
+//!   manifests, auto-discovered schema graphs,
 //! * [`datagen`] — synthetic NBA and MIMIC datasets,
 //! * [`baselines`] — Explanation Tables, CAPE, provenance-only,
 //! * [`core`] — the end-to-end [`core::ExplanationSession`],
@@ -43,6 +45,7 @@ pub use cajade_baselines as baselines;
 pub use cajade_core as core;
 pub use cajade_datagen as datagen;
 pub use cajade_graph as graph;
+pub use cajade_ingest as ingest;
 pub use cajade_metrics as metrics;
 pub use cajade_mining as mining;
 pub use cajade_ml as ml;
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use cajade_datagen::mimic::MimicConfig;
     pub use cajade_datagen::nba::NbaConfig;
     pub use cajade_graph::{JoinGraph, SchemaGraph};
+    pub use cajade_ingest::{ingest_dir, IngestOptions};
     pub use cajade_mining::Pattern;
     pub use cajade_query::{parse_sql, Query};
     pub use cajade_service::{ExplanationService, ServiceConfig, SessionHandle};
