@@ -123,10 +123,12 @@ impl Explanation {
 /// the best-scoring representative of each key. Returns at most `k`.
 pub fn rank_and_collapse(mut all: Vec<Explanation>, k: usize, collapse: bool) -> Vec<Explanation> {
     all.sort_by(|a, b| {
+        // `total_cmp`: a NaN F-score (degenerate metrics) compared Equal
+        // to everything under `partial_cmp(..).unwrap_or(Equal)`, letting
+        // the global ranking depend on per-graph arrival order.
         b.metrics
             .f_score
-            .partial_cmp(&a.metrics.f_score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.metrics.f_score)
             // Deterministic tiebreak: simpler pattern, then lexicographic.
             .then(a.preds.len().cmp(&b.preds.len()))
             .then(a.pattern_desc.cmp(&b.pattern_desc))

@@ -17,7 +17,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cajade_graph::{enumerate_join_graphs, Apt, EnumConfig, EnumeratedGraph, SchemaGraph};
-use cajade_mining::{mine_apt, mine_prepared, MiningTimings, PreparedApt, Question};
+use cajade_mining::{
+    mine_apt, mine_prepared, prepare_apt_with, MiningTimings, PreparedApt, Question,
+};
+pub use cajade_mining::{ColumnStatsProvider, NoSharedStats};
 use cajade_query::{execute, ProvenanceTable, Query, QueryResult};
 use cajade_storage::Database;
 use rayon::prelude::*;
@@ -134,6 +137,23 @@ pub fn group_label(db: &Database, query: &Query, pt: &ProvenanceTable, group: us
 /// Stage 3: materializes `APT(Q, D, Ω)` for one join graph (Definition 4).
 pub fn materialize(db: &Database, pt: &ProvenanceTable, graph: &EnumeratedGraph) -> Result<Apt> {
     Ok(Apt::materialize(db, pt, &graph.graph)?)
+}
+
+/// Stage 3.5: the question-independent mining preparation of one APT
+/// (feature selection, LCA candidate pool, fragment boundaries, scoring
+/// index and predicate bitmaps — see [`cajade_mining::prepare_apt_with`]).
+///
+/// `stats` supplies shareable per-column statistics: the service passes
+/// its database-scoped column-stats cache so a question over many join
+/// graphs analyzes each context column once; one-shot callers pass
+/// [`NoSharedStats`] and compute everything per APT.
+pub fn prepare_mining(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    params: &Params,
+    stats: &dyn ColumnStatsProvider,
+) -> PreparedApt {
+    prepare_apt_with(apt, pt, &params.mining, stats)
 }
 
 /// Everything one mined join graph contributes to the session result.

@@ -38,6 +38,12 @@ pub struct AptField {
     pub from_pt: bool,
     /// Join-graph node index the field belongs to.
     pub node: usize,
+    /// Name of the base-table column this field gathers (without any
+    /// `prov_`/alias decoration). Together with
+    /// [`JoinGraph::rel_of`](crate::JoinGraph::rel_of) on `node` this
+    /// identifies the shared source column of a context field — the key
+    /// the cross-graph column-statistics cache is built on.
+    pub base_column: String,
 }
 
 /// A materialized augmented provenance table.
@@ -230,6 +236,7 @@ impl Apt {
                 is_group_by: f.is_group_by,
                 from_pt: true,
                 node: 0,
+                base_column: f.attr.clone(),
             });
             columns.push(pt.columns[fi].gather(&pt_rows));
         }
@@ -265,6 +272,7 @@ impl Apt {
                     is_group_by: false,
                     from_pt: false,
                     node,
+                    base_column: f.name.clone(),
                 });
                 columns.push(table.column(ci).gather(&rows));
             }

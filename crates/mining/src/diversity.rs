@@ -45,15 +45,12 @@ pub fn select_top_k_diverse(items: &[(Pattern, f64)], k: usize) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..items.len()).collect();
 
     // First pick: highest F-score (ties → lowest index, deterministic).
+    // `total_cmp` keeps this a total order even if an F-score is NaN —
+    // with `partial_cmp(..).unwrap_or(Equal)` a NaN compared Equal to
+    // everything, so which pattern won depended on scan order.
     let first = *remaining
         .iter()
-        .max_by(|&&a, &&b| {
-            items[a]
-                .1
-                .partial_cmp(&items[b].1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.cmp(&a))
-        })
+        .max_by(|&&a, &&b| items[a].1.total_cmp(&items[b].1).then(b.cmp(&a)))
         .unwrap();
     selected.push(first);
     remaining.retain(|&i| i != first);
@@ -75,9 +72,7 @@ pub fn select_top_k_diverse(items: &[(Pattern, f64)], k: usize) -> Vec<usize> {
             .max_by(|&&a, &&b| {
                 let wa = items[a].1 + min_div[a];
                 let wb = items[b].1 + min_div[b];
-                wa.partial_cmp(&wb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a))
+                wa.total_cmp(&wb).then(b.cmp(&a))
             })
             .unwrap();
         selected.push(best);

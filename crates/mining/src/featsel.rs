@@ -38,12 +38,13 @@ use cajade_ml::cluster::{cluster_attributes, cluster_representatives};
 use cajade_ml::correlation::assoc_matrix;
 use cajade_ml::forest::{HistForest, RandomForest, RandomForestConfig};
 use cajade_ml::sampling::reservoir_sample;
-use cajade_ml::{BinnedColumn, FeatureColumn};
+use cajade_ml::{BinSpec, BinnedColumn, FeatureColumn};
 use cajade_query::ProvenanceTable;
 use cajade_storage::{AttrKind, Column, Value};
 
 use crate::pattern::PatValue;
 use crate::score::Question;
+use crate::stats::{source_column, ColumnStatsProvider};
 
 /// λ#sel-attr: how many attributes feature selection keeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -344,27 +345,39 @@ fn cat_key(col: &Column, r: usize) -> Option<u64> {
 /// first-appearance dense codes — the identical code assignment (and
 /// therefore identical association matrix) the float path's decode
 /// produces, at a fraction of its cost.
-fn fast_feature_column(apt: &Apt, field: usize, rows: &[u32]) -> FeatureColumn {
+///
+/// For categorical fields the second return value maps each dense code
+/// back to the raw dictionary key it stands for (empty for numeric
+/// fields) — what [`cajade_ml::BinSpec::encode_dense_keys`] needs to bin
+/// the gather through a *shared* spec without re-reading the column.
+fn fast_feature_column(apt: &Apt, field: usize, rows: &[u32]) -> (FeatureColumn, Vec<u64>) {
     match apt.fields[field].kind {
-        AttrKind::Numeric => FeatureColumn::Numeric(
-            rows.iter()
-                .map(|&r| apt.columns[field].f64_at(r as usize).unwrap_or(f64::NAN))
-                .collect(),
+        AttrKind::Numeric => (
+            FeatureColumn::Numeric(
+                rows.iter()
+                    .map(|&r| apt.columns[field].f64_at(r as usize).unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            Vec::new(),
         ),
         AttrKind::Categorical => {
             let col = &apt.columns[field];
             let mut codes: HashMap<u64, u32> = HashMap::new();
+            let mut key_of_code: Vec<u64> = Vec::new();
             let data = rows
                 .iter()
                 .map(|&r| match cat_key(col, r as usize) {
                     None => u32::MAX,
                     Some(k) => {
                         let next = codes.len() as u32;
-                        *codes.entry(k).or_insert(next)
+                        *codes.entry(k).or_insert_with(|| {
+                            key_of_code.push(k);
+                            next
+                        })
                     }
                 })
                 .collect();
-            FeatureColumn::Categorical(data)
+            (FeatureColumn::Categorical(data), key_of_code)
         }
     }
 }
@@ -374,26 +387,52 @@ fn fast_feature_column(apt: &Apt, field: usize, rows: &[u32]) -> FeatureColumn {
 /// importances, and cluster on the same gathered view (the association
 /// matrix is computed over full values/codes, not bins, so clustering
 /// decisions match the float path on identical training rows).
+///
+/// Binning consults the injected [`ColumnStatsProvider`] first: a context
+/// column with shared statistics encodes its gather through the provider's
+/// pre-fitted [`cajade_ml::BinSpec`] (a linear pass — no per-APT quantile
+/// sort or dictionary build); columns without shared stats (PT fields,
+/// pass-through provider) fit per-APT exactly as before.
 fn hist_selection(
     apt: &Apt,
     candidates: &[usize],
     rows: &[u32],
     tasks: &[(Vec<bool>, f64, RandomForestConfig)],
     cfg: &FeatSelConfig,
+    stats: &dyn ColumnStatsProvider,
     relevance: Vec<f64>,
 ) -> FeatureSelection {
-    let features: Vec<FeatureColumn> = candidates
+    let (features, key_maps): (Vec<FeatureColumn>, Vec<Vec<u64>>) = candidates
         .iter()
         .map(|&f| fast_feature_column(apt, f, rows))
-        .collect();
-    let cols: Vec<BinnedColumn> = features
+        .unzip();
+    let cols: Vec<BinnedColumn> = candidates
         .iter()
-        .map(|fc| match fc {
-            FeatureColumn::Numeric(v) => BinnedColumn::from_f64(v, cfg.hist_bins),
-            FeatureColumn::Categorical(codes) => BinnedColumn::from_keys(
-                codes.iter().map(|&c| (c != u32::MAX).then_some(c as u64)),
-                cfg.hist_bins,
-            ),
+        .zip(features.iter().zip(&key_maps))
+        .map(|(&f, (fc, key_of_code))| {
+            let shared = source_column(apt, f).and_then(|(t, c)| stats.column_stats(t, c));
+            match (fc, shared) {
+                (FeatureColumn::Numeric(v), Some(st)) => st.bins.encode_f64(v),
+                (FeatureColumn::Numeric(v), None) => BinnedColumn::from_f64(v, cfg.hist_bins),
+                // The shared dictionary maps raw keys; the gather is
+                // already dense-coded, so binning it is one remap lookup
+                // per distinct value + an array index per row.
+                (FeatureColumn::Categorical(codes), Some(st)) => {
+                    st.bins.encode_dense_keys(codes, key_of_code)
+                }
+                // Per-APT fit: the codes are dense first-appearance
+                // already, so fit on them directly and encode through
+                // the identity dictionary — one hash pass total, like
+                // the pre-BinSpec `from_keys`.
+                (FeatureColumn::Categorical(codes), None) => {
+                    let spec = BinSpec::fit_keys(
+                        codes.iter().map(|&c| (c != u32::MAX).then_some(c as u64)),
+                        cfg.hist_bins,
+                    );
+                    let identity: Vec<u64> = (0..key_of_code.len() as u64).collect();
+                    spec.encode_dense_keys(codes, &identity)
+                }
+            }
         })
         .collect();
 
@@ -434,12 +473,9 @@ fn hist_selection(
     };
     let lambda = cfg.sel_attr.resolve(candidates.len());
     let mut by_importance: Vec<usize> = (0..candidates.len()).collect();
-    by_importance.sort_by(|&a, &b| {
-        importances[b]
-            .partial_cmp(&importances[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // `total_cmp`: a NaN importance (degenerate training data) must not
+    // make the ranking order nondeterministic.
+    by_importance.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]).then(a.cmp(&b)));
     let mut m = (4 * lambda).max(16).min(candidates.len());
     loop {
         let mut measured: Vec<usize> = by_importance[..m].to_vec();
@@ -503,6 +539,7 @@ pub fn select_features_hist(
     scan_order: &[u32],
     question: &Question,
     cfg: &FeatSelConfig,
+    stats: &dyn ColumnStatsProvider,
 ) -> FeatureSelection {
     let candidates = apt.pattern_fields();
     let relevance = vec![0.0; apt.fields.len()];
@@ -551,6 +588,7 @@ pub fn select_features_hist(
         &rows,
         &[(labels, 1.0, forest_cfg)],
         cfg,
+        stats,
         relevance,
     )
 }
@@ -565,6 +603,7 @@ pub fn select_features_hist_global(
     pt: &ProvenanceTable,
     scan_order: &[u32],
     cfg: &FeatSelConfig,
+    stats: &dyn ColumnStatsProvider,
 ) -> FeatureSelection {
     let candidates = apt.pattern_fields();
     let relevance = vec![0.0; apt.fields.len()];
@@ -596,7 +635,7 @@ pub fn select_features_hist_global(
         })
         .collect();
 
-    hist_selection(apt, &candidates, &rows, &tasks, cfg, relevance)
+    hist_selection(apt, &candidates, &rows, &tasks, cfg, stats, relevance)
 }
 
 /// Shared tail of `filterAttrs`: correlation clustering, representative
@@ -622,12 +661,9 @@ fn finish_selection(
 
     // Rank representatives by relevance, keep λ#sel-attr of them.
     let mut reps: Vec<usize> = reps_local.iter().map(|&l| candidates[l]).collect();
-    reps.sort_by(|&a, &b| {
-        relevance[b]
-            .partial_cmp(&relevance[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // `total_cmp` keeps the ranking a total order even under NaN
+    // relevance (see the NaN-safety sweep in `crate::fragments`).
+    reps.sort_by(|&a, &b| relevance[b].total_cmp(&relevance[a]).then(a.cmp(&b)));
     let keep = cfg.sel_attr.resolve(reps.len());
     reps.truncate(keep);
 

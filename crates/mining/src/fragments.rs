@@ -7,16 +7,24 @@
 use cajade_graph::Apt;
 
 /// Computes per-field threshold candidates: `num_frags` quantile
-/// boundaries of the non-null values of `field` over the APT rows in
-/// `rows` (or all rows when `rows` is `None`). Boundaries are deduplicated;
-/// constant columns yield a single boundary.
+/// boundaries of the non-null **finite** values of `field` over the APT
+/// rows in `rows` (or all rows when `rows` is `None`). Boundaries are
+/// deduplicated; constant columns yield a single boundary.
+///
+/// Non-finite cells (`NaN`, `±∞` — reachable through CSV ingestion, since
+/// `"NaN".parse::<f64>()` succeeds) are routed to the same fate as NULLs:
+/// they contribute no boundary. A `NaN` threshold would poison every
+/// refinement predicate built from it (`x ≤ NaN` matches nothing), and an
+/// infinite one is vacuous; before this filter a single `NaN` cell
+/// panicked the sort.
 pub fn fragment_boundaries(
     apt: &Apt,
     field: usize,
     rows: Option<&[u32]>,
     num_frags: usize,
 ) -> Vec<f64> {
-    let mut vals: Vec<f64> = match rows {
+    // Non-finite routing happens once, in `quantile_boundaries`.
+    let vals: Vec<f64> = match rows {
         Some(rows) => rows
             .iter()
             .filter_map(|&r| apt.columns[field].f64_at(r as usize))
@@ -25,10 +33,19 @@ pub fn fragment_boundaries(
             .filter_map(|r| apt.columns[field].f64_at(r))
             .collect(),
     };
+    quantile_boundaries(vals, num_frags)
+}
+
+/// The quantile-picking core of [`fragment_boundaries`], shared with the
+/// cross-graph column-statistics path (which feeds it base-table values
+/// instead of APT gathers): sorts the finite values and returns
+/// `num_frags` evenly spaced quantiles, deduplicated.
+pub fn quantile_boundaries(mut vals: Vec<f64>, num_frags: usize) -> Vec<f64> {
+    vals.retain(|v| v.is_finite());
     if vals.is_empty() || num_frags == 0 {
         return Vec::new();
     }
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.sort_by(f64::total_cmp);
 
     let n = vals.len();
     let mut out = Vec::with_capacity(num_frags);
@@ -118,6 +135,62 @@ mod tests {
             fragment_boundaries(&apt, x, Some(&[0, 1]), 2),
             vec![1.0, 100.0]
         );
+    }
+
+    fn apt_with_floats(vals: &[Option<f64>]) -> (Database, Apt) {
+        let mut db = Database::new("f");
+        db.create_table(
+            SchemaBuilder::new("t")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .column("grp", DataType::Str, AttrKind::Categorical)
+                .column("x", DataType::Float, AttrKind::Numeric)
+                .build(),
+        )
+        .unwrap();
+        let g = db.intern("g");
+        for (i, v) in vals.iter().enumerate() {
+            let x = v.map(Value::Float).unwrap_or(Value::Null);
+            db.table_mut("t")
+                .unwrap()
+                .push_row(vec![Value::Int(i as i64), Value::Str(g), x])
+                .unwrap();
+        }
+        let q = parse_sql("SELECT count(*) AS c, grp FROM t GROUP BY grp").unwrap();
+        let pt = ProvenanceTable::compute(&db, &q).unwrap();
+        let apt = Apt::materialize(&db, &pt, &JoinGraph::pt_only()).unwrap();
+        (db, apt)
+    }
+
+    /// A literal `NaN` cell (reachable through CSV ingestion) used to
+    /// panic the boundary sort; now NaN and ±∞ are routed out like NULLs.
+    #[test]
+    fn non_finite_cells_yield_finite_boundaries() {
+        let (_db, apt) = apt_with_floats(&[
+            Some(1.0),
+            Some(f64::NAN),
+            Some(f64::INFINITY),
+            Some(f64::NEG_INFINITY),
+            Some(3.0),
+            Some(2.0),
+            None,
+        ]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert_eq!(fragment_boundaries(&apt, x, None, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_non_finite_gives_empty() {
+        let (_db, apt) = apt_with_floats(&[Some(f64::NAN), Some(f64::INFINITY), None]);
+        let x = apt.field_index("prov_t_x").unwrap();
+        assert!(fragment_boundaries(&apt, x, None, 4).is_empty());
+    }
+
+    #[test]
+    fn quantile_boundaries_filters_and_orders() {
+        let vals = vec![f64::NAN, 5.0, 1.0, f64::NEG_INFINITY, 3.0];
+        assert_eq!(quantile_boundaries(vals, 3), vec![1.0, 3.0, 5.0]);
+        assert!(quantile_boundaries(vec![f64::NAN], 3).is_empty());
+        assert!(quantile_boundaries(Vec::new(), 3).is_empty());
     }
 
     #[test]

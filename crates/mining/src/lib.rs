@@ -41,6 +41,7 @@ pub mod miner;
 pub mod pattern;
 pub mod prepared;
 pub mod score;
+pub mod stats;
 
 pub use diversity::{diversity_score, match_score, select_top_k_diverse};
 pub use engine::{Mask, PredBank, ScoreEngine, ScoreIndex};
@@ -49,5 +50,9 @@ pub use featsel::{FeatSelEngine, FeatureSelection, SelAttr};
 pub use lca::lca_candidates;
 pub use miner::{mine_apt, MinedExplanation, MiningOutcome, MiningParams, MiningTimings};
 pub use pattern::{PatValue, Pattern, Pred, PredOp};
-pub use prepared::{mine_prepared, prepare_apt, PreparedApt};
+pub use prepared::{mine_prepared, prepare_apt, prepare_apt_with, PreparedApt};
 pub use score::{PatternMetrics, Question, Scorer};
+pub use stats::{
+    base_column_stats, compute_column_stats, source_column, BaseTableStats, ColumnStats,
+    ColumnStatsConfig, ColumnStatsProvider, NoSharedStats,
+};

@@ -33,6 +33,7 @@ use crate::fragments::fragment_boundaries;
 use crate::lca::lca_candidates;
 use crate::pattern::{PatValue, Pattern, Pred, PredOp};
 use crate::score::{PatternMetrics, Question, Scorer};
+use crate::stats::{ColumnStatsProvider, NoSharedStats};
 
 /// All tuning knobs of Algorithm 1 (defaults follow Table 1 where the
 /// paper lists a value).
@@ -247,6 +248,9 @@ pub fn mine_apt(
     timings.prepare += t0.elapsed();
 
     // ---- Phase 1: feature selection (filterAttrs). ---------------------
+    // The one-shot path never shares statistics across graphs: it mines
+    // one APT per call, so the pass-through provider keeps its output
+    // bit-identical to the historical per-APT computation.
     let t0 = Instant::now();
     let mut fs = run_featsel(
         apt,
@@ -255,6 +259,7 @@ pub fn mine_apt(
         index.as_ref(),
         sample.as_deref(),
         Some(question),
+        &NoSharedStats,
     );
     if params.exclude_fd_attrs {
         let fd = crate::fd::group_determining_fields(apt, pt, question);
@@ -341,6 +346,7 @@ pub(crate) fn run_featsel(
     index: Option<&ScoreIndex>,
     sample: Option<&[u32]>,
     question: Option<&Question>,
+    stats: &dyn ColumnStatsProvider,
 ) -> FeatureSelection {
     let featsel_cfg = FeatSelConfig {
         sel_attr: params.sel_attr,
@@ -368,8 +374,8 @@ pub(crate) fn run_featsel(
                     }
                 };
                 match q {
-                    Some(q) => select_features_hist(apt, pt, order, q, &featsel_cfg),
-                    None => select_features_hist_global(apt, pt, order, &featsel_cfg),
+                    Some(q) => select_features_hist(apt, pt, order, q, &featsel_cfg, stats),
+                    None => select_features_hist_global(apt, pt, order, &featsel_cfg, stats),
                 }
             }
         }
@@ -463,7 +469,10 @@ pub(crate) fn mine_core(
         })
         .collect();
     drop(eq_memo);
-    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp`: under a NaN recall (degenerate metrics) `partial_cmp`
+    // fell back to Equal, which made the top-k_cat cut depend on the
+    // incoming candidate order — a silent nondeterminism.
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
     ranked.truncate(params.k_cat_patterns);
     timings.fscore_calc += t0.elapsed();
 

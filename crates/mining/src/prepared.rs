@@ -46,6 +46,7 @@ use crate::miner::{
 };
 use crate::pattern::Pattern;
 use crate::score::{Question, Scorer};
+use crate::stats::{source_column, ColumnStatsProvider, NoSharedStats};
 
 /// Everything about one `(APT, MiningParams)` pair that is independent of
 /// the user question. Owns its data (no borrows of the APT), so it can be
@@ -94,8 +95,36 @@ impl PreparedApt {
     }
 }
 
-/// Runs every question-independent phase of Algorithm 1 for one APT.
+/// Runs every question-independent phase of Algorithm 1 for one APT,
+/// computing all column statistics from the APT at hand (the
+/// [`NoSharedStats`] pass-through). Multi-graph callers that can share
+/// per-column work should use [`prepare_apt_with`].
 pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> PreparedApt {
+    prepare_apt_with(apt, pt, params, &NoSharedStats)
+}
+
+/// Runs every question-independent phase of Algorithm 1 for one APT,
+/// consulting `stats` for shareable per-column statistics.
+///
+/// Two phases ask the provider, keyed by the base `(table, column)` a
+/// context field gathers (PT fields never share — see
+/// [`source_column`]):
+///
+/// * histogram feature selection encodes candidate columns through the
+///   provider's pre-fitted bin specs instead of re-fitting per APT;
+/// * the fragment stage takes the provider's λ#frag boundaries instead
+///   of re-sorting the column's APT gather.
+///
+/// With a caching provider (the service's database-scoped column-stats
+/// cache) the same context column is analyzed **once per database epoch**
+/// no matter how many join graphs contain it; every later graph's
+/// preparation does linear encodes only.
+pub fn prepare_apt_with(
+    apt: &Apt,
+    pt: &ProvenanceTable,
+    params: &MiningParams,
+    stats: &dyn ColumnStatsProvider,
+) -> PreparedApt {
     let mut timings = MiningTimings::default();
 
     // ---- λ_F1 sample + columnar index. ---------------------------------
@@ -128,7 +157,15 @@ pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> Pr
 
     // ---- Feature selection (group-global, cacheable). ------------------
     let t0 = Instant::now();
-    let fs = run_featsel(apt, pt, params, index.as_ref(), sample.as_deref(), None);
+    let fs = run_featsel(
+        apt,
+        pt,
+        params,
+        index.as_ref(),
+        sample.as_deref(),
+        None,
+        stats,
+    );
     timings.feature_selection = t0.elapsed();
 
     // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
@@ -164,11 +201,21 @@ pub fn prepare_apt(apt: &Apt, pt: &ProvenanceTable, params: &MiningParams) -> Pr
     timings.gen_pat_cand = t0.elapsed();
 
     // ---- Fragment boundaries + refinement predicate bitmaps. ------------
+    // Shared boundaries (when the provider has the field's base column)
+    // come from one base-table quantile pass per database epoch; the
+    // fallback re-derives them from this APT's rows.
     let t0 = Instant::now();
     let frag: Vec<(usize, Vec<f64>)> = fs
         .num_fields
         .iter()
-        .map(|&f| (f, fragment_boundaries(apt, f, None, params.num_frags)))
+        .map(|&f| {
+            let shared = source_column(apt, f).and_then(|(t, c)| stats.column_stats(t, c));
+            let boundaries = match shared {
+                Some(st) => st.fragments.clone(),
+                None => fragment_boundaries(apt, f, None, params.num_frags),
+            };
+            (f, boundaries)
+        })
         .collect();
     let bank = index.as_ref().map(|index| PredBank::build(index, &frag));
     timings.prepare += t0.elapsed();

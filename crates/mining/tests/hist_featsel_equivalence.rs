@@ -13,7 +13,7 @@ use cajade_mining::featsel::{
     hist_scan_order, select_features, select_features_global, select_features_hist,
     select_features_hist_global, FeatSelConfig,
 };
-use cajade_mining::{mine_apt, FeatSelEngine, MiningParams, Question};
+use cajade_mining::{mine_apt, FeatSelEngine, MiningParams, NoSharedStats, Question};
 use cajade_query::{parse_sql, ProvenanceTable};
 use cajade_storage::{AttrKind, DataType, Database, SchemaBuilder, Value};
 
@@ -76,7 +76,7 @@ fn question_selection_sets_match_float_trainer() {
     let question = Question::TwoPoint { t1: 0, t2: 1 };
     let float = select_features(&apt, &pt, &question, &cfg);
     let order = hist_scan_order(&apt, &pt, None);
-    let hist = select_features_hist(&apt, &pt, &order, &question, &cfg);
+    let hist = select_features_hist(&apt, &pt, &order, &question, &cfg, &NoSharedStats);
 
     assert_eq!(
         sorted(float.num_fields.clone()),
@@ -112,7 +112,7 @@ fn global_selection_matches_float_trainer_up_to_cluster_representatives() {
     let cfg = FeatSelConfig::default();
     let float = select_features_global(&apt, &pt, &cfg);
     let order = hist_scan_order(&apt, &pt, None);
-    let hist = select_features_hist_global(&apt, &pt, &order, &cfg);
+    let hist = select_features_hist_global(&apt, &pt, &order, &cfg, &NoSharedStats);
 
     // Clustering runs on the identical association matrix — the clusters
     // must agree exactly.
@@ -196,8 +196,9 @@ fn restricted_assoc_never_coselects_redundant_tail_features() {
             &order,
             &Question::TwoPoint { t1: 0, t2: 1 },
             &cfg,
+            &NoSharedStats,
         ),
-        select_features_hist_global(&apt, &pt, &order, &cfg),
+        select_features_hist_global(&apt, &pt, &order, &cfg, &NoSharedStats),
     ] {
         let selected: Vec<usize> = fs
             .num_fields

@@ -61,10 +61,8 @@ pub fn cluster_representatives(clusters: &[Vec<usize>], relevance: &[f64]) -> Ve
         .map(|c| {
             *c.iter()
                 .max_by(|&&a, &&b| {
-                    relevance[a]
-                        .partial_cmp(&relevance[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.cmp(&a)) // prefer lower index on ties
+                    // `total_cmp` keeps the pick deterministic under NaN.
+                    relevance[a].total_cmp(&relevance[b]).then(b.cmp(&a)) // prefer lower index on ties
                 })
                 .expect("clusters are non-empty")
         })

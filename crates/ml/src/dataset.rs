@@ -47,6 +47,257 @@ pub enum BinKind {
     },
 }
 
+/// The reusable half of a [`BinnedColumn`]: how one column's values map
+/// to bin codes, independent of any particular row set.
+///
+/// Fitting a spec is the only part of binning that inspects the value
+/// distribution (quantile sort for numerics, frequency capping for
+/// categoricals); encoding any row gather through a fitted spec is a
+/// linear pass. This is what makes column statistics shareable across
+/// join graphs: the same context-table column appears in many APTs, and a
+/// spec fitted **once per base column** can encode every APT's gather of
+/// it, instead of each [`BinnedColumn::from_f64`]/[`BinnedColumn::from_keys`]
+/// re-deriving thresholds per APT.
+#[derive(Debug, Clone)]
+pub enum BinSpec {
+    /// Quantile thresholds for a numeric column (strictly increasing,
+    /// finite).
+    Numeric {
+        /// Quantile upper edges; bin `b` holds values `≤ thresholds[b]`.
+        thresholds: Vec<f64>,
+    },
+    /// Category dictionary for a categorical column.
+    Categorical {
+        /// Raw key (interned id / integer / float bits) → bin code.
+        remap: std::collections::HashMap<u64, u16>,
+        /// Number of equality-splittable bins.
+        split_values: u16,
+        /// True when a non-splittable "other" bin aggregates the rare
+        /// tail (cardinality exceeded the bin budget at fit time).
+        has_other: bool,
+    },
+}
+
+impl BinSpec {
+    /// Fits numeric quantile thresholds (`NaN`/`±∞` = excluded) over at
+    /// most `max_bins` value bins. Thresholds are drawn from the distinct
+    /// finite values the same way the float trainer samples split
+    /// candidates: all of them when few, evenly spaced quantiles
+    /// otherwise. Columns much longer than the bin budget estimate their
+    /// quantiles from a strided sample (≥ 16 values per bin), so the sort
+    /// — the only super-linear step — stays bounded.
+    pub fn fit_f64(values: &[f64], max_bins: usize) -> BinSpec {
+        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
+        let sample_cap = 16 * max_bins;
+        let step = if values.len() > sample_cap {
+            values.len().div_ceil(sample_cap)
+        } else {
+            1
+        };
+        let mut vals: Vec<f64> = values
+            .iter()
+            .step_by(step)
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        let thresholds: Vec<f64> = if vals.len() <= max_bins {
+            vals
+        } else {
+            let step = vals.len() as f64 / max_bins as f64;
+            let mut t: Vec<f64> = (0..max_bins)
+                .map(|i| vals[(i as f64 * step) as usize])
+                .collect();
+            t.dedup();
+            t
+        };
+        BinSpec::Numeric { thresholds }
+    }
+
+    /// Fits a categorical dictionary from arbitrary per-row keys (`None`
+    /// = missing). Dense codes are assigned in first-appearance order;
+    /// when the cardinality exceeds `max_bins`, the `max_bins` most
+    /// frequent categories (ties: earliest appearance) keep their own
+    /// bins and the rest collapse into a non-splittable "other" bin.
+    pub fn fit_keys<I: IntoIterator<Item = Option<u64>>>(keys: I, max_bins: usize) -> BinSpec {
+        use std::collections::HashMap;
+        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
+        let mut dense: HashMap<u64, u32> = HashMap::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for key in keys.into_iter().flatten() {
+            let next = dense.len() as u32;
+            let c = *dense.entry(key).or_insert_with(|| {
+                counts.push(0);
+                next
+            });
+            counts[c as usize] += 1;
+        }
+        let distinct = dense.len();
+        if distinct <= max_bins {
+            let remap = dense.into_iter().map(|(k, c)| (k, c as u16)).collect();
+            return BinSpec::Categorical {
+                remap,
+                split_values: distinct as u16,
+                has_other: false,
+            };
+        }
+        // Cap: keep the most frequent categories, collapse the tail.
+        let mut order: Vec<u32> = (0..distinct as u32).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), c));
+        let split_values = max_bins as u16;
+        let other = split_values; // the aggregated-rare bin
+        let mut code_remap = vec![other; distinct];
+        // Kept categories are renumbered by first appearance so the code
+        // assignment stays independent of the frequency ordering details.
+        let mut kept: Vec<u32> = order[..max_bins].to_vec();
+        kept.sort_unstable();
+        for (new, old) in kept.into_iter().enumerate() {
+            code_remap[old as usize] = new as u16;
+        }
+        let remap = dense
+            .into_iter()
+            .map(|(k, c)| (k, code_remap[c as usize]))
+            .collect();
+        BinSpec::Categorical {
+            remap,
+            split_values,
+            has_other: true,
+        }
+    }
+
+    /// Number of value bins an encoding through this spec produces (the
+    /// missing bin is `num_bins` itself).
+    pub fn num_bins(&self) -> u16 {
+        match self {
+            // One bin per threshold plus the implicit top bin.
+            BinSpec::Numeric { thresholds } => (thresholds.len() + 1) as u16,
+            BinSpec::Categorical {
+                split_values,
+                has_other,
+                ..
+            } => split_values + u16::from(*has_other),
+        }
+    }
+
+    /// Encodes a numeric gather through the fitted thresholds. Non-finite
+    /// values (`NaN`, `±∞`) route to the missing bin — they carry no
+    /// usable ordering for threshold splits, and `NaN` is how the mining
+    /// gathers mark NULL cells.
+    pub fn encode_f64(&self, values: &[f64]) -> BinnedColumn {
+        let thresholds = match self {
+            BinSpec::Numeric { thresholds } => thresholds,
+            BinSpec::Categorical { .. } => panic!("numeric encode through categorical spec"),
+        };
+        let num_bins = self.num_bins();
+        let codes = values
+            .iter()
+            .map(|&v| {
+                if !v.is_finite() {
+                    num_bins // missing bin
+                } else {
+                    thresholds.partition_point(|&t| t < v) as u16
+                }
+            })
+            .collect();
+        BinnedColumn {
+            codes,
+            num_bins,
+            kind: BinKind::Numeric {
+                thresholds: thresholds.clone(),
+            },
+        }
+    }
+
+    /// Encodes a categorical key gather through the fitted dictionary.
+    /// Keys unseen at fit time route to the "other" bin when one exists,
+    /// else to the missing bin (a shared spec fitted on the base table
+    /// can meet only keys the base table contains; anything else is, by
+    /// construction, rare).
+    pub fn encode_keys<I: IntoIterator<Item = Option<u64>>>(&self, keys: I) -> BinnedColumn {
+        let (remap, split_values, has_other) = match self {
+            BinSpec::Categorical {
+                remap,
+                split_values,
+                has_other,
+            } => (remap, *split_values, *has_other),
+            BinSpec::Numeric { .. } => panic!("categorical encode through numeric spec"),
+        };
+        let num_bins = self.num_bins();
+        let unknown = if has_other { split_values } else { num_bins };
+        let codes = keys
+            .into_iter()
+            .map(|key| match key {
+                None => num_bins,
+                Some(k) => remap.get(&k).copied().unwrap_or(unknown),
+            })
+            .collect();
+        BinnedColumn {
+            codes,
+            num_bins,
+            kind: BinKind::Categorical { split_values },
+        }
+    }
+
+    /// Reserves a non-splittable unknown/"other" bin on a categorical
+    /// spec that does not have one yet. A spec fitted on a **sample** of
+    /// a column can meet real categories at encode time that the sample
+    /// missed; without this bin they would be conflated with missing
+    /// values. No-op for numeric specs and specs already carrying an
+    /// other bin.
+    pub fn reserve_unknown_bin(&mut self) {
+        if let BinSpec::Categorical { has_other, .. } = self {
+            *has_other = true;
+        }
+    }
+
+    /// Like [`encode_keys`](Self::encode_keys), but for a gather that is
+    /// already dictionary-coded: `codes[i]` is a dense first-appearance
+    /// code ([`MISSING_CAT`] = missing) and `key_of_code[c]` is the raw
+    /// key dense code `c` stands for. The remap lookup runs once per
+    /// **distinct** value instead of once per row, so encoding a long
+    /// gather through a shared spec costs an array index per row.
+    pub fn encode_dense_keys(&self, codes: &[u32], key_of_code: &[u64]) -> BinnedColumn {
+        let (remap, split_values, has_other) = match self {
+            BinSpec::Categorical {
+                remap,
+                split_values,
+                has_other,
+            } => (remap, *split_values, *has_other),
+            BinSpec::Numeric { .. } => panic!("categorical encode through numeric spec"),
+        };
+        let num_bins = self.num_bins();
+        let unknown = if has_other { split_values } else { num_bins };
+        let lut: Vec<u16> = key_of_code
+            .iter()
+            .map(|k| remap.get(k).copied().unwrap_or(unknown))
+            .collect();
+        let out = codes
+            .iter()
+            .map(|&c| {
+                if c == MISSING_CAT {
+                    num_bins
+                } else {
+                    lut[c as usize]
+                }
+            })
+            .collect();
+        BinnedColumn {
+            codes: out,
+            num_bins,
+            kind: BinKind::Categorical { split_values },
+        }
+    }
+
+    /// Approximate heap footprint (cache byte budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            BinSpec::Numeric { thresholds } => thresholds.len() * 8 + 32,
+            BinSpec::Categorical { remap, .. } => remap.len() * 16 + 64,
+        }
+    }
+}
+
 /// A pre-binned feature column for histogram tree training.
 ///
 /// Codes are `u16`; valid value bins are `0..num_bins` and the dedicated
@@ -61,131 +312,21 @@ pub struct BinnedColumn {
 }
 
 impl BinnedColumn {
-    /// Quantile-bins a numeric column (`NaN` = missing) into at most
-    /// `max_bins` value bins. Thresholds are drawn from the distinct
-    /// values the same way the float trainer samples split candidates:
-    /// all of them when few, evenly spaced quantiles otherwise. Columns
-    /// much longer than the bin budget estimate their quantiles from a
-    /// strided sample (≥ 16 values per bin), so the sort — the only
-    /// super-linear step — stays bounded; every row is still coded.
+    /// Quantile-bins a numeric column (`NaN`/`±∞` = missing) into at most
+    /// `max_bins` value bins: [`BinSpec::fit_f64`] on these values
+    /// followed by [`BinSpec::encode_f64`].
     pub fn from_f64(values: &[f64], max_bins: usize) -> BinnedColumn {
-        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
-        let sample_cap = 16 * max_bins;
-        let step = if values.len() > sample_cap {
-            values.len().div_ceil(sample_cap)
-        } else {
-            1
-        };
-        let mut vals: Vec<f64> = values
-            .iter()
-            .step_by(step)
-            .copied()
-            .filter(|x| !x.is_nan())
-            .collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        vals.dedup();
-        let thresholds: Vec<f64> = if vals.len() <= max_bins {
-            vals
-        } else {
-            let step = vals.len() as f64 / max_bins as f64;
-            let mut t: Vec<f64> = (0..max_bins)
-                .map(|i| vals[(i as f64 * step) as usize])
-                .collect();
-            t.dedup();
-            t
-        };
-        // Value bins: one per threshold plus the implicit top bin.
-        let num_bins = (thresholds.len() + 1) as u16;
-        let codes = values
-            .iter()
-            .map(|&v| {
-                if v.is_nan() {
-                    num_bins // missing bin
-                } else {
-                    thresholds.partition_point(|&t| t < v) as u16
-                }
-            })
-            .collect();
-        BinnedColumn {
-            codes,
-            num_bins,
-            kind: BinKind::Numeric { thresholds },
-        }
+        BinSpec::fit_f64(values, max_bins).encode_f64(values)
     }
 
     /// Builds a categorical binned column from arbitrary per-row keys
-    /// (`None` = missing). Dense codes are assigned in first-appearance
-    /// order; when the cardinality exceeds `max_bins`, the `max_bins`
-    /// most frequent categories (ties: earliest appearance) keep their
-    /// own bins and the rest collapse into a non-splittable "other" bin.
-    pub fn from_keys<I: IntoIterator<Item = Option<u64>>>(
+    /// (`None` = missing): [`BinSpec::fit_keys`] on these keys followed
+    /// by [`BinSpec::encode_keys`].
+    pub fn from_keys<I: IntoIterator<Item = Option<u64>> + Clone>(
         keys: I,
         max_bins: usize,
     ) -> BinnedColumn {
-        use std::collections::HashMap;
-        let max_bins = max_bins.clamp(1, u16::MAX as usize - 2);
-        let mut dense: HashMap<u64, u32> = HashMap::new();
-        let mut raw: Vec<u32> = Vec::new();
-        const MISSING_RAW: u32 = u32::MAX;
-        for key in keys {
-            match key {
-                None => raw.push(MISSING_RAW),
-                Some(k) => {
-                    let next = dense.len() as u32;
-                    raw.push(*dense.entry(k).or_insert(next));
-                }
-            }
-        }
-        let distinct = dense.len();
-        if distinct <= max_bins {
-            let num_bins = distinct as u16;
-            let codes = raw
-                .iter()
-                .map(|&c| if c == MISSING_RAW { num_bins } else { c as u16 })
-                .collect();
-            return BinnedColumn {
-                codes,
-                num_bins,
-                kind: BinKind::Categorical {
-                    split_values: num_bins,
-                },
-            };
-        }
-        // Cap: keep the most frequent categories, collapse the tail.
-        let mut counts = vec![0u32; distinct];
-        for &c in &raw {
-            if c != MISSING_RAW {
-                counts[c as usize] += 1;
-            }
-        }
-        let mut order: Vec<u32> = (0..distinct as u32).collect();
-        order.sort_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), c));
-        let split_values = max_bins as u16;
-        let other = split_values; // the aggregated-rare bin
-        let num_bins = split_values + 1;
-        let mut remap = vec![other; distinct];
-        // Kept categories are renumbered by first appearance so the code
-        // assignment stays independent of the frequency ordering details.
-        let mut kept: Vec<u32> = order[..max_bins].to_vec();
-        kept.sort_unstable();
-        for (new, old) in kept.into_iter().enumerate() {
-            remap[old as usize] = new as u16;
-        }
-        let codes = raw
-            .iter()
-            .map(|&c| {
-                if c == MISSING_RAW {
-                    num_bins
-                } else {
-                    remap[c as usize]
-                }
-            })
-            .collect();
-        BinnedColumn {
-            codes,
-            num_bins,
-            kind: BinKind::Categorical { split_values },
-        }
+        BinSpec::fit_keys(keys.clone(), max_bins).encode_keys(keys)
     }
 
     /// Number of rows.
@@ -319,6 +460,76 @@ mod tests {
             BinKind::Categorical { split_values } => assert_eq!(*split_values, 3),
             _ => panic!("categorical kind"),
         }
+    }
+
+    #[test]
+    fn non_finite_values_route_to_missing_bin() {
+        let col = BinnedColumn::from_f64(
+            &[1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 3.0, 2.0],
+            16,
+        );
+        // Thresholds come from the finite values only.
+        match col.kind() {
+            BinKind::Numeric { thresholds } => assert_eq!(thresholds, &[1.0, 2.0, 3.0]),
+            _ => panic!("numeric kind"),
+        }
+        // NaN and both infinities all land in the missing bin.
+        for i in [1, 2, 3] {
+            assert!(col.is_missing(i), "row {i} should be missing");
+        }
+        assert!(!col.is_missing(0) && !col.is_missing(4) && !col.is_missing(5));
+    }
+
+    #[test]
+    fn spec_fit_then_encode_matches_from_f64() {
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64).collect();
+        let direct = BinnedColumn::from_f64(&values, 16);
+        let spec = BinSpec::fit_f64(&values, 16);
+        let via_spec = spec.encode_f64(&values);
+        assert_eq!(direct.codes(), via_spec.codes());
+        assert_eq!(direct.num_bins(), via_spec.num_bins());
+    }
+
+    #[test]
+    fn shared_numeric_spec_encodes_a_different_gather() {
+        // Fit on the "base column", encode a subset gather (what a join
+        // graph's APT sees): codes follow the shared thresholds.
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let spec = BinSpec::fit_f64(&base, 4);
+        let gathered = [0.0, 55.0, 99.0, f64::NAN];
+        let col = spec.encode_f64(&gathered);
+        assert_eq!(col.num_bins(), spec.num_bins());
+        assert_eq!(col.code(0), 0);
+        assert!(col.is_missing(3));
+        // Codes are monotone in the encoded values.
+        assert!(col.code(0) <= col.code(1) && col.code(1) <= col.code(2));
+    }
+
+    #[test]
+    fn shared_categorical_spec_routes_unknown_keys() {
+        // Uncapped spec: an unknown key has no "other" bin → missing.
+        let spec = BinSpec::fit_keys([Some(1u64), Some(2), Some(3)], 16);
+        let col = spec.encode_keys([Some(2u64), Some(99), None]);
+        assert_eq!(col.code(0), 1);
+        assert!(col.is_missing(1), "unknown key routes to missing bin");
+        assert!(col.is_missing(2));
+
+        // Capped spec: unknown keys join the aggregated-rare bin instead.
+        let keys: Vec<Option<u64>> = (0..40).map(|i| Some((i % 10) as u64)).collect();
+        let capped = BinSpec::fit_keys(keys, 4);
+        let col = capped.encode_keys([Some(999u64), None]);
+        match capped {
+            BinSpec::Categorical {
+                split_values,
+                has_other,
+                ..
+            } => {
+                assert!(has_other);
+                assert_eq!(col.code(0), split_values, "unknown → other bin");
+            }
+            _ => panic!("categorical spec"),
+        }
+        assert!(col.is_missing(1));
     }
 
     #[test]

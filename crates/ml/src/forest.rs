@@ -71,12 +71,9 @@ fn fit_bagged<T>(
 /// index for determinism).
 fn ranked_by_importance(importances: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..importances.len()).collect();
-    idx.sort_by(|&a, &b| {
-        importances[b]
-            .partial_cmp(&importances[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // `total_cmp`, so a NaN importance cannot make the ranking depend on
+    // scan order.
+    idx.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]).then(a.cmp(&b)));
     idx
 }
 

@@ -34,7 +34,7 @@ pub mod tree;
 
 pub use cluster::cluster_attributes;
 pub use correlation::{assoc_matrix, correlation_ratio, cramers_v, pearson};
-pub use dataset::{BinKind, BinnedColumn, FeatureColumn};
+pub use dataset::{BinKind, BinSpec, BinnedColumn, FeatureColumn};
 pub use forest::{HistForest, RandomForest, RandomForestConfig};
 pub use sampling::{bernoulli_sample, reservoir_sample, sample_with_cap};
 pub use tree::{DecisionTree, HistTree, TreeConfig};

@@ -272,7 +272,7 @@ fn best_split_for_feature(
             if vals.is_empty() {
                 return None;
             }
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(f64::total_cmp);
             vals.dedup();
             if vals.len() > config.max_thresholds {
                 // Evenly spaced quantile thresholds.

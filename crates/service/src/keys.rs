@@ -25,6 +25,33 @@ pub struct ProvKey {
     pub prep_fingerprint: u64,
 }
 
+/// Key of a shared column-statistics entry (quantile bin spec + fragment
+/// boundaries of one base-table column — see
+/// [`cajade_mining::ColumnStats`]). Scoped to the database epoch like
+/// every other cache key, plus a fingerprint of the stats-relevant mining
+/// knobs ([`cajade_mining::ColumnStatsConfig`]): sessions with different
+/// λ#frag or bin budgets must not share boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColStatsKey {
+    /// Registered database name.
+    pub db: String,
+    /// Database registration epoch.
+    pub epoch: u64,
+    /// Base table name.
+    pub table: String,
+    /// Base column name.
+    pub column: String,
+    /// Fingerprint of the stats-relevant mining parameters.
+    pub stats_fingerprint: u64,
+}
+
+impl ColStatsKey {
+    /// Approximate key footprint for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.db.len() + self.table.len() + self.column.len() + 24
+    }
+}
+
 /// Key of a cached materialized APT.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AptKey {

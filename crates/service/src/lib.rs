@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod colstats;
 mod error;
 pub mod json;
 mod keys;
@@ -44,7 +45,7 @@ mod stats;
 
 pub use cache::CacheStats;
 pub use error::ServiceError;
-pub use keys::{AnswerKey, AptKey, ProvKey};
+pub use keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
 pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
 pub use session::{AskResult, SessionHandle};
 pub use stats::{IngestStats, ServiceStats};

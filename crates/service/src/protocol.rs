@@ -451,6 +451,7 @@ fn handle_stats(service: &ExplanationService) -> Json {
         ("provenance_cache", cache_json(&s.provenance_cache)),
         ("apt_cache", cache_json(&s.apt_cache)),
         ("answer_cache", cache_json(&s.answer_cache)),
+        ("column_stats_cache", cache_json(&s.column_stats_cache)),
         (
             "ingest",
             Json::obj([

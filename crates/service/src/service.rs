@@ -16,7 +16,7 @@ use cajade_storage::Database;
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::LruCache;
-use crate::keys::{AnswerKey, AptKey, ProvKey};
+use crate::keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
 use crate::session::SessionHandle;
 use crate::stats::{IngestStats, ServiceStats};
 use crate::{Result, ServiceError};
@@ -96,6 +96,12 @@ pub struct ServiceConfig {
     pub apt_cache_bytes: usize,
     /// Byte budget of the answered-question cache.
     pub answer_cache_bytes: usize,
+    /// Byte budget of the shared column-statistics cache: per-base-column
+    /// bin specs + fragment boundaries
+    /// ([`cajade_mining::ColumnStats`]) reused across join graphs, keyed
+    /// by [`crate::ColStatsKey`]. Entries are small (a few hundred bytes
+    /// per column), so the default budget effectively never evicts.
+    pub column_stats_cache_bytes: usize,
     /// Default pipeline parameters for sessions that don't override them.
     /// `parallel` defaults to **on** here (unlike the one-shot API, whose
     /// single-threaded default mirrors the paper's runtime breakdowns).
@@ -110,6 +116,7 @@ impl Default for ServiceConfig {
             prov_cache_bytes: 256 * 1024 * 1024,
             apt_cache_bytes: 512 * 1024 * 1024,
             answer_cache_bytes: 64 * 1024 * 1024,
+            column_stats_cache_bytes: 32 * 1024 * 1024,
             params,
         }
     }
@@ -158,6 +165,7 @@ pub(crate) struct ServiceInner {
     pub(crate) prov_cache: LruCache<ProvKey, Arc<PreparedQuery>>,
     pub(crate) apt_cache: LruCache<AptKey, Arc<AptEntry>>,
     pub(crate) answer_cache: LruCache<AnswerKey, Arc<cajade_core::SessionResult>>,
+    pub(crate) column_stats: LruCache<ColStatsKey, Arc<cajade_mining::ColumnStats>>,
     pub(crate) sessions_opened: AtomicU64,
     pub(crate) questions_answered: AtomicU64,
     pub(crate) prepared_apt_hits: AtomicU64,
@@ -247,6 +255,7 @@ impl ExplanationService {
                 prov_cache: LruCache::new(config.prov_cache_bytes),
                 apt_cache: LruCache::new(config.apt_cache_bytes),
                 answer_cache: LruCache::new(config.answer_cache_bytes),
+                column_stats: LruCache::new(config.column_stats_cache_bytes),
                 sessions_opened: AtomicU64::new(0),
                 questions_answered: AtomicU64::new(0),
                 prepared_apt_hits: AtomicU64::new(0),
@@ -301,6 +310,10 @@ impl ExplanationService {
                     .inner
                     .answer_cache
                     .retain(|k| k.db != name || k.epoch == epoch)
+                + self
+                    .inner
+                    .column_stats
+                    .retain(|k| k.db != name || k.epoch == epoch)
         } else {
             0
         };
@@ -347,6 +360,7 @@ impl ExplanationService {
             self.inner.prov_cache.retain(|k| k.db != name);
             self.inner.apt_cache.retain(|k| k.db != name);
             self.inner.answer_cache.retain(|k| k.db != name);
+            self.inner.column_stats.retain(|k| k.db != name);
         }
         removed
     }
@@ -459,6 +473,7 @@ impl ExplanationService {
             provenance_cache: self.inner.prov_cache.stats(),
             apt_cache: self.inner.apt_cache.stats(),
             answer_cache: self.inner.answer_cache.stats(),
+            column_stats_cache: self.inner.column_stats.stats(),
         }
     }
 }

@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 
 use cajade_core::pipeline::{self, GraphOutcome, PreparedQuery};
 use cajade_core::{Params, SessionResult, UserQuestion};
-use cajade_mining::{prepare_apt, PreparedApt};
+use cajade_mining::PreparedApt;
 use cajade_query::Query;
 use rayon::prelude::*;
 
+use crate::colstats::DbColumnStats;
 use crate::keys::{AnswerKey, AptKey, ProvKey};
 use crate::service::{AptEntry, RegisteredDb, ServiceInner};
 use crate::{Result, ServiceError};
@@ -213,11 +214,16 @@ impl SessionHandle {
         // Feature selection, the LCA candidate pool, fragment boundaries,
         // and the scoring index/bitmaps depend only on (APT, mining
         // params); they are computed once per cached entry and reused by
-        // every later question.
+        // every later question. Per-column statistics (bin specs,
+        // fragment boundaries) are shared even further: the service's
+        // column-stats cache hands every graph after the first — and
+        // every later preparation touching the same context column — the
+        // entry computed once per database epoch.
         let mining_fp = fnv1a(format!("{:?}", self.params.mining).as_bytes());
+        let col_stats = DbColumnStats::new(&inner, &reg, &self.params);
         let prepare_one = |(gi, key, entry, _, mat): &ReadyRow| {
             let (prep, hit) = entry.prepared_for(mining_fp, || {
-                prepare_apt(&entry.apt, &prepared.pt, &self.params.mining)
+                pipeline::prepare_mining(&entry.apt, &prepared.pt, &self.params, &col_stats)
             });
             (*gi, key.clone(), Arc::clone(entry), prep, hit, *mat)
         };

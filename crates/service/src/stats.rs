@@ -68,6 +68,10 @@ pub struct ServiceStats {
     pub apt_cache: CacheStats,
     /// Answered-question cache counters.
     pub answer_cache: CacheStats,
+    /// Shared column-statistics cache counters (per-base-column bin specs
+    /// and fragment boundaries reused across join graphs; a hit means a
+    /// preparation skipped one column's quantile/dictionary pass).
+    pub column_stats_cache: CacheStats,
 }
 
 impl ServiceStats {

@@ -1,0 +1,87 @@
+//! NaN-safety end to end: a CSV directory whose float columns contain
+//! literal `NaN` / `inf` / `-inf` cells (all of which
+//! `"…".parse::<f64>()` happily accepts, so ingestion delivers them into
+//! the mining path) must complete `register_csv_dir` → `ask` without a
+//! panic, produce the same ranked output on every run, and stay
+//! bit-identical across the scalar and vectorized scoring engines.
+//!
+//! Before the NaN-safety sweep this fixture panicked in
+//! `fragments::fragment_boundaries` (`partial_cmp(..).unwrap()` on the
+//! first NaN cell of a selected numeric column).
+
+use cajade::core::{Params, UserQuestion};
+use cajade::ingest::IngestOptions;
+use cajade::mining::ScoreEngine;
+use cajade::service::{ExplanationService, ServiceConfig};
+
+fn fixture_dir() -> String {
+    format!("{}/tests/data/nan_csv", env!("CARGO_MANIFEST_DIR"))
+}
+
+const SQL: &str = "SELECT count(*) AS games, season FROM games GROUP BY season";
+
+fn question() -> UserQuestion {
+    UserQuestion::two_point(&[("season", "s2")], &[("season", "s1")])
+}
+
+/// One full register → ask pass; returns the comparable rendering of the
+/// ranked explanations.
+fn ask_with_engine(engine: ScoreEngine) -> Vec<String> {
+    let service = ExplanationService::new(ServiceConfig::default());
+    let (outcome, report) = service
+        .register_csv_dir("nangames", fixture_dir(), &IngestOptions::default())
+        .expect("ingest the NaN fixture");
+    assert!(!outcome.replaced);
+    assert_eq!(report.tables.len(), 2);
+
+    let mut params = Params::paper();
+    params.mining.engine = engine;
+    let session = service
+        .open_session_with_params("nangames", SQL, params)
+        .unwrap();
+    let answer = session.ask(&question()).expect("ask must not panic");
+    assert!(
+        !answer.result.explanations.is_empty(),
+        "the planted points gap must yield explanations"
+    );
+    answer
+        .result
+        .explanations
+        .iter()
+        .map(|e| {
+            format!(
+                "{}|{}|{}|{:?}|{:.12}",
+                e.pattern_desc,
+                e.graph_structure,
+                e.primary,
+                (e.metrics.tp, e.metrics.a1, e.metrics.fp, e.metrics.a2),
+                e.metrics.f_score
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn nan_cells_survive_register_ask_deterministically_across_engines() {
+    let vectorized = ask_with_engine(ScoreEngine::Vectorized);
+    let vectorized_again = ask_with_engine(ScoreEngine::Vectorized);
+    assert_eq!(
+        vectorized, vectorized_again,
+        "repeated runs must rank identically"
+    );
+
+    let scalar = ask_with_engine(ScoreEngine::Scalar);
+    assert_eq!(
+        vectorized, scalar,
+        "scalar and vectorized engines must agree bit for bit"
+    );
+
+    // The planted story survives the junk cells: season s2's points jump
+    // shows up as a ≥-threshold pattern on the points column.
+    assert!(
+        vectorized
+            .iter()
+            .any(|e| e.contains("points") && e.contains("season=s2")),
+        "expected a points-threshold explanation for s2: {vectorized:#?}"
+    );
+}
