@@ -27,7 +27,9 @@
 //! With `--json` (default `BENCH_mining.json` in the working directory)
 //! the results are written as a flat JSON object so future PRs can track
 //! the trajectory; the PR that introduced the engine records its numbers
-//! in the README's Performance section.
+//! in the README's Performance section. Headline ask latencies carry
+//! `_p50_ms`/`_p99_ms` companions backed by `cajade-obs` histograms over
+//! all runs — minima alone hide tail regressions.
 
 use std::time::{Duration, Instant};
 
@@ -37,6 +39,7 @@ use cajade_core::{FeatSelEngine, Params, ScoreEngine, UserQuestion};
 use cajade_datagen::GeneratedDb;
 use cajade_graph::Apt;
 use cajade_mining::{lca_candidates, Pattern, Question, ScoreIndex, Scorer};
+use cajade_obs::{HistSnapshot, Histogram};
 use cajade_query::ProvenanceTable;
 use cajade_service::{ExplanationService, ServiceConfig};
 
@@ -74,6 +77,25 @@ fn service_with(
 /// Best-of-`n` wall clock of `f`.
 fn best_of(n: usize, mut f: impl FnMut() -> Duration) -> Duration {
     (0..n).map(|_| f()).min().unwrap_or_default()
+}
+
+/// `n` runs of `f` as a full distribution: the minimum (the historical
+/// headline number) plus a log-bucketed histogram snapshot for p50/p99 —
+/// minima hide tail regressions, percentiles don't.
+fn dist_of(n: usize, mut f: impl FnMut() -> Duration) -> (Duration, HistSnapshot) {
+    let hist = Histogram::new();
+    let mut min = Duration::MAX;
+    for _ in 0..n {
+        let d = f();
+        hist.record_duration(d);
+        min = min.min(d);
+    }
+    (min, hist.snapshot())
+}
+
+/// Histogram quantile in milliseconds (the histogram records µs).
+fn qms(snap: &HistSnapshot, q: f64) -> f64 {
+    snap.quantile(q) as f64 / 1e3
 }
 
 /// One cold ask's interesting numbers.
@@ -140,11 +162,18 @@ fn one_cold_ask(gen: &GeneratedDb, engine: ScoreEngine, featsel: FeatSelEngine) 
 }
 
 /// Best-of-5 cold ask (wall, featsel, and prepare minima taken
-/// independently, per the bench-box methodology in the README).
-fn cold_ask(gen: &GeneratedDb, engine: ScoreEngine, featsel: FeatSelEngine) -> ColdAsk {
+/// independently, per the bench-box methodology in the README), plus the
+/// wall-clock distribution of all five runs for p50/p99 reporting.
+fn cold_ask(
+    gen: &GeneratedDb,
+    engine: ScoreEngine,
+    featsel: FeatSelEngine,
+) -> (ColdAsk, HistSnapshot) {
+    let hist = Histogram::new();
     let mut best: Option<ColdAsk> = None;
     for _ in 0..5 {
         let run = one_cold_ask(gen, engine, featsel);
+        hist.record_duration(run.wall);
         best = Some(match best {
             None => run,
             Some(mut b) => {
@@ -157,15 +186,15 @@ fn cold_ask(gen: &GeneratedDb, engine: ScoreEngine, featsel: FeatSelEngine) -> C
             }
         });
     }
-    best.unwrap()
+    (best.unwrap(), hist.snapshot())
 }
 
-fn warm_asks(gen: &GeneratedDb) -> (Duration, Duration) {
+fn warm_asks(gen: &GeneratedDb) -> ((Duration, HistSnapshot), (Duration, HistSnapshot)) {
     // Answer cache off, so the "new question" path re-mines each time.
     let service = service_with(gen, ScoreEngine::Vectorized, FeatSelEngine::Histogram, 0);
     let session = service.open_session("nba", GSW_SQL).unwrap();
     session.ask(&question_1()).unwrap();
-    let warm_new = best_of(5, || {
+    let warm_new = dist_of(5, || {
         let t0 = Instant::now();
         let a = session.ask(&question_2()).unwrap();
         assert!(a.provenance_cache_hit && a.apt_cache_misses == 0);
@@ -180,7 +209,7 @@ fn warm_asks(gen: &GeneratedDb) -> (Duration, Duration) {
     );
     let session = service.open_session("nba", GSW_SQL).unwrap();
     session.ask(&question_1()).unwrap();
-    let warm_repeat = best_of(5, || {
+    let warm_repeat = dist_of(5, || {
         let t0 = Instant::now();
         let a = session.ask(&question_1()).unwrap();
         assert!(a.answer_cache_hit);
@@ -421,9 +450,12 @@ fn main() {
     let gen = nba_db(scale);
     println!("# mining-bench — NBA scale {scale}, GSW wins query\n");
 
-    let cold_scalar = cold_ask(&gen, ScoreEngine::Scalar, FeatSelEngine::Histogram);
-    let cold_vector = cold_ask(&gen, ScoreEngine::Vectorized, FeatSelEngine::Histogram);
-    let cold_float_featsel = cold_ask(&gen, ScoreEngine::Vectorized, FeatSelEngine::FloatMatrix);
+    let (cold_scalar, cold_scalar_dist) =
+        cold_ask(&gen, ScoreEngine::Scalar, FeatSelEngine::Histogram);
+    let (cold_vector, cold_vector_dist) =
+        cold_ask(&gen, ScoreEngine::Vectorized, FeatSelEngine::Histogram);
+    let (cold_float_featsel, _) =
+        cold_ask(&gen, ScoreEngine::Vectorized, FeatSelEngine::FloatMatrix);
     // The trainer swap must not change answer *quality*: same number of
     // explanations with the same multiset of (primary, support) — on this
     // workload the top-k is saturated with tied F=1.0 patterns, and two
@@ -449,7 +481,7 @@ fn main() {
         cold_vector.column_stats_misses,
         cold_vector.graphs_mined
     );
-    let (warm_new, warm_repeat) = warm_asks(&gen);
+    let ((warm_new, warm_new_dist), (warm_repeat, warm_repeat_dist)) = warm_asks(&gen);
     let (prepare_shared, prepare_unshared, num_graphs, distinct_columns) =
         prepare_shared_vs_unshared(&gen);
     // A correctly cross-graph-keyed cache misses at most once per
@@ -466,12 +498,16 @@ fn main() {
     let ingest = ingest_phases(&gen);
 
     println!(
-        "cold ask, scalar engine      {:>10.2} ms",
-        ms(cold_scalar.wall)
+        "cold ask, scalar engine      {:>10.2} ms (p50 {:.2} / p99 {:.2})",
+        ms(cold_scalar.wall),
+        qms(&cold_scalar_dist, 0.5),
+        qms(&cold_scalar_dist, 0.99)
     );
     println!(
-        "cold ask, vectorized engine  {:>10.2} ms",
-        ms(cold_vector.wall)
+        "cold ask, vectorized engine  {:>10.2} ms (p50 {:.2} / p99 {:.2})",
+        ms(cold_vector.wall),
+        qms(&cold_vector_dist, 0.5),
+        qms(&cold_vector_dist, 0.99)
     );
     println!(
         "feature selection (cold)      histogram {:>8.2} ms | float-matrix {:>8.2} ms ({:.2}×, top-k identical: {featsel_topk_identical})",
@@ -495,8 +531,18 @@ fn main() {
         ms(prepare_unshared),
         ms(prepare_unshared) / ms(prepare_shared).max(1e-9)
     );
-    println!("warm new question (re-mine)  {:>10.2} ms", ms(warm_new));
-    println!("warm repeat (answer cache)   {:>10.3} ms", ms(warm_repeat));
+    println!(
+        "warm new question (re-mine)  {:>10.2} ms (p50 {:.2} / p99 {:.2})",
+        ms(warm_new),
+        qms(&warm_new_dist, 0.5),
+        qms(&warm_new_dist, 0.99)
+    );
+    println!(
+        "warm repeat (answer cache)   {:>10.3} ms (p50 {:.3} / p99 {:.3})",
+        ms(warm_repeat),
+        qms(&warm_repeat_dist, 0.5),
+        qms(&warm_repeat_dist, 0.99)
+    );
     println!(
         "scoring throughput            scalar {scalar_rate:>12.0} pat/s | vectorized {vector_rate:>12.0} pat/s | incremental masks {mask_rate:>12.0} pat/s ({:.0}×, {num_patterns} patterns × 2 directions, {apt_rows}-row APT)",
         mask_rate / scalar_rate.max(1e-9)
@@ -512,9 +558,13 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"cold_prepare_ms\": {:.3},\n  \"column_stats_hits\": {},\n  \"column_stats_misses\": {},\n  \"prepare_shared_ms\": {:.3},\n  \"prepare_unshared_ms\": {:.3},\n  \"prepare_graphs\": {num_graphs},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns},\n  \"ingest_scan_ms\": {:.3},\n  \"ingest_infer_ms\": {:.3},\n  \"ingest_load_ms\": {:.3},\n  \"ingest_discover_ms\": {:.3},\n  \"ingest_total_ms\": {:.3}\n}}\n",
+            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_scalar_p50_ms\": {:.3},\n  \"cold_ask_scalar_p99_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_ask_vectorized_p50_ms\": {:.3},\n  \"cold_ask_vectorized_p99_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"cold_prepare_ms\": {:.3},\n  \"column_stats_hits\": {},\n  \"column_stats_misses\": {},\n  \"prepare_shared_ms\": {:.3},\n  \"prepare_unshared_ms\": {:.3},\n  \"prepare_graphs\": {num_graphs},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_new_question_p50_ms\": {:.3},\n  \"warm_new_question_p99_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"warm_repeat_p50_ms\": {:.4},\n  \"warm_repeat_p99_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns},\n  \"ingest_scan_ms\": {:.3},\n  \"ingest_infer_ms\": {:.3},\n  \"ingest_load_ms\": {:.3},\n  \"ingest_discover_ms\": {:.3},\n  \"ingest_total_ms\": {:.3}\n}}\n",
             ms(cold_scalar.wall),
+            qms(&cold_scalar_dist, 0.5),
+            qms(&cold_scalar_dist, 0.99),
             ms(cold_vector.wall),
+            qms(&cold_vector_dist, 0.5),
+            qms(&cold_vector_dist, 0.99),
             ms(cold_vector.featsel),
             ms(cold_float_featsel.featsel),
             ms(cold_float_featsel.featsel) / ms(cold_vector.featsel).max(1e-9),
@@ -526,7 +576,11 @@ fn main() {
             ms(prepare_shared),
             ms(prepare_unshared),
             ms(warm_new),
+            qms(&warm_new_dist, 0.5),
+            qms(&warm_new_dist, 0.99),
             ms(warm_repeat),
+            qms(&warm_repeat_dist, 0.5),
+            qms(&warm_repeat_dist, 0.99),
             scalar_rate,
             vector_rate,
             mask_rate,

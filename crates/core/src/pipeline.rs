@@ -72,7 +72,10 @@ pub fn prepare(
     let result = execute(db, query)?;
 
     let t0 = Instant::now();
-    let pt = ProvenanceTable::compute(db, query)?;
+    let pt = {
+        let _span = cajade_obs::span("provenance");
+        ProvenanceTable::compute(db, query)?
+    };
     let provenance_time = t0.elapsed();
 
     let t0 = Instant::now();
@@ -82,7 +85,10 @@ pub fn prepare(
         check_pk_coverage: params.check_pk_coverage,
         include_pt_only: params.include_pt_only,
     };
-    let graphs = enumerate_join_graphs(schema_graph, db, query, pt.num_rows, &enum_cfg)?;
+    let graphs = {
+        let _span = cajade_obs::span("jg_enum");
+        enumerate_join_graphs(schema_graph, db, query, pt.num_rows, &enum_cfg)?
+    };
     let jg_enum_time = t0.elapsed();
 
     Ok(PreparedQuery {
@@ -136,6 +142,7 @@ pub fn group_label(db: &Database, query: &Query, pt: &ProvenanceTable, group: us
 
 /// Stage 3: materializes `APT(Q, D, Ω)` for one join graph (Definition 4).
 pub fn materialize(db: &Database, pt: &ProvenanceTable, graph: &EnumeratedGraph) -> Result<Apt> {
+    let _span = cajade_obs::span("materialize_apt");
     Ok(Apt::materialize(db, pt, &graph.graph)?)
 }
 
@@ -153,6 +160,7 @@ pub fn prepare_mining(
     params: &Params,
     stats: &dyn ColumnStatsProvider,
 ) -> PreparedApt {
+    let _span = cajade_obs::span("prepare_apt");
     prepare_apt_with(apt, pt, &params.mining, stats)
 }
 
@@ -189,6 +197,7 @@ pub fn mine_one(
     graph_index: usize,
     materialize_time: Duration,
 ) -> GraphOutcome {
+    let _span = cajade_obs::span("mine_apt");
     let outcome = mine_apt(apt, pt, question, &params.mining);
     let explanations = outcome
         .explanations
@@ -231,6 +240,7 @@ pub fn mine_one_prepared(
     materialize_time: Duration,
     prep_computed: bool,
 ) -> GraphOutcome {
+    let _span = cajade_obs::span("mine_apt");
     let mut outcome = mine_prepared(prep, apt, pt, question, &params.mining);
     if prep_computed {
         outcome.timings.accumulate(&prep.prep_timings);
@@ -293,6 +303,7 @@ pub fn materialize_and_mine(
 
 /// Stage 5: global F-score ranking + near-duplicate collapse (§6).
 pub fn rank(all: Vec<Explanation>, params: &Params) -> Vec<Explanation> {
+    let _span = cajade_obs::span("rank");
     rank_and_collapse(all, params.top_k_global, params.collapse_near_duplicates)
 }
 

@@ -181,6 +181,7 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
 
     // ---- Stage 1: scan -------------------------------------------------
     let t0 = Instant::now();
+    let scan_span = cajade_obs::span_detail("ingest_scan");
     let (csv_files, manifest) = scan_dir(dir, &mut warnings)?;
     if csv_files.is_empty() {
         return Err(IngestError::EmptyDirectory(dir.to_path_buf()));
@@ -192,9 +193,11 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
         .or_else(|| dir.file_stem().map(|s| s.to_string_lossy().into_owned()))
         .unwrap_or_else(|| "dataset".to_string());
     timings.scan = t0.elapsed();
+    drop(scan_span);
 
     // ---- Stage 2: infer ------------------------------------------------
     let t0 = Instant::now();
+    let infer_span = cajade_obs::span_detail("ingest_infer");
     let mut profiles: Vec<(PathBuf, TableProfile)> = Vec::with_capacity(csv_files.len());
     for path in &csv_files {
         let table = file_stem(path);
@@ -208,9 +211,11 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     }
     validate_manifest_pins(&manifest, &profiles, &mut warnings)?;
     timings.infer = t0.elapsed();
+    drop(infer_span);
 
     // ---- Stage 3: load -------------------------------------------------
     let t0 = Instant::now();
+    let load_span = cajade_obs::span_detail("ingest_load");
     let mut db = Database::new(dataset_name.clone());
     let mut tables = Vec::with_capacity(profiles.len());
     for (path, profile) in &profiles {
@@ -242,11 +247,14 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
         tables.push(report);
     }
     timings.load = t0.elapsed();
+    drop(load_span);
 
     // ---- Stage 4: discover ---------------------------------------------
     let t0 = Instant::now();
+    let discover_span = cajade_obs::span_detail("ingest_discover");
     let (schema_graph, joins) = assemble_graph(&db, &manifest, options, &mut warnings)?;
     timings.discover = t0.elapsed();
+    drop(discover_span);
 
     Ok(IngestedDataset {
         db,

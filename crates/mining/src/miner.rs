@@ -225,25 +225,31 @@ pub fn mine_apt(
     // histogram feature selection reuses the index's encoding): F1 sample
     // + engine-specific scoring state.
     let t0 = Instant::now();
-    let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
-        None
-    } else {
-        Some(
-            bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
-                .into_iter()
-                .map(|i| i as u32)
-                .collect(),
-        )
+    let sample: Option<Vec<u32>> = {
+        let _span = cajade_obs::span_detail("sampling_for_f1");
+        if params.lambda_f1_samp >= 1.0 {
+            None
+        } else {
+            Some(
+                bernoulli_sample(apt.num_rows, params.lambda_f1_samp, params.seed)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect(),
+            )
+        }
     };
     timings.sampling_for_f1 = t0.elapsed();
 
     let t0 = Instant::now();
-    let index = match params.engine {
-        ScoreEngine::Scalar => None,
-        ScoreEngine::Vectorized => Some(match &sample {
-            Some(rows) => ScoreIndex::sampled(apt, pt, rows),
-            None => ScoreIndex::exact(apt, pt),
-        }),
+    let index = {
+        let _span = cajade_obs::span_detail("score_index");
+        match params.engine {
+            ScoreEngine::Scalar => None,
+            ScoreEngine::Vectorized => Some(match &sample {
+                Some(rows) => ScoreIndex::sampled(apt, pt, rows),
+                None => ScoreIndex::exact(apt, pt),
+            }),
+        }
     };
     timings.prepare += t0.elapsed();
 
@@ -252,6 +258,7 @@ pub fn mine_apt(
     // one APT per call, so the pass-through provider keeps its output
     // bit-identical to the historical per-APT computation.
     let t0 = Instant::now();
+    let featsel_span = cajade_obs::span_detail("feature_selection");
     let mut fs = run_featsel(
         apt,
         pt,
@@ -267,9 +274,11 @@ pub fn mine_apt(
         fs.cat_fields.retain(|f| !fd.contains(f));
     }
     timings.feature_selection = t0.elapsed();
+    drop(featsel_span);
 
     // ---- Phase 2: LCA candidates over the λ_pat-samp sample. -----------
     let t0 = Instant::now();
+    let lca_span = cajade_obs::span_detail("gen_pat_cand");
     let scope_rows = question_scope_rows(apt, pt, question);
     let lca_rows: Vec<u32> = sample_with_cap(
         scope_rows.len(),
@@ -283,8 +292,10 @@ pub fn mine_apt(
     let mut cat_pats = lca_candidates(apt, &lca_rows, &fs.cat_fields);
     cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
     timings.gen_pat_cand = t0.elapsed();
+    drop(lca_span);
 
     // ---- Fragment boundaries per selected numeric field (once). --------
+    let frag_span = cajade_obs::span_detail("fragments");
     let t0 = Instant::now();
     let frag: Vec<(usize, Vec<f64>)> = fs
         .num_fields
@@ -297,6 +308,7 @@ pub fn mine_apt(
     let t0 = Instant::now();
     let bank = index.as_ref().map(|ix| PredBank::build(ix, &frag));
     timings.prepare += t0.elapsed();
+    drop(frag_span);
 
     let eval = match (&index, &bank) {
         (Some(ix), Some(bk)) => SampleEval::Vector {
@@ -434,6 +446,7 @@ pub(crate) fn mine_core(
 
     // ---- Rank categorical candidates by recall, keep top k_cat. --------
     let t0 = Instant::now();
+    let rank_span = cajade_obs::span_detail("rank_candidates");
     let mut eq_memo: HashMap<(usize, Pred), Mask> = HashMap::new();
     let mut ranked: Vec<(Pattern, Option<Mask>, f64)> = candidates
         .into_iter()
@@ -475,6 +488,10 @@ pub(crate) fn mine_core(
     ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
     ranked.truncate(params.k_cat_patterns);
     timings.fscore_calc += t0.elapsed();
+    drop(rank_span);
+    // Scoring and refinement interleave below, so the BFS gets one span;
+    // the fscore_calc / refine_patterns split stays in `MiningTimings`.
+    let bfs_span = cajade_obs::span_detail("refine_bfs");
 
     // ---- Refinement BFS with recall pruning. ---------------------------
     let full_mask = match eval {
@@ -684,8 +701,10 @@ pub(crate) fn mine_core(
         }
         timings.refine_patterns += t_mid.elapsed();
     }
+    drop(bfs_span);
 
     // ---- Top-k with diversity, then exact re-scoring. -------------------
+    let _select_span = cajade_obs::span_detail("select_top_k");
     let items: Vec<(Pattern, f64)> = kept
         .iter()
         .map(|(p, _, _, m)| (p.clone(), m.f_score))

@@ -129,6 +129,7 @@ pub fn prepare_apt_with(
 
     // ---- λ_F1 sample + columnar index. ---------------------------------
     let t0 = Instant::now();
+    let sampling_span = cajade_obs::span_detail("sampling_for_f1");
     let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
         None
     } else {
@@ -140,6 +141,7 @@ pub fn prepare_apt_with(
         )
     };
     timings.sampling_for_f1 = t0.elapsed();
+    drop(sampling_span);
 
     // The bitmap state (index, per-candidate masks, predicate bank) is
     // only built for the vectorized engine; a scalar-engine preparation
@@ -149,14 +151,18 @@ pub fn prepare_apt_with(
     // typed-array/dictionary representation the index encodes).
     let vectorized = params.engine == ScoreEngine::Vectorized;
     let t0 = Instant::now();
-    let index = vectorized.then(|| match &sample {
-        Some(rows) => ScoreIndex::sampled(apt, pt, rows),
-        None => ScoreIndex::exact(apt, pt),
-    });
+    let index = {
+        let _span = cajade_obs::span_detail("score_index");
+        vectorized.then(|| match &sample {
+            Some(rows) => ScoreIndex::sampled(apt, pt, rows),
+            None => ScoreIndex::exact(apt, pt),
+        })
+    };
     timings.prepare += t0.elapsed();
 
     // ---- Feature selection (group-global, cacheable). ------------------
     let t0 = Instant::now();
+    let featsel_span = cajade_obs::span_detail("feature_selection");
     let fs = run_featsel(
         apt,
         pt,
@@ -167,9 +173,11 @@ pub fn prepare_apt_with(
         stats,
     );
     timings.feature_selection = t0.elapsed();
+    drop(featsel_span);
 
     // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
     let t0 = Instant::now();
+    let lca_span = cajade_obs::span_detail("gen_pat_cand");
     let lca_rows: Vec<u32> = sample_with_cap(
         apt.num_rows,
         params.lambda_pat_samp,
@@ -199,12 +207,14 @@ pub fn prepare_apt_with(
         })
         .collect();
     timings.gen_pat_cand = t0.elapsed();
+    drop(lca_span);
 
     // ---- Fragment boundaries + refinement predicate bitmaps. ------------
     // Shared boundaries (when the provider has the field's base column)
     // come from one base-table quantile pass per database epoch; the
     // fallback re-derives them from this APT's rows.
     let t0 = Instant::now();
+    let frag_span = cajade_obs::span_detail("fragments");
     let frag: Vec<(usize, Vec<f64>)> = fs
         .num_fields
         .iter()
@@ -219,6 +229,7 @@ pub fn prepare_apt_with(
         .collect();
     let bank = index.as_ref().map(|index| PredBank::build(index, &frag));
     timings.prepare += t0.elapsed();
+    drop(frag_span);
 
     PreparedApt {
         fs,

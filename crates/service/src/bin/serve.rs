@@ -13,14 +13,25 @@
 //! {"op":"query","db":"nba","sql":"SELECT COUNT(*) AS win, s.season_name FROM team t, game g, season s WHERE t.team_id = g.winner_id AND g.season_id = s.season_id AND t.team = 'GSW' GROUP BY s.season_name"}
 //! {"op":"ask","session":1,"t1":{"season_name":"2015-16"},"t2":{"season_name":"2012-13"}}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! ```
+//!
+//! Set `CAJADE_TRACE=1` (spans) or `CAJADE_TRACE=2` (detail) to stream
+//! span records to stderr as JSON lines; `{"op":"metrics"}` exports the
+//! process-wide registry (see `docs/OBSERVABILITY.md`).
 
 use std::io::{BufRead, Write};
 
 use cajade_service::{protocol, ExplanationService, ServiceConfig};
 
 fn main() {
-    let service = ExplanationService::new(ServiceConfig::default());
+    // CAJADE_TRACE=1|spans / 2|detail streams span records to stderr as
+    // JSON lines; unset or 0 keeps tracing at its ~ns disabled path.
+    cajade_obs::init_from_env();
+    let service = ExplanationService::new(ServiceConfig {
+        registry: cajade_obs::global().clone(),
+        ..ServiceConfig::default()
+    });
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();

@@ -14,7 +14,37 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cajade_obs::{Counter, Registry};
 use parking_lot::Mutex;
+
+/// Registry-backed counter handles mirroring one cache's lifetime
+/// counters, minted as `cache_<prefix>_<counter>_total` (e.g.
+/// `cache_provenance_hits_total`). Resident entries/bytes are gauges the
+/// service refreshes at snapshot time — they are instantaneous values,
+/// not counters.
+pub struct CacheObs {
+    hits: std::sync::Arc<Counter>,
+    misses: std::sync::Arc<Counter>,
+    evictions: std::sync::Arc<Counter>,
+    inserts: std::sync::Arc<Counter>,
+    rejected: std::sync::Arc<Counter>,
+    coalesced: std::sync::Arc<Counter>,
+}
+
+impl CacheObs {
+    /// Resolves the six counters for the cache named `prefix`.
+    pub fn new(registry: &Registry, prefix: &str) -> CacheObs {
+        let c = |name: &str| registry.counter(&format!("cache_{prefix}_{name}_total"));
+        CacheObs {
+            hits: c("hits"),
+            misses: c("misses"),
+            evictions: c("evictions"),
+            inserts: c("inserts"),
+            rejected: c("rejected"),
+            coalesced: c("coalesced"),
+        }
+    }
+}
 
 /// Counter snapshot for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +97,8 @@ pub struct LruCache<K, V> {
     inserts: AtomicU64,
     rejected: AtomicU64,
     coalesced: AtomicU64,
+    /// Optional registry mirror of the counters above.
+    obs: Option<CacheObs>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
@@ -87,7 +119,16 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             inserts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Like [`new`](LruCache::new), additionally mirroring every counter
+    /// into `registry` under `cache_<prefix>_…_total` names.
+    pub fn with_obs(budget_bytes: usize, registry: &Registry, prefix: &str) -> Self {
+        let mut cache = Self::new(budget_bytes);
+        cache.obs = Some(CacheObs::new(registry, prefix));
+        cache
     }
 
     /// Uncounted lookup (refreshes recency, touches no hit/miss counter).
@@ -131,6 +172,9 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         let guard = latch.lock();
         if let Some(v) = self.peek(key) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.coalesced.inc();
+            }
             return Ok((v, true));
         }
         // Compute and insert while still holding the latch, so a waiter
@@ -158,10 +202,16 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             Some(e) => {
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &self.obs {
+                    o.hits.inc();
+                }
                 Some(e.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &self.obs {
+                    o.misses.inc();
+                }
                 None
             }
         }
@@ -174,6 +224,9 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     pub fn insert(&self, key: K, value: V, bytes: usize) -> bool {
         if bytes > self.budget_bytes {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.rejected.inc();
+            }
             return false;
         }
         let mut inner = self.inner.lock();
@@ -193,6 +246,9 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
                     let e = inner.map.remove(&k).expect("lru key present");
                     inner.bytes -= e.bytes;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &self.obs {
+                        o.evictions.inc();
+                    }
                 }
                 None => break,
             }
@@ -207,6 +263,9 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             },
         );
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.inserts.inc();
+        }
         true
     }
 

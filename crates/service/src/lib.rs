@@ -29,7 +29,15 @@
 //!
 //! The `cajade-serve` binary (this crate's `src/bin/serve.rs`) exposes
 //! the service over a JSON-lines stdin/stdout protocol
-//! (`register` / `query` / `ask` / `stats` / `close`).
+//! (`register` / `query` / `ask` / `stats` / `metrics` / `close`).
+//!
+//! Telemetry: every service records into a `cajade-obs`
+//! [`Registry`](cajade_obs::Registry) ([`ServiceConfig::registry`]) —
+//! ask/stage/mining-phase latency histograms, per-cache counters, and
+//! ingest stage timings — exported via
+//! [`ExplanationService::metrics_snapshot`] and the protocol's `metrics`
+//! op. [`SessionHandle::ask_traced`] additionally captures a per-request
+//! span tree. Names and taxonomy: `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 
@@ -38,12 +46,13 @@ mod colstats;
 mod error;
 pub mod json;
 mod keys;
+mod obs;
 pub mod protocol;
 mod service;
 mod session;
 mod stats;
 
-pub use cache::CacheStats;
+pub use cache::{CacheObs, CacheStats};
 pub use error::ServiceError;
 pub use keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
 pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};

@@ -7,9 +7,10 @@
 //! | op | request fields | response fields |
 //! |---|---|---|
 //! | `register` | `db`, plus either `dataset` (`nba`\|`mimic`) with `scale`? (synthetic source) or `source:"csv_dir"` with `path`, `strict`?, `max_joins`? | `epoch`, `fingerprint`, `replaced`, `tables`, `rows`; csv_dir adds an `ingest` report (per-stage timings, per-table stats, join provenance, warnings) |
-//! | `query` | `db`, `sql` | `session`, `columns`, `rows` (≤ `max_rows`, default 50); warms the provenance cache and reuses an existing session on the same `(db, sql)` |
-//! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value) | `explanations`, `cache`, `timings` |
-//! | `stats` | — | service counters + the three caches + cumulative ingest stats |
+//! | `query` | `db`, `sql`, `preview`? (default `true`) | `session`, `columns`, `rows` (≤ `max_rows`, default 50); with `preview: true` warms the provenance cache; reuses an existing session on the same `(db, sql)` |
+//! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value), `trace`? (default `false`) | `explanations`, `cache`, `timings`; with `trace: true` adds a `trace` span-tree array |
+//! | `stats` | — | service counters + the four caches + cumulative ingest stats |
+//! | `metrics` | `format`? (`"json"` default, or `"prometheus"`) | registry snapshot: `counters`, `gauges`, `histograms` (count/sum/max/mean + p50/p90/p99/p999), or `{"text": ...}` in the Prometheus exposition format |
 //! | `close` | `session` | `closed` |
 //!
 //! Example exchange:
@@ -53,6 +54,7 @@ pub fn handle_line(service: &ExplanationService, line: &str) -> Json {
         "query" => handle_query(service, &req),
         "ask" => handle_ask(service, &req),
         "stats" => handle_stats(service),
+        "metrics" => handle_metrics(service, &req),
         "close" => handle_close(service, &req),
         other => err(&format!("unknown op `{other}`")),
     }
@@ -230,10 +232,23 @@ fn handle_query(service: &ExplanationService, req: &Json) -> Json {
         Err(e) => return e,
     };
     let max_rows = req.get("max_rows").and_then(Json::as_u64).unwrap_or(50) as usize;
+    let preview = req.get("preview").and_then(Json::as_bool).unwrap_or(true);
     let handle = match service.open_or_reuse_session(db_name, sql) {
         Ok(h) => h,
         Err(e) => return err(&e.to_string()),
     };
+    if !preview {
+        // `preview: false` leaves every pipeline stage cold, so a
+        // subsequent traced ask shows the full provenance → jg_enum →
+        // materialize → prepare → mine span tree.
+        return Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::num(handle.id() as f64)),
+            ("db", Json::str(db_name)),
+            ("sql", Json::str(handle.sql())),
+            ("preview", Json::Bool(false)),
+        ]);
+    }
     // Preview runs the prepared stages through the provenance cache, so
     // the caller sees the output tuples they can ask about AND the
     // session's first ask skips preparation. If it fails (e.g. unknown
@@ -317,7 +332,8 @@ fn handle_ask(service: &ExplanationService, req: &Json) -> Json {
         (None, None, Some(t)) => UserQuestion::SinglePoint { t },
         _ => return err("expected \"t1\"+\"t2\" (two-point) or \"t\" (single-point)"),
     };
-    match handle.ask(&question) {
+    let trace = req.get("trace").and_then(Json::as_bool).unwrap_or(false);
+    match handle.ask_traced(&question, trace) {
         Ok(outcome) => ask_response(&outcome),
         Err(e) => err(&e.to_string()),
     }
@@ -360,7 +376,7 @@ fn ask_response(outcome: &AskResult) -> Json {
         })
         .collect();
     let r = &outcome.result;
-    Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("explanations", Json::Arr(explanations)),
         (
@@ -417,7 +433,92 @@ fn ask_response(outcome: &AskResult) -> Json {
                 ),
             ]),
         ),
-    ])
+    ];
+    if let Some(spans) = &outcome.trace {
+        let tree: Vec<Json> = spans
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::str(s.name)),
+                    ("span", Json::num(s.id as f64)),
+                    (
+                        "parent",
+                        match s.parent {
+                            Some(p) => Json::num(p as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("start_us", Json::num(s.start_us as f64)),
+                    ("wall_us", Json::num(s.wall_us as f64)),
+                ])
+            })
+            .collect();
+        fields.push(("trace", Json::Arr(tree)));
+    }
+    Json::obj(fields)
+}
+
+fn handle_metrics(service: &ExplanationService, req: &Json) -> Json {
+    let snap = service.metrics_snapshot();
+    match req.get("format").and_then(Json::as_str) {
+        Some("prometheus") => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("format", Json::str("prometheus")),
+            ("text", Json::str(snap.render_prometheus())),
+        ]),
+        Some("json") | None => Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "counters",
+                Json::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    snap.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    snap.hists
+                        .iter()
+                        .map(|(k, h)| {
+                            let mut fields = vec![
+                                ("count".to_string(), Json::num(h.count as f64)),
+                                ("sum".to_string(), Json::num(h.sum as f64)),
+                                ("max".to_string(), Json::num(h.max as f64)),
+                                ("mean".to_string(), Json::num(h.mean())),
+                            ];
+                            for (q, label) in cajade_obs::registry::QUANTILES {
+                                // "0.5" → p50, "0.9" → p90, "0.99" → p99,
+                                // "0.999" → p999.
+                                let digits = label.trim_start_matches("0.");
+                                let key = if digits.len() == 1 {
+                                    format!("p{digits}0")
+                                } else {
+                                    format!("p{digits}")
+                                };
+                                fields.push((key, Json::num(h.quantile(q) as f64)));
+                            }
+                            (k.clone(), Json::Obj(fields.into_iter().collect()))
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Some(other) => err(&format!(
+            "unknown format `{other}` (expected \"json\" or \"prometheus\")"
+        )),
+    }
 }
 
 fn cache_json(s: &CacheStats) -> Json {

@@ -17,6 +17,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::cache::LruCache;
 use crate::keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
+use crate::obs::ServiceObs;
 use crate::session::SessionHandle;
 use crate::stats::{IngestStats, ServiceStats};
 use crate::{Result, ServiceError};
@@ -106,6 +107,10 @@ pub struct ServiceConfig {
     /// `parallel` defaults to **on** here (unlike the one-shot API, whose
     /// single-threaded default mirrors the paper's runtime breakdowns).
     pub params: Params,
+    /// The metrics registry this service records into. Defaults to a
+    /// fresh registry so tests observe only their own counters; binaries
+    /// pass `cajade_obs::global().clone()` to report process-wide.
+    pub registry: Arc<cajade_obs::Registry>,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +123,7 @@ impl Default for ServiceConfig {
             answer_cache_bytes: 64 * 1024 * 1024,
             column_stats_cache_bytes: 32 * 1024 * 1024,
             params,
+            registry: Arc::new(cajade_obs::Registry::new()),
         }
     }
 }
@@ -172,6 +178,8 @@ pub(crate) struct ServiceInner {
     pub(crate) prepared_apt_misses: AtomicU64,
     pub(crate) ingest_stats: Mutex<IngestStats>,
     pub(crate) params: Params,
+    /// Pre-resolved registry instrument handles.
+    pub(crate) obs: ServiceObs,
 }
 
 impl ServiceInner {
@@ -246,22 +254,28 @@ impl Default for ExplanationService {
 impl ExplanationService {
     /// Creates a service with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
+        let registry = &config.registry;
         ExplanationService {
             inner: Arc::new(ServiceInner {
                 dbs: RwLock::new(HashMap::new()),
                 sessions: RwLock::new(HashMap::new()),
                 next_session: AtomicU64::new(1),
                 next_epoch: AtomicU64::new(0),
-                prov_cache: LruCache::new(config.prov_cache_bytes),
-                apt_cache: LruCache::new(config.apt_cache_bytes),
-                answer_cache: LruCache::new(config.answer_cache_bytes),
-                column_stats: LruCache::new(config.column_stats_cache_bytes),
+                prov_cache: LruCache::with_obs(config.prov_cache_bytes, registry, "provenance"),
+                apt_cache: LruCache::with_obs(config.apt_cache_bytes, registry, "apt"),
+                answer_cache: LruCache::with_obs(config.answer_cache_bytes, registry, "answer"),
+                column_stats: LruCache::with_obs(
+                    config.column_stats_cache_bytes,
+                    registry,
+                    "column_stats",
+                ),
                 sessions_opened: AtomicU64::new(0),
                 questions_answered: AtomicU64::new(0),
                 prepared_apt_hits: AtomicU64::new(0),
                 prepared_apt_misses: AtomicU64::new(0),
                 ingest_stats: Mutex::new(IngestStats::default()),
                 params: config.params,
+                obs: ServiceObs::new(Arc::clone(&config.registry)),
             }),
         }
     }
@@ -349,6 +363,7 @@ impl ExplanationService {
         let ingested = cajade_ingest::ingest_dir(dir, &options)?;
         let outcome = self.register_database(name, ingested.db, ingested.schema_graph);
         self.inner.ingest_stats.lock().record(&ingested.report);
+        self.inner.obs.record_ingest(&ingested.report.timings);
         Ok((outcome, ingested.report))
     }
 
@@ -442,6 +457,7 @@ impl ExplanationService {
             }
         }
         self.inner.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.sessions_opened_total.inc();
         Ok(handle)
     }
 
@@ -475,5 +491,32 @@ impl ExplanationService {
             answer_cache: self.inner.answer_cache.stats(),
             column_stats_cache: self.inner.column_stats.stats(),
         }
+    }
+
+    /// The registry this service records into.
+    pub fn registry(&self) -> &Arc<cajade_obs::Registry> {
+        &self.inner.obs.registry
+    }
+
+    /// Refreshes the instantaneous gauges (databases, open sessions,
+    /// per-cache resident entries/bytes) and returns a full registry
+    /// snapshot — the payload behind the serve protocol's `metrics` op.
+    pub fn metrics_snapshot(&self) -> cajade_obs::RegistrySnapshot {
+        let r = &self.inner.obs.registry;
+        r.gauge("databases").set(self.inner.dbs.read().len() as u64);
+        r.gauge("open_sessions")
+            .set(self.inner.sessions.read().len() as u64);
+        for (name, cache_stats) in [
+            ("provenance", self.inner.prov_cache.stats()),
+            ("apt", self.inner.apt_cache.stats()),
+            ("answer", self.inner.answer_cache.stats()),
+            ("column_stats", self.inner.column_stats.stats()),
+        ] {
+            r.gauge(&format!("cache_{name}_entries"))
+                .set(cache_stats.entries as u64);
+            r.gauge(&format!("cache_{name}_bytes"))
+                .set(cache_stats.bytes as u64);
+        }
+        r.snapshot()
     }
 }

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use cajade_core::pipeline::{self, GraphOutcome, PreparedQuery};
 use cajade_core::{Params, SessionResult, UserQuestion};
 use cajade_mining::PreparedApt;
+use cajade_obs::{span, Collector, SpanRecord};
 use cajade_query::Query;
 use rayon::prelude::*;
 
@@ -42,6 +43,13 @@ pub struct AskResult {
     pub apt_cache_misses: usize,
     /// End-to-end wall clock of this ask.
     pub wall: Duration,
+    /// The request's span tree (flat records with parent pointers),
+    /// captured when the ask was issued with
+    /// [`ask_traced`](SessionHandle::ask_traced)`(…, true)`; `None`
+    /// otherwise. Spans cover the pipeline stages actually executed —
+    /// a warm ask has no `provenance`/`jg_enum` spans because those
+    /// stages never ran.
+    pub trace: Option<Vec<SpanRecord>>,
 }
 
 /// An open interactive session. Cheap to share across threads; all
@@ -126,8 +134,33 @@ impl SessionHandle {
     /// is fetched from (or materialized into) the APT cache; mining and
     /// ranking always run because they depend on the question.
     pub fn ask(&self, question: &UserQuestion) -> Result<AskResult> {
+        self.ask_traced(question, false)
+    }
+
+    /// Like [`ask`](SessionHandle::ask); with `trace` set, the request
+    /// additionally runs under a per-request span
+    /// [`Collector`] and [`AskResult::trace`] carries
+    /// the full span tree (one record per executed pipeline phase, with
+    /// parent pointers). Tracing changes nothing about the answer; it
+    /// adds one collector allocation plus a few µs of span bookkeeping.
+    pub fn ask_traced(&self, question: &UserQuestion, trace: bool) -> Result<AskResult> {
+        if !trace {
+            return self.ask_inner(question, None);
+        }
+        let collector = Collector::new();
+        let mut result = collector.with(None, || self.ask_inner(question, Some(&collector)))?;
+        result.trace = Some(collector.finish());
+        Ok(result)
+    }
+
+    fn ask_inner(
+        &self,
+        question: &UserQuestion,
+        collector: Option<&Arc<Collector>>,
+    ) -> Result<AskResult> {
         let inner = self.service.upgrade().ok_or(ServiceError::ServiceDropped)?;
         let t_start = Instant::now();
+        let ask_span = span("ask");
         let reg: Arc<RegisteredDb> = inner.registered(&self.db_name)?;
 
         // ---- Stage 0: the fully-ranked answer may already be cached. ----
@@ -146,21 +179,26 @@ impl SessionHandle {
             // No pipeline stage ran; the cold run's stage timings would
             // misreport this request's work.
             result.timings = cajade_core::SessionTimings::default();
+            let wall = t_start.elapsed();
+            inner.obs.record_ask(wall, &result.timings);
             return Ok(AskResult {
                 result,
                 answer_cache_hit: true,
                 provenance_cache_hit: true,
                 apt_cache_hits: 0,
                 apt_cache_misses: 0,
-                wall: t_start.elapsed(),
+                wall,
+                trace: None,
             });
         }
 
         // ---- Stage 1+2: provenance + enumeration, cached. ---------------
+        let resolve_span = span("resolve_query");
         let (prepared, provenance_cache_hit) = self.prepare_cached(&inner, &reg)?;
 
         let mining_question =
             pipeline::resolve_question(&reg.db, &self.query, &prepared.pt, question)?;
+        drop(resolve_span);
 
         // ---- Stage 3: APTs, cached per canonical join-graph key. --------
         // Each APT is resolved through the cache's single-flight latch, so
@@ -169,31 +207,39 @@ impl SessionHandle {
         // because the entry object is shared, the (more expensive) mining
         // preparation below is deduplicated by the entry's own lock too.
         let valid = prepared.valid_graph_indices();
+        let mat_span = span("materialize");
+        let mat_parent = mat_span.id();
         type ReadyRow = (usize, AptKey, Arc<AptEntry>, bool, Duration);
+        // Worker threads have their own (empty) span stacks, so the
+        // parallel closures re-enter the request's collector scope with
+        // this stage's span as the explicit parent (`in_scope`).
         let resolve_one = |gi: usize| -> Result<ReadyRow> {
-            let key = AptKey {
-                db: self.db_name.clone(),
-                epoch: reg.epoch,
-                sql: self.sql.clone(),
-                graph: prepared.graphs[gi].graph.key(),
-            };
-            let t0 = Instant::now();
-            let (entry, hit) = inner.apt_cache.get_or_try_compute(
-                &key,
-                || -> Result<(Arc<AptEntry>, Option<usize>)> {
-                    let apt = pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
-                    let entry = AptEntry::new(Arc::new(apt));
-                    // Skip caching if the database was re-registered
-                    // mid-ask: keys of a stale epoch would be unreachable
-                    // yet hold cache budget.
-                    let bytes = inner
-                        .epoch_is_current(&self.db_name, reg.epoch)
-                        .then(|| entry.approx_bytes());
-                    Ok((entry, bytes))
-                },
-            )?;
-            let mat = if hit { Duration::ZERO } else { t0.elapsed() };
-            Ok((gi, key, entry, hit, mat))
+            in_scope(collector, mat_parent, || {
+                let key = AptKey {
+                    db: self.db_name.clone(),
+                    epoch: reg.epoch,
+                    sql: self.sql.clone(),
+                    graph: prepared.graphs[gi].graph.key(),
+                };
+                let t0 = Instant::now();
+                let (entry, hit) = inner.apt_cache.get_or_try_compute(
+                    &key,
+                    || -> Result<(Arc<AptEntry>, Option<usize>)> {
+                        let apt =
+                            pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
+                        let entry = AptEntry::new(Arc::new(apt));
+                        // Skip caching if the database was re-registered
+                        // mid-ask: keys of a stale epoch would be unreachable
+                        // yet hold cache budget.
+                        let bytes = inner
+                            .epoch_is_current(&self.db_name, reg.epoch)
+                            .then(|| entry.approx_bytes());
+                        Ok((entry, bytes))
+                    },
+                )?;
+                let mat = if hit { Duration::ZERO } else { t0.elapsed() };
+                Ok((gi, key, entry, hit, mat))
+            })
         };
         let mut ready: Vec<ReadyRow> = if self.params.parallel && valid.len() > 1 {
             valid
@@ -207,6 +253,7 @@ impl SessionHandle {
                 .collect::<Result<Vec<_>>>()?
         };
         ready.sort_by_key(|(gi, _, _, _, _)| *gi);
+        drop(mat_span);
         let apt_cache_hits = ready.iter().filter(|(_, _, _, hit, _)| *hit).count();
         let apt_cache_misses = ready.len() - apt_cache_hits;
 
@@ -221,11 +268,15 @@ impl SessionHandle {
         // entry computed once per database epoch.
         let mining_fp = fnv1a(format!("{:?}", self.params.mining).as_bytes());
         let col_stats = DbColumnStats::new(&inner, &reg, &self.params);
+        let prep_span = span("prepare");
+        let prep_parent = prep_span.id();
         let prepare_one = |(gi, key, entry, _, mat): &ReadyRow| {
-            let (prep, hit) = entry.prepared_for(mining_fp, || {
-                pipeline::prepare_mining(&entry.apt, &prepared.pt, &self.params, &col_stats)
-            });
-            (*gi, key.clone(), Arc::clone(entry), prep, hit, *mat)
+            in_scope(collector, prep_parent, || {
+                let (prep, hit) = entry.prepared_for(mining_fp, || {
+                    pipeline::prepare_mining(&entry.apt, &prepared.pt, &self.params, &col_stats)
+                });
+                (*gi, key.clone(), Arc::clone(entry), prep, hit, *mat)
+            })
         };
         type PreppedRow = (
             usize,
@@ -269,27 +320,35 @@ impl SessionHandle {
         inner
             .prepared_apt_misses
             .fetch_add(prep_misses, std::sync::atomic::Ordering::Relaxed);
+        inner.obs.prepared_apt_hits_total.add(prep_hits);
+        inner.obs.prepared_apt_misses_total.add(prep_misses);
+        drop(prep_span);
 
         // ---- Stage 4: mining (only the question-specific half). ---------
+        let mine_span = span("mine");
+        let mine_parent = mine_span.id();
         let mine_one = |(gi, _, entry, prep, hit, mat): &PreppedRow| -> GraphOutcome {
-            pipeline::mine_one_prepared(
-                &reg.db,
-                &self.query,
-                &prepared.pt,
-                &entry.apt,
-                prep,
-                &mining_question,
-                &self.params,
-                *gi,
-                *mat,
-                !*hit,
-            )
+            in_scope(collector, mine_parent, || {
+                pipeline::mine_one_prepared(
+                    &reg.db,
+                    &self.query,
+                    &prepared.pt,
+                    &entry.apt,
+                    prep,
+                    &mining_question,
+                    &self.params,
+                    *gi,
+                    *mat,
+                    !*hit,
+                )
+            })
         };
         let outcomes: Vec<GraphOutcome> = if self.params.parallel && prepped.len() > 1 {
             prepped.par_iter().map(mine_one).collect()
         } else {
             prepped.iter().map(mine_one).collect()
         };
+        drop(mine_span);
 
         // ---- Stage 5: assemble + rank. ----------------------------------
         let mut result = pipeline::assemble(&prepared, outcomes, &self.params);
@@ -306,13 +365,17 @@ impl SessionHandle {
         inner
             .questions_answered
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        drop(ask_span);
+        let wall = t_start.elapsed();
+        inner.obs.record_ask(wall, &result.timings);
         Ok(AskResult {
             result,
             answer_cache_hit: false,
             provenance_cache_hit,
             apt_cache_hits,
             apt_cache_misses,
-            wall: t_start.elapsed(),
+            wall,
+            trace: None,
         })
     }
 
@@ -364,6 +427,22 @@ impl SessionHandle {
                 .then(|| prepared_bytes(&p));
             Ok((p, bytes))
         })
+    }
+}
+
+/// Runs `f` inside the request's collector scope with `parent` as the
+/// enclosing span. The parallel stages' closures execute on rayon worker
+/// threads whose thread-local span state is empty; without this explicit
+/// re-entry their spans would neither reach the collector nor parent
+/// correctly. A no-op passthrough when the ask is untraced.
+fn in_scope<R>(
+    collector: Option<&Arc<Collector>>,
+    parent: Option<u64>,
+    f: impl FnOnce() -> R,
+) -> R {
+    match collector {
+        Some(c) => c.with(parent, f),
+        None => f(),
     }
 }
 

@@ -27,18 +27,26 @@ pub struct IngestStats {
 }
 
 impl IngestStats {
-    /// Folds one [`cajade_ingest::IngestReport`] into the totals.
+    /// Folds one [`cajade_ingest::IngestReport`] into the totals. All
+    /// arithmetic saturates: durations longer than `u64::MAX` µs clamp,
+    /// and a report whose discovered-join count exceeds its join list
+    /// (impossible today, but nothing in the type enforces it) pins zero
+    /// joins rather than wrapping.
     pub fn record(&mut self, report: &cajade_ingest::IngestReport) {
-        self.ingests += 1;
-        self.tables += report.tables.len() as u64;
-        self.rows += report.total_rows() as u64;
-        let discovered = report.discovered_join_count() as u64;
-        self.joins_discovered += discovered;
-        self.joins_pinned += report.joins.len() as u64 - discovered;
-        self.scan_us += report.timings.scan.as_micros() as u64;
-        self.infer_us += report.timings.infer.as_micros() as u64;
-        self.load_us += report.timings.load.as_micros() as u64;
-        self.discover_us += report.timings.discover.as_micros() as u64;
+        let us = |d: std::time::Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.ingests = self.ingests.saturating_add(1);
+        self.tables = self.tables.saturating_add(report.tables.len() as u64);
+        self.rows = self.rows.saturating_add(report.total_rows() as u64);
+        let total_joins = report.joins.len() as u64;
+        let discovered = (report.discovered_join_count() as u64).min(total_joins);
+        self.joins_discovered = self.joins_discovered.saturating_add(discovered);
+        self.joins_pinned = self
+            .joins_pinned
+            .saturating_add(total_joins.saturating_sub(discovered));
+        self.scan_us = self.scan_us.saturating_add(us(report.timings.scan));
+        self.infer_us = self.infer_us.saturating_add(us(report.timings.infer));
+        self.load_us = self.load_us.saturating_add(us(report.timings.load));
+        self.discover_us = self.discover_us.saturating_add(us(report.timings.discover));
     }
 }
 
@@ -137,6 +145,39 @@ mod tests {
         assert_eq!(s.joins_discovered, 2);
         assert_eq!(s.scan_us, 20);
         assert_eq!(s.discover_us, 80);
+    }
+
+    #[test]
+    fn ingest_stats_saturate_instead_of_wrapping() {
+        use cajade_ingest::{IngestReport, IngestTimings};
+        let report = IngestReport {
+            dataset: "d".into(),
+            manifest_used: false,
+            tables: vec![],
+            joins: vec![],
+            warnings: vec![],
+            timings: IngestTimings {
+                // > u64::MAX microseconds: must clamp, not truncate.
+                scan: std::time::Duration::MAX,
+                infer: std::time::Duration::from_micros(1),
+                load: std::time::Duration::ZERO,
+                discover: std::time::Duration::ZERO,
+            },
+        };
+        let mut s = IngestStats {
+            ingests: u64::MAX,
+            infer_us: u64::MAX - 1,
+            ..IngestStats::default()
+        };
+        s.record(&report);
+        assert_eq!(s.ingests, u64::MAX);
+        assert_eq!(s.scan_us, u64::MAX);
+        assert_eq!(s.infer_us, u64::MAX);
+        // No joins at all: pinned count must stay 0 even if a (buggy)
+        // discovered count were reported; here it exercises the
+        // `total - discovered` guard path with an empty list.
+        assert_eq!(s.joins_pinned, 0);
+        assert_eq!(s.joins_discovered, 0);
     }
 
     #[test]
