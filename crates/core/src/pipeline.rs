@@ -278,12 +278,19 @@ pub fn materialize_and_mine(
     params: &Params,
 ) -> Result<Vec<GraphOutcome>> {
     let valid = prepared.valid_graph_indices();
-    let run_one = |graph_index: usize| -> Result<GraphOutcome> {
+    // A single APT's materialization is not truncatable, so the budget
+    // boundary sits between graphs: once the deadline passes, remaining
+    // whole graphs are skipped and the ask answers from the graphs mined
+    // so far. `Ok(None)` marks a skipped graph.
+    let run_one = |graph_index: usize| -> Result<Option<GraphOutcome>> {
+        if cajade_obs::budget::stop("materialize") {
+            return Ok(None);
+        }
         let eg = &prepared.graphs[graph_index];
         let t0 = Instant::now();
         let apt = materialize(db, &prepared.pt, eg)?;
         let materialize_time = t0.elapsed();
-        Ok(mine_one(
+        Ok(Some(mine_one(
             db,
             query,
             &prepared.pt,
@@ -292,13 +299,24 @@ pub fn materialize_and_mine(
             params,
             graph_index,
             materialize_time,
-        ))
+        )))
     };
-    if params.parallel && valid.len() > 1 {
-        valid.par_iter().map(|&i| run_one(i)).collect()
+    let outcomes: Vec<Option<GraphOutcome>> = if params.parallel && valid.len() > 1 {
+        // The rayon pool's worker threads don't inherit the caller's
+        // thread-local budget; re-install it inside each closure (the
+        // same hop trace collectors make in the service layer).
+        let budget = cajade_obs::budget::current();
+        valid
+            .par_iter()
+            .map(|&i| match &budget {
+                Some(b) => b.install(|| run_one(i)),
+                None => run_one(i),
+            })
+            .collect::<Result<_>>()?
     } else {
-        valid.into_iter().map(run_one).collect()
-    }
+        valid.into_iter().map(run_one).collect::<Result<_>>()?
+    };
+    Ok(outcomes.into_iter().flatten().collect())
 }
 
 /// Stage 5: global F-score ranking + near-duplicate collapse (§6).
@@ -330,6 +348,11 @@ pub fn assemble(
         patterns_evaluated += o.patterns;
         all.extend(o.explanations);
     }
+    // When a budget is installed (and still is at assembly — the service
+    // calls `assemble` inside the budget scope), surface what truncated.
+    let truncated: Vec<String> = cajade_obs::budget::current()
+        .map(|b| b.truncated().into_iter().map(str::to_string).collect())
+        .unwrap_or_default();
     SessionResult {
         explanations: rank(all, params),
         timings,
@@ -339,5 +362,7 @@ pub fn assemble(
         result: prepared.result.clone(),
         apt_stats,
         patterns_evaluated,
+        degraded: !truncated.is_empty(),
+        truncated,
     }
 }

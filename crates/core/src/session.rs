@@ -96,6 +96,12 @@ pub struct SessionResult {
     pub apt_stats: Vec<(String, usize, usize)>,
     /// Total patterns evaluated across all APTs.
     pub patterns_evaluated: usize,
+    /// True when a request budget (`cajade_obs::budget`) expired and some
+    /// phase returned a truncated, best-so-far result.
+    pub degraded: bool,
+    /// Budget sites that truncated work (first-truncation order); empty
+    /// unless `degraded`.
+    pub truncated: Vec<String>,
 }
 
 /// A configured CaJaDE session over one database + schema graph.

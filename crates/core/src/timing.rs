@@ -59,6 +59,12 @@ impl SessionTimings {
                 self.mining.ub_pruned_children, self.mining.recall_pruned_subtrees
             ));
         }
+        if self.mining.budget_stopped > 0 {
+            out.push_str(&format!(
+                "budget: {} mining phases stopped early\n",
+                self.mining.budget_stopped
+            ));
+        }
         out
     }
 }
@@ -97,5 +103,11 @@ mod tests {
         let text = with_counters.render();
         assert!(text.contains("7 children ub-pruned"));
         assert!(text.contains("3 subtrees recall-pruned"));
+        assert!(!text.contains("budget"));
+        with_counters.mining.budget_stopped = 2;
+        assert_eq!(with_counters.total(), Duration::from_millis(90));
+        assert!(with_counters
+            .render()
+            .contains("2 mining phases stopped early"));
     }
 }

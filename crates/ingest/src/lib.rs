@@ -128,7 +128,11 @@ pub struct IngestOptions {
     /// Type/key inference configuration.
     pub infer: InferConfig,
     /// Error on cells that contradict the inferred type after the
-    /// sampling window instead of coercing them to NULL.
+    /// sampling window instead of coercing them to NULL. Also controls
+    /// per-file failure handling: in the default lenient mode an
+    /// unreadable or mid-file-corrupt CSV is skipped with a warning in
+    /// [`IngestReport::warnings`]; in strict mode it aborts the whole
+    /// ingestion.
     pub strict_types: bool,
     /// Containment-discovery thresholds (manifest `[discovery]` keys
     /// override individual fields).
@@ -201,9 +205,19 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     let mut profiles: Vec<(PathBuf, TableProfile)> = Vec::with_capacity(csv_files.len());
     for path in &csv_files {
         let table = file_stem(path);
-        match profile_file(path, &table, &options.infer)? {
-            Some(profile) => profiles.push((path.clone(), profile)),
-            None => warnings.push(format!("{}: empty file, skipped", path.display())),
+        let profiled = cajade_obs::faults::failpoint("ingest.profile")
+            .map_err(|msg| IngestError::Io {
+                path: path.clone(),
+                msg,
+            })
+            .and_then(|()| profile_file(path, &table, &options.infer));
+        match profiled {
+            Ok(Some(profile)) => profiles.push((path.clone(), profile)),
+            Ok(None) => warnings.push(format!("{}: empty file, skipped", path.display())),
+            Err(e) if !options.strict_types => {
+                warnings.push(format!("{}: file skipped ({e})", path.display()));
+            }
+            Err(e) => return Err(e),
         }
     }
     if profiles.is_empty() {
@@ -221,7 +235,22 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     for (path, profile) in &profiles {
         let schema = profile.into_schema(&manifest);
         warn_all_null_columns(profile, &schema, &mut warnings);
-        let report = load_file(path, profile, schema, &mut db, options, &manifest)?;
+        // `load_file` only inserts the table into `db` once the whole file
+        // parsed, so a lenient skip here leaves no partial table behind.
+        let loaded = cajade_obs::faults::failpoint("ingest.load")
+            .map_err(|msg| IngestError::Io {
+                path: path.clone(),
+                msg,
+            })
+            .and_then(|()| load_file(path, profile, schema, &mut db, options, &manifest));
+        let report = match loaded {
+            Ok(report) => report,
+            Err(e) if !options.strict_types => {
+                warnings.push(format!("{}: table skipped ({e})", path.display()));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         if report.ragged_rows > 0 {
             warnings.push(format!(
                 "table `{}`: {} ragged record(s) padded/truncated to the header arity",
@@ -245,6 +274,11 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
             ));
         }
         tables.push(report);
+    }
+    if tables.is_empty() {
+        // Every table was skipped leniently; an empty database is useless,
+        // so surface that the directory yielded nothing loadable.
+        return Err(IngestError::EmptyDirectory(dir.to_path_buf()));
     }
     timings.load = t0.elapsed();
     drop(load_span);

@@ -300,8 +300,13 @@ fn empty_directory_and_unreadable_files_error_cleanly() {
 
 #[test]
 fn duplicate_header_names_error_with_line() {
+    // Strict mode aborts the whole ingestion and pinpoints the line.
     let fx = Fixture::new("dupheader", &[("d.csv", "id,id\n1,2\n")]);
-    let err = ingest_dir(fx.path(), &IngestOptions::default()).unwrap_err();
+    let strict = IngestOptions {
+        strict_types: true,
+        ..Default::default()
+    };
+    let err = ingest_dir(fx.path(), &strict).unwrap_err();
     match err {
         IngestError::Storage {
             source: StorageError::Csv { line, msg },
@@ -312,4 +317,71 @@ fn duplicate_header_names_error_with_line() {
         }
         other => panic!("{other:?}"),
     }
+}
+
+#[test]
+fn lenient_mode_skips_corrupt_file_and_keeps_the_rest() {
+    // Default (lenient) mode: the corrupt-header file is skipped with a
+    // warning and the good file still loads.
+    let fx = Fixture::new(
+        "dupheader_lenient",
+        &[("d.csv", "id,id\n1,2\n"), ("ok.csv", "id,v\n1,10\n2,20\n")],
+    );
+    let out = ingest_dir(fx.path(), &IngestOptions::default()).unwrap();
+    assert_eq!(out.report.tables.len(), 1);
+    assert_eq!(out.report.tables[0].name, "ok");
+    assert!(
+        out.report
+            .warnings
+            .iter()
+            .any(|w| w.contains("d.csv") && w.contains("skipped")),
+        "{:?}",
+        out.report.warnings
+    );
+
+    // If every file is corrupt, lenient mode still fails cleanly rather
+    // than returning an empty database.
+    let fx = Fixture::new("dupheader_all_bad", &[("d.csv", "id,id\n1,2\n")]);
+    let err = ingest_dir(fx.path(), &IngestOptions::default()).unwrap_err();
+    assert!(matches!(err, IngestError::EmptyDirectory(_)));
+}
+
+#[test]
+fn lenient_mode_skips_files_that_fail_mid_load() {
+    // A mid-file I/O failure (simulated via the fault-injection harness)
+    // hits `a.csv` during the typed load; lenient mode skips the table and
+    // leaves no partial load behind, strict mode aborts.
+    let _guard = cajade_obs::faults::test_guard();
+    let files = [
+        ("a.csv", "id,v\n1,10\n2,20\n"),
+        ("b.csv", "id,v\n1,10\n2,20\n"),
+    ];
+
+    let fx = Fixture::new("faultload_lenient", &files);
+    cajade_obs::faults::set_plan("ingest.load=error@1").unwrap();
+    let out = ingest_dir(fx.path(), &IngestOptions::default());
+    cajade_obs::faults::clear();
+    let out = out.unwrap();
+    assert_eq!(out.report.tables.len(), 1);
+    assert_eq!(out.report.tables[0].name, "b");
+    assert!(
+        out.report
+            .warnings
+            .iter()
+            .any(|w| w.contains("a.csv") && w.contains("skipped")),
+        "{:?}",
+        out.report.warnings
+    );
+
+    let fx = Fixture::new("faultload_strict", &files);
+    cajade_obs::faults::set_plan("ingest.load=error@1").unwrap();
+    let err = ingest_dir(
+        fx.path(),
+        &IngestOptions {
+            strict_types: true,
+            ..Default::default()
+        },
+    );
+    cajade_obs::faults::clear();
+    assert!(matches!(err.unwrap_err(), IngestError::Io { .. }));
 }

@@ -161,22 +161,24 @@ pub fn select_features(
         .map(|&f| feature_column(apt, f, &rows))
         .collect();
 
-    // Forest relevance (uniform fallback when a class is missing).
+    // Forest relevance (uniform fallback when a class is missing, or
+    // when the request budget expired before training could start).
     let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
-    let importances: Vec<f64> = if has_both && !rows.is_empty() {
-        let forest = RandomForest::fit(
-            &features,
-            &labels,
-            &RandomForestConfig {
-                num_trees: cfg.forest_trees,
-                seed: cfg.seed,
-                ..Default::default()
-            },
-        );
-        forest.importances
-    } else {
-        vec![1.0 / candidates.len() as f64; candidates.len()]
-    };
+    let importances: Vec<f64> =
+        if has_both && !rows.is_empty() && !cajade_obs::budget::stop("featsel.forest") {
+            let forest = RandomForest::fit(
+                &features,
+                &labels,
+                &RandomForestConfig {
+                    num_trees: cfg.forest_trees,
+                    seed: cfg.seed,
+                    ..Default::default()
+                },
+            );
+            forest.importances
+        } else {
+            vec![1.0 / candidates.len() as f64; candidates.len()]
+        };
     finish_selection(
         apt,
         &candidates,
@@ -235,6 +237,11 @@ pub fn select_features_global(
     let mut importances = vec![0.0; candidates.len()];
     let mut any_task = false;
     for (g, weight, forest_cfg) in one_vs_rest_plan(pt, cfg) {
+        // One forest fit per task; an expired budget stops between
+        // tasks, keeping whatever importances accumulated so far.
+        if cajade_obs::budget::stop("featsel.forest") {
+            break;
+        }
         let labels: Vec<bool> = row_groups.iter().map(|&rg| rg as usize == g).collect();
         let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
         if !has_both || rows.is_empty() {
@@ -439,6 +446,12 @@ fn hist_selection(
     let mut importances = vec![0.0; candidates.len()];
     let mut any_task = false;
     for (labels, weight, forest_cfg) in tasks {
+        // Same between-task stop as the float trainer: histogram-forest
+        // training is the one unbounded ML loop, and each task is a
+        // whole forest fit.
+        if cajade_obs::budget::stop("featsel.forest") {
+            break;
+        }
         let has_both = labels.iter().any(|&l| l) && labels.iter().any(|&l| !l);
         if !has_both || rows.is_empty() {
             continue;

@@ -157,6 +157,9 @@ pub struct MiningTimings {
     /// to ≤ λ_recall (the Proposition-3.1 prune; the pattern itself *was*
     /// evaluated).
     pub recall_pruned_subtrees: u64,
+    /// Times a mining phase stopped early because the request budget
+    /// expired (see `cajade_obs::budget`). Zero on unbudgeted asks.
+    pub budget_stopped: u64,
 }
 
 impl MiningTimings {
@@ -180,6 +183,7 @@ impl MiningTimings {
         self.prepare += other.prepare;
         self.ub_pruned_children += other.ub_pruned_children;
         self.recall_pruned_subtrees += other.recall_pruned_subtrees;
+        self.budget_stopped += other.budget_stopped;
     }
 }
 
@@ -441,6 +445,7 @@ pub(crate) fn mine_core(
     eval: &SampleEval<'_>,
     timings: &mut MiningTimings,
 ) -> (Vec<MinedExplanation>, usize) {
+    cajade_obs::faults::failpoint_infallible("mine.refine");
     let directions = question.directions();
     let mut patterns_evaluated = 0usize;
 
@@ -596,6 +601,14 @@ pub(crate) fn mine_core(
 
     while let Some(item) = todo.pop_front() {
         if patterns_evaluated >= params.max_patterns {
+            break;
+        }
+        // Cooperative deadline check, rate-limited to amortize the clock
+        // read; a break here leaves `kept` as-is, and the diversity
+        // selection + exact re-score below still run, so a budgeted ask
+        // returns a valid (merely less-refined) diverse top-k.
+        if patterns_evaluated.is_multiple_of(64) && cajade_obs::budget::stop("mine.refine") {
+            timings.budget_stopped += 1;
             break;
         }
         patterns_evaluated += 1;

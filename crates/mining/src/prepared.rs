@@ -72,6 +72,11 @@ pub struct PreparedApt {
     /// Wall-clock of the preparation phases (attributed to the ask that
     /// computed them; cache hits report zero).
     pub prep_timings: MiningTimings,
+    /// True when a request budget expired mid-preparation and later
+    /// phases were skipped (empty pool/fragments). A truncated
+    /// preparation is still safe to mine — it just finds fewer (or no)
+    /// patterns — but it must **not** be cached for future requests.
+    pub truncated: bool,
 }
 
 impl PreparedApt {
@@ -125,7 +130,20 @@ pub fn prepare_apt_with(
     params: &MiningParams,
     stats: &dyn ColumnStatsProvider,
 ) -> PreparedApt {
+    cajade_obs::faults::failpoint_infallible("mine.prepare");
     let mut timings = MiningTimings::default();
+    // Budget checks sit at the phase boundaries below: a phase either
+    // runs to completion or is skipped whole (empty feature selection /
+    // candidate pool / fragment list), so a truncated preparation is
+    // always internally consistent — it just mines fewer patterns.
+    let mut truncated = false;
+    let stop_before_phase = |timings: &mut MiningTimings, truncated: &mut bool| -> bool {
+        if !*truncated && cajade_obs::budget::stop("prepare") {
+            *truncated = true;
+            timings.budget_stopped += 1;
+        }
+        *truncated
+    };
 
     // ---- λ_F1 sample + columnar index. ---------------------------------
     let t0 = Instant::now();
@@ -163,49 +181,62 @@ pub fn prepare_apt_with(
     // ---- Feature selection (group-global, cacheable). ------------------
     let t0 = Instant::now();
     let featsel_span = cajade_obs::span_detail("feature_selection");
-    let fs = run_featsel(
-        apt,
-        pt,
-        params,
-        index.as_ref(),
-        sample.as_deref(),
-        None,
-        stats,
-    );
+    let fs = if stop_before_phase(&mut timings, &mut truncated) {
+        FeatureSelection {
+            num_fields: Vec::new(),
+            cat_fields: Vec::new(),
+            clusters: Vec::new(),
+            relevance: vec![0.0; apt.fields.len()],
+        }
+    } else {
+        run_featsel(
+            apt,
+            pt,
+            params,
+            index.as_ref(),
+            sample.as_deref(),
+            None,
+            stats,
+        )
+    };
     timings.feature_selection = t0.elapsed();
     drop(featsel_span);
 
     // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
     let t0 = Instant::now();
     let lca_span = cajade_obs::span_detail("gen_pat_cand");
-    let lca_rows: Vec<u32> = sample_with_cap(
-        apt.num_rows,
-        params.lambda_pat_samp,
-        params.pat_samp_cap,
-        params.seed.wrapping_add(1),
-    )
-    .into_iter()
-    .map(|i| i as u32)
-    .collect();
-    let mut cat_pats = lca_candidates(apt, &lca_rows, &fs.cat_fields);
-    cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
-    let mut eq_memo: HashMap<(usize, crate::pattern::Pred), Mask> = HashMap::new();
-    let pool: Vec<(Pattern, Option<Mask>)> = cat_pats
+    let pool: Vec<(Pattern, Option<Mask>)> = if stop_before_phase(&mut timings, &mut truncated) {
+        Vec::new()
+    } else {
+        let lca_rows: Vec<u32> = sample_with_cap(
+            apt.num_rows,
+            params.lambda_pat_samp,
+            params.pat_samp_cap,
+            params.seed.wrapping_add(1),
+        )
         .into_iter()
-        .map(|p| {
-            let mask = index.as_ref().map(|index| {
-                let mut m = index.full_mask();
-                for (field, pred) in p.preds() {
-                    let pm = eq_memo
-                        .entry((*field, *pred))
-                        .or_insert_with(|| index.eval_pred(*field, pred));
-                    m.and_assign(pm);
-                }
-                m
-            });
-            (p, mask)
-        })
+        .map(|i| i as u32)
         .collect();
+        let mut cat_pats = lca_candidates(apt, &lca_rows, &fs.cat_fields);
+        cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
+        let mut eq_memo: HashMap<(usize, crate::pattern::Pred), Mask> = HashMap::new();
+        cat_pats
+            .into_iter()
+            .map(|p| {
+                let mask = index.as_ref().map(|index| {
+                    let mut m = index.full_mask();
+                    for (field, pred) in p.preds() {
+                        let pm = eq_memo
+                            .entry((*field, *pred))
+                            .or_insert_with(|| index.eval_pred(*field, pred));
+                        m.and_assign(pm);
+                    }
+                    m
+                });
+                (p, mask)
+            })
+            .collect()
+    };
     timings.gen_pat_cand = t0.elapsed();
     drop(lca_span);
 
@@ -215,21 +246,31 @@ pub fn prepare_apt_with(
     // fallback re-derives them from this APT's rows.
     let t0 = Instant::now();
     let frag_span = cajade_obs::span_detail("fragments");
-    let frag: Vec<(usize, Vec<f64>)> = fs
-        .num_fields
-        .iter()
-        .map(|&f| {
-            let shared = source_column(apt, f).and_then(|(t, c)| stats.column_stats(t, c));
-            let boundaries = match shared {
-                Some(st) => st.fragments.clone(),
-                None => fragment_boundaries(apt, f, None, params.num_frags),
-            };
-            (f, boundaries)
-        })
-        .collect();
+    let frag: Vec<(usize, Vec<f64>)> = if stop_before_phase(&mut timings, &mut truncated) {
+        Vec::new()
+    } else {
+        fs.num_fields
+            .iter()
+            .map(|&f| {
+                let shared = source_column(apt, f).and_then(|(t, c)| stats.column_stats(t, c));
+                let boundaries = match shared {
+                    Some(st) => st.fragments.clone(),
+                    None => fragment_boundaries(apt, f, None, params.num_frags),
+                };
+                (f, boundaries)
+            })
+            .collect()
+    };
     let bank = index.as_ref().map(|index| PredBank::build(index, &frag));
     timings.prepare += t0.elapsed();
     drop(frag_span);
+
+    // Conservative cache guard: if the budget expired at *any* point
+    // during preparation (including inside feature-selection's
+    // between-task stop, which this function can't observe directly),
+    // the result may differ from an unbudgeted preparation and must not
+    // be cached. Expiry is monotone, so checking once here suffices.
+    truncated = truncated || cajade_obs::budget::expired();
 
     PreparedApt {
         fs,
@@ -239,6 +280,7 @@ pub fn prepare_apt_with(
         frag,
         bank,
         prep_timings: timings,
+        truncated,
     }
 }
 

@@ -26,16 +26,26 @@
 //!   and histograms with a JSON-friendly snapshot and a Prometheus-style
 //!   text exposition renderer. [`global`] returns the process-wide
 //!   instance; services may also carry their own (test isolation).
+//! * [`budget`] — per-request deadlines with cooperative cancellation:
+//!   a [`budget::Budget`] installed around a request makes
+//!   [`budget::stop`] checks inside the pipeline's loops report expiry
+//!   and record which phases truncated. Disabled path: one TLS load.
+//! * [`faults`] — `CAJADE_FAULTS`-gated deterministic fault injection
+//!   (panic/error/sleep at named failpoints) for robustness tests.
 //!
 //! The span taxonomy and metric names used across the workspace are
-//! documented in `docs/OBSERVABILITY.md`.
+//! documented in `docs/OBSERVABILITY.md`; budget/degradation semantics
+//! and the failpoint site catalog live in `docs/ROBUSTNESS.md`.
 
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod faults;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
+pub use budget::Budget;
 pub use hist::{HistSnapshot, Histogram};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use trace::{span, span_detail, Collector, Level, SpanGuard, SpanRecord, TraceSink};

@@ -28,6 +28,10 @@ fn main() {
     // CAJADE_TRACE=1|spans / 2|detail streams span records to stderr as
     // JSON lines; unset or 0 keeps tracing at its ~ns disabled path.
     cajade_obs::init_from_env();
+    // CAJADE_FAULTS arms the fault-injection harness (test/CI only); see
+    // docs/ROBUSTNESS.md for the site=action grammar. Unset means every
+    // failpoint is a single relaxed atomic load.
+    cajade_obs::faults::init_from_env();
     let service = ExplanationService::new(ServiceConfig {
         registry: cajade_obs::global().clone(),
         ..ServiceConfig::default()

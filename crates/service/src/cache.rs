@@ -178,19 +178,28 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             return Ok((v, true));
         }
         // Compute and insert while still holding the latch, so a waiter
-        // can only wake after the value is resident.
-        let result = compute().map(|(value, bytes)| {
-            if let Some(bytes) = bytes {
-                self.insert(key.clone(), value.clone(), bytes);
-            }
-            (value, false)
+        // can only wake after the value is resident. `compute` is run
+        // under `catch_unwind` so a panicking computation still cleans up
+        // its in-flight latch below — otherwise the registry entry would
+        // leak and the key's future misses would serialize on a dead latch
+        // forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute)).map(|r| {
+            r.map(|(value, bytes)| {
+                if let Some(bytes) = bytes {
+                    self.insert(key.clone(), value.clone(), bytes);
+                }
+                (value, false)
+            })
         });
         // Drop the latch from the registry before releasing it; late
         // waiters holding the stale Arc still serialize on it and then
         // re-check the cache.
         self.inflight.lock().remove(key);
         drop(guard);
-        result
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
@@ -424,6 +433,58 @@ mod tests {
             .get_or_try_compute::<()>(&1, || unreachable!("cached"))
             .unwrap();
         assert_eq!((v, hit), (5, true));
+    }
+
+    #[test]
+    fn single_flight_panic_does_not_poison_the_key() {
+        let c: LruCache<u32, u32> = LruCache::new(1024);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = c.get_or_try_compute::<()>(&1, || panic!("compute exploded"));
+        }));
+        assert!(panicked.is_err(), "the panic propagates to the caller");
+        assert!(
+            c.inflight.lock().is_empty(),
+            "the in-flight latch is cleaned up on unwind"
+        );
+        // The key computes fine afterwards.
+        let (v, hit) = c.get_or_try_compute::<()>(&1, || Ok((5, Some(4)))).unwrap();
+        assert_eq!((v, hit), (5, false));
+        let (v, hit) = c
+            .get_or_try_compute::<()>(&1, || unreachable!("cached"))
+            .unwrap();
+        assert_eq!((v, hit), (5, true));
+    }
+
+    #[test]
+    fn single_flight_panic_lets_waiters_compute_instead_of_hang() {
+        use std::sync::Arc;
+        let c: Arc<LruCache<u32, u32>> = Arc::new(LruCache::new(1024));
+        std::thread::scope(|s| {
+            let winner = {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = c.get_or_try_compute::<()>(&1, || {
+                            // Hold the latch long enough for the waiter to
+                            // block on it before the panic.
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            panic!("compute exploded")
+                        });
+                    }))
+                })
+            };
+            let waiter = {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    c.get_or_try_compute::<()>(&1, || Ok((5, Some(4)))).unwrap()
+                })
+            };
+            assert!(winner.join().unwrap().is_err());
+            // The waiter wakes, finds nothing cached, and computes in turn.
+            assert_eq!(waiter.join().unwrap(), (5, false));
+        });
+        assert!(c.inflight.lock().is_empty());
     }
 
     #[test]

@@ -24,6 +24,22 @@ pub enum ServiceError {
     ServiceDropped,
 }
 
+impl ServiceError {
+    /// Stable machine-readable error code, from the fixed taxonomy in
+    /// `docs/PROTOCOL.md`. Clients should branch on this, never on the
+    /// human-readable message (which may be reworded freely).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownDatabase(_) => "unknown_database",
+            ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Core(_) => "pipeline",
+            ServiceError::Ingest(_) => "ingest",
+            ServiceError::ServiceDropped => "shutdown",
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -74,5 +90,24 @@ mod tests {
         assert!(ServiceError::UnknownSession(7).to_string().contains('7'));
         let e: ServiceError = CoreError::NoSuchOutputTuple("x=1".into()).into();
         assert!(e.to_string().contains("x=1"));
+    }
+
+    #[test]
+    fn codes_are_stable_snake_case() {
+        let cases = [
+            (
+                ServiceError::UnknownDatabase("x".into()),
+                "unknown_database",
+            ),
+            (ServiceError::UnknownSession(1), "unknown_session"),
+            (
+                ServiceError::Core(CoreError::NoSuchOutputTuple("x".into())),
+                "pipeline",
+            ),
+            (ServiceError::ServiceDropped, "shutdown"),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code);
+        }
     }
 }

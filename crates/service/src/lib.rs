@@ -56,7 +56,7 @@ pub use cache::{CacheObs, CacheStats};
 pub use error::ServiceError;
 pub use keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
 pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
-pub use session::{AskResult, SessionHandle};
+pub use session::{AskOptions, AskResult, SessionHandle};
 pub use stats::{IngestStats, ServiceStats};
 
 /// Crate-wide result alias.

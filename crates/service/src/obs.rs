@@ -25,6 +25,18 @@ pub(crate) struct ServiceObs {
     pub prepared_apt_hits_total: Arc<Counter>,
     pub prepared_apt_misses_total: Arc<Counter>,
 
+    // ---- Robustness counters. ------------------------------------------
+    /// Asks whose request budget (deadline or cancellation) expired
+    /// before the pipeline finished.
+    pub ask_deadline_exceeded_total: Arc<Counter>,
+    /// Asks answered with a truncated, best-so-far result
+    /// (`degraded: true` on the wire).
+    pub ask_degraded_total: Arc<Counter>,
+    /// Protocol requests that panicked and were isolated by the serve
+    /// loop's `catch_unwind` (each becomes an `internal_panic` error
+    /// response; the process keeps serving).
+    pub requests_panicked_total: Arc<Counter>,
+
     // ---- Ask latency histograms (µs). ----------------------------------
     pub ask_total_us: Arc<Histogram>,
     pub ask_provenance_us: Arc<Histogram>,
@@ -58,6 +70,9 @@ impl ServiceObs {
             sessions_opened_total: r.counter("sessions_opened_total"),
             prepared_apt_hits_total: r.counter("prepared_apt_hits_total"),
             prepared_apt_misses_total: r.counter("prepared_apt_misses_total"),
+            ask_deadline_exceeded_total: r.counter("ask_deadline_exceeded_total"),
+            ask_degraded_total: r.counter("ask_degraded_total"),
+            requests_panicked_total: r.counter("requests_panicked_total"),
             ask_total_us: r.histogram("ask_total_us"),
             ask_provenance_us: r.histogram("ask_provenance_us"),
             ask_jg_enum_us: r.histogram("ask_jg_enum_us"),

@@ -2,13 +2,15 @@
 //!
 //! One request per input line, one response per output line. Every
 //! response is an object with `"ok": true|false`; errors carry
-//! `"error": "<message>"`.
+//! `"error": {"code": "<stable_code>", "message": "<human text>"}` —
+//! clients branch on `code` (fixed taxonomy, see `docs/PROTOCOL.md`),
+//! never on the message.
 //!
 //! | op | request fields | response fields |
 //! |---|---|---|
 //! | `register` | `db`, plus either `dataset` (`nba`\|`mimic`) with `scale`? (synthetic source) or `source:"csv_dir"` with `path`, `strict`?, `max_joins`? | `epoch`, `fingerprint`, `replaced`, `tables`, `rows`; csv_dir adds an `ingest` report (per-stage timings, per-table stats, join provenance, warnings) |
 //! | `query` | `db`, `sql`, `preview`? (default `true`) | `session`, `columns`, `rows` (≤ `max_rows`, default 50); with `preview: true` warms the provenance cache; reuses an existing session on the same `(db, sql)` |
-//! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value), `trace`? (default `false`) | `explanations`, `cache`, `timings`; with `trace: true` adds a `trace` span-tree array |
+//! | `ask` | `session`, `t1`+`t2` or `t` (objects of col→value), `trace`? (default `false`), `timeout_ms`? (request budget) | `explanations`, `cache`, `timings`; with `trace: true` adds a `trace` span-tree array; a budget-truncated answer adds `degraded: true` plus the `truncated` site list |
 //! | `stats` | — | service counters + the four caches + cumulative ingest stats |
 //! | `metrics` | `format`? (`"json"` default, or `"prometheus"`) | registry snapshot: `counters`, `gauges`, `histograms` (count/sum/max/mean + p50/p90/p99/p999), or `{"text": ...}` in the Prometheus exposition format |
 //! | `close` | `session` | `closed` |
@@ -32,22 +34,50 @@ use cajade_storage::Database;
 
 use crate::cache::CacheStats;
 use crate::json::Json;
-use crate::{AskResult, ExplanationService};
+use crate::session::AskOptions;
+use crate::{AskResult, ExplanationService, ServiceError};
 
 /// Handles one protocol line, returning the response object. Never
-/// panics on malformed input — all failures become `ok: false`.
+/// panics on malformed input — all failures become `ok: false` — and
+/// isolates panics escaping any handler: the panic is caught, counted
+/// (`requests_panicked_total`), and answered as an `internal_panic`
+/// error so one poisoned request cannot take the serve loop down.
 pub fn handle_line(service: &ExplanationService, line: &str) -> Json {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_line_inner(service, line)
+    })) {
+        Ok(resp) => resp,
+        Err(payload) => {
+            service.obs().requests_panicked_total.inc();
+            err(
+                "internal_panic",
+                &format!("request panicked: {}", panic_message(&payload)),
+            )
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+fn handle_line_inner(service: &ExplanationService, line: &str) -> Json {
+    cajade_obs::faults::failpoint_infallible("serve.request");
     let line = line.trim();
     if line.is_empty() {
-        return err("empty request");
+        return err("bad_request", "empty request");
     }
     let req = match Json::parse(line) {
         Ok(v) => v,
-        Err(e) => return err(&format!("bad JSON: {e}")),
+        Err(e) => return err("bad_request", &format!("bad JSON: {e}")),
     };
     let op = match req.get("op").and_then(Json::as_str) {
         Some(op) => op,
-        None => return err("missing \"op\""),
+        None => return err("bad_request", "missing \"op\""),
     };
     match op {
         "register" => handle_register(service, &req),
@@ -56,18 +86,28 @@ pub fn handle_line(service: &ExplanationService, line: &str) -> Json {
         "stats" => handle_stats(service),
         "metrics" => handle_metrics(service, &req),
         "close" => handle_close(service, &req),
-        other => err(&format!("unknown op `{other}`")),
+        other => err("bad_request", &format!("unknown op `{other}`")),
     }
 }
 
-fn err(message: &str) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+fn err(code: &str, message: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
+        ),
+    ])
+}
+
+fn service_err(e: &ServiceError) -> Json {
+    err(e.code(), &e.to_string())
 }
 
 fn str_field<'a>(req: &'a Json, field: &str) -> Result<&'a str, Json> {
     req.get(field)
         .and_then(Json::as_str)
-        .ok_or_else(|| err(&format!("missing string field \"{field}\"")))
+        .ok_or_else(|| err("bad_request", &format!("missing string field \"{field}\"")))
 }
 
 fn handle_register(service: &ExplanationService, req: &Json) -> Json {
@@ -79,9 +119,10 @@ fn handle_register(service: &ExplanationService, req: &Json) -> Json {
         Some("csv_dir") => return handle_register_csv_dir(service, req, db_name),
         Some("synthetic") | None => {}
         Some(other) => {
-            return err(&format!(
-                "unknown source `{other}` (expected \"synthetic\" or \"csv_dir\")"
-            ))
+            return err(
+                "bad_request",
+                &format!("unknown source `{other}` (expected \"synthetic\" or \"csv_dir\")"),
+            )
         }
     }
     let dataset = match str_field(req, "dataset") {
@@ -97,9 +138,10 @@ fn handle_register(service: &ExplanationService, req: &Json) -> Json {
         "nba" => nba::generate(nba::NbaConfig::scaled(scale)),
         "mimic" => mimic::generate(mimic::MimicConfig::scaled(scale)),
         other => {
-            return err(&format!(
-                "unknown dataset `{other}` (expected \"nba\" or \"mimic\")"
-            ))
+            return err(
+                "bad_request",
+                &format!("unknown dataset `{other}` (expected \"nba\" or \"mimic\")"),
+            )
         }
     };
     let tables = generated.db.tables().len();
@@ -137,7 +179,7 @@ fn handle_register_csv_dir(service: &ExplanationService, req: &Json, db_name: &s
     }
     let (outcome, report) = match service.register_csv_dir(db_name, path, &options) {
         Ok(r) => r,
-        Err(e) => return err(&e.to_string()),
+        Err(e) => return service_err(&e),
     };
     Json::obj([
         ("ok", Json::Bool(true)),
@@ -235,7 +277,7 @@ fn handle_query(service: &ExplanationService, req: &Json) -> Json {
     let preview = req.get("preview").and_then(Json::as_bool).unwrap_or(true);
     let handle = match service.open_or_reuse_session(db_name, sql) {
         Ok(h) => h,
-        Err(e) => return err(&e.to_string()),
+        Err(e) => return service_err(&e),
     };
     if !preview {
         // `preview: false` leaves every pipeline stage cold, so a
@@ -257,14 +299,17 @@ fn handle_query(service: &ExplanationService, req: &Json) -> Json {
         Ok(r) => r,
         Err(e) => {
             service.close_session(handle.id());
-            return err(&e.to_string());
+            return service_err(&e);
         }
     };
     let reg = match service.database(db_name) {
         Some(r) => r,
         None => {
             service.close_session(handle.id());
-            return err(&format!("no database registered as `{db_name}`"));
+            return err(
+                "unknown_database",
+                &format!("no database registered as `{db_name}`"),
+            );
         }
     };
     let columns: Vec<Json> = result
@@ -317,11 +362,11 @@ fn tuple_spec(req: &Json, field: &str) -> Option<Vec<(String, String)>> {
 fn handle_ask(service: &ExplanationService, req: &Json) -> Json {
     let session_id = match req.get("session").and_then(Json::as_u64) {
         Some(id) => id,
-        None => return err("missing numeric field \"session\""),
+        None => return err("bad_request", "missing numeric field \"session\""),
     };
     let handle = match service.session(session_id) {
         Ok(h) => h,
-        Err(e) => return err(&e.to_string()),
+        Err(e) => return service_err(&e),
     };
     let question = match (
         tuple_spec(req, "t1"),
@@ -330,12 +375,29 @@ fn handle_ask(service: &ExplanationService, req: &Json) -> Json {
     ) {
         (Some(t1), Some(t2), _) => UserQuestion::TwoPoint { t1, t2 },
         (None, None, Some(t)) => UserQuestion::SinglePoint { t },
-        _ => return err("expected \"t1\"+\"t2\" (two-point) or \"t\" (single-point)"),
+        _ => {
+            return err(
+                "bad_request",
+                "expected \"t1\"+\"t2\" (two-point) or \"t\" (single-point)",
+            )
+        }
     };
     let trace = req.get("trace").and_then(Json::as_bool).unwrap_or(false);
-    match handle.ask_traced(&question, trace) {
+    let timeout = match req.get("timeout_ms") {
+        None => None,
+        Some(v) => match v.as_f64().filter(|ms| *ms > 0.0 && ms.is_finite()) {
+            Some(ms) => Some(std::time::Duration::from_secs_f64(ms / 1e3)),
+            None => {
+                return err(
+                    "bad_request",
+                    "\"timeout_ms\" must be a positive number of milliseconds",
+                )
+            }
+        },
+    };
+    match handle.ask_with(&question, &AskOptions { trace, timeout }) {
         Ok(outcome) => ask_response(&outcome),
-        Err(e) => err(&e.to_string()),
+        Err(e) => service_err(&e),
     }
 }
 
@@ -434,6 +496,16 @@ fn ask_response(outcome: &AskResult) -> Json {
             ]),
         ),
     ];
+    // Budget-truncated answers are flagged; unbudgeted (or in-time) asks
+    // omit both fields, keeping their responses byte-identical to a build
+    // without the budget subsystem.
+    if r.degraded {
+        fields.push(("degraded", Json::Bool(true)));
+        fields.push((
+            "truncated",
+            Json::Arr(r.truncated.iter().map(|s| Json::str(s.clone())).collect()),
+        ));
+    }
     if let Some(spans) = &outcome.trace {
         let tree: Vec<Json> = spans
             .iter()
@@ -515,9 +587,10 @@ fn handle_metrics(service: &ExplanationService, req: &Json) -> Json {
                 ),
             ),
         ]),
-        Some(other) => err(&format!(
-            "unknown format `{other}` (expected \"json\" or \"prometheus\")"
-        )),
+        Some(other) => err(
+            "bad_request",
+            &format!("unknown format `{other}` (expected \"json\" or \"prometheus\")"),
+        ),
     }
 }
 
@@ -576,7 +649,7 @@ fn handle_stats(service: &ExplanationService) -> Json {
 fn handle_close(service: &ExplanationService, req: &Json) -> Json {
     let session_id = match req.get("session").and_then(Json::as_u64) {
         Some(id) => id,
-        None => return err("missing numeric field \"session\""),
+        None => return err("bad_request", "missing numeric field \"session\""),
     };
     Json::obj([
         ("ok", Json::Bool(true)),
@@ -611,8 +684,131 @@ mod tests {
                 Some(false),
                 "{line}"
             );
-            assert!(resp.get("error").is_some(), "{line}");
+            // Errors are objects with a stable code + human message.
+            let error = resp.get("error").unwrap_or_else(|| panic!("{line}"));
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some("bad_request"),
+                "{line}"
+            );
+            assert!(
+                error.get("message").and_then(Json::as_str).is_some(),
+                "{line}"
+            );
         }
+    }
+
+    #[test]
+    fn error_codes_follow_the_taxonomy() {
+        let service = service_with_tiny_nba();
+        let cases = [
+            (
+                r#"{"op":"query","db":"ghost","sql":"SELECT 1"}"#,
+                "unknown_database",
+            ),
+            (
+                r#"{"op":"ask","session":999,"t1":{"a":"b"},"t2":{"a":"c"}}"#,
+                "unknown_session",
+            ),
+            (
+                r#"{"op":"query","db":"nba","sql":"NOT SQL AT ALL"}"#,
+                "parse",
+            ),
+            (
+                r#"{"op":"register","db":"x","source":"csv_dir","path":"/nonexistent/cajade"}"#,
+                "ingest",
+            ),
+        ];
+        for (line, code) in cases {
+            let resp = handle_line(&service, line);
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line}"
+            );
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some(code),
+                "{line}: {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_timeout_is_a_bad_request() {
+        let service = service_with_tiny_nba();
+        let q = handle_line(
+            &service,
+            &Json::obj([
+                ("op", Json::str("query")),
+                ("db", Json::str("nba")),
+                ("sql", Json::str(GSW_SQL)),
+            ])
+            .render(),
+        );
+        let session = q.get("session").and_then(Json::as_u64).unwrap();
+        for timeout in ["0", "-5", "\"fast\"", "null"] {
+            let resp = handle_line(
+                &service,
+                &format!(
+                    r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}},"timeout_ms":{timeout}}}"#
+                ),
+            );
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some("bad_request"),
+                "timeout_ms={timeout}: {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_request_is_isolated_and_coded() {
+        let _guard = cajade_obs::faults::test_guard();
+        let service = service_with_tiny_nba();
+        let query_line = Json::obj([
+            ("op", Json::str("query")),
+            ("db", Json::str("nba")),
+            ("sql", Json::str(GSW_SQL)),
+        ])
+        .render();
+        let q = handle_line(&service, &query_line);
+        let session = q.get("session").and_then(Json::as_u64).unwrap();
+        let ask = format!(
+            r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}}}}"#
+        );
+
+        cajade_obs::faults::set_plan("serve.request=panic@1").unwrap();
+        let resp = handle_line(&service, &ask);
+        cajade_obs::faults::clear();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            resp.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("internal_panic"),
+            "{resp:?}"
+        );
+
+        // The service keeps answering after the isolated panic.
+        let resp = handle_line(&service, &ask);
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        let snap = service.metrics_snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == "requests_panicked_total")
+                .map(|(_, v)| *v),
+            Some(1)
+        );
     }
 
     #[test]

@@ -54,6 +54,11 @@ impl AptEntry {
     /// `build` on first use. The per-entry lock is held across the build,
     /// so concurrent asks on the same APT prepare it exactly once.
     /// Returns `(prepared, hit)`.
+    ///
+    /// A build truncated by an expired request budget
+    /// ([`PreparedApt::truncated`]) is handed back to its own request but
+    /// **not** retained: an unbudgeted ask must never inherit a partial
+    /// preparation computed under someone else's deadline.
     pub fn prepared_for(
         &self,
         fingerprint: u64,
@@ -64,9 +69,11 @@ impl AptEntry {
             return (Arc::clone(p), true);
         }
         let p = Arc::new(build());
-        variants.push((fingerprint, Arc::clone(&p)));
-        if variants.len() > MAX_PREPARED_VARIANTS {
-            variants.remove(0);
+        if !p.truncated {
+            variants.push((fingerprint, Arc::clone(&p)));
+            if variants.len() > MAX_PREPARED_VARIANTS {
+                variants.remove(0);
+            }
         }
         (p, false)
     }
@@ -496,6 +503,11 @@ impl ExplanationService {
     /// The registry this service records into.
     pub fn registry(&self) -> &Arc<cajade_obs::Registry> {
         &self.inner.obs.registry
+    }
+
+    /// Pre-resolved instrument handles (crate-internal recording sites).
+    pub(crate) fn obs(&self) -> &ServiceObs {
+        &self.inner.obs
     }
 
     /// Refreshes the instantaneous gauges (databases, open sessions,

@@ -23,6 +23,18 @@ use crate::keys::{AnswerKey, AptKey, ProvKey};
 use crate::service::{AptEntry, RegisteredDb, ServiceInner};
 use crate::{Result, ServiceError};
 
+/// Per-ask knobs beyond the question itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AskOptions {
+    /// Capture a per-request span tree ([`AskResult::trace`]).
+    pub trace: bool,
+    /// Request budget: the deadline after which every pipeline phase
+    /// stops at its next cooperative check and the ask returns a
+    /// best-so-far, [`SessionResult::degraded`] answer. `None` runs to
+    /// completion (the disabled budget check costs ~ns).
+    pub timeout: Option<Duration>,
+}
+
 /// One answered question plus its cache telemetry.
 #[derive(Debug)]
 pub struct AskResult {
@@ -144,13 +156,39 @@ impl SessionHandle {
     /// parent pointers). Tracing changes nothing about the answer; it
     /// adds one collector allocation plus a few µs of span bookkeeping.
     pub fn ask_traced(&self, question: &UserQuestion, trace: bool) -> Result<AskResult> {
-        if !trace {
-            return self.ask_inner(question, None);
+        self.ask_with(
+            question,
+            &AskOptions {
+                trace,
+                timeout: None,
+            },
+        )
+    }
+
+    /// The fully-optioned ask: tracing and/or a request budget.
+    ///
+    /// With [`AskOptions::timeout`] set, a [`cajade_obs::Budget`] is
+    /// installed around the whole pipeline; phases check it cooperatively
+    /// (join-graph materialization boundaries, mining-preparation phase
+    /// boundaries, forest-training task boundaries, every 64 refinement
+    /// patterns) and stop early when the deadline passes. The ask still
+    /// returns `Ok` with valid, merely less-refined explanations and
+    /// [`SessionResult::degraded`] set; degraded results are never
+    /// cached.
+    pub fn ask_with(&self, question: &UserQuestion, opts: &AskOptions) -> Result<AskResult> {
+        let run = || {
+            if !opts.trace {
+                return self.ask_inner(question, None);
+            }
+            let collector = Collector::new();
+            let mut result = collector.with(None, || self.ask_inner(question, Some(&collector)))?;
+            result.trace = Some(collector.finish());
+            Ok(result)
+        };
+        match opts.timeout {
+            None => run(),
+            Some(timeout) => cajade_obs::Budget::with_timeout(timeout).install(run),
         }
-        let collector = Collector::new();
-        let mut result = collector.with(None, || self.ask_inner(question, Some(&collector)))?;
-        result.trace = Some(collector.finish());
-        Ok(result)
     }
 
     fn ask_inner(
@@ -161,6 +199,10 @@ impl SessionHandle {
         let inner = self.service.upgrade().ok_or(ServiceError::ServiceDropped)?;
         let t_start = Instant::now();
         let ask_span = span("ask");
+        // The request budget (if any) lives in thread-local state; rayon
+        // worker closures re-install it via `in_scope` below, exactly like
+        // the span collector.
+        let budget = cajade_obs::budget::current();
         let reg: Arc<RegisteredDb> = inner.registered(&self.db_name)?;
 
         // ---- Stage 0: the fully-ranked answer may already be cached. ----
@@ -213,8 +255,15 @@ impl SessionHandle {
         // Worker threads have their own (empty) span stacks, so the
         // parallel closures re-enter the request's collector scope with
         // this stage's span as the explicit parent (`in_scope`).
-        let resolve_one = |gi: usize| -> Result<ReadyRow> {
-            in_scope(collector, mat_parent, || {
+        let resolve_one = |gi: usize| -> Result<Option<ReadyRow>> {
+            in_scope(collector, budget.as_ref(), mat_parent, || {
+                // Budget check at the per-graph boundary: an expired
+                // deadline skips the remaining graphs entirely — the ones
+                // already materialized still get mined, so the answer
+                // covers fewer join graphs rather than failing.
+                if cajade_obs::budget::stop("materialize") {
+                    return Ok(None);
+                }
                 let key = AptKey {
                     db: self.db_name.clone(),
                     epoch: reg.epoch,
@@ -225,6 +274,7 @@ impl SessionHandle {
                 let (entry, hit) = inner.apt_cache.get_or_try_compute(
                     &key,
                     || -> Result<(Arc<AptEntry>, Option<usize>)> {
+                        cajade_obs::faults::failpoint_infallible("cache.apt_compute");
                         let apt =
                             pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
                         let entry = AptEntry::new(Arc::new(apt));
@@ -238,7 +288,7 @@ impl SessionHandle {
                     },
                 )?;
                 let mat = if hit { Duration::ZERO } else { t0.elapsed() };
-                Ok((gi, key, entry, hit, mat))
+                Ok(Some((gi, key, entry, hit, mat)))
             })
         };
         let mut ready: Vec<ReadyRow> = if self.params.parallel && valid.len() > 1 {
@@ -246,11 +296,17 @@ impl SessionHandle {
                 .par_iter()
                 .map(|&gi| resolve_one(gi))
                 .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .flatten()
+                .collect()
         } else {
             valid
                 .into_iter()
                 .map(resolve_one)
                 .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .flatten()
+                .collect()
         };
         ready.sort_by_key(|(gi, _, _, _, _)| *gi);
         drop(mat_span);
@@ -271,7 +327,7 @@ impl SessionHandle {
         let prep_span = span("prepare");
         let prep_parent = prep_span.id();
         let prepare_one = |(gi, key, entry, _, mat): &ReadyRow| {
-            in_scope(collector, prep_parent, || {
+            in_scope(collector, budget.as_ref(), prep_parent, || {
                 let (prep, hit) = entry.prepared_for(mining_fp, || {
                     pipeline::prepare_mining(&entry.apt, &prepared.pt, &self.params, &col_stats)
                 });
@@ -328,7 +384,7 @@ impl SessionHandle {
         let mine_span = span("mine");
         let mine_parent = mine_span.id();
         let mine_one = |(gi, _, entry, prep, hit, mat): &PreppedRow| -> GraphOutcome {
-            in_scope(collector, mine_parent, || {
+            in_scope(collector, budget.as_ref(), mine_parent, || {
                 pipeline::mine_one_prepared(
                     &reg.db,
                     &self.query,
@@ -357,10 +413,18 @@ impl SessionHandle {
             result.timings.provenance = Duration::ZERO;
             result.timings.jg_enum = Duration::ZERO;
         }
-        if inner.epoch_is_current(&self.db_name, reg.epoch) {
+        // A degraded (budget-truncated) answer is correct for *this*
+        // request but must never serve a future, unbudgeted one.
+        if !result.degraded && inner.epoch_is_current(&self.db_name, reg.epoch) {
             inner
                 .answer_cache
                 .insert(answer_key, Arc::new(result.clone()), answer_bytes(&result));
+        }
+        if result.degraded {
+            inner.obs.ask_degraded_total.inc();
+        }
+        if cajade_obs::budget::expired() {
+            inner.obs.ask_deadline_exceeded_total.inc();
         }
         inner
             .questions_answered
@@ -414,6 +478,7 @@ impl SessionHandle {
             prep_fingerprint: self.prep_fingerprint,
         };
         inner.prov_cache.get_or_try_compute(&prov_key, || {
+            cajade_obs::faults::failpoint_infallible("cache.provenance_compute");
             let p = Arc::new(pipeline::prepare(
                 &reg.db,
                 &reg.schema_graph,
@@ -431,18 +496,25 @@ impl SessionHandle {
 }
 
 /// Runs `f` inside the request's collector scope with `parent` as the
-/// enclosing span. The parallel stages' closures execute on rayon worker
-/// threads whose thread-local span state is empty; without this explicit
-/// re-entry their spans would neither reach the collector nor parent
-/// correctly. A no-op passthrough when the ask is untraced.
+/// enclosing span, and under the request's budget. The parallel stages'
+/// closures execute on rayon worker threads whose thread-local span and
+/// budget state is empty; without this explicit re-entry their spans
+/// would neither reach the collector nor parent correctly, and their
+/// budget checks would silently see "no budget". A no-op passthrough
+/// when the ask is untraced and unbudgeted.
 fn in_scope<R>(
     collector: Option<&Arc<Collector>>,
+    budget: Option<&cajade_obs::Budget>,
     parent: Option<u64>,
     f: impl FnOnce() -> R,
 ) -> R {
-    match collector {
+    let traced = || match collector {
         Some(c) => c.with(parent, f),
         None => f(),
+    };
+    match budget {
+        Some(b) => b.install(traced),
+        None => traced(),
     }
 }
 

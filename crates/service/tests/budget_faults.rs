@@ -1,0 +1,269 @@
+//! Robustness end-to-end tests: deadline-bounded anytime asks (request
+//! budgets), degraded-answer cache hygiene, free-when-disabled identity,
+//! and fault-injected panic isolation across the serve protocol.
+
+use std::time::Duration;
+
+use cajade_core::{Params, UserQuestion};
+use cajade_datagen::nba::{self, NbaConfig};
+use cajade_service::json::Json;
+use cajade_service::{protocol, AskOptions, ExplanationService, ServiceConfig};
+
+const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
+     FROM team t, game g, season s \
+     WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+       AND t.team = 'GSW' GROUP BY s.season_name";
+
+fn q(t1_season: &str, t2_season: &str) -> UserQuestion {
+    UserQuestion::two_point(&[("season_name", t1_season)], &[("season_name", t2_season)])
+}
+
+fn tiny_service() -> ExplanationService {
+    let service = ExplanationService::new(ServiceConfig {
+        params: Params::fast(),
+        ..ServiceConfig::default()
+    });
+    let gen = nba::generate(NbaConfig::tiny());
+    service.register_database("nba", gen.db, gen.schema_graph);
+    service
+}
+
+/// Explanations rendered comparably (pattern + graph + primary + score).
+fn rendered(explanations: &[cajade_core::Explanation]) -> Vec<String> {
+    explanations
+        .iter()
+        .map(|e| {
+            format!(
+                "{}|{}|{}|{:.12}",
+                e.pattern_desc, e.graph_structure, e.primary, e.metrics.f_score
+            )
+        })
+        .collect()
+}
+
+fn counter(service: &ExplanationService, name: &str) -> u64 {
+    service
+        .metrics_snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn tight_budget_degrades_instead_of_failing() {
+    let service = tiny_service();
+    let session = service.open_session("nba", GSW_SQL).unwrap();
+
+    // A 1ms budget on a cold ask is guaranteed to expire mid-pipeline.
+    let degraded = session
+        .ask_with(
+            &q("2015-16", "2012-13"),
+            &AskOptions {
+                trace: false,
+                timeout: Some(Duration::from_millis(1)),
+            },
+        )
+        .unwrap();
+    let r = &degraded.result;
+    assert!(r.degraded, "1ms budget must truncate a cold ask");
+    assert!(
+        !r.truncated.is_empty(),
+        "degraded results name the sites that stopped early"
+    );
+    // Whatever survived is still well-formed, ranked output.
+    let fs: Vec<f64> = r.explanations.iter().map(|e| e.metrics.f_score).collect();
+    assert!(fs.windows(2).all(|w| w[0] >= w[1] - 1e-12), "{fs:?}");
+    for e in &r.explanations {
+        assert!(!e.pattern_desc.is_empty());
+        assert!(!e.primary.is_empty());
+    }
+
+    // The degraded answer was NOT cached: the follow-up unbudgeted ask
+    // reruns the pipeline and returns the full answer.
+    let full = session.ask(&q("2015-16", "2012-13")).unwrap();
+    assert!(
+        !full.answer_cache_hit,
+        "a degraded answer must never serve from the answer cache"
+    );
+    assert!(!full.result.degraded);
+    assert!(full.result.num_graphs_mined >= r.num_graphs_mined);
+    assert!(!full.result.explanations.is_empty());
+
+    // And the full answer matches a service that never saw a budget —
+    // truncated prepared state must not leak across requests.
+    let control = tiny_service();
+    let control_session = control.open_session("nba", GSW_SQL).unwrap();
+    let cold = control_session.ask(&q("2015-16", "2012-13")).unwrap();
+    assert_eq!(
+        rendered(&full.result.explanations),
+        rendered(&cold.result.explanations),
+        "post-degraded ask must match a never-budgeted cold run"
+    );
+
+    assert_eq!(counter(&service, "ask_degraded_total"), 1);
+    assert!(counter(&service, "ask_deadline_exceeded_total") >= 1);
+}
+
+#[test]
+fn generous_budget_is_identical_to_no_budget() {
+    let unbudgeted = tiny_service();
+    let s1 = unbudgeted.open_session("nba", GSW_SQL).unwrap();
+    let a1 = s1.ask(&q("2015-16", "2012-13")).unwrap();
+
+    let budgeted = tiny_service();
+    let s2 = budgeted.open_session("nba", GSW_SQL).unwrap();
+    let a2 = s2
+        .ask_with(
+            &q("2015-16", "2012-13"),
+            &AskOptions {
+                trace: false,
+                timeout: Some(Duration::from_secs(3600)),
+            },
+        )
+        .unwrap();
+
+    assert!(!a2.result.degraded);
+    assert!(a2.result.truncated.is_empty());
+    assert_eq!(
+        rendered(&a1.result.explanations),
+        rendered(&a2.result.explanations),
+        "an in-time budget changes nothing about the answer"
+    );
+    assert_eq!(
+        a1.result.num_graphs_mined, a2.result.num_graphs_mined,
+        "same graphs mined"
+    );
+    assert_eq!(a1.result.pt_rows, a2.result.pt_rows);
+    assert_eq!(counter(&budgeted, "ask_degraded_total"), 0);
+    assert_eq!(counter(&budgeted, "ask_deadline_exceeded_total"), 0);
+}
+
+#[test]
+fn budgeted_ask_over_the_protocol_reports_degraded() {
+    let service = tiny_service();
+    let query = Json::obj([
+        ("op", Json::str("query")),
+        ("db", Json::str("nba")),
+        ("sql", Json::str(GSW_SQL)),
+        ("preview", Json::Bool(false)),
+    ])
+    .render();
+    let session = protocol::handle_line(&service, &query)
+        .get("session")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    let resp = protocol::handle_line(
+        &service,
+        &format!(
+            r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}},"timeout_ms":1}}"#
+        ),
+    );
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(
+        resp.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    assert!(
+        !resp
+            .get("truncated")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "{resp:?}"
+    );
+
+    // An unbudgeted ask omits both fields entirely (free when disabled:
+    // the wire shape is unchanged from a build without budgets).
+    let resp = protocol::handle_line(
+        &service,
+        &format!(
+            r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}}}}"#
+        ),
+    );
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(resp.get("degraded").is_none(), "{resp:?}");
+    assert!(resp.get("truncated").is_none());
+}
+
+#[test]
+fn provenance_compute_panic_leaves_service_answering_and_waiters_unblocked() {
+    let _guard = cajade_obs::faults::test_guard();
+    let service = tiny_service();
+    let query = Json::obj([
+        ("op", Json::str("query")),
+        ("db", Json::str("nba")),
+        ("sql", Json::str(GSW_SQL)),
+        ("preview", Json::Bool(false)),
+    ])
+    .render();
+    let session = protocol::handle_line(&service, &query)
+        .get("session")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let ask = format!(
+        r#"{{"op":"ask","session":{session},"t1":{{"season_name":"2015-16"}},"t2":{{"season_name":"2012-13"}}}}"#
+    );
+
+    // One panic armed inside the single-flighted provenance computation.
+    // Two concurrent asks race for the latch: the winner's request
+    // panics (isolated to an `internal_panic` response), and the waiter
+    // must wake, find the latch cleaned up, and compute successfully —
+    // never hang on a latch the panicking winner forgot to remove.
+    cajade_obs::faults::set_plan("cache.provenance_compute=panic@1").unwrap();
+    let (r1, r2) = std::thread::scope(|s| {
+        let t1 = s.spawn(|| protocol::handle_line(&service, &ask));
+        let t2 = s.spawn(|| protocol::handle_line(&service, &ask));
+        (t1.join().unwrap(), t2.join().unwrap())
+    });
+    cajade_obs::faults::clear();
+
+    let oks: Vec<bool> = [&r1, &r2]
+        .iter()
+        .map(|r| r.get("ok").and_then(Json::as_bool).unwrap())
+        .collect();
+    assert!(
+        oks.contains(&false),
+        "exactly one request hits the armed panic: {r1:?} {r2:?}"
+    );
+    for r in [&r1, &r2] {
+        if r.get("ok").and_then(Json::as_bool) == Some(false) {
+            assert_eq!(
+                r.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some("internal_panic"),
+                "{r:?}"
+            );
+        } else {
+            assert!(!r
+                .get("explanations")
+                .and_then(Json::as_array)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    // The service keeps answering after the isolated panic.
+    let after = protocol::handle_line(&service, &ask);
+    assert_eq!(
+        after.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{after:?}"
+    );
+    assert_eq!(counter(&service, "requests_panicked_total"), 1);
+    // The fault harness counts its fire in the global registry.
+    assert!(
+        cajade_obs::global()
+            .counter("fault_cache_provenance_compute_fired_total")
+            .get()
+            >= 1
+    );
+}

@@ -184,6 +184,50 @@ fn serve_binary_ingests_csv_dir_and_explains() {
     assert!(text.contains("# TYPE asks_total counter\nasks_total 21\n"));
     assert!(text.contains("ask_total_us{quantile=\"0.99\"} "));
 
+    // Robustness metrics are pre-registered: they export as 0 even on a
+    // process that never panicked or degraded an answer.
+    for robustness in [
+        "requests_panicked_total",
+        "ask_degraded_total",
+        "ask_deadline_exceeded_total",
+    ] {
+        assert_eq!(
+            m.get("counters")
+                .and_then(|c| c.get(robustness))
+                .and_then(Json::as_u64),
+            Some(0),
+            "{robustness}"
+        );
+    }
+
+    // Errors carry a stable machine-readable code next to the message.
+    let bad = exchange(r#"{"op":"wat"}"#.to_string());
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{bad:?}"
+    );
+    assert!(bad
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .is_some());
+    let missing = exchange(
+        r#"{"op":"ask","session":999,"t1":{"channel":"online"},"t2":{"channel":"in_person"}}"#
+            .to_string(),
+    );
+    assert_eq!(
+        missing
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_session"),
+        "{missing:?}"
+    );
+
     // The same (db, sql) re-queried with a preview reuses the session and
     // now returns the answer rows.
     let q2 = exchange(

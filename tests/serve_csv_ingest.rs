@@ -134,8 +134,10 @@ fn register_csv_dir_bad_path_and_bad_source() {
         r#"{"op":"register","db":"x","source":"csv_dir","path":"/nonexistent/cajade"}"#,
     );
     assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
-    assert!(r
-        .get("error")
+    let e = r.get("error").expect("error object");
+    assert_eq!(e.get("code").and_then(Json::as_str), Some("ingest"));
+    assert!(e
+        .get("message")
         .and_then(Json::as_str)
         .unwrap()
         .contains("/nonexistent/cajade"));
@@ -145,8 +147,10 @@ fn register_csv_dir_bad_path_and_bad_source() {
         r#"{"op":"register","db":"x","source":"wat","path":"y"}"#,
     );
     assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
-    assert!(r
-        .get("error")
+    let e = r.get("error").expect("error object");
+    assert_eq!(e.get("code").and_then(Json::as_str), Some("bad_request"));
+    assert!(e
+        .get("message")
         .and_then(Json::as_str)
         .unwrap()
         .contains("csv_dir"));
