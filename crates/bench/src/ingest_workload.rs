@@ -64,7 +64,18 @@ pub fn enumerated_keys(
     schema_graph: &SchemaGraph,
     max_edges: usize,
 ) -> BTreeSet<String> {
-    let query = parse_sql(ROUND_TRIP_SQL).expect("workload SQL");
+    enumerated_keys_for(db, schema_graph, ROUND_TRIP_SQL, max_edges)
+}
+
+/// [`enumerated_keys`] for an arbitrary workload query — the synthetic
+/// scale-sweep corpora carry their own SQL ([`cajade_datagen::synth::SYNTH_SQL`]).
+pub fn enumerated_keys_for(
+    db: &Database,
+    schema_graph: &SchemaGraph,
+    sql: &str,
+    max_edges: usize,
+) -> BTreeSet<String> {
+    let query = parse_sql(sql).expect("workload SQL");
     let cfg = EnumConfig {
         max_edges,
         ..EnumConfig::default()

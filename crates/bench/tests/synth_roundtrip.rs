@@ -1,0 +1,116 @@
+//! Property tests over the synthetic scale-sweep corpus family
+//! ([`cajade_datagen::synth`]): for random shapes drawn from the
+//! generator's parameter space,
+//!
+//! 1. the CSV export→ingest round-trip reaches **join-graph parity** —
+//!    containment discovery on the re-ingested corpus enumerates exactly
+//!    the join graphs the declared schema does;
+//! 2. every primary key is unique (fact ids, and dimension ids globally
+//!    across tables thanks to the disjoint key ranges);
+//! 3. `duplicate_scale(·, 2)` exactly doubles every table's row count
+//!    and remaps identifier columns so the doubled keys are still unique
+//!    and the original keys survive as a subset.
+//!
+//! Cases are deliberately few (each one does real file I/O for the
+//! round-trip); the runner is seeded, so failures reproduce.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use proptest::test_runner::{ProptestConfig, TestRunner};
+
+use cajade_bench::ingest_workload::{enumerated_keys_for, round_trip, TempDir};
+use cajade_datagen::scale::duplicate_scale;
+use cajade_datagen::synth::{generate, SynthConfig, SYNTH_SQL};
+
+/// Distinct values of column `col` across all rows of table `name`,
+/// panicking on a duplicate — the uniqueness half of the key checks.
+fn unique_key_set(
+    db: &cajade_storage::Database,
+    name: &str,
+    col: usize,
+    seen: &mut HashSet<i64>,
+) -> usize {
+    let t = db.table(name).unwrap();
+    for r in 0..t.num_rows() {
+        let id = t.value(r, col).as_i64().unwrap();
+        assert!(seen.insert(id), "duplicate key {id} in {name}");
+    }
+    t.num_rows()
+}
+
+#[test]
+fn prop_synth_corpora_round_trip_and_duplicate_cleanly() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+    let strategy = (
+        200usize..1200, // rows
+        1usize..4,      // dimension tables
+        1usize..5,      // numeric columns per dimension
+        1usize..16,     // fanout
+        1usize..20,     // label cardinality
+        0u64..1_000,    // seed
+    );
+    runner
+        .run(
+            &strategy,
+            |(rows, tables, columns, fanout, cardinality, seed)| {
+                let cfg = SynthConfig {
+                    rows,
+                    tables,
+                    columns,
+                    fanout,
+                    cardinality,
+                    seed,
+                };
+                let gen = generate(&cfg);
+
+                // (2) Keys unique: fact PK alone, dim PKs globally (the
+                // disjoint ranges make cross-table collisions impossible,
+                // so one set covers both properties).
+                let mut fact_keys = HashSet::new();
+                unique_key_set(&gen.db, "fact", 0, &mut fact_keys);
+                let mut dim_keys = HashSet::new();
+                let dim_rows = (rows / fanout).max(1);
+                for d in 0..tables {
+                    let n = unique_key_set(&gen.db, &format!("dim{d}"), 0, &mut dim_keys);
+                    prop_assert_eq!(n, dim_rows);
+                }
+
+                // (3) duplicate_scale(·, 2) doubles rows, remaps keys.
+                let doubled = duplicate_scale(&gen, 2);
+                for (orig, dup) in gen.db.tables().iter().zip(doubled.db.tables()) {
+                    // Every table must exactly double.
+                    prop_assert_eq!(dup.num_rows(), 2 * orig.num_rows());
+                }
+                let mut doubled_fact = HashSet::new();
+                unique_key_set(&doubled.db, "fact", 0, &mut doubled_fact);
+                prop_assert_eq!(doubled_fact.len(), 2 * fact_keys.len());
+                prop_assert!(
+                    fact_keys.is_subset(&doubled_fact),
+                    "copy 0 must preserve the original keys"
+                );
+                let mut doubled_dims = HashSet::new();
+                for d in 0..tables {
+                    unique_key_set(&doubled.db, &format!("dim{d}"), 0, &mut doubled_dims);
+                }
+                prop_assert_eq!(doubled_dims.len(), 2 * dim_keys.len());
+
+                // (1) Round-trip join-graph parity. The declared keys are
+                // computed first: `round_trip` consumes the corpus.
+                let declared_keys = enumerated_keys_for(&gen.db, &gen.schema_graph, SYNTH_SQL, 2);
+                prop_assert!(
+                    !declared_keys.is_empty(),
+                    "declared schema enumerates no join graphs"
+                );
+                let dir = TempDir::new("cajade_synth_roundtrip");
+                let rt = round_trip(gen, dir.path());
+                let ingested_keys =
+                    enumerated_keys_for(&rt.ingested.db, &rt.ingested.schema_graph, SYNTH_SQL, 2);
+                // The failing (rows, tables, …) tuple is reported by the
+                // runner itself, so a bare equality suffices here.
+                prop_assert_eq!(declared_keys, ingested_keys);
+                Ok(())
+            },
+        )
+        .unwrap();
+}

@@ -14,6 +14,11 @@
 //!   insurance ↔ death rate ↔ age ↔ emergency admissions, ICU
 //!   length-of-stay ↔ hospital stay length, ethnicity ↔ religion, and
 //!   diagnosis-chapter death-rate differences.
+//! * [`synth`] — a fully parameterized star schema for the scale sweep:
+//!   rows and tables/columns scale independently (table count, column
+//!   count, key fan-out, value cardinality — all deterministic from a
+//!   seed), with a planted `grp`-correlation so every point mines
+//!   non-trivial patterns.
 //! * [`scale`] — the §5 scaling procedure: duplicate-up with remapped keys
 //!   (integer factors) while preserving foreign-key integrity and join
 //!   result sizes; down-scaling regenerates at reduced size (the paper
@@ -30,6 +35,7 @@ pub mod mimic;
 pub mod names;
 pub mod nba;
 pub mod scale;
+pub mod synth;
 pub mod util;
 
 use cajade_graph::SchemaGraph;

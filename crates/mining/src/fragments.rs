@@ -6,10 +6,21 @@
 
 use cajade_graph::Apt;
 
+use crate::stats::STATS_SAMPLE_CAP;
+
 /// Computes per-field threshold candidates: `num_frags` quantile
 /// boundaries of the non-null **finite** values of `field` over the APT
 /// rows in `rows` (or all rows when `rows` is `None`). Boundaries are
 /// deduplicated; constant columns yield a single boundary.
+///
+/// Large inputs are strided down to at most [`STATS_SAMPLE_CAP`]
+/// positions before the quantile sort — the same deterministic
+/// ≤512-value sampling the shared column-statistics path uses — so this
+/// fallback (taken for fields the cross-graph stats cache cannot serve,
+/// e.g. provenance-table columns) stays O(sample), not O(rows), as the
+/// APT grows. Boundaries are approximate quantiles above the cap;
+/// inputs at or below it are read exhaustively, so small fixtures see
+/// exact quantiles.
 ///
 /// Non-finite cells (`NaN`, `±∞` — reachable through CSV ingestion, since
 /// `"NaN".parse::<f64>()` succeeds) are routed to the same fate as NULLs:
@@ -25,15 +36,24 @@ pub fn fragment_boundaries(
 ) -> Vec<f64> {
     // Non-finite routing happens once, in `quantile_boundaries`.
     let vals: Vec<f64> = match rows {
-        Some(rows) => rows
-            .iter()
-            .filter_map(|&r| apt.columns[field].f64_at(r as usize))
+        Some(rows) => strided(rows.len())
+            .filter_map(|i| apt.columns[field].f64_at(rows[i] as usize))
             .collect(),
-        None => (0..apt.num_rows)
+        None => strided(apt.num_rows)
             .filter_map(|r| apt.columns[field].f64_at(r))
             .collect(),
     };
     quantile_boundaries(vals, num_frags)
+}
+
+/// Deterministic ≤[`STATS_SAMPLE_CAP`]-position stride over `0..n`.
+fn strided(n: usize) -> impl Iterator<Item = usize> {
+    let step = if n > STATS_SAMPLE_CAP {
+        n.div_ceil(STATS_SAMPLE_CAP)
+    } else {
+        1
+    };
+    (0..n).step_by(step)
 }
 
 /// The quantile-picking core of [`fragment_boundaries`], shared with the
@@ -191,6 +211,47 @@ mod tests {
         assert_eq!(quantile_boundaries(vals, 3), vec![1.0, 3.0, 5.0]);
         assert!(quantile_boundaries(vec![f64::NAN], 3).is_empty());
         assert!(quantile_boundaries(Vec::new(), 3).is_empty());
+    }
+
+    /// Above the cap the gather is strided: the boundaries equal the
+    /// quantiles of the deterministic ≤512-position sample, proving the
+    /// fallback reads O(sample) values regardless of APT size (the
+    /// prepare-path step the scale sweep pinned as previously O(rows)).
+    #[test]
+    fn large_inputs_are_strided_to_the_sample_cap() {
+        let n = 10_000usize;
+        let vals: Vec<Option<i64>> = (0..n as i64).map(Some).collect();
+        let (_db, apt) = apt_with_values(&vals);
+        let x = apt.field_index("prov_t_x").unwrap();
+
+        let step = n.div_ceil(STATS_SAMPLE_CAP);
+        let sample: Vec<f64> = (0..n).step_by(step).map(|v| v as f64).collect();
+        assert!(
+            sample.len() <= STATS_SAMPLE_CAP,
+            "cap exceeded: {}",
+            sample.len()
+        );
+        assert_eq!(
+            fragment_boundaries(&apt, x, None, 5),
+            quantile_boundaries(sample.clone(), 5),
+            "boundaries must come from the strided sample alone"
+        );
+        // The row-restricted path strides over the scope, not the APT.
+        let scope: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(
+            fragment_boundaries(&apt, x, Some(&scope), 5),
+            quantile_boundaries(sample, 5)
+        );
+        // And the sampled quantiles still track the true ones closely.
+        let b = fragment_boundaries(&apt, x, None, 5);
+        for (i, q) in [0.0, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
+            let truth = q * (n - 1) as f64;
+            assert!(
+                (b[i] - truth).abs() <= step as f64,
+                "q{q}: {} vs {truth}",
+                b[i]
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //!   and record which phases truncated. Disabled path: one TLS load.
 //! * [`faults`] — `CAJADE_FAULTS`-gated deterministic fault injection
 //!   (panic/error/sleep at named failpoints) for robustness tests.
+//! * [`rss`] — process-memory watermarks (current/peak RSS from
+//!   `/proc/self/status` on Linux), mirrored into the registry as
+//!   gauges so every metrics snapshot carries the memory high-water
+//!   mark.
 //!
 //! The span taxonomy and metric names used across the workspace are
 //! documented in `docs/OBSERVABILITY.md`; budget/degradation semantics
@@ -43,11 +47,13 @@ pub mod budget;
 pub mod faults;
 pub mod hist;
 pub mod registry;
+pub mod rss;
 pub mod trace;
 
 pub use budget::Budget;
 pub use hist::{HistSnapshot, Histogram};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use rss::{current_rss_bytes, peak_rss_bytes, record_rss, reset_peak_rss};
 pub use trace::{span, span_detail, Collector, Level, SpanGuard, SpanRecord, TraceSink};
 
 use std::sync::{Arc, OnceLock};

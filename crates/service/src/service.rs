@@ -135,6 +135,43 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The corpus size the default byte budgets were tuned for (NBA scale
+/// 0.05, ≈17 k rows across all tables).
+const BUDGET_BASELINE_ROWS: usize = 17_000;
+
+impl ServiceConfig {
+    /// Budgets sized for a corpus of `total_rows` rows (summed over all
+    /// tables). The defaults were tuned for NBA 0.05 (≈17 k rows); a
+    /// 20× corpus materializes ≈20× the APT bytes, so a fixed budget
+    /// silently turns the caches into thrash. Every budget scales
+    /// linearly with `total_rows / 17 000`, floored at the defaults —
+    /// small corpora keep the tuned values, large ones keep the same
+    /// *relative* headroom the defaults encode.
+    pub fn scaled_for_rows(total_rows: usize) -> Self {
+        let base = ServiceConfig::default();
+        // Integer scaling: budget * rows / baseline, floored at budget.
+        let scale = |bytes: usize| -> usize {
+            let scaled =
+                (bytes as u128 * total_rows as u128 / BUDGET_BASELINE_ROWS as u128) as usize;
+            scaled.max(bytes)
+        };
+        ServiceConfig {
+            prov_cache_bytes: scale(base.prov_cache_bytes),
+            apt_cache_bytes: scale(base.apt_cache_bytes),
+            answer_cache_bytes: scale(base.answer_cache_bytes),
+            column_stats_cache_bytes: scale(base.column_stats_cache_bytes),
+            ..base
+        }
+    }
+
+    /// [`scaled_for_rows`](ServiceConfig::scaled_for_rows) over a
+    /// database that is about to be registered.
+    pub fn scaled_for_db(db: &Database) -> Self {
+        let rows = db.tables().iter().map(|t| t.num_rows()).sum();
+        ServiceConfig::scaled_for_rows(rows)
+    }
+}
+
 /// A registered database: content plus its schema graph, pinned behind
 /// `Arc` so in-flight questions keep a consistent snapshot even while the
 /// name is re-registered.
@@ -511,10 +548,13 @@ impl ExplanationService {
     }
 
     /// Refreshes the instantaneous gauges (databases, open sessions,
-    /// per-cache resident entries/bytes) and returns a full registry
-    /// snapshot — the payload behind the serve protocol's `metrics` op.
+    /// per-cache resident entries/bytes, process current/peak RSS) and
+    /// returns a full registry snapshot — the payload behind the serve
+    /// protocol's `metrics` op.
     pub fn metrics_snapshot(&self) -> cajade_obs::RegistrySnapshot {
         let r = &self.inner.obs.registry;
+        // Memory watermarks (Linux; gauges stay absent elsewhere).
+        cajade_obs::rss::record_rss(r);
         r.gauge("databases").set(self.inner.dbs.read().len() as u64);
         r.gauge("open_sessions")
             .set(self.inner.sessions.read().len() as u64);
@@ -530,5 +570,63 @@ impl ExplanationService {
                 .set(cache_stats.bytes as u64);
         }
         r.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_budgets_floor_at_the_defaults() {
+        let base = ServiceConfig::default();
+        for rows in [0, 1, 17_000, BUDGET_BASELINE_ROWS - 1] {
+            let c = ServiceConfig::scaled_for_rows(rows);
+            assert_eq!(c.prov_cache_bytes, base.prov_cache_bytes, "rows {rows}");
+            assert_eq!(c.apt_cache_bytes, base.apt_cache_bytes);
+            assert_eq!(c.answer_cache_bytes, base.answer_cache_bytes);
+            assert_eq!(c.column_stats_cache_bytes, base.column_stats_cache_bytes);
+        }
+    }
+
+    #[test]
+    fn scaled_budgets_grow_linearly_and_monotonically() {
+        let base = ServiceConfig::default();
+        let x20 = ServiceConfig::scaled_for_rows(BUDGET_BASELINE_ROWS * 20);
+        assert_eq!(x20.apt_cache_bytes, base.apt_cache_bytes * 20);
+        assert_eq!(
+            x20.column_stats_cache_bytes,
+            base.column_stats_cache_bytes * 20
+        );
+        let mut last = 0;
+        for rows in [10_000, 34_000, 100_000, 340_000, 1_700_000] {
+            let c = ServiceConfig::scaled_for_rows(rows);
+            assert!(c.apt_cache_bytes >= last, "not monotone at {rows}");
+            last = c.apt_cache_bytes;
+        }
+    }
+
+    #[test]
+    fn scaled_for_db_sums_rows_across_tables() {
+        use cajade_storage::{AttrKind, DataType, SchemaBuilder, Value};
+        let mut db = Database::new("t");
+        db.create_table(
+            SchemaBuilder::new("a")
+                .column_pk("id", DataType::Int, AttrKind::Categorical)
+                .build(),
+        )
+        .unwrap();
+        // 20× baseline rows in one table → 20× budgets.
+        for i in 0..(BUDGET_BASELINE_ROWS * 20) as i64 {
+            db.table_mut("a")
+                .unwrap()
+                .push_row(vec![Value::Int(i)])
+                .unwrap();
+        }
+        let c = ServiceConfig::scaled_for_db(&db);
+        assert_eq!(
+            c.apt_cache_bytes,
+            ServiceConfig::default().apt_cache_bytes * 20
+        );
     }
 }

@@ -213,6 +213,35 @@ fn traced_cold_ask_covers_all_stages_and_metrics_percentiles_populate() {
     assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
 }
 
+/// The `metrics` op carries the process-memory watermarks: the peak-RSS
+/// gauge (`VmHWM`) and the current-RSS gauge, both from
+/// `/proc/self/status`. Non-Linux platforms simply omit the gauges.
+#[test]
+fn metrics_op_exposes_process_memory_watermarks() {
+    let service = tiny_nba_service();
+    let m = handle_line(&service, r#"{"op":"metrics"}"#);
+    assert_eq!(m.get("ok").and_then(Json::as_bool), Some(true), "{m:?}");
+    let gauges = m.get("gauges").expect("gauges object");
+    if cfg!(target_os = "linux") {
+        let peak = gauges
+            .get("process_peak_rss_bytes")
+            .and_then(Json::as_u64)
+            .expect("peak RSS gauge on Linux");
+        let cur = gauges
+            .get("process_current_rss_bytes")
+            .and_then(Json::as_u64)
+            .expect("current RSS gauge on Linux");
+        assert!(cur > 0, "{gauges:?}");
+        assert!(peak >= cur, "peak {peak} < current {cur}");
+        // Prometheus rendering carries the same gauge.
+        let p = handle_line(&service, r#"{"op":"metrics","format":"prometheus"}"#);
+        let text = p.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("# TYPE process_peak_rss_bytes gauge\n"));
+    } else {
+        assert!(gauges.get("process_peak_rss_bytes").is_none());
+    }
+}
+
 #[test]
 fn cache_counters_mirror_into_the_registry() {
     let service = tiny_nba_service();
