@@ -43,6 +43,12 @@ use cajade_obs::{HistSnapshot, Histogram};
 use cajade_query::ProvenanceTable;
 use cajade_service::{ExplanationService, ServiceConfig};
 
+// Same heap attribution as cajade-serve: the bench process tracks its
+// own allocations so the emitted JSON can report the run's heap
+// watermark next to the wall-clock numbers.
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
+
 const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
      FROM team t, game g, season s \
      WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
@@ -556,9 +562,17 @@ fn main() {
         ms(ingest.total())
     );
 
+    // Whole-run heap watermark from the tracking allocator (0 when the
+    // obs crate was built with tracking compiled out).
+    let heap_peak = cajade_obs::alloc::heap_stats().map_or(0, |h| h.peak_live_bytes.max(0) as u64);
+    println!(
+        "heap peak (tracked live)     {:>10.1} MB",
+        heap_peak as f64 / (1 << 20) as f64
+    );
+
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_scalar_p50_ms\": {:.3},\n  \"cold_ask_scalar_p99_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_ask_vectorized_p50_ms\": {:.3},\n  \"cold_ask_vectorized_p99_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"cold_prepare_ms\": {:.3},\n  \"column_stats_hits\": {},\n  \"column_stats_misses\": {},\n  \"prepare_shared_ms\": {:.3},\n  \"prepare_unshared_ms\": {:.3},\n  \"prepare_graphs\": {num_graphs},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_new_question_p50_ms\": {:.3},\n  \"warm_new_question_p99_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"warm_repeat_p50_ms\": {:.4},\n  \"warm_repeat_p99_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns},\n  \"ingest_scan_ms\": {:.3},\n  \"ingest_infer_ms\": {:.3},\n  \"ingest_load_ms\": {:.3},\n  \"ingest_discover_ms\": {:.3},\n  \"ingest_total_ms\": {:.3}\n}}\n",
+            "{{\n  \"scale\": {scale},\n  \"cold_ask_scalar_ms\": {:.3},\n  \"cold_ask_scalar_p50_ms\": {:.3},\n  \"cold_ask_scalar_p99_ms\": {:.3},\n  \"cold_ask_vectorized_ms\": {:.3},\n  \"cold_ask_vectorized_p50_ms\": {:.3},\n  \"cold_ask_vectorized_p99_ms\": {:.3},\n  \"cold_featsel_hist_ms\": {:.3},\n  \"cold_featsel_float_ms\": {:.3},\n  \"featsel_speedup\": {:.2},\n  \"featsel_topk_identical\": {featsel_topk_identical},\n  \"ub_pruned_children\": {},\n  \"recall_pruned_subtrees\": {},\n  \"cold_prepare_ms\": {:.3},\n  \"column_stats_hits\": {},\n  \"column_stats_misses\": {},\n  \"prepare_shared_ms\": {:.3},\n  \"prepare_unshared_ms\": {:.3},\n  \"prepare_graphs\": {num_graphs},\n  \"warm_new_question_ms\": {:.3},\n  \"warm_new_question_p50_ms\": {:.3},\n  \"warm_new_question_p99_ms\": {:.3},\n  \"warm_repeat_ms\": {:.4},\n  \"warm_repeat_p50_ms\": {:.4},\n  \"warm_repeat_p99_ms\": {:.4},\n  \"scoring_patterns_per_sec_scalar\": {:.0},\n  \"scoring_patterns_per_sec_vectorized\": {:.0},\n  \"scoring_patterns_per_sec_incremental_masks\": {:.0},\n  \"scoring_speedup\": {:.2},\n  \"throughput_apt_rows\": {apt_rows},\n  \"throughput_patterns\": {num_patterns},\n  \"ingest_scan_ms\": {:.3},\n  \"ingest_infer_ms\": {:.3},\n  \"ingest_load_ms\": {:.3},\n  \"ingest_discover_ms\": {:.3},\n  \"ingest_total_ms\": {:.3},\n  \"heap_peak_live_bytes\": {heap_peak}\n}}\n",
             ms(cold_scalar.wall),
             qms(&cold_scalar_dist, 0.5),
             qms(&cold_scalar_dist, 0.99),

@@ -38,6 +38,7 @@
 //! (its stats/fragment sampling is O(sample), its index build O(rows)),
 //! so a superlinear regression shows up as a rising tail.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use cajade_bench::ingest_workload::TempDir;
@@ -45,6 +46,48 @@ use cajade_bench::workloads::nba_db;
 use cajade_core::{Params, UserQuestion};
 use cajade_datagen::{scale::duplicate_scale, synth, GeneratedDb};
 use cajade_service::{ExplanationService, ServiceConfig};
+
+// Heap attribution: per-point `alloc_peak_bytes` and per-scope heap
+// curves come from the tracking allocator's ledgers (the allocator-level
+// companion to the kernel `VmHWM` watermark).
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
+
+/// Scope-chain roots that partition the point's work: every other scope
+/// ("provenance" under "cache.provenance", the mining phases under
+/// "mine", …) nests inside one of these, so summing their peak deltas
+/// never double-counts. The attributed fraction divides that sum by the
+/// point's global peak-heap growth.
+const ROOT_SCOPES: &[&str] = &[
+    "ingest_scan",
+    "ingest_infer",
+    "ingest_load",
+    "ingest_discover",
+    "cache.provenance",
+    "cache.apt",
+    "mine",
+    "rank",
+    "cache.answer",
+    "bench.register",
+];
+
+/// Per-scope deltas over one sweep point: bytes allocated during the
+/// point (cumulative over its runs) and peak net growth over the scope's
+/// net level at point start.
+#[derive(Clone, Default)]
+struct ScopeDelta {
+    allocated_bytes: u64,
+    peak_bytes: u64,
+    net_bytes: i64,
+}
+
+/// `(allocated, net)` per scope — the baseline captured at point start.
+fn scope_baseline() -> BTreeMap<&'static str, (u64, i64)> {
+    cajade_obs::alloc::scope_snapshots()
+        .into_iter()
+        .map(|s| (s.name, (s.allocated_bytes, s.net_bytes)))
+        .collect()
+}
 
 const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
      FROM team t, game g, season s \
@@ -82,6 +125,15 @@ struct Point {
     mine_ms: f64,
     peak_rss_bytes: u64,
     peak_rss_reset: bool,
+    /// Peak heap growth over the point's starting live bytes (tracking
+    /// allocator; 0 when tracking is inactive).
+    alloc_peak_bytes: u64,
+    /// Fraction of `alloc_peak_bytes` attributed to the root scopes.
+    alloc_attributed_fraction: f64,
+    /// Top-3 scopes by peak net growth — who owns the watermark.
+    alloc_top_scopes: Vec<&'static str>,
+    /// Per-scope heap deltas over the point, by scope name.
+    alloc_scopes: BTreeMap<&'static str, ScopeDelta>,
 }
 
 struct Workload<'a> {
@@ -108,8 +160,14 @@ fn measure_point(
         .map(|t| t.schema().fields.len())
         .sum();
 
-    // Point-local peak attribution: reset the kernel watermark first.
+    // Point-local peak attribution: reset the kernel watermark and the
+    // allocator's global/per-scope peaks, and snapshot the baselines the
+    // end-of-point deltas subtract.
     let peak_rss_reset = cajade_obs::reset_peak_rss();
+    cajade_obs::alloc::reset_peak();
+    cajade_obs::alloc::reset_scope_peaks();
+    let heap_base = cajade_obs::alloc::heap_stats().unwrap_or_default();
+    let scope_base = scope_baseline();
 
     // Ingest: CSV export once, re-ingest `runs`× (best-of) with type/key
     // inference and join discovery — the bring-your-own-data cost curve.
@@ -145,7 +203,12 @@ fn measure_point(
         };
         let service = ExplanationService::new(config);
         let t0 = Instant::now();
-        service.register_database("db", gen.db.clone(), gen.schema_graph.clone());
+        {
+            // The registered snapshot (a full db clone) is the service's
+            // baseline residency; attribute it like the caches.
+            let _mem = cajade_obs::AllocScope::enter("bench.register");
+            service.register_database("db", gen.db.clone(), gen.schema_graph.clone());
+        }
         let register = t0.elapsed();
 
         let session = service.open_session("db", w.sql).unwrap();
@@ -188,6 +251,10 @@ fn measure_point(
             mine_ms: ms(m.fscore_calc + m.refine_patterns),
             peak_rss_bytes: 0,
             peak_rss_reset,
+            alloc_peak_bytes: 0,
+            alloc_attributed_fraction: 0.0,
+            alloc_top_scopes: Vec::new(),
+            alloc_scopes: BTreeMap::new(),
         };
         best = Some(match best {
             None => run,
@@ -207,8 +274,40 @@ fn measure_point(
         });
     }
     let mut point = best.unwrap();
-    // The point's high-water mark, after every phase has run.
+    // The point's high-water marks, after every phase has run: kernel
+    // RSS, then the allocator ledgers diffed against the point baseline.
     point.peak_rss_bytes = cajade_obs::peak_rss_bytes().unwrap_or(0);
+    if let Some(heap) = cajade_obs::alloc::heap_stats() {
+        point.alloc_peak_bytes = (heap.peak_live_bytes - heap_base.live_bytes).max(0) as u64;
+        for s in cajade_obs::alloc::scope_snapshots() {
+            let (alloc0, net0) = scope_base.get(s.name).copied().unwrap_or((0, 0));
+            let d = ScopeDelta {
+                allocated_bytes: s.allocated_bytes.saturating_sub(alloc0),
+                peak_bytes: (s.peak_net_bytes - net0).max(0) as u64,
+                net_bytes: s.net_bytes - net0,
+            };
+            if d.allocated_bytes > 0 || d.peak_bytes > 0 {
+                point.alloc_scopes.insert(s.name, d);
+            }
+        }
+        let mut ranked: Vec<(&'static str, u64)> = point
+            .alloc_scopes
+            .iter()
+            .map(|(name, d)| (*name, d.peak_bytes))
+            .collect();
+        ranked.sort_by_key(|(name, peak)| (std::cmp::Reverse(*peak), *name));
+        point.alloc_top_scopes = ranked.iter().take(3).map(|(n, _)| *n).collect();
+        let attributed: u64 = ROOT_SCOPES
+            .iter()
+            .filter_map(|r| point.alloc_scopes.get(r))
+            .map(|d| d.peak_bytes)
+            .sum();
+        point.alloc_attributed_fraction = if point.alloc_peak_bytes > 0 {
+            (attributed as f64 / point.alloc_peak_bytes as f64).min(1.0)
+        } else {
+            0.0
+        };
+    }
     point
 }
 
@@ -266,8 +365,23 @@ fn width_axis_points(synth_rows: usize, widths: &[(usize, usize)], runs: usize) 
 }
 
 fn point_json(p: &Point) -> String {
+    let top_scopes: Vec<String> = p
+        .alloc_top_scopes
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect();
+    let scope_objs: Vec<String> = p
+        .alloc_scopes
+        .iter()
+        .map(|(name, d)| {
+            format!(
+                "        \"{name}\": {{\"allocated_bytes\": {}, \"peak_bytes\": {}, \"net_bytes\": {}}}",
+                d.allocated_bytes, d.peak_bytes, d.net_bytes
+            )
+        })
+        .collect();
     format!(
-        "    {{\n      \"axis\": \"{}\",\n      \"label\": \"{}\",\n      \"factor\": {},\n      \"tables\": {},\n      \"columns\": {},\n      \"total_rows\": {},\n      \"graphs\": {},\n      \"explanations\": {},\n      \"ingest_ms\": {:.3},\n      \"register_ms\": {:.3},\n      \"cold_ask_ms\": {:.3},\n      \"warm_new_question_ms\": {:.3},\n      \"warm_repeat_ms\": {:.4},\n      \"provenance_ms\": {:.3},\n      \"jg_enum_ms\": {:.3},\n      \"materialize_ms\": {:.3},\n      \"prepare_ms\": {:.3},\n      \"featsel_ms\": {:.3},\n      \"mine_ms\": {:.3},\n      \"prepare_ms_per_krow\": {:.4},\n      \"peak_rss_bytes\": {},\n      \"peak_rss_reset\": {}\n    }}",
+        "    {{\n      \"axis\": \"{}\",\n      \"label\": \"{}\",\n      \"factor\": {},\n      \"tables\": {},\n      \"columns\": {},\n      \"total_rows\": {},\n      \"graphs\": {},\n      \"explanations\": {},\n      \"ingest_ms\": {:.3},\n      \"register_ms\": {:.3},\n      \"cold_ask_ms\": {:.3},\n      \"warm_new_question_ms\": {:.3},\n      \"warm_repeat_ms\": {:.4},\n      \"provenance_ms\": {:.3},\n      \"jg_enum_ms\": {:.3},\n      \"materialize_ms\": {:.3},\n      \"prepare_ms\": {:.3},\n      \"featsel_ms\": {:.3},\n      \"mine_ms\": {:.3},\n      \"prepare_ms_per_krow\": {:.4},\n      \"peak_rss_bytes\": {},\n      \"peak_rss_reset\": {},\n      \"alloc_peak_bytes\": {},\n      \"alloc_attributed_fraction\": {:.3},\n      \"alloc_top_scopes\": [{}],\n      \"alloc_scopes\": {{\n{}\n      }}\n    }}",
         p.axis,
         p.label,
         p.factor,
@@ -290,12 +404,16 @@ fn point_json(p: &Point) -> String {
         p.prepare_ms / (p.total_rows as f64 / 1e3).max(1e-9),
         p.peak_rss_bytes,
         p.peak_rss_reset,
+        p.alloc_peak_bytes,
+        p.alloc_attributed_fraction,
+        top_scopes.join(", "),
+        scope_objs.join(",\n"),
     )
 }
 
 fn print_table(points: &[Point]) {
     println!(
-        "{:<24} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "{:<24} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
         "point",
         "rows",
         "ingest",
@@ -307,11 +425,12 @@ fn print_table(points: &[Point]) {
         "prepare",
         "featsel",
         "mine",
-        "peakRSS"
+        "peakRSS",
+        "peakHeap"
     );
     for p in points {
         println!(
-            "{:<24} {:>9} {:>7.0}ms {:>8.1}ms {:>8.1}ms {:>8.2}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}MB",
+            "{:<24} {:>9} {:>7.0}ms {:>8.1}ms {:>8.1}ms {:>8.2}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}MB {:>8.1}MB",
             p.label,
             p.total_rows,
             p.ingest_ms,
@@ -324,6 +443,7 @@ fn print_table(points: &[Point]) {
             p.featsel_ms,
             p.mine_ms,
             p.peak_rss_bytes as f64 / (1 << 20) as f64,
+            p.alloc_peak_bytes as f64 / (1 << 20) as f64,
         );
     }
 }
@@ -414,6 +534,29 @@ fn main() {
             per_krow(first),
             per_krow(last)
         );
+    }
+
+    // Width-axis memory attribution: the superlinear growth the sweep
+    // exposes must be *named* — each width point reports its top scopes
+    // by peak-live growth and the fraction of the heap watermark the
+    // scope ledgers account for.
+    for p in points.iter().filter(|p| p.axis == "width") {
+        println!(
+            "width {:<22} heap peak {:>7.1} MB, {:>5.1}% attributed, top scopes: {}",
+            p.label,
+            p.alloc_peak_bytes as f64 / (1 << 20) as f64,
+            p.alloc_attributed_fraction * 100.0,
+            p.alloc_top_scopes.join(", ")
+        );
+        if p.alloc_peak_bytes > 0 {
+            assert!(
+                p.alloc_attributed_fraction >= 0.8,
+                "width-axis heap growth under-attributed ({:.1}% of {} bytes): \
+                 a hot allocation path is missing its AllocScope",
+                p.alloc_attributed_fraction * 100.0,
+                p.alloc_peak_bytes
+            );
+        }
     }
 
     if let Some(path) = json_path {

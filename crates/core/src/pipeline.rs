@@ -74,6 +74,7 @@ pub fn prepare(
     let t0 = Instant::now();
     let pt = {
         let _span = cajade_obs::span("provenance");
+        let _mem = cajade_obs::AllocScope::enter("provenance");
         ProvenanceTable::compute(db, query)?
     };
     let provenance_time = t0.elapsed();
@@ -87,6 +88,7 @@ pub fn prepare(
     };
     let graphs = {
         let _span = cajade_obs::span("jg_enum");
+        let _mem = cajade_obs::AllocScope::enter("jg_enum");
         enumerate_join_graphs(schema_graph, db, query, pt.num_rows, &enum_cfg)?
     };
     let jg_enum_time = t0.elapsed();
@@ -143,6 +145,7 @@ pub fn group_label(db: &Database, query: &Query, pt: &ProvenanceTable, group: us
 /// Stage 3: materializes `APT(Q, D, Ω)` for one join graph (Definition 4).
 pub fn materialize(db: &Database, pt: &ProvenanceTable, graph: &EnumeratedGraph) -> Result<Apt> {
     let _span = cajade_obs::span("materialize_apt");
+    let _mem = cajade_obs::AllocScope::enter("materialize");
     Ok(Apt::materialize(db, pt, &graph.graph)?)
 }
 
@@ -161,6 +164,7 @@ pub fn prepare_mining(
     stats: &dyn ColumnStatsProvider,
 ) -> PreparedApt {
     let _span = cajade_obs::span("prepare_apt");
+    let _mem = cajade_obs::AllocScope::enter("prepare");
     prepare_apt_with(apt, pt, &params.mining, stats)
 }
 
@@ -198,6 +202,7 @@ pub fn mine_one(
     materialize_time: Duration,
 ) -> GraphOutcome {
     let _span = cajade_obs::span("mine_apt");
+    let _mem = cajade_obs::AllocScope::enter("mine");
     let outcome = mine_apt(apt, pt, question, &params.mining);
     let explanations = outcome
         .explanations
@@ -241,6 +246,7 @@ pub fn mine_one_prepared(
     prep_computed: bool,
 ) -> GraphOutcome {
     let _span = cajade_obs::span("mine_apt");
+    let _mem = cajade_obs::AllocScope::enter("mine");
     let mut outcome = mine_prepared(prep, apt, pt, question, &params.mining);
     if prep_computed {
         outcome.timings.accumulate(&prep.prep_timings);
@@ -303,14 +309,18 @@ pub fn materialize_and_mine(
     };
     let outcomes: Vec<Option<GraphOutcome>> = if params.parallel && valid.len() > 1 {
         // The rayon pool's worker threads don't inherit the caller's
-        // thread-local budget; re-install it inside each closure (the
-        // same hop trace collectors make in the service layer).
+        // thread-local budget or alloc-scope chain; re-install both
+        // inside each closure (the same hop trace collectors make in
+        // the service layer).
         let budget = cajade_obs::budget::current();
+        let mem_scope = cajade_obs::alloc::current_scope();
         valid
             .par_iter()
-            .map(|&i| match &budget {
-                Some(b) => b.install(|| run_one(i)),
-                None => run_one(i),
+            .map(|&i| {
+                mem_scope.install(|| match &budget {
+                    Some(b) => b.install(|| run_one(i)),
+                    None => run_one(i),
+                })
             })
             .collect::<Result<_>>()?
     } else {
@@ -322,6 +332,7 @@ pub fn materialize_and_mine(
 /// Stage 5: global F-score ranking + near-duplicate collapse (§6).
 pub fn rank(all: Vec<Explanation>, params: &Params) -> Vec<Explanation> {
     let _span = cajade_obs::span("rank");
+    let _mem = cajade_obs::AllocScope::enter("rank");
     rank_and_collapse(all, params.top_k_global, params.collapse_near_duplicates)
 }
 

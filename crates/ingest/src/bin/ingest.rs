@@ -15,6 +15,11 @@
 use std::process::ExitCode;
 
 use cajade_core::{ExplanationSession, Params, UserQuestion};
+
+// Heap attribution for the ingest stages (scan/infer/load/discover get
+// per-scope byte ledgers); see docs/OBSERVABILITY.md § Memory attribution.
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
 use cajade_ingest::{ingest_dir, IngestOptions};
 use cajade_query::parse_sql;
 

@@ -186,6 +186,7 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     // ---- Stage 1: scan -------------------------------------------------
     let t0 = Instant::now();
     let scan_span = cajade_obs::span_detail("ingest_scan");
+    let scan_mem = cajade_obs::AllocScope::enter("ingest_scan");
     let (csv_files, manifest) = scan_dir(dir, &mut warnings)?;
     if csv_files.is_empty() {
         return Err(IngestError::EmptyDirectory(dir.to_path_buf()));
@@ -198,10 +199,12 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
         .unwrap_or_else(|| "dataset".to_string());
     timings.scan = t0.elapsed();
     drop(scan_span);
+    drop(scan_mem);
 
     // ---- Stage 2: infer ------------------------------------------------
     let t0 = Instant::now();
     let infer_span = cajade_obs::span_detail("ingest_infer");
+    let infer_mem = cajade_obs::AllocScope::enter("ingest_infer");
     let mut profiles: Vec<(PathBuf, TableProfile)> = Vec::with_capacity(csv_files.len());
     for path in &csv_files {
         let table = file_stem(path);
@@ -226,10 +229,12 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     validate_manifest_pins(&manifest, &profiles, &mut warnings)?;
     timings.infer = t0.elapsed();
     drop(infer_span);
+    drop(infer_mem);
 
     // ---- Stage 3: load -------------------------------------------------
     let t0 = Instant::now();
     let load_span = cajade_obs::span_detail("ingest_load");
+    let load_mem = cajade_obs::AllocScope::enter("ingest_load");
     let mut db = Database::new(dataset_name.clone());
     let mut tables = Vec::with_capacity(profiles.len());
     for (path, profile) in &profiles {
@@ -282,13 +287,16 @@ pub fn ingest_dir(dir: impl AsRef<Path>, options: &IngestOptions) -> Result<Inge
     }
     timings.load = t0.elapsed();
     drop(load_span);
+    drop(load_mem);
 
     // ---- Stage 4: discover ---------------------------------------------
     let t0 = Instant::now();
     let discover_span = cajade_obs::span_detail("ingest_discover");
+    let discover_mem = cajade_obs::AllocScope::enter("ingest_discover");
     let (schema_graph, joins) = assemble_graph(&db, &manifest, options, &mut warnings)?;
     timings.discover = t0.elapsed();
     drop(discover_span);
+    drop(discover_mem);
 
     Ok(IngestedDataset {
         db,

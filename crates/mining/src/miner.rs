@@ -231,6 +231,7 @@ pub fn mine_apt(
     let t0 = Instant::now();
     let sample: Option<Vec<u32>> = {
         let _span = cajade_obs::span_detail("sampling_for_f1");
+        let _mem = cajade_obs::AllocScope::enter("sampling_for_f1");
         if params.lambda_f1_samp >= 1.0 {
             None
         } else {
@@ -247,6 +248,7 @@ pub fn mine_apt(
     let t0 = Instant::now();
     let index = {
         let _span = cajade_obs::span_detail("score_index");
+        let _mem = cajade_obs::AllocScope::enter("score_index");
         match params.engine {
             ScoreEngine::Scalar => None,
             ScoreEngine::Vectorized => Some(match &sample {
@@ -263,6 +265,7 @@ pub fn mine_apt(
     // bit-identical to the historical per-APT computation.
     let t0 = Instant::now();
     let featsel_span = cajade_obs::span_detail("feature_selection");
+    let featsel_mem = cajade_obs::AllocScope::enter("feature_selection");
     let mut fs = run_featsel(
         apt,
         pt,
@@ -279,10 +282,12 @@ pub fn mine_apt(
     }
     timings.feature_selection = t0.elapsed();
     drop(featsel_span);
+    drop(featsel_mem);
 
     // ---- Phase 2: LCA candidates over the λ_pat-samp sample. -----------
     let t0 = Instant::now();
     let lca_span = cajade_obs::span_detail("gen_pat_cand");
+    let lca_mem = cajade_obs::AllocScope::enter("gen_pat_cand");
     let scope_rows = question_scope_rows(apt, pt, question);
     let lca_rows: Vec<u32> = sample_with_cap(
         scope_rows.len(),
@@ -297,9 +302,11 @@ pub fn mine_apt(
     cat_pats.retain(|p| p.len() <= params.max_cat_attrs);
     timings.gen_pat_cand = t0.elapsed();
     drop(lca_span);
+    drop(lca_mem);
 
     // ---- Fragment boundaries per selected numeric field (once). --------
     let frag_span = cajade_obs::span_detail("fragments");
+    let frag_mem = cajade_obs::AllocScope::enter("fragments");
     let t0 = Instant::now();
     let frag: Vec<(usize, Vec<f64>)> = fs
         .num_fields
@@ -313,6 +320,7 @@ pub fn mine_apt(
     let bank = index.as_ref().map(|ix| PredBank::build(ix, &frag));
     timings.prepare += t0.elapsed();
     drop(frag_span);
+    drop(frag_mem);
 
     let eval = match (&index, &bank) {
         (Some(ix), Some(bk)) => SampleEval::Vector {
@@ -452,6 +460,7 @@ pub(crate) fn mine_core(
     // ---- Rank categorical candidates by recall, keep top k_cat. --------
     let t0 = Instant::now();
     let rank_span = cajade_obs::span_detail("rank_candidates");
+    let rank_mem = cajade_obs::AllocScope::enter("rank_candidates");
     let mut eq_memo: HashMap<(usize, Pred), Mask> = HashMap::new();
     let mut ranked: Vec<(Pattern, Option<Mask>, f64)> = candidates
         .into_iter()
@@ -494,9 +503,11 @@ pub(crate) fn mine_core(
     ranked.truncate(params.k_cat_patterns);
     timings.fscore_calc += t0.elapsed();
     drop(rank_span);
+    drop(rank_mem);
     // Scoring and refinement interleave below, so the BFS gets one span;
     // the fscore_calc / refine_patterns split stays in `MiningTimings`.
     let bfs_span = cajade_obs::span_detail("refine_bfs");
+    let bfs_mem = cajade_obs::AllocScope::enter("refine_bfs");
 
     // ---- Refinement BFS with recall pruning. ---------------------------
     let full_mask = match eval {
@@ -715,9 +726,11 @@ pub(crate) fn mine_core(
         timings.refine_patterns += t_mid.elapsed();
     }
     drop(bfs_span);
+    drop(bfs_mem);
 
     // ---- Top-k with diversity, then exact re-scoring. -------------------
     let _select_span = cajade_obs::span_detail("select_top_k");
+    let _select_mem = cajade_obs::AllocScope::enter("select_top_k");
     let items: Vec<(Pattern, f64)> = kept
         .iter()
         .map(|(p, _, _, m)| (p.clone(), m.f_score))

@@ -148,6 +148,7 @@ pub fn prepare_apt_with(
     // ---- λ_F1 sample + columnar index. ---------------------------------
     let t0 = Instant::now();
     let sampling_span = cajade_obs::span_detail("sampling_for_f1");
+    let sampling_mem = cajade_obs::AllocScope::enter("sampling_for_f1");
     let sample: Option<Vec<u32>> = if params.lambda_f1_samp >= 1.0 {
         None
     } else {
@@ -160,6 +161,7 @@ pub fn prepare_apt_with(
     };
     timings.sampling_for_f1 = t0.elapsed();
     drop(sampling_span);
+    drop(sampling_mem);
 
     // The bitmap state (index, per-candidate masks, predicate bank) is
     // only built for the vectorized engine; a scalar-engine preparation
@@ -171,6 +173,7 @@ pub fn prepare_apt_with(
     let t0 = Instant::now();
     let index = {
         let _span = cajade_obs::span_detail("score_index");
+        let _mem = cajade_obs::AllocScope::enter("score_index");
         vectorized.then(|| match &sample {
             Some(rows) => ScoreIndex::sampled(apt, pt, rows),
             None => ScoreIndex::exact(apt, pt),
@@ -181,6 +184,7 @@ pub fn prepare_apt_with(
     // ---- Feature selection (group-global, cacheable). ------------------
     let t0 = Instant::now();
     let featsel_span = cajade_obs::span_detail("feature_selection");
+    let featsel_mem = cajade_obs::AllocScope::enter("feature_selection");
     let fs = if stop_before_phase(&mut timings, &mut truncated) {
         FeatureSelection {
             num_fields: Vec::new(),
@@ -201,10 +205,12 @@ pub fn prepare_apt_with(
     };
     timings.feature_selection = t0.elapsed();
     drop(featsel_span);
+    drop(featsel_mem);
 
     // ---- LCA pool over an all-rows λ_pat sample, with match bitmaps. ----
     let t0 = Instant::now();
     let lca_span = cajade_obs::span_detail("gen_pat_cand");
+    let lca_mem = cajade_obs::AllocScope::enter("gen_pat_cand");
     let pool: Vec<(Pattern, Option<Mask>)> = if stop_before_phase(&mut timings, &mut truncated) {
         Vec::new()
     } else {
@@ -239,6 +245,7 @@ pub fn prepare_apt_with(
     };
     timings.gen_pat_cand = t0.elapsed();
     drop(lca_span);
+    drop(lca_mem);
 
     // ---- Fragment boundaries + refinement predicate bitmaps. ------------
     // Shared boundaries (when the provider has the field's base column)
@@ -246,6 +253,7 @@ pub fn prepare_apt_with(
     // fallback re-derives them from this APT's rows.
     let t0 = Instant::now();
     let frag_span = cajade_obs::span_detail("fragments");
+    let frag_mem = cajade_obs::AllocScope::enter("fragments");
     let frag: Vec<(usize, Vec<f64>)> = if stop_before_phase(&mut timings, &mut truncated) {
         Vec::new()
     } else {
@@ -264,6 +272,7 @@ pub fn prepare_apt_with(
     let bank = index.as_ref().map(|index| PredBank::build(index, &frag));
     timings.prepare += t0.elapsed();
     drop(frag_span);
+    drop(frag_mem);
 
     // Conservative cache guard: if the budget expired at *any* point
     // during preparation (including inside feature-selection's

@@ -36,6 +36,12 @@
 //!   `/proc/self/status` on Linux), mirrored into the registry as
 //!   gauges so every metrics snapshot carries the memory high-water
 //!   mark.
+//! * [`alloc`] — heap attribution: a tracking [`alloc::TrackingAlloc`]
+//!   global allocator (opt-in per binary) with global/thread/scoped
+//!   byte ledgers. [`alloc::AllocScope::enter`] guards attribute bytes
+//!   to pipeline stages, mining phases, ingest stages, and caches;
+//!   traced spans carry per-span `alloc_bytes`/`peak_bytes` deltas.
+//!   Compiled to a pass-through without the `alloc-track` feature.
 //!
 //! The span taxonomy and metric names used across the workspace are
 //! documented in `docs/OBSERVABILITY.md`; budget/degradation semantics
@@ -43,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod budget;
 pub mod faults;
 pub mod hist;
@@ -50,6 +57,7 @@ pub mod registry;
 pub mod rss;
 pub mod trace;
 
+pub use alloc::{AllocScope, ScopeHandle, TrackingAlloc};
 pub use budget::Budget;
 pub use hist::{HistSnapshot, Histogram};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
@@ -57,6 +65,20 @@ pub use rss::{current_rss_bytes, peak_rss_bytes, record_rss, reset_peak_rss};
 pub use trace::{span, span_detail, Collector, Level, SpanGuard, SpanRecord, TraceSink};
 
 use std::sync::{Arc, OnceLock};
+
+// The obs unit-test binary runs under the tracking allocator so the
+// alloc-ledger tests observe real attribution.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: alloc::TrackingAlloc = alloc::TrackingAlloc;
+
+/// Serializes the unit tests that allocate tens of MB or reset global
+/// watermarks, so their asserts don't race each other's spikes.
+#[cfg(test)]
+pub(crate) fn big_alloc_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The process-wide registry. Binaries (the serve and bench front ends)
 /// report through this instance; library code takes a `&Registry` so

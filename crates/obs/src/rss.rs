@@ -25,13 +25,13 @@ pub const CURRENT_RSS_GAUGE: &str = "process_current_rss_bytes";
 /// when the platform does not expose it (non-Linux, or an unreadable
 /// `/proc`). Monotone between [`reset_peak_rss`] calls.
 pub fn peak_rss_bytes() -> Option<u64> {
-    proc_status_kb("VmHWM:").map(|kb| kb * 1024)
+    status_kb_at(status_path(), "VmHWM:").map(|kb| kb * 1024)
 }
 
 /// Current resident-set size of this process in bytes (`VmRSS`), or
 /// `None` when the platform does not expose it.
 pub fn current_rss_bytes() -> Option<u64> {
-    proc_status_kb("VmRSS:").map(|kb| kb * 1024)
+    status_kb_at(status_path(), "VmRSS:").map(|kb| kb * 1024)
 }
 
 /// Resets the kernel's peak-RSS watermark to the current RSS by writing
@@ -41,14 +41,31 @@ pub fn current_rss_bytes() -> Option<u64> {
 /// when it fails (non-Linux, restricted `/proc`) the watermark simply
 /// stays cumulative, which is still a valid upper bound.
 pub fn reset_peak_rss() -> bool {
-    #[cfg(target_os = "linux")]
-    {
-        std::fs::write("/proc/self/clear_refs", b"5").is_ok()
+    reset_peak_rss_at(clear_refs_path())
+}
+
+/// The `/proc/self/status` path on Linux, a nonexistent sentinel
+/// elsewhere — every read degrades to `None` instead of erroring.
+fn status_path() -> &'static str {
+    if cfg!(target_os = "linux") {
+        "/proc/self/status"
+    } else {
+        "/nonexistent/proc/self/status"
     }
-    #[cfg(not(target_os = "linux"))]
-    {
-        false
+}
+
+fn clear_refs_path() -> &'static str {
+    if cfg!(target_os = "linux") {
+        "/proc/self/clear_refs"
+    } else {
+        "/nonexistent/proc/self/clear_refs"
     }
+}
+
+/// [`reset_peak_rss`] against an explicit `clear_refs` path. Unreadable
+/// or missing paths report `false`, never an error.
+fn reset_peak_rss_at(path: &str) -> bool {
+    std::fs::write(path, b"5").is_ok()
 }
 
 /// Reads both watermarks and mirrors them into `registry` as the gauges
@@ -64,23 +81,61 @@ pub fn record_rss(registry: &Registry) -> Option<u64> {
     Some(peak)
 }
 
-/// Parses one `<key>   <n> kB` line out of `/proc/self/status`.
-fn proc_status_kb(key: &str) -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        for line in status.lines() {
-            if let Some(rest) = line.strip_prefix(key) {
-                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-                return Some(kb);
-            }
+/// Reads a status file at `path` and parses `<key>   <n> kB` out of it.
+/// Any failure — missing file, permission denial, malformed content —
+/// degrades to `None`; this is what keeps the RSS gauges best-effort on
+/// non-Linux hosts and locked-down `/proc` mounts.
+fn status_kb_at(path: &str, key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string(path).ok()?;
+    parse_status_kb(&status, key)
+}
+
+/// Parses one `<key>   <n> kB` line out of `/proc/self/status`-shaped
+/// content. Platform-independent (unit-testable everywhere).
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb);
         }
-        None
     }
-    #[cfg(not(target_os = "linux"))]
-    {
-        let _ = key;
-        None
+    None
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+
+    /// Satellite: an unreadable `/proc` must degrade to `None`-valued
+    /// gauges, not an error — and must leave the registry untouched.
+    #[test]
+    fn unreadable_proc_degrades_to_none() {
+        assert_eq!(
+            status_kb_at("/nonexistent/proc/self/status", "VmHWM:"),
+            None
+        );
+        assert!(!reset_peak_rss_at("/nonexistent/proc/self/clear_refs"));
+    }
+
+    #[test]
+    fn malformed_status_degrades_to_none() {
+        assert_eq!(parse_status_kb("", "VmHWM:"), None);
+        assert_eq!(parse_status_kb("VmHWM: not-a-number kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_kb("VmRSS:\t  42 kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_kb("VmHWM:\t  42 kB\n", "VmHWM:"), Some(42));
+    }
+
+    #[test]
+    fn record_rss_leaves_gauges_absent_when_unreadable() {
+        let reg = Registry::new();
+        // Simulate the unreadable-/proc path by recording from parses
+        // that return None: on such platforms record_rss must not plant
+        // zero-valued gauges. We exercise the real function only where
+        // /proc exists; the None contract is covered by construction.
+        if peak_rss_bytes().is_none() {
+            assert_eq!(record_rss(&reg), None);
+            assert!(reg.snapshot().gauges.is_empty());
+        }
     }
 }
 
@@ -98,6 +153,7 @@ mod tests {
 
     #[test]
     fn peak_is_monotone_across_a_large_allocation() {
+        let _serial = crate::big_alloc_test_lock();
         let before = peak_rss_bytes().unwrap();
         // Touch every page so the allocation is actually resident.
         let mut big = vec![0u8; 64 << 20];

@@ -63,6 +63,14 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Wall-clock duration in µs.
     pub wall_us: u64,
+    /// Bytes allocated on the span's thread while it was open. Zero
+    /// unless the binary installed [`TrackingAlloc`](crate::TrackingAlloc);
+    /// worker-thread allocations land on the workers' own spans.
+    pub alloc_bytes: u64,
+    /// Peak live-byte growth on the span's thread over its starting
+    /// level (the span's own high-water mark). Zero without the
+    /// tracking allocator.
+    pub peak_bytes: u64,
 }
 
 impl SpanRecord {
@@ -74,8 +82,15 @@ impl SpanRecord {
             None => "null".to_string(),
         };
         format!(
-            "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"wall_us\":{}}}",
-            self.trace, self.id, parent, self.name, self.start_us, self.wall_us
+            "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"wall_us\":{},\"alloc_bytes\":{},\"peak_bytes\":{}}}",
+            self.trace,
+            self.id,
+            parent,
+            self.name,
+            self.start_us,
+            self.wall_us,
+            self.alloc_bytes,
+            self.peak_bytes
         )
     }
 }
@@ -222,6 +237,7 @@ fn begin(name: &'static str, level: Level) -> SpanGuard {
             name,
             level,
             start: Instant::now(),
+            mem: crate::alloc::span_mem_enter(),
         }),
         _not_send: std::marker::PhantomData,
     }
@@ -234,6 +250,7 @@ struct ActiveSpan {
     name: &'static str,
     level: Level,
     start: Instant,
+    mem: crate::alloc::SpanMem,
 }
 
 /// RAII guard for an open span; records on drop. Must stay on the thread
@@ -256,6 +273,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(a) = self.active.take() else { return };
         let wall_us = saturating_us(a.start.elapsed());
+        let (alloc_bytes, peak_bytes) = crate::alloc::span_mem_exit(a.mem);
         let collector = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             // LIFO in the common case; defensive removal otherwise so a
@@ -276,6 +294,8 @@ impl Drop for SpanGuard {
                 name: a.name,
                 start_us: saturating_us(a.start.saturating_duration_since(c.t0)),
                 wall_us,
+                alloc_bytes,
+                peak_bytes,
             });
         }
         if SINK_LEVEL.load(Ordering::Relaxed) >= a.level as u8 {
@@ -287,6 +307,8 @@ impl Drop for SpanGuard {
                     name: a.name,
                     start_us: saturating_us(a.start.saturating_duration_since(process_epoch())),
                     wall_us,
+                    alloc_bytes,
+                    peak_bytes,
                 });
             }
         }
@@ -482,16 +504,38 @@ mod tests {
             name: "ask",
             start_us: 12,
             wall_us: 34,
+            alloc_bytes: 256,
+            peak_bytes: 128,
         };
         assert_eq!(
             rec.render_json(),
-            r#"{"trace":7,"span":9,"parent":null,"name":"ask","start_us":12,"wall_us":34}"#
+            r#"{"trace":7,"span":9,"parent":null,"name":"ask","start_us":12,"wall_us":34,"alloc_bytes":256,"peak_bytes":128}"#
         );
         let rec = SpanRecord {
             parent: Some(9),
             ..rec
         };
         assert!(rec.render_json().contains("\"parent\":9"));
+    }
+
+    /// With the tracking allocator installed (see lib.rs), collected
+    /// spans carry their thread's allocation delta.
+    #[cfg(feature = "alloc-track")]
+    #[test]
+    fn collected_spans_carry_alloc_deltas() {
+        let c = Collector::new();
+        c.with(None, || {
+            let _s = span("alloc_probe");
+            let v = vec![0u8; 1 << 16];
+            std::hint::black_box(&v);
+        });
+        let spans = c.finish();
+        let probe = spans.iter().find(|r| r.name == "alloc_probe").unwrap();
+        assert!(
+            probe.alloc_bytes >= 1 << 16,
+            "span alloc delta missing: {probe:?}"
+        );
+        assert!(probe.peak_bytes >= 1 << 16, "span peak missing: {probe:?}");
     }
 
     #[test]

@@ -24,6 +24,13 @@ use std::io::{BufRead, Write};
 
 use cajade_service::{protocol, ExplanationService, ServiceConfig};
 
+// Heap attribution: every allocation flows through the tracking wrapper,
+// so the `metrics` op's `memory` block and traced asks' per-span
+// `alloc_bytes` report real bytes. A few relaxed atomics per alloc; see
+// docs/OBSERVABILITY.md § Memory attribution.
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
+
 fn main() {
     // CAJADE_TRACE=1|spans / 2|detail streams span records to stderr as
     // JSON lines; unset or 0 keeps tracing at its ~ns disabled path.

@@ -68,6 +68,9 @@ impl ColumnStatsProvider for DbColumnStats<'_> {
             .inner
             .column_stats
             .get_or_try_compute::<std::convert::Infallible>(&key, || {
+                // Attribute the retained statistics to the cache that
+                // holds them (heap-attribution scope taxonomy).
+                let _mem = cajade_obs::AllocScope::enter("cache.column_stats");
                 let stats = Arc::new(
                     base_column_stats(&self.reg.db, table, column, &self.cfg)
                         .expect("column existence checked above"),

@@ -522,6 +522,8 @@ fn ask_response(outcome: &AskResult) -> Json {
                     ),
                     ("start_us", Json::num(s.start_us as f64)),
                     ("wall_us", Json::num(s.wall_us as f64)),
+                    ("alloc_bytes", Json::num(s.alloc_bytes as f64)),
+                    ("peak_bytes", Json::num(s.peak_bytes as f64)),
                 ])
             })
             .collect();
@@ -586,12 +588,72 @@ fn handle_metrics(service: &ExplanationService, req: &Json) -> Json {
                         .collect(),
                 ),
             ),
+            ("memory", memory_json()),
         ]),
         Some(other) => err(
             "bad_request",
             &format!("unknown format `{other}` (expected \"json\" or \"prometheus\")"),
         ),
     }
+}
+
+/// The `metrics` op's `memory` block: process RSS watermarks (Linux,
+/// `null` elsewhere) plus the heap-attribution ledgers. `tracking` is
+/// `false` — and `heap`/`scopes` are absent — when the binary did not
+/// install `cajade_obs::alloc::TrackingAlloc`; RSS fields are reported
+/// either way. Scopes are ranked by peak net bytes, descending.
+fn memory_json() -> Json {
+    let opt_num = |v: Option<u64>| match v {
+        Some(n) => Json::num(n as f64),
+        None => Json::Null,
+    };
+    let mut fields = vec![
+        ("tracking", Json::Bool(cajade_obs::alloc::tracking_active())),
+        (
+            "rss",
+            Json::obj([
+                ("peak_bytes", opt_num(cajade_obs::peak_rss_bytes())),
+                ("current_bytes", opt_num(cajade_obs::current_rss_bytes())),
+            ]),
+        ),
+    ];
+    if let Some(h) = cajade_obs::alloc::heap_stats() {
+        fields.push((
+            "heap",
+            Json::obj([
+                ("allocated_bytes", Json::num(h.allocated_bytes as f64)),
+                ("freed_bytes", Json::num(h.freed_bytes as f64)),
+                ("allocated_blocks", Json::num(h.allocated_blocks as f64)),
+                ("freed_blocks", Json::num(h.freed_blocks as f64)),
+                ("live_bytes", Json::num(h.live_bytes.max(0) as f64)),
+                (
+                    "peak_live_bytes",
+                    Json::num(h.peak_live_bytes.max(0) as f64),
+                ),
+            ]),
+        ));
+        let mut scopes = cajade_obs::alloc::scope_snapshots();
+        scopes.sort_by_key(|s| std::cmp::Reverse(s.peak_net_bytes));
+        fields.push((
+            "scopes",
+            Json::Arr(
+                scopes
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", Json::str(s.name)),
+                            ("allocated_bytes", Json::num(s.allocated_bytes as f64)),
+                            ("freed_bytes", Json::num(s.freed_bytes as f64)),
+                            ("net_bytes", Json::num(s.net_bytes as f64)),
+                            ("peak_net_bytes", Json::num(s.peak_net_bytes as f64)),
+                            ("allocated_blocks", Json::num(s.allocated_blocks as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn cache_json(s: &CacheStats) -> Json {

@@ -553,8 +553,11 @@ impl ExplanationService {
     /// protocol's `metrics` op.
     pub fn metrics_snapshot(&self) -> cajade_obs::RegistrySnapshot {
         let r = &self.inner.obs.registry;
-        // Memory watermarks (Linux; gauges stay absent elsewhere).
+        // Memory watermarks (Linux; gauges stay absent elsewhere) and the
+        // heap-attribution ledgers (absent unless the binary installed
+        // `cajade_obs::alloc::TrackingAlloc`).
         cajade_obs::rss::record_rss(r);
+        cajade_obs::alloc::record_alloc(r);
         r.gauge("databases").set(self.inner.dbs.read().len() as u64);
         r.gauge("open_sessions")
             .set(self.inner.sessions.read().len() as u64);

@@ -199,10 +199,11 @@ impl SessionHandle {
         let inner = self.service.upgrade().ok_or(ServiceError::ServiceDropped)?;
         let t_start = Instant::now();
         let ask_span = span("ask");
-        // The request budget (if any) lives in thread-local state; rayon
-        // worker closures re-install it via `in_scope` below, exactly like
-        // the span collector.
+        // The request budget (if any) and the caller's alloc-scope chain
+        // live in thread-local state; rayon worker closures re-install
+        // both via `in_scope` below, exactly like the span collector.
         let budget = cajade_obs::budget::current();
+        let mem_scope = cajade_obs::alloc::current_scope();
         let reg: Arc<RegisteredDb> = inner.registered(&self.db_name)?;
 
         // ---- Stage 0: the fully-ranked answer may already be cached. ----
@@ -256,7 +257,7 @@ impl SessionHandle {
         // parallel closures re-enter the request's collector scope with
         // this stage's span as the explicit parent (`in_scope`).
         let resolve_one = |gi: usize| -> Result<Option<ReadyRow>> {
-            in_scope(collector, budget.as_ref(), mat_parent, || {
+            in_scope(collector, budget.as_ref(), &mem_scope, mat_parent, || {
                 // Budget check at the per-graph boundary: an expired
                 // deadline skips the remaining graphs entirely — the ones
                 // already materialized still get mined, so the answer
@@ -275,6 +276,9 @@ impl SessionHandle {
                     &key,
                     || -> Result<(Arc<AptEntry>, Option<usize>)> {
                         cajade_obs::faults::failpoint_infallible("cache.apt_compute");
+                        // Attribute the retained APT to the cache that
+                        // will hold it (inclusive with "materialize").
+                        let _mem = cajade_obs::AllocScope::enter("cache.apt");
                         let apt =
                             pipeline::materialize(&reg.db, &prepared.pt, &prepared.graphs[gi])?;
                         let entry = AptEntry::new(Arc::new(apt));
@@ -327,8 +331,12 @@ impl SessionHandle {
         let prep_span = span("prepare");
         let prep_parent = prep_span.id();
         let prepare_one = |(gi, key, entry, _, mat): &ReadyRow| {
-            in_scope(collector, budget.as_ref(), prep_parent, || {
+            in_scope(collector, budget.as_ref(), &mem_scope, prep_parent, || {
                 let (prep, hit) = entry.prepared_for(mining_fp, || {
+                    // The prepared state is retained by the APT cache
+                    // entry; account it under "cache.apt" alongside the
+                    // gather it decorates.
+                    let _mem = cajade_obs::AllocScope::enter("cache.apt");
                     pipeline::prepare_mining(&entry.apt, &prepared.pt, &self.params, &col_stats)
                 });
                 (*gi, key.clone(), Arc::clone(entry), prep, hit, *mat)
@@ -384,7 +392,7 @@ impl SessionHandle {
         let mine_span = span("mine");
         let mine_parent = mine_span.id();
         let mine_one = |(gi, _, entry, prep, hit, mat): &PreppedRow| -> GraphOutcome {
-            in_scope(collector, budget.as_ref(), mine_parent, || {
+            in_scope(collector, budget.as_ref(), &mem_scope, mine_parent, || {
                 pipeline::mine_one_prepared(
                     &reg.db,
                     &self.query,
@@ -416,9 +424,11 @@ impl SessionHandle {
         // A degraded (budget-truncated) answer is correct for *this*
         // request but must never serve a future, unbudgeted one.
         if !result.degraded && inner.epoch_is_current(&self.db_name, reg.epoch) {
+            let _mem = cajade_obs::AllocScope::enter("cache.answer");
+            let retained = Arc::new(result.clone());
             inner
                 .answer_cache
-                .insert(answer_key, Arc::new(result.clone()), answer_bytes(&result));
+                .insert(answer_key, retained, answer_bytes(&result));
         }
         if result.degraded {
             inner.obs.ask_degraded_total.inc();
@@ -479,6 +489,9 @@ impl SessionHandle {
         };
         inner.prov_cache.get_or_try_compute(&prov_key, || {
             cajade_obs::faults::failpoint_infallible("cache.provenance_compute");
+            // Attribute the retained prepared query (provenance table +
+            // enumeration) to the cache holding it.
+            let _mem = cajade_obs::AllocScope::enter("cache.provenance");
             let p = Arc::new(pipeline::prepare(
                 &reg.db,
                 &reg.schema_graph,
@@ -496,21 +509,25 @@ impl SessionHandle {
 }
 
 /// Runs `f` inside the request's collector scope with `parent` as the
-/// enclosing span, and under the request's budget. The parallel stages'
-/// closures execute on rayon worker threads whose thread-local span and
-/// budget state is empty; without this explicit re-entry their spans
-/// would neither reach the collector nor parent correctly, and their
-/// budget checks would silently see "no budget". A no-op passthrough
-/// when the ask is untraced and unbudgeted.
+/// enclosing span, under the request's budget, and inside the request
+/// thread's alloc-scope chain. The parallel stages' closures execute on
+/// rayon worker threads whose thread-local span, budget, and alloc-scope
+/// state is empty; without this explicit re-entry their spans would
+/// neither reach the collector nor parent correctly, their budget checks
+/// would silently see "no budget", and their heap bytes would escape the
+/// caller's memory attribution. A no-op passthrough when the ask is
+/// untraced, unbudgeted, and unscoped.
 fn in_scope<R>(
     collector: Option<&Arc<Collector>>,
     budget: Option<&cajade_obs::Budget>,
+    mem: &cajade_obs::ScopeHandle,
     parent: Option<u64>,
     f: impl FnOnce() -> R,
 ) -> R {
+    let scoped = || mem.install(f);
     let traced = || match collector {
-        Some(c) => c.with(parent, f),
-        None => f(),
+        Some(c) => c.with(parent, scoped),
+        None => scoped(),
     };
     match budget {
         Some(b) => b.install(traced),

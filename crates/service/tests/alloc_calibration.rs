@@ -1,0 +1,104 @@
+//! Calibration of the cache byte-budget estimators against the tracking
+//! allocator (satellite of the memory-attribution PR).
+//!
+//! Every service cache charges entries by `approx_bytes()` — a cheap,
+//! allocator-free estimate. If an estimator drifts far from reality the
+//! byte budgets stop meaning anything: a cache nominally capped at 64 MB
+//! could hold 300 MB of real heap. These tests build each cached
+//! artifact (provenance table, APT, column statistics) inside a
+//! dedicated allocation scope and require the estimate to land within
+//! 2× of the tracked net heap growth, in both directions.
+//!
+//! The 2× band is deliberate: estimators ignore allocator slack and Vec
+//! over-capacity, and the tracker ignores nothing — exact equality is
+//! neither achievable nor needed for budget enforcement.
+
+use cajade_datagen::nba;
+use cajade_graph::{Apt, JoinGraph};
+use cajade_mining::{base_column_stats, ColumnStatsConfig};
+use cajade_query::{parse_sql, ProvenanceTable};
+
+// Real heap numbers require the tracking allocator in this test binary,
+// same install as `cajade-serve`.
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
+
+const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
+     FROM team t, game g, season s \
+     WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
+       AND t.team = 'GSW' GROUP BY s.season_name";
+
+/// Builds `build()` under a dedicated scope and returns the artifact
+/// plus its tracked net heap growth. The scope name must be unique to
+/// one test: scopes are global, and a shared name would absorb a
+/// concurrently running test's allocations.
+fn tracked_build<T>(scope: &'static str, build: impl FnOnce() -> T) -> (T, u64) {
+    let net0 = cajade_obs::alloc::scope_snapshot(scope).map_or(0, |s| s.net_bytes);
+    let guard = cajade_obs::AllocScope::enter(scope);
+    let artifact = build();
+    drop(guard);
+    let net1 = cajade_obs::alloc::scope_snapshot(scope)
+        .expect("scope recorded")
+        .net_bytes;
+    // Intermediates allocated and freed inside the scope cancel out of
+    // `net`; with the artifact still alive, the delta is its real
+    // retained footprint.
+    (artifact, (net1 - net0).max(0) as u64)
+}
+
+/// `estimate` within 2× of `actual`, both directions.
+fn assert_calibrated(what: &str, estimate: usize, actual: u64) {
+    let estimate = estimate as u64;
+    assert!(actual > 0, "{what}: tracked no retained bytes");
+    assert!(
+        estimate * 2 >= actual,
+        "{what}: approx_bytes {estimate} underestimates tracked {actual} by more than 2x"
+    );
+    assert!(
+        estimate <= actual * 2,
+        "{what}: approx_bytes {estimate} overestimates tracked {actual} by more than 2x"
+    );
+}
+
+#[test]
+fn provenance_table_estimate_matches_tracked_bytes() {
+    let gen = nba::generate(nba::NbaConfig::tiny());
+    let q = parse_sql(GSW_SQL).unwrap();
+    let (pt, actual) = tracked_build("calib.provenance", || {
+        ProvenanceTable::compute(&gen.db, &q).unwrap()
+    });
+    assert_calibrated("ProvenanceTable", pt.approx_bytes(), actual);
+}
+
+#[test]
+fn apt_estimate_matches_tracked_bytes() {
+    let gen = nba::generate(nba::NbaConfig::tiny());
+    let q = parse_sql(GSW_SQL).unwrap();
+    let pt = ProvenanceTable::compute(&gen.db, &q).unwrap();
+    let (apt, actual) = tracked_build("calib.apt", || {
+        Apt::materialize(&gen.db, &pt, &JoinGraph::pt_only()).unwrap()
+    });
+    assert_calibrated("Apt", apt.approx_bytes(), actual);
+}
+
+#[test]
+fn column_stats_estimate_matches_tracked_bytes() {
+    let gen = nba::generate(nba::NbaConfig::tiny());
+    let cfg = ColumnStatsConfig::from_params(&cajade_core::Params::default().mining);
+    // A numeric column (quantile bins + fragment boundaries) and a
+    // categorical one (dictionary) exercise both estimator arms.
+    for (table, column, scope) in [
+        ("team_game_stats", "points", "calib.colstats_num"),
+        ("game", "game_date", "calib.colstats_cat"),
+    ] {
+        let (stats, actual) = tracked_build(scope, || {
+            base_column_stats(&gen.db, table, column, &cfg)
+                .unwrap_or_else(|| panic!("{table}.{column} resolvable"))
+        });
+        assert_calibrated(
+            &format!("ColumnStats({table}.{column})"),
+            stats.approx_bytes(),
+            actual,
+        );
+    }
+}

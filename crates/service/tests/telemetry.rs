@@ -14,6 +14,12 @@ use cajade_service::json::Json;
 use cajade_service::protocol::handle_line;
 use cajade_service::{ExplanationService, ServiceConfig};
 
+// The memory-attribution assertions below need real heap numbers, so the
+// test binary installs the tracking allocator exactly like `cajade-serve`
+// does.
+#[global_allocator]
+static ALLOC: cajade_obs::TrackingAlloc = cajade_obs::TrackingAlloc;
+
 const GSW_SQL: &str = "SELECT COUNT(*) AS win, s.season_name \
      FROM team t, game g, season s \
      WHERE t.team_id = g.winner_id AND g.season_id = s.season_id \
@@ -121,7 +127,25 @@ fn traced_cold_ask_covers_all_stages_and_metrics_percentiles_populate() {
         assert_eq!(chain.last().map(String::as_str), Some("ask"), "{chain:?}");
         assert!(s.get("wall_us").and_then(Json::as_u64).is_some());
         assert!(s.get("start_us").and_then(Json::as_u64).is_some());
+        // Memory attribution rides on every span: bytes allocated on the
+        // span's thread during its window, and the window's peak-live
+        // growth.
+        let name = s.get("name").and_then(Json::as_str).unwrap();
+        assert!(
+            s.get("alloc_bytes").and_then(Json::as_u64).is_some(),
+            "span `{name}` lost its alloc_bytes: {s:?}"
+        );
+        assert!(
+            s.get("peak_bytes").and_then(Json::as_u64).is_some(),
+            "span `{name}` lost its peak_bytes: {s:?}"
+        );
     }
+    // The root span's window covers the whole cold ask on the request
+    // thread — it must have seen real allocation traffic.
+    assert!(
+        roots[0].get("alloc_bytes").and_then(Json::as_u64).unwrap() > 0,
+        "cold ask allocated nothing?! {trace:?}"
+    );
     // The compute spans hang under their stages: provenance/jg_enum are
     // children of resolve_query, mine_apt runs under mine even though the
     // mining executor crosses worker threads.
@@ -279,4 +303,140 @@ fn cache_counters_mirror_into_the_registry() {
         .and_then(Json::as_u64)
         .unwrap();
     assert!(bytes > 0, "{m:?}");
+}
+
+/// The `metrics` op's `memory` block: heap ledger totals plus the scoped
+/// attribution table. After one cold ask every pipeline-stage scope must
+/// have accumulated real bytes, and the same numbers mirror into
+/// `heap_*` / `mem_scope_*` registry gauges.
+#[test]
+fn metrics_memory_block_attributes_stage_scopes() {
+    let service = tiny_nba_service();
+    let q = handle_line(
+        &service,
+        &format!(r#"{{"op":"query","db":"nba","sql":"{GSW_SQL}","preview":false}}"#),
+    );
+    let session = q.get("session").and_then(Json::as_u64).unwrap();
+    let a = handle_line(&service, &ask_line(session, "2015-16", "2012-13", false));
+    assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true), "{a:?}");
+
+    let m = handle_line(&service, r#"{"op":"metrics"}"#);
+    assert_eq!(m.get("ok").and_then(Json::as_bool), Some(true), "{m:?}");
+    let mem = m.get("memory").expect("memory block in metrics");
+    assert_eq!(
+        mem.get("tracking").and_then(Json::as_bool),
+        Some(true),
+        "tracking allocator is installed in this binary: {mem:?}"
+    );
+    // RSS sub-block is present on every platform; values are null where
+    // /proc is unavailable.
+    let rss = mem.get("rss").expect("rss sub-block");
+    if cfg!(target_os = "linux") {
+        assert!(rss.get("peak_bytes").and_then(Json::as_u64).unwrap() > 0);
+    }
+    let heap = mem.get("heap").expect("heap ledger when tracking");
+    let live = heap.get("live_bytes").and_then(Json::as_u64).unwrap();
+    let peak = heap.get("peak_live_bytes").and_then(Json::as_u64).unwrap();
+    assert!(live > 0, "{heap:?}");
+    assert!(peak >= live, "peak {peak} < live {live}");
+    assert!(heap.get("allocated_blocks").and_then(Json::as_u64).unwrap() > 0);
+
+    // Every pipeline stage (and the caches the ask exercised) shows up in
+    // the scope table with nonzero allocation.
+    let scopes = mem.get("scopes").and_then(Json::as_array).expect("scopes");
+    let allocated = |name: &str| -> u64 {
+        scopes
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("scope `{name}` missing: {scopes:?}"))
+            .get("allocated_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    for stage in [
+        "provenance",
+        "jg_enum",
+        "materialize",
+        "prepare",
+        "mine",
+        "cache.provenance",
+        "cache.apt",
+        "cache.column_stats",
+    ] {
+        assert!(allocated(stage) > 0, "scope `{stage}` attributed no bytes");
+    }
+
+    // Gauge mirror of the same surface.
+    let gauges = m.get("gauges").expect("gauges");
+    assert!(
+        gauges
+            .get("heap_live_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "{gauges:?}"
+    );
+    assert!(
+        gauges
+            .get("mem_scope_materialize_allocated_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "{gauges:?}"
+    );
+    // Prometheus rendering carries the heap gauges too.
+    let p = handle_line(&service, r#"{"op":"metrics","format":"prometheus"}"#);
+    let text = p.get("text").and_then(Json::as_str).unwrap();
+    assert!(text.contains("# TYPE heap_live_bytes gauge\n"));
+    assert!(text.contains("mem_scope_mine_peak_bytes "));
+}
+
+/// Satellite: cross-thread attribution. An ambient scope entered on the
+/// request thread must absorb the allocations of the mining executor's
+/// worker threads — the pipeline re-installs the caller's scope chain on
+/// each worker (`ScopeHandle::install`), exactly like traced spans
+/// re-parent across the fan-out. A traced ask runs inside the scope so
+/// `Collector::with` and the scope chain are proven to compose.
+#[test]
+fn worker_thread_allocations_fold_into_the_callers_scope() {
+    let service = tiny_nba_service();
+    let q = handle_line(
+        &service,
+        &format!(r#"{{"op":"query","db":"nba","sql":"{GSW_SQL}","preview":false}}"#),
+    );
+    let session = q.get("session").and_then(Json::as_u64).unwrap();
+
+    let before =
+        cajade_obs::alloc::scope_snapshot("telemetry_ambient").map_or(0, |s| s.allocated_bytes);
+    let ambient = cajade_obs::AllocScope::enter("telemetry_ambient");
+    let a = handle_line(&service, &ask_line(session, "2015-16", "2012-13", true));
+    drop(ambient);
+    assert_eq!(a.get("ok").and_then(Json::as_bool), Some(true), "{a:?}");
+
+    let ambient_bytes = cajade_obs::alloc::scope_snapshot("telemetry_ambient")
+        .expect("ambient scope recorded")
+        .allocated_bytes
+        - before;
+    // The root "ask" span's alloc_bytes counts request-thread allocations
+    // only; the ambient scope additionally folds in every worker thread
+    // the executor fanned to (the pipeline re-installs the caller chain
+    // on each worker). So scope ≥ span is the exact containment the
+    // cross-thread design guarantees — and unlike global scope totals it
+    // is immune to other tests running asks concurrently, because only
+    // this test touches `telemetry_ambient`.
+    let ask_span_bytes = a
+        .get("trace")
+        .and_then(Json::as_array)
+        .expect("trace array")
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("ask"))
+        .and_then(|s| s.get("alloc_bytes"))
+        .and_then(Json::as_u64)
+        .expect("root span alloc_bytes");
+    assert!(ask_span_bytes > 0, "cold traced ask allocated nothing?!");
+    assert!(
+        ambient_bytes >= ask_span_bytes,
+        "ambient scope ({ambient_bytes} B) saw less than the request \
+         thread alone ({ask_span_bytes} B) — worker folding regressed"
+    );
 }
