@@ -84,11 +84,7 @@ pub fn explain_outlier(
             Direction::Low => *res > 0.0,
         })
         .collect();
-    counter.sort_by(|x, y| {
-        y.1.abs()
-            .partial_cmp(&x.1.abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    counter.sort_by(|x, y| y.1.abs().total_cmp(&x.1.abs()));
     counter.truncate(k);
 
     counter

@@ -211,7 +211,7 @@ fn bucketize(apt: &Apt, num_buckets: usize) -> Bucketized {
                 let mut vals: Vec<f64> = (0..apt.num_rows)
                     .filter_map(|r| apt.columns[f].f64_at(r))
                     .collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vals.sort_by(|a, b| a.total_cmp(b));
                 vals.dedup();
                 // Equi-depth boundaries (num_buckets+1 edges).
                 let edges: Vec<f64> = if vals.is_empty() {

@@ -443,7 +443,7 @@ fn fig10be(args: &Args) {
                     (p.render(&apt, gen.db.pool()), recall)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
             scored.into_iter().take(10).map(|(s, _)| s).collect()
         };
 

@@ -201,11 +201,7 @@ pub fn rank_quality(ratings: &[Vec<f64>], scores: &[f64], subset: &[usize]) -> R
         kendall_sum += kendall_tau_pairs(&sub_scores, &sub_ratings) as f64;
         // NDCG: order items by the metric, gains = the rater's ratings.
         let mut order: Vec<usize> = (0..subset.len()).collect();
-        order.sort_by(|&a, &b| {
-            sub_scores[b]
-                .partial_cmp(&sub_scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| sub_scores[b].total_cmp(&sub_scores[a]));
         let gains: Vec<f64> = order.iter().map(|&i| sub_ratings[i]).collect();
         ndcg_sum += ndcg(&gains);
     }
@@ -224,7 +220,7 @@ pub fn most_controversial(ratings: &[Vec<f64>], subset: &[usize]) -> usize {
         .max_by(|&&a, &&b| {
             let sa = sample_stddev(&ratings.iter().map(|r| r[a]).collect::<Vec<_>>());
             let sb = sample_stddev(&ratings.iter().map(|r| r[b]).collect::<Vec<_>>());
-            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            sa.total_cmp(&sb)
         })
         .expect("non-empty subset")
 }

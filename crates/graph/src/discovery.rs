@@ -222,13 +222,8 @@ pub fn discover_joins(db: &Database, cfg: &DiscoveryConfig) -> Vec<JoinCandidate
     // lexicographic tail for determinism.
     out.sort_by(|x, y| {
         y.score
-            .partial_cmp(&x.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| {
-                y.to_coverage
-                    .partial_cmp(&x.to_coverage)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .total_cmp(&x.score)
+            .then_with(|| y.to_coverage.total_cmp(&x.to_coverage))
             .then_with(|| {
                 (
                     x.from_table.as_str(),

@@ -1,0 +1,42 @@
+//! `cajade-lint`: a zero-dependency project-invariant lint pass.
+//!
+//! Clippy and `syn` are unavailable in this offline build environment,
+//! so — the same way `crates/compat` vendors its dependency stand-ins —
+//! the workspace's cross-PR invariants are enforced by an in-tree
+//! checker. It is not a Rust parser: it is a token-level scanner (a
+//! small lexer that correctly skips comments, string/char/raw-string
+//! literals, and tracks `#[cfg(test)]` / `mod tests` regions) feeding a
+//! rule engine with per-line `// lint:allow(rule)` suppressions, human
+//! and JSON output, and a non-zero exit on findings.
+//!
+//! The rules and the invariants they guard are cataloged in
+//! `docs/LINTS.md`:
+//!
+//! | Rule | Invariant |
+//! |---|---|
+//! | `float-total-order` | rankings tie-break under `f64::total_cmp`, never `partial_cmp` |
+//! | `safety-comment` | every `unsafe` site carries a `// SAFETY:` justification |
+//! | `no-panic-request-path` | the serve request path degrades, never panics |
+//! | `doc-catalog-drift` | metric/failpoint/error-code/alloc-scope doc tables match the code |
+//! | `budget-checkpoint` | pattern/graph loops stay deadline-interruptible |
+//!
+//! Run it over the workspace:
+//!
+//! ```sh
+//! cargo run -p cajade-lint --release              # human output
+//! cargo run -p cajade-lint --release -- --format json
+//! ```
+//!
+//! The library surface ([`lint_workspace`] + [`LintConfig`]) exists so
+//! the rule set is testable against fixture trees; the binary and CI
+//! run [`LintConfig::workspace`].
+
+pub mod catalog;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{DocPaths, LintConfig};
+pub use engine::{lint_workspace, render_human, render_json, LintReport};
+pub use rules::{CatalogKind, Finding, RULES};

@@ -1,0 +1,101 @@
+//! The `cajade-lint` binary: scans the workspace with the project
+//! rule set and exits non-zero on findings. CI runs this as a gate on
+//! every PR (see `docs/LINTS.md`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cajade_lint::{engine, rules, LintConfig};
+
+const USAGE: &str = "\
+cajade-lint — project-invariant lint pass (docs/LINTS.md)
+
+USAGE:
+    cajade-lint [ROOT] [--format human|json] [--list-rules]
+
+    ROOT            workspace root to scan (default: nearest directory
+                    at or above the cwd containing a `crates/` dir,
+                    else the cwd)
+    --format FMT    `human` (default) or `json`
+    --list-rules    print the rule catalog and exit
+
+EXIT CODE:
+    0  no findings        1  findings        2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                for (id, desc) in rules::RULES {
+                    println!("{id}: {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                other => {
+                    eprintln!("--format expects `human` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => PathBuf::from("."),
+        },
+    };
+    let cfg = LintConfig::workspace(root);
+    match engine::lint_workspace(&cfg) {
+        Ok(report) => {
+            if format == "json" {
+                println!("{}", engine::render_json(&report));
+            } else {
+                print!("{}", engine::render_human(&report));
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cajade-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks upward from the cwd looking for a directory containing
+/// `crates/` — `cargo run -p cajade-lint` sets the cwd to the
+/// workspace root already; this makes invocations from subdirectories
+/// do the right thing too.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! A configured budget-checkpoint module that checks its request
+//! budget inside the hot loop: the cross-file rule must stay quiet.
+
+use cajade_obs::budget;
+
+pub fn refine(items: &[u32]) -> Result<u32, ()> {
+    let mut acc = 0;
+    for i in items {
+        budget::check("refine")?;
+        acc += *i;
+    }
+    Ok(acc)
+}

@@ -1,0 +1,18 @@
+//! A configured budget-checkpoint module with no budget check: the
+//! cross-file rule must fire. A `budget` identifier in test code must
+//! not count.
+
+pub fn refine(items: &[u32]) -> u32 {
+    let mut acc = 0;
+    for i in items {
+        acc += *i;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only_budget(budget: u32) -> u32 {
+        budget
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded error-code drift: `documented_code` matches the doc table,
+//! `undocumented_code` does not, and the doc-only `doc_only_code` has
+//! no declaration here.
+
+pub struct E;
+
+impl E {
+    pub fn code(&self) -> &'static str {
+        "documented_code"
+    }
+}
+
+pub fn mint() -> Json {
+    err("undocumented_code", "boom") // fires: code not in doc
+}

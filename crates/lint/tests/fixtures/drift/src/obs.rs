@@ -1,0 +1,13 @@
+//! Seeded doc-catalog-drift material: one documented and one
+//! undocumented name per catalog kind. Never compiled — lexed by the
+//! fixture tests only.
+
+pub fn register(reg: &Registry) -> Result<(), Fault> {
+    reg.counter("documented_total").inc(1);
+    reg.gauge("undocumented_gauge").set(1); // fires: metric not in doc
+    failpoint("site.documented")?;
+    failpoint_infallible("site.undocumented"); // fires: site not in doc
+    let _a = AllocScope::enter("scope.documented");
+    let _b = AllocScope::enter("scope.undocumented"); // fires: scope not in doc
+    Ok(())
+}

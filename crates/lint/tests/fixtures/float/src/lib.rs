@@ -1,0 +1,32 @@
+//! Seeded `float-total-order` violations plus immune shapes. Never
+//! compiled — lexed by the fixture tests only.
+
+pub fn violations(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: fires (comparator)
+    let _ = v[0].partial_cmp(&0.0).unwrap(); // line 6: fires (chained unwrap)
+    let m = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); // line 7: fires
+    let _ = m;
+}
+
+pub fn suppressed(v: &mut Vec<f64>) {
+    // lint:allow(float-total-order)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // lint:allow(float-total-order)
+}
+
+pub fn immune(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let _in_str = "v.sort_by(|a, b| a.partial_cmp(b).unwrap())";
+    let _in_raw = r#"sort_by(|a, b| a.partial_cmp(b).unwrap())"#;
+    // comment: v.sort_by(|a, b| a.partial_cmp(b).unwrap())
+    /* block comment:
+       v.sort_by(|a, b| a.partial_cmp(b).unwrap()) */
+    let _bare_is_fine = v[0].partial_cmp(&0.0); // Option kept, not a ranking
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_test(v: &mut Vec<f64>) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // test code: exempt
+    }
+}

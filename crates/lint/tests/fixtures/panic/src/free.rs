@@ -1,0 +1,5 @@
+//! Not a request-path module: panics here are out of the rule's scope.
+
+pub fn helper(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,26 @@
+//! Seeded `no-panic-request-path` violations. The fixture config marks
+//! this file (and only this file) as a request-path module. Never
+//! compiled — lexed by the fixture tests only.
+
+pub fn handler(input: Option<u32>) -> u32 {
+    let v = input.unwrap(); // line 6: fires
+    let w = input.expect("present"); // line 7: fires
+    if v + w == 0 {
+        panic!("boom"); // line 9: fires
+    }
+    // lint:allow(no-panic-request-path)
+    let s = input.unwrap();
+    let _in_str = ".unwrap() inside a string literal is fine";
+    v + w + s
+}
+
+pub fn non_panicking(input: Option<u32>) -> u32 {
+    input.unwrap_or(0) // different method, not .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper(input: Option<u32>) -> u32 {
+        input.unwrap() // test code: exempt
+    }
+}

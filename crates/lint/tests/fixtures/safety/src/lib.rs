@@ -1,0 +1,36 @@
+//! Seeded `safety-comment` violations plus immune shapes. Never
+//! compiled — lexed by the fixture tests only.
+
+pub fn bad(p: *const i32) -> i32 {
+    unsafe { *p } // line 5: fires (no SAFETY comment)
+}
+
+pub fn allowed(p: *const i32) -> i32 {
+    // lint:allow(safety-comment)
+    unsafe { *p }
+}
+
+pub fn good_above(p: *const i32) -> i32 {
+    // SAFETY: the caller passes a pointer to a live i32.
+    unsafe { *p }
+}
+
+pub fn good_trailing(p: *const i32) -> i32 {
+    unsafe { *p } // SAFETY: the caller passes a pointer to a live i32.
+}
+
+// SAFETY: no preconditions; the comment may sit above attributes.
+#[inline]
+pub unsafe fn good_through_attr() {}
+
+pub fn immune_strings() {
+    let _ = "unsafe { *p }";
+    // comment: unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_test(p: *const i32) -> i32 {
+        unsafe { *p } // test code: exempt
+    }
+}

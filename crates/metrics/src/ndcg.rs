@@ -18,13 +18,14 @@ pub fn dcg(gains: &[f64]) -> f64 {
 /// NDCG of a ranking. `gains` are the true relevance values in *predicted*
 /// rank order; the ideal ordering is the same multiset sorted descending.
 /// Returns 1.0 for empty input (a vacuous ranking is perfect) and clamps
-/// tiny floating-point overshoot.
+/// tiny floating-point overshoot. NaN gains sort deterministically
+/// under `total_cmp` instead of poisoning the ideal order.
 pub fn ndcg(gains: &[f64]) -> f64 {
     if gains.is_empty() {
         return 1.0;
     }
     let mut ideal = gains.to_vec();
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg = dcg(&ideal);
     if idcg <= 0.0 {
         return 1.0; // all-zero relevance: every ranking is equally good
@@ -39,7 +40,7 @@ pub fn ndcg_at_k(gains: &[f64], k: usize) -> f64 {
     }
     let cut = k.min(gains.len());
     let mut ideal = gains.to_vec();
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg = dcg(&ideal[..cut]);
     if idcg <= 0.0 {
         return 1.0;
@@ -96,8 +97,26 @@ mod tests {
         /// Sorting gains descending always yields NDCG == 1.
         #[test]
         fn prop_sorted_is_perfect(mut gains in proptest::collection::vec(0.0f64..100.0, 1..32)) {
-            gains.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            gains.sort_by(|a, b| b.total_cmp(a));
             prop_assert!((ndcg(&gains) - 1.0).abs() < 1e-9);
         }
+    }
+
+    /// A NaN gain must not panic the metric (the pre-`total_cmp` sort
+    /// called `partial_cmp(..).unwrap()` here) and must rank
+    /// deterministically: two calls see the same ideal order.
+    #[test]
+    fn nan_gain_does_not_panic_and_is_deterministic() {
+        let gains = [1.0, f64::NAN, 3.0, 2.0];
+        let a = ndcg(&gains);
+        let b = ndcg(&gains);
+        // Identical bits in, identical bits out — NaN included.
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(
+            ndcg_at_k(&gains, 2).to_bits(),
+            ndcg_at_k(&gains, 2).to_bits()
+        );
+        // All-NaN input is the degenerate extreme; still no panic.
+        let _ = ndcg(&[f64::NAN, f64::NAN]);
     }
 }

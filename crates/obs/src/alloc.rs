@@ -56,7 +56,15 @@ use std::sync::Mutex;
 /// feature disabled it is a pure pass-through.
 pub struct TrackingAlloc;
 
+// SAFETY: every hook delegates the actual memory operation to `System`
+// with unmodified arguments and returns its pointer untouched, so
+// `System`'s `GlobalAlloc` guarantees carry over; the ledger updates
+// never allocate, never lock on the hot path, and never dereference the
+// managed pointers.
 unsafe impl GlobalAlloc for TrackingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc` under the
+    // caller's `GlobalAlloc::alloc` contract; bookkeeping runs only on
+    // success and does not touch the returned block.
     #[inline]
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
@@ -67,6 +75,7 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         p
     }
 
+    // SAFETY: same delegation as `alloc`, via `System.alloc_zeroed`.
     #[inline]
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
@@ -77,6 +86,9 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         p
     }
 
+    // SAFETY: the caller guarantees `ptr`/`layout` describe a block
+    // previously returned by this allocator; both are passed straight
+    // through to `System.dealloc`.
     #[inline]
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
@@ -84,6 +96,10 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         on_dealloc(layout.size());
     }
 
+    // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged to
+    // `System.realloc` under the caller's contract; on success the old
+    // size is retired and the new size recorded, without dereferencing
+    // either block.
     #[inline]
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
@@ -180,7 +196,7 @@ fn on_alloc(size: usize) {
     let _ = SCOPE_HEAD.try_with(|h| {
         let mut node = h.get();
         while !node.is_null() {
-            // Safety: nodes are owned by live `AllocScope`/`install`
+            // SAFETY: nodes are owned by live `AllocScope`/`install`
             // guards on this same thread; stack discipline keeps every
             // link valid while it is reachable from the head.
             let n = unsafe { &*node };
@@ -210,6 +226,8 @@ fn on_dealloc(size: usize) {
     let _ = SCOPE_HEAD.try_with(|h| {
         let mut node = h.get();
         while !node.is_null() {
+            // SAFETY: same invariant as in `on_alloc` — every reachable
+            // node is owned by a live guard on this thread.
             let n = unsafe { &*node };
             n.stats.freed.fetch_add(bytes, Ordering::Relaxed);
             n.stats.blocks_freed.fetch_add(1, Ordering::Relaxed);
@@ -290,9 +308,12 @@ impl Drop for AllocScope {
             } else {
                 let mut node = h.get();
                 while !node.is_null() {
+                    // SAFETY: reachable nodes belong to still-live
+                    // guards on this thread, so the walk reads valid
+                    // memory.
                     let n = unsafe { &*node };
                     if n.parent == me {
-                        // Safety: same-thread chain; splicing past our
+                        // SAFETY: same-thread chain; splicing past our
                         // node keeps every remaining link owned by a
                         // still-live guard.
                         unsafe {
@@ -328,6 +349,8 @@ pub fn current_scope() -> ScopeHandle {
         SCOPE_HEAD.with(|h| {
             let mut node = h.get();
             while !node.is_null() {
+                // SAFETY: the chain is only mutated by this thread and
+                // every reachable node is owned by a live guard.
                 let n = unsafe { &*node };
                 chain.push(n.stats);
                 node = n.parent;

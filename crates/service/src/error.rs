@@ -24,10 +24,30 @@ pub enum ServiceError {
     ServiceDropped,
 }
 
+/// The complete stable error-code taxonomy, mirroring the table in
+/// `docs/PROTOCOL.md` one-for-one. It is wider than [`ServiceError`]:
+/// `bad_request` and `internal_panic` are minted at the protocol
+/// boundary (see `protocol.rs`), and `timeout` is reserved — a deadline
+/// alone never produces it, budgeted asks degrade with `ok: true`
+/// instead. `cajade-lint`'s doc-catalog-drift rule cross-checks this
+/// list against the doc table.
+pub const ERROR_CODES: &[&str] = &[
+    "bad_request",
+    "unknown_database",
+    "unknown_session",
+    "parse",
+    "pipeline",
+    "ingest",
+    "timeout",
+    "internal_panic",
+    "shutdown",
+];
+
 impl ServiceError {
     /// Stable machine-readable error code, from the fixed taxonomy in
-    /// `docs/PROTOCOL.md`. Clients should branch on this, never on the
-    /// human-readable message (which may be reworded freely).
+    /// [`ERROR_CODES`] / `docs/PROTOCOL.md`. Clients should branch on
+    /// this, never on the human-readable message (which may be reworded
+    /// freely).
     pub fn code(&self) -> &'static str {
         match self {
             ServiceError::UnknownDatabase(_) => "unknown_database",
@@ -109,5 +129,26 @@ mod tests {
         for (e, code) in cases {
             assert_eq!(e.code(), code);
         }
+    }
+
+    #[test]
+    fn every_code_is_in_the_documented_taxonomy() {
+        let all = [
+            ServiceError::UnknownDatabase("x".into()),
+            ServiceError::UnknownSession(1),
+            ServiceError::Parse(QueryError::UnknownColumn("c".into())),
+            ServiceError::Core(CoreError::NoSuchOutputTuple("x".into())),
+            ServiceError::Ingest(IngestError::EmptyDirectory("d".into())),
+            ServiceError::ServiceDropped,
+        ];
+        for e in all {
+            assert!(
+                ERROR_CODES.contains(&e.code()),
+                "`{}` missing from ERROR_CODES",
+                e.code()
+            );
+        }
+        // The taxonomy is exactly the documented nine, in table order.
+        assert_eq!(ERROR_CODES.len(), 9);
     }
 }

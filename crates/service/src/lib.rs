@@ -53,7 +53,7 @@ mod session;
 mod stats;
 
 pub use cache::{CacheObs, CacheStats};
-pub use error::ServiceError;
+pub use error::{ServiceError, ERROR_CODES};
 pub use keys::{AnswerKey, AptKey, ColStatsKey, ProvKey};
 pub use service::{AptEntry, ExplanationService, RegisterOutcome, RegisteredDb, ServiceConfig};
 pub use session::{AskOptions, AskResult, SessionHandle};
